@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks regenerate the paper's exhibits at a reduced scale (the full
+paper-scale run is driven by ``ssd-repro <exhibit> --scale 1.0``; its
+output is recorded in EXPERIMENTS.md).  One session-scoped context shares
+the synthesized programs across benchmarks.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+#: benchmark-suite scale; chosen so a full `pytest benchmarks/` run stays
+#: in the minutes range while preserving every exhibit's shape.
+BENCH_SCALE = 0.1
+
+
+@pytest.fixture(scope="session")
+def context():
+    return ExperimentContext(scale=BENCH_SCALE, train_scale=0.08)

@@ -1,0 +1,52 @@
+"""Benchmark: the ablation experiments (design-choice checks)."""
+
+from repro.core import compress
+from repro.experiments import ablations
+
+
+def test_branch_target_ablation(benchmark, context):
+    """Paper section 2.1: pc-relative targets in items beat absolute
+    targets in dictionary entries (~6.2% on their corpus)."""
+
+    def measure():
+        program = context.program("go")
+        relative = context.ssd("go").size
+        absolute = compress(program, branch_targets="absolute").size
+        return relative, absolute
+
+    relative, absolute = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert relative < absolute
+
+
+def test_base_codec_ablation(benchmark, context):
+    """Paper section 2.2.1: LZ over concatenated groups beats delta coding."""
+
+    def measure():
+        program = context.program("go")
+        lz_size = context.ssd("go").size
+        delta_size = compress(program, codec="delta").size
+        return lz_size, delta_size
+
+    lz_size, delta_size = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert lz_size < delta_size
+
+
+def test_sequence_length_ablation(benchmark, context):
+    """Longer sequence entries help up to the paper's chosen cap of 4."""
+
+    def measure():
+        program = context.program("go")
+        return {max_len: compress(program, max_len=max_len).size
+                for max_len in (1, 2, 4)}
+
+    sizes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert sizes[4] < sizes[2] < sizes[1]
+
+
+def test_buffer_policy_ablation(benchmark, context):
+    """The paper's hybrid policy should not lose to pure round-robin."""
+
+    out = benchmark.pedantic(
+        lambda: ablations.buffer_policy_ablation(context, ratios=(0.3,)),
+        rounds=1, iterations=1)
+    assert "paper hybrid" in out

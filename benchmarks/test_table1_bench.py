@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Table 1 (instruction redundancy)."""
+
+from repro.analysis import measure_redundancy
+from repro.experiments import table1
+from repro.workloads import profile
+
+
+def test_table1_full_exhibit(benchmark, context):
+    """Regenerates the complete Table 1 and checks its headline shape."""
+    out = benchmark.pedantic(lambda: table1.run(context), rounds=1, iterations=1)
+    assert "word97" in out and "compress" in out
+
+
+def test_table1_redundancy_shape(benchmark, context):
+    """Large programs re-use instructions more than small ones (the
+    observation SSD is built on)."""
+
+    def measure():
+        return {name: measure_redundancy(context.program(name),
+                                         x86_bytes=context.x86_size(name))
+                for name in ("word97", "go", "compress")}
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert stats["word97"].avg_reuse > stats["go"].avg_reuse > stats["compress"].avg_reuse
+    # Paper: every program re-uses instructions at least ~2.4x on average.
+    assert stats["compress"].avg_reuse > 1.3
+
+
+def test_table1_single_benchmark_cost(benchmark, context):
+    """Per-benchmark redundancy measurement cost (tight loop)."""
+    program = context.program("xlisp")
+    benchmark(measure_redundancy, program, x86_bytes=context.x86_size("xlisp"))

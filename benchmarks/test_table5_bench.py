@@ -1,0 +1,58 @@
+"""Benchmark: regenerate Table 5 (compression ratios + overhead split)."""
+
+from repro.analysis import measure_overhead, measure_sizes
+from repro.core import compress
+from repro.experiments import table5
+
+
+def test_table5_full_exhibit(benchmark, context):
+    """The complete Table 5 (sizes + modelled overheads, with BRISC)."""
+    out = benchmark.pedantic(
+        lambda: table5.run(context, names=["go", "xlisp", "compress"]),
+        rounds=1, iterations=1)
+    assert "ssd(ours)" in out
+
+
+def test_table5_ssd_beats_brisc_on_large_programs(benchmark, context):
+    """Paper's headline: SSD < BRISC for every non-tiny benchmark.
+
+    At the reduced benchmark scale only the biggest benchmarks stay above
+    the ~30 KB threshold where the paper says SSD's embedded dictionary
+    pays off, so assert on those (the crossover itself is paper-faithful:
+    BRISC wins on tiny inputs, as in the paper's ``compress`` row).
+    """
+
+    def measure():
+        results = {}
+        for name in ("gcc", "vortex"):
+            report = measure_sizes(
+                context.program(name),
+                brisc_dictionary=context.brisc_dictionary(exclude=name),
+                x86_bytes=context.x86_size(name))
+            results[name] = (report.ssd_ratio, report.brisc_ratio)
+        return results
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for name, (ssd, brisc) in ratios.items():
+        assert ssd < brisc, f"{name}: SSD {ssd:.3f} should beat BRISC {brisc:.3f}"
+
+
+def test_table5_overhead_split_shape(benchmark, context):
+    """Decompression overhead is a small slice of total overhead."""
+
+    def measure():
+        name = "go"
+        return measure_overhead(context.program(name), fuel=context.fuel,
+                                result=context.run(name),
+                                compressed_data=context.ssd(name).data)
+
+    report = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert report.jit_overhead_pct < report.quality_overhead_pct
+    assert 0 <= report.total_overhead_pct < 40
+
+
+def test_ssd_compression_speed(benchmark, context):
+    """Raw compressor throughput on one mid-size benchmark."""
+    program = context.program("xlisp")
+    result = benchmark(compress, program)
+    assert result.size > 0

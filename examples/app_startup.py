@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Desktop scenario: faster application start from compressed code.
+
+Section 1 of the paper reports that SSD-compressed Word97 *started 14%
+faster* than the native build: fewer code pages had to come off the slow
+disk, and at 7.8 MB/s decompression the disk latency dominated anyway.
+
+This example models that trade for the synthetic gcc benchmark:
+
+    native start  = native_bytes  / disk_bandwidth
+    ssd start     = compressed_bytes / disk_bandwidth
+                    + dictionary_decompression_time
+                    + startup_set_translation_time
+
+using late-1990s disk figures and the cycle model's translation rates, and
+sweeps disk bandwidth to show where the win appears and disappears.
+
+Run: ``python examples/app_startup.py``
+"""
+
+from repro.core import compress, open_container
+from repro.jit import SSD_COSTS, Translator, build_tables, seconds
+from repro.vm import native_size
+from repro.workloads import benchmark_program
+
+
+def main() -> None:
+    program = benchmark_program("gcc", scale=0.25)
+    x86 = native_size(program)
+    compressed = compress(program)
+    reader = open_container(compressed.data)
+    tables = build_tables(reader)
+    translator = Translator(reader, tables)
+
+    # Starting an app touches a fraction of its code (cold-start set).
+    startup_fraction = 0.4
+    startup_functions = range(int(reader.function_count * startup_fraction))
+    produced = 0
+    for findex in startup_functions:
+        produced += translator.translate_function(findex).size
+
+    # End-to-end decompression at the dictionary-phase rate (the paper's
+    # 7.8 MB/s figure amortizes dictionary work per output byte).
+    decompress_time = seconds(SSD_COSTS.dict_byte_cycles * produced)
+
+    print(f"program: native {x86} bytes, SSD {compressed.size} bytes "
+          f"({compressed.size / x86:.0%})")
+    print(f"startup set: {len(list(startup_functions))} functions, "
+          f"{produced} native bytes to materialize\n")
+    print(f"{'disk MB/s':>10} {'native start':>13} {'ssd start':>11} {'delta':>8}")
+    for disk_mbps in (1.0, 2.0, 4.0, 8.0, 20.0, 80.0):
+        native_start = (x86 * startup_fraction) / (disk_mbps * 1e6)
+        ssd_start = ((compressed.size * startup_fraction) / (disk_mbps * 1e6)
+                     + decompress_time)
+        delta = (native_start - ssd_start) / native_start
+        print(f"{disk_mbps:>10.1f} {native_start * 1000:>11.1f}ms "
+              f"{ssd_start * 1000:>9.1f}ms {delta:>7.0%}")
+
+    print("\nOn slow disks the smaller image wins (the paper saw Word97 start")
+    print("14% faster); on fast disks decompression time eats the advantage —")
+    print("exactly the memory-hierarchy trade the paper describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Embedded device scenario: run a big program from ROM in a small RAM buffer.
+
+The paper's motivating example (section 1): a hand-held organizer stores
+its software compressed in ROM and JIT-translates into a RAM code buffer
+much smaller than the program.  SSD's two-phase translation makes the
+re-translation cheap enough that execution degrades gracefully as the
+buffer shrinks.
+
+This example compresses the synthetic ``go`` benchmark, then simulates
+running it through a phased call trace with RAM budgets from generous to
+brutal, printing hit rate, re-translation volume and modelled slowdown at
+each size.
+
+Run: ``python examples/embedded_device.py``
+"""
+
+from repro.core import compress
+from repro.jit import SSD_COSTS, sweep_buffer_sizes
+from repro.vm import function_native_sizes, native_size
+from repro.workloads import TraceSpec, benchmark_program, generate_trace
+
+
+def main() -> None:
+    # The "firmware": a calibrated stand-in for the go benchmark.
+    program = benchmark_program("go", scale=0.5)
+    x86 = native_size(program)
+    compressed = compress(program)
+    sections = compressed.section_sizes
+    dictionary_bytes = (sections["segment_bases"] + sections["segment_trees"]
+                        + sections["common_bases"] + sections["common_tree"])
+
+    print("firmware image")
+    print(f"  native build:     {x86:8d} bytes  (needs this much ROM+RAM uncompressed)")
+    print(f"  SSD compressed:   {compressed.size:8d} bytes of ROM "
+          f"({compressed.size / x86:.0%} of native)")
+    print(f"  of which dictionary {dictionary_bytes} bytes, "
+          f"items {sections['items']} bytes")
+
+    # A bursty interactive workload: three feature phases over the code.
+    sizes = function_native_sizes(program, optimize=False)
+    trace = generate_trace(TraceSpec(
+        function_count=len(sizes),
+        calls_per_phase=30 * len(sizes),
+        phases=3,
+        skew=1.8,
+        core_fraction=0.4,
+        seed=42,
+    ))
+
+    print(f"\nworkload: {len(trace)} calls across {len(sizes)} functions\n")
+    print(f"{'RAM budget':>12} {'of native':>10} {'hit rate':>9} "
+          f"{'retranslated':>13} {'slowdown':>9}")
+    ratios = [1.0, 0.6, 0.45, 0.35, 0.3, 0.25]
+    points = sweep_buffer_sizes(sizes, trace, x86, ratios,
+                                dictionary_bytes=dictionary_bytes,
+                                costs=SSD_COSTS)
+    for point in points:
+        print(f"{point.buffer_bytes:>12d} {point.buffer_ratio:>9.0%} "
+              f"{point.hit_rate_pct:>8.1f}% "
+              f"{point.megabytes_translated:>11.2f}MB "
+              f"{1 + point.overhead_pct / 100:>8.2f}x")
+
+    print("\nReading the table: with a RAM buffer one-third the native size,")
+    print("the device still runs within a modest slowdown — the paper's")
+    print("graceful-degradation story for ROM-constrained hardware.")
+
+
+if __name__ == "__main__":
+    main()

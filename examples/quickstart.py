@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: compress a program, inspect the dictionary, decompress, run.
+
+Walks the full SSD pipeline on a small hand-written program:
+
+1. assemble a program for the virtual ISA;
+2. compress it (Algorithm 1 dictionary + Algorithm 2 items);
+3. inspect what the compressor built;
+4. decompress it back and verify instruction-exact identity;
+5. run both versions in the interpreter and compare outputs.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import assemble, compress, decompress, run_program
+from repro.core import dictionary_statistics, build_dictionary
+from repro.vm import native_size
+
+SOURCE = """
+# Sum the squares 1^2 + 2^2 + ... + 10^2 and print the result.
+func main
+    li   r16, 10          # n
+    li   r17, 0           # accumulator
+loop:
+    mov  r2, r16
+    call square
+    add  r17, r17, r1
+    addi r16, r16, -1
+    bnez r16, loop
+    mov  r1, r17
+    trap 1                # print r1
+    ret
+end
+
+func square
+    mul  r1, r2, r2
+    ret
+end
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE)
+    print(f"program: {len(program.functions)} functions, "
+          f"{program.instruction_count} instructions, "
+          f"{native_size(program)} bytes of optimized native code")
+
+    # -- compression --------------------------------------------------------
+    compressed = compress(program)
+    print(f"\ncompressed to {compressed.size} bytes "
+          f"({compressed.size / native_size(program):.0%} of native)")
+    print("sections:", compressed.section_sizes)
+
+    # -- what did the dictionary find? -------------------------------------
+    stats = dictionary_statistics(build_dictionary(program))
+    print(f"\ndictionary: {stats['base_entries']:.0f} base entries, "
+          f"{stats['sequence_entries']:.0f} sequence entries")
+    print(f"sequence entries cover {stats['sequence_coverage']:.0%} of the "
+          f"program; {stats['compression_leverage']:.2f} instructions per item")
+
+    # -- round trip ---------------------------------------------------------
+    restored = decompress(compressed.data)
+    identical = all(a.insns == b.insns
+                    for a, b in zip(program.functions, restored.functions))
+    print(f"\ndecompressed program identical: {identical}")
+
+    before = run_program(program).output
+    after = run_program(restored).output
+    print(f"original output:     {before}")
+    print(f"decompressed output: {after}")
+    assert before == after == [385]
+    print("\nOK: compression is behaviour-preserving.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — Split-Stream Dictionary (SSD) program compression.
+
+A full reproduction of "Split-Stream Dictionary Program Compression"
+(Steven Lucco, PLDI 2000): the SSD compressor/decompressor, the virtual
+ISA and VM substrate it runs on, the BRISC baseline, the RAM-constrained
+JIT runtime, synthetic stand-ins for the paper's benchmarks, and a
+harness regenerating every table and figure of the evaluation.
+
+Quick start::
+
+    from repro import compress, decompress
+    from repro.workloads import benchmark_program
+
+    program = benchmark_program("xlisp", scale=0.25)
+    compressed = compress(program)
+    assert decompress(compressed.data).functions[0].insns == \\
+        program.functions[0].insns
+
+See README.md for the architecture tour and DESIGN.md for the
+paper-to-module map.
+"""
+
+from .core import CompressedProgram, SSDReader, compress, decompress, open_container
+from .isa import Instruction, Op, Program, assemble, disassemble
+from .vm import Interpreter, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompressedProgram",
+    "Instruction",
+    "Interpreter",
+    "Op",
+    "Program",
+    "SSDReader",
+    "__version__",
+    "assemble",
+    "compress",
+    "decompress",
+    "disassemble",
+    "open_container",
+    "run_program",
+]

@@ -1,0 +1,102 @@
+"""Compressed-size accounting (the size half of Table 5).
+
+Given a benchmark program, measure every representation the paper (or a
+skeptical reviewer) would ask about:
+
+* optimized native ("optimized x86") size — the denominator;
+* SSD container size;
+* BRISC compressed size (against a supplied external dictionary);
+* uncompressed VM bytecode size;
+* byte-oriented LZ77 over the VM bytecode — the stream-oriented,
+  *non*-interpretable comparison point from section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..brisc import PatternDictionary
+from ..brisc import compress as brisc_compress
+from ..core import compress as ssd_compress
+from ..isa import Program
+from ..isa.encoding import encode_program
+from ..lz import lz77
+from ..vm import native_size
+
+
+@dataclass(frozen=True)
+class SizeReport:
+    """All measured sizes for one benchmark."""
+
+    name: str
+    x86_bytes: int
+    ssd_bytes: int
+    brisc_bytes: Optional[int]
+    vm_bytes: int
+    lz_bytes: int
+    ssd_dictionary_bytes: int
+    ssd_item_bytes: int
+    #: adaptive arithmetic coding over the VM bytecode — the archival,
+    #: non-interpretable frontier from section 2 (None unless requested)
+    arith_bytes: Optional[int] = None
+
+    @property
+    def ssd_ratio(self) -> float:
+        return self.ssd_bytes / self.x86_bytes
+
+    @property
+    def brisc_ratio(self) -> Optional[float]:
+        if self.brisc_bytes is None:
+            return None
+        return self.brisc_bytes / self.x86_bytes
+
+    @property
+    def lz_ratio(self) -> float:
+        return self.lz_bytes / self.x86_bytes
+
+    @property
+    def vm_ratio(self) -> float:
+        return self.vm_bytes / self.x86_bytes
+
+    @property
+    def arith_ratio(self) -> Optional[float]:
+        if self.arith_bytes is None:
+            return None
+        return self.arith_bytes / self.x86_bytes
+
+
+def measure_sizes(program: Program,
+                  brisc_dictionary: Optional[PatternDictionary] = None,
+                  x86_bytes: Optional[int] = None,
+                  include_archival: bool = False) -> SizeReport:
+    """Measure every size for ``program``.
+
+    ``brisc_dictionary`` may be omitted to skip the (slow) BRISC pass;
+    ``include_archival`` adds the arithmetic-coding frontier (slow on
+    large programs).
+    """
+    compressed = ssd_compress(program)
+    sections = compressed.section_sizes
+    encoded = encode_program(program)
+    dictionary_bytes = (sections["common_bases"] + sections["common_tree"]
+                        + sections["segment_bases"] + sections["segment_trees"])
+    brisc_bytes = None
+    if brisc_dictionary is not None:
+        brisc_bytes = brisc_compress(program, brisc_dictionary).size
+    arith_bytes = None
+    if include_archival:
+        from ..lz import arith
+
+        arith_bytes = len(arith.compress(encoded))
+    return SizeReport(
+        name=program.name,
+        x86_bytes=x86_bytes if x86_bytes is not None else native_size(program),
+        ssd_bytes=compressed.size,
+        brisc_bytes=brisc_bytes,
+        vm_bytes=len(encoded),
+        lz_bytes=len(lz77.compress(encoded)),
+        ssd_dictionary_bytes=dictionary_bytes,
+        ssd_item_bytes=sections["items"],
+        arith_bytes=arith_bytes,
+    )

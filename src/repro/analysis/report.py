@@ -1,0 +1,92 @@
+"""Plain-text table and chart rendering for experiment output.
+
+Experiments print paper-vs-measured tables to stdout and (optionally)
+write them to files; this module holds the shared formatting so every
+exhibit looks the same.  ``ascii_chart`` renders Figure 3-style series
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]],
+                 title: Optional[str] = None, precision: int = 2) -> str:
+    """Render an aligned text table."""
+    grid = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in grid:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in grid:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(series: Dict[str, Sequence[float]],
+                x_values: Sequence[float],
+                title: str = "",
+                height: int = 16,
+                width: int = 64) -> str:
+    """Render one or more y-series against shared x values.
+
+    Markers cycle through ``* + o x``; axes are labelled with min/max.
+    """
+    if not series:
+        raise ValueError("no series to chart")
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_values), max(x_values)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*+ox"
+    for series_index, (name, ys) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        for x, y in zip(x_values, ys):
+            column = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(f"{markers[i % len(markers)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(legend)
+    lines.append(f"{y_max:>10.1f} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{y_min:>10.1f} ┘" + "└".rjust(0))
+    lines.append(" " * 12 + f"{x_min:<10.3g}" + " " * max(0, width - 20) + f"{x_max:>10.3g}")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(headers: Sequence[str],
+                      rows: Sequence[Sequence[Cell]],
+                      title: str, precision: int = 2) -> str:
+    """Convenience wrapper making exhibit output uniform."""
+    return render_table(headers, rows, title=title, precision=precision) + "\n"

@@ -1,0 +1,41 @@
+"""BRISC — the paper's prior system, rebuilt as the comparison baseline.
+
+BRISC (PLDI'97) compresses against a *corpus-trained external* pattern
+dictionary instead of SSD's embedded per-program dictionary.  That makes
+it cheaper for tiny programs (no embedded dictionary to amortize) but
+weaker on large ones, and its translation path must decode patterns
+rather than block-copy — both effects the evaluation reproduces.
+"""
+
+from .codec import (
+    BriscCompressed,
+    BriscError,
+    compress,
+    compress_function,
+    decompress,
+    decompress_function,
+)
+from .patterns import DEFAULT_BUDGET, Pattern, PatternDictionary, train
+from .serialize import (
+    BriscDictionaryError,
+    deserialize_dictionary,
+    serialize_dictionary,
+    serialized_size,
+)
+
+__all__ = [
+    "BriscCompressed",
+    "BriscDictionaryError",
+    "BriscError",
+    "DEFAULT_BUDGET",
+    "Pattern",
+    "PatternDictionary",
+    "compress",
+    "compress_function",
+    "decompress",
+    "decompress_function",
+    "deserialize_dictionary",
+    "serialize_dictionary",
+    "serialized_size",
+    "train",
+]

@@ -1,0 +1,226 @@
+"""BRISC compressor and decompressor.
+
+Byte-oriented encoding against the trained external dictionary:
+
+* pattern codes 0..239 take one byte; codes 240..4079 take two bytes
+  (``0xF0 | hi``, ``lo``); ``0xFF`` escapes to a raw instruction (full VM
+  encoding);
+* each matched pattern is followed by its open fields.  Open *register*
+  fields are nibble-packed popularity ranks (rank 15 escapes to a full
+  byte) — BRISC's byte-coded take on split-stream fields; immediates are
+  signed varints; branch targets are signed varints of the pc-relative
+  displacement (calls: unsigned callee index).
+
+Programs are encoded per function (BRISC is interpretable: functions
+decode independently), with a varint instruction count up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..isa import Function, Instruction, Program, basic_blocks, info
+from ..isa.encoding import decode_instruction, encode_instruction
+from ..lz.varint import ByteReader, ByteWriter
+from .patterns import Pattern, PatternDictionary
+
+_ONE_BYTE_CODES = 240
+_TWO_BYTE_PREFIX = 0xF0
+_ESCAPE = 0xFF
+_RANK_ESCAPE = 15
+
+
+class BriscError(ValueError):
+    """Raised for unencodable programs or corrupt streams."""
+
+
+def _write_code(writer: ByteWriter, code: int) -> None:
+    if code < _ONE_BYTE_CODES:
+        writer.write_u8(code)
+        return
+    extended = code - _ONE_BYTE_CODES
+    hi, lo = divmod(extended, 256)
+    if hi >= 15:
+        raise BriscError(f"pattern code {code} exceeds the code space")
+    writer.write_u8(_TWO_BYTE_PREFIX | hi)
+    writer.write_u8(lo)
+
+
+def _read_code(reader: ByteReader) -> int:
+    byte = reader.read_u8()
+    if byte < _ONE_BYTE_CODES:
+        return byte
+    if byte == _ESCAPE:
+        return -1  # escape marker
+    return _ONE_BYTE_CODES + (byte & 0x0F) * 256 + reader.read_u8()
+
+
+def _split_open_fields(pattern: Pattern,
+                       ) -> Tuple[List[Tuple[int, str]], List[Tuple[int, str]]]:
+    """Open fields, separated into (register fields, other fields)."""
+    regs: List[Tuple[int, str]] = []
+    others: List[Tuple[int, str]] = []
+    for position in range(pattern.length):
+        for field_name in pattern.open_fields(position):
+            if field_name in ("rd", "rs1", "rs2"):
+                regs.append((position, field_name))
+            else:
+                others.append((position, field_name))
+    return regs, others
+
+
+def _write_use(writer: ByteWriter, pattern: Pattern,
+               insns: List[Instruction], start: int,
+               dictionary: PatternDictionary) -> None:
+    regs, others = _split_open_fields(pattern)
+    # Nibble-packed register ranks, escapes appended as full bytes.
+    nibbles: List[int] = []
+    escapes: List[int] = []
+    for position, field_name in regs:
+        reg = getattr(insns[start + position], field_name)
+        rank = dictionary.reg_ranks[reg]
+        if rank < _RANK_ESCAPE:
+            nibbles.append(rank)
+        else:
+            nibbles.append(_RANK_ESCAPE)
+            escapes.append(reg)
+    for index in range(0, len(nibbles), 2):
+        lo = nibbles[index]
+        hi = nibbles[index + 1] if index + 1 < len(nibbles) else 0
+        writer.write_u8(lo | (hi << 4))
+    for reg in escapes:
+        writer.write_u8(reg)
+    for position, field_name in others:
+        insn = insns[start + position]
+        if field_name == "target":
+            if insn.is_branch:
+                writer.write_svarint(insn.target - (start + position + 1))
+            else:
+                writer.write_uvarint(insn.target)
+        else:  # imm
+            writer.write_svarint(insn.imm)
+
+
+def _read_use(reader: ByteReader, pattern: Pattern, emitted: int,
+              dictionary: PatternDictionary) -> List[Instruction]:
+    regs, others = _split_open_fields(pattern)
+    nibbles: List[int] = []
+    for index in range(0, len(regs), 2):
+        byte = reader.read_u8()
+        nibbles.append(byte & 0x0F)
+        if index + 1 < len(regs):
+            nibbles.append(byte >> 4)
+    reg_values: Dict[Tuple[int, str], int] = {}
+    pending_escapes: List[Tuple[int, str]] = []
+    for (position, field_name), nibble in zip(regs, nibbles):
+        if nibble == _RANK_ESCAPE:
+            pending_escapes.append((position, field_name))
+        else:
+            reg_values[(position, field_name)] = dictionary.rank_regs[nibble]
+    for position, field_name in pending_escapes:
+        reg_values[(position, field_name)] = reader.read_u8()
+    other_values: Dict[Tuple[int, str], int] = {}
+    for position, field_name in others:
+        meta = info(pattern.ops[position])
+        if field_name == "target":
+            if meta.is_branch:
+                displacement = reader.read_svarint()
+                other_values[(position, field_name)] = (
+                    emitted + position + 1 + displacement)
+            else:
+                other_values[(position, field_name)] = reader.read_uvarint()
+        else:
+            other_values[(position, field_name)] = reader.read_svarint()
+    instructions: List[Instruction] = []
+    for position in range(pattern.length):
+        fields: Dict[str, int] = dict(pattern.pins[position])
+        for (pos, field_name), value in reg_values.items():
+            if pos == position:
+                fields[field_name] = value
+        for (pos, field_name), value in other_values.items():
+            if pos == position:
+                fields[field_name] = value
+        instructions.append(Instruction(op=pattern.ops[position], **fields))
+    return instructions
+
+
+def compress_function(fn: Function, dictionary: PatternDictionary) -> bytes:
+    writer = ByteWriter()
+    insns = fn.insns
+    writer.write_uvarint(len(insns))
+    ends = [0] * len(insns)
+    for block in basic_blocks(fn):
+        for index in range(block.start, block.end):
+            ends[index] = block.end
+    index = 0
+    while index < len(insns):
+        code = dictionary.match(insns, index, ends[index])
+        if code is None:
+            writer.write_u8(_ESCAPE)
+            encode_instruction(insns[index], index, writer)
+            index += 1
+            continue
+        pattern = dictionary.patterns[code]
+        _write_code(writer, code)
+        _write_use(writer, pattern, insns, index, dictionary)
+        index += pattern.length
+    return writer.getvalue()
+
+
+def decompress_function(data: bytes, name: str,
+                        dictionary: PatternDictionary) -> Function:
+    reader = ByteReader(data)
+    count = reader.read_uvarint()
+    insns: List[Instruction] = []
+    while len(insns) < count:
+        code = _read_code(reader)
+        if code == -1:
+            insns.append(decode_instruction(reader, len(insns)))
+            continue
+        if code >= len(dictionary.patterns):
+            raise BriscError(f"pattern code {code} not in dictionary")
+        pattern = dictionary.patterns[code]
+        insns.extend(_read_use(reader, pattern, len(insns), dictionary))
+    if len(insns) != count:
+        raise BriscError(f"expected {count} instructions, decoded {len(insns)}")
+    return Function(name=name, insns=insns)
+
+
+@dataclass
+class BriscCompressed:
+    """A BRISC-compressed program (external dictionary not included)."""
+
+    program_name: str
+    entry: int
+    function_names: List[str]
+    function_blobs: List[bytes]
+
+    @property
+    def size(self) -> int:
+        """Compressed code bytes (the external dictionary is shared
+        infrastructure, amortized across all programs — as in the paper)."""
+        return sum(len(blob) for blob in self.function_blobs)
+
+
+def compress(program: Program, dictionary: PatternDictionary) -> BriscCompressed:
+    """BRISC-compress ``program`` against the external ``dictionary``."""
+    return BriscCompressed(
+        program_name=program.name,
+        entry=program.entry,
+        function_names=[fn.name for fn in program.functions],
+        function_blobs=[compress_function(fn, dictionary)
+                        for fn in program.functions],
+    )
+
+
+def decompress(compressed: BriscCompressed,
+               dictionary: PatternDictionary) -> Program:
+    """Inverse of :func:`compress` (same dictionary required)."""
+    functions = [
+        decompress_function(blob, name, dictionary)
+        for name, blob in zip(compressed.function_names,
+                              compressed.function_blobs)
+    ]
+    return Program(name=compressed.program_name, functions=functions,
+                   entry=compressed.entry)

@@ -1,0 +1,243 @@
+"""BRISC pattern inference (the PLDI'97 baseline, as described in this paper).
+
+BRISC compresses with a *corpus-derived external dictionary* of roughly
+2000 instruction patterns (~150 KB) capturing "common opportunities for
+combining adjacent opcodes and for specializing opcodes to reflect
+frequently occurring instruction-field values".  A separate training
+program builds that dictionary from representative programs; every
+compressed program then shares it.
+
+Patterns here are:
+
+* **specialized singles** — one opcode with a subset of fields pinned to
+  frequent values (``addi rd, rs1, 1`` with the immediate pinned, say);
+* **combined pairs** — two adjacent opcodes (operands open), matched
+  within one basic block.
+
+Pair patterns deliberately pin no operand fields: exact-operand pairs are
+program-specific idioms (SSD's whole insight), and in real corpora they
+do not generalize across applications.  Our synthetic benchmarks share a
+compiler and constant distributions, so allowing pinned pairs would let
+BRISC free-ride on cross-program homogeneity the paper's corpus did not
+have (DESIGN.md records this calibration).
+
+Training counts candidate patterns over the corpus, scores each by the
+bytes it would save (pinned fields are free at use sites; the pattern
+code costs one or two bytes), and keeps the best ``budget`` patterns.
+Every bare opcode is always included so any program can be encoded.  The
+dictionary also carries a register popularity ranking: the codec packs
+open register operands as 4-bit ranks (with an escape), BRISC's
+byte-coded flavour of split-stream field handling.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..isa import Instruction, NUM_REGISTERS, Op, Program, basic_blocks, info
+
+#: default pattern-dictionary size (the paper's "approximately 2000")
+DEFAULT_BUDGET = 2000
+
+#: operand fields a pattern may pin (targets are never pinned; they travel
+#: with the use site, like SSD's items)
+_PINNABLE = ("rd", "rs1", "rs2", "imm")
+
+FieldPins = Tuple[Tuple[str, int], ...]  # sorted (field, value) pairs
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One external-dictionary pattern."""
+
+    ops: Tuple[Op, ...]
+    pins: Tuple[FieldPins, ...]  # parallel to ops
+
+    def __post_init__(self) -> None:
+        if len(self.ops) != len(self.pins):
+            raise ValueError("ops and pins must be parallel")
+        if not 1 <= len(self.ops) <= 2:
+            raise ValueError("patterns cover one or two instructions")
+
+    @property
+    def length(self) -> int:
+        return len(self.ops)
+
+    def open_fields(self, position: int) -> List[str]:
+        """Fields the use site must supply for instruction ``position``."""
+        meta = info(self.ops[position])
+        pinned = {field for field, _ in self.pins[position]}
+        fields = []
+        for reg_field in ("rd", "rs1", "rs2"):
+            if getattr(meta, f"uses_{reg_field}") and reg_field not in pinned:
+                fields.append(reg_field)
+        if meta.uses_imm and "imm" not in pinned:
+            fields.append("imm")
+        if meta.uses_target:
+            fields.append("target")
+        return fields
+
+    def matches(self, insns: Sequence[Instruction], start: int) -> bool:
+        """Does this pattern match ``insns[start:start+length]``?"""
+        if start + self.length > len(insns):
+            return False
+        for position in range(self.length):
+            insn = insns[start + position]
+            if insn.op is not self.ops[position]:
+                return False
+            for pin_field, value in self.pins[position]:
+                if getattr(insn, pin_field) != value:
+                    return False
+        return True
+
+    @property
+    def specificity(self) -> int:
+        return sum(len(p) for p in self.pins) + 10 * (self.length - 1)
+
+
+def _pin_candidates(insn: Instruction) -> List[FieldPins]:
+    """Pin sets worth counting: none, singles, pairs, and everything."""
+    meta = info(insn.op)
+    present = sorted(
+        (f, getattr(insn, f)) for f in _PINNABLE
+        if getattr(insn, f) is not None and getattr(meta, f"uses_{f}"))
+    candidates: List[FieldPins] = [()]
+    for pin in present:
+        candidates.append((pin,))
+    for a, b in combinations(present, 2):
+        candidates.append((a, b))
+    if len(present) > 2:
+        candidates.append(tuple(present))
+    return candidates
+
+
+def _field_cost(field_name: str) -> float:
+    """Approximate bytes an open field costs at a use site."""
+    if field_name == "imm":
+        return 1.6
+    if field_name == "target":
+        return 1.2
+    return 0.5  # nibble-packed register rank
+
+
+def _pattern_savings(pattern: Pattern, count: int) -> float:
+    """Bytes saved across the corpus versus bare-opcode encoding."""
+    pinned_bytes = sum(_field_cost(f) for pins in pattern.pins for f, _ in pins)
+    combined_bonus = 1.0 * (pattern.length - 1)  # one opcode byte saved
+    per_use = pinned_bytes + combined_bonus
+    return per_use * count - 8.0  # 8 bytes of dictionary cost per pattern
+
+
+@dataclass
+class PatternDictionary:
+    """The trained external dictionary.
+
+    ``patterns[i]`` has code ``i``; codes are assigned most-used-first so
+    the byte-oriented encoding gives hot patterns one-byte codes.
+    ``reg_ranks`` maps register number -> popularity rank for the nibble
+    packing of open register operands.
+    """
+
+    patterns: List[Pattern]
+    reg_ranks: Dict[int, int] = field(default_factory=dict)
+    _by_ops: Dict[Tuple[Op, ...], List[int]] = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.reg_ranks:
+            self.reg_ranks = {r: r for r in range(NUM_REGISTERS)}
+        self.rank_regs = [r for r, _ in sorted(self.reg_ranks.items(),
+                                               key=lambda kv: kv[1])]
+        self._by_ops = {}
+        for code, pattern in enumerate(self.patterns):
+            self._by_ops.setdefault(pattern.ops, []).append(code)
+        for codes in self._by_ops.values():
+            codes.sort(key=lambda c: -self.patterns[c].specificity)
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def candidates(self, ops: Tuple[Op, ...]) -> List[int]:
+        return self._by_ops.get(ops, [])
+
+    def match(self, insns: Sequence[Instruction], start: int,
+              block_end: int) -> Optional[int]:
+        """Best (longest, most specific) pattern code at ``start``."""
+        if start + 1 < block_end:
+            pair = (insns[start].op, insns[start + 1].op)
+            for code in self.candidates(pair):
+                if self.patterns[code].matches(insns, start):
+                    return code
+        for code in self.candidates((insns[start].op,)):
+            if self.patterns[code].matches(insns, start):
+                return code
+        return None
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size of the external dictionary."""
+        total = NUM_REGISTERS  # the register ranking
+        for pattern in self.patterns:
+            total += 2 + 2 * len(pattern.ops)
+            total += sum(2 + 4 for pins in pattern.pins for _ in pins)
+        return total
+
+
+def train(corpus: Iterable[Program], budget: int = DEFAULT_BUDGET) -> PatternDictionary:
+    """Build the external dictionary from a training corpus."""
+    single_counts: Dict[Tuple[Op, FieldPins], int] = {}
+    pair_counts: Dict[Tuple[Op, FieldPins, Op, FieldPins], int] = {}
+    bare_counts: Dict[Op, int] = {}
+    reg_counts: Dict[int, int] = {r: 0 for r in range(NUM_REGISTERS)}
+
+    for program in corpus:
+        for fn in program.functions:
+            insns = fn.insns
+            ends = [0] * len(insns)
+            for block in basic_blocks(fn):
+                for index in range(block.start, block.end):
+                    ends[index] = block.end
+            for index, insn in enumerate(insns):
+                bare_counts[insn.op] = bare_counts.get(insn.op, 0) + 1
+                meta = info(insn.op)
+                for reg_field in ("rd", "rs1", "rs2"):
+                    if getattr(meta, f"uses_{reg_field}"):
+                        reg_counts[getattr(insn, reg_field)] += 1
+                for pins in _pin_candidates(insn):
+                    if pins:
+                        key = (insn.op, pins)
+                        single_counts[key] = single_counts.get(key, 0) + 1
+                if index + 1 < ends[index]:
+                    key = (insn.op, (), insns[index + 1].op, ())
+                    pair_counts[key] = pair_counts.get(key, 0) + 1
+
+    scored: List[Tuple[float, int, Pattern]] = []
+    for (op, pins), count in single_counts.items():
+        pattern = Pattern(ops=(op,), pins=(pins,))
+        savings = _pattern_savings(pattern, count)
+        if savings > 0:
+            scored.append((savings, count, pattern))
+    for (op1, p1, op2, p2), count in pair_counts.items():
+        pattern = Pattern(ops=(op1, op2), pins=(p1, p2))
+        savings = _pattern_savings(pattern, count)
+        if savings > 0:
+            scored.append((savings, count, pattern))
+
+    scored.sort(key=lambda item: (-item[0], repr(item[2])))
+    # Bare single-opcode patterns are mandatory so coverage is total.
+    mandatory = [(bare_counts.get(op, 0), Pattern(ops=(op,), pins=((),)))
+                 for op in Op]
+    chosen: List[Tuple[int, Pattern]] = list(mandatory)
+    seen = {pattern for _, pattern in chosen}
+    for savings, count, pattern in scored:
+        if len(chosen) >= budget:
+            break
+        if pattern not in seen:
+            chosen.append((count, pattern))
+            seen.add(pattern)
+    # Most-used first so one-byte codes go to hot patterns.
+    chosen.sort(key=lambda item: (-item[0], repr(item[1])))
+    ranks = {reg: rank for rank, (reg, _) in enumerate(
+        sorted(reg_counts.items(), key=lambda kv: (-kv[1], kv[0])))}
+    return PatternDictionary(patterns=[pattern for _, pattern in chosen],
+                             reg_ranks=ranks)

@@ -1,0 +1,105 @@
+"""Serialization of the BRISC external pattern dictionary.
+
+The paper charges BRISC's corpus-derived dictionary (~2000 patterns,
+~150 KB) against the RAM buffer and notes that "a virtual machine
+implementing BRISC will have to load and decode this external dictionary".
+This module makes that a measurable artifact: the dictionary serializes
+to real bytes (and back), so experiments can weigh actual sizes instead
+of estimates.
+
+Layout (varints unless noted)::
+
+    magic b"BRD1"
+    register ranking: 32 bytes (register number per rank)
+    pattern count
+    per pattern:
+        u8 length (1 or 2)
+        per instruction: u8 opcode code, u8 pin count,
+                         per pin: u8 field tag, svarint value
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import NUM_REGISTERS
+from ..isa.opcodes import OP_BY_CODE, OP_TABLE
+from ..lz.varint import ByteReader, ByteWriter
+from .patterns import Pattern, PatternDictionary
+
+MAGIC = b"BRD1"
+
+_FIELD_TAGS = ("rd", "rs1", "rs2", "imm")
+
+
+class BriscDictionaryError(ValueError):
+    """Raised for malformed serialized dictionaries."""
+
+
+def serialize_dictionary(dictionary: PatternDictionary) -> bytes:
+    """Serialize the external dictionary to bytes."""
+    writer = ByteWriter()
+    writer.write_bytes(MAGIC)
+    ranking = sorted(dictionary.reg_ranks, key=lambda reg: dictionary.reg_ranks[reg])
+    if len(ranking) != NUM_REGISTERS:
+        raise BriscDictionaryError(
+            f"register ranking must cover all {NUM_REGISTERS} registers")
+    for reg in ranking:
+        writer.write_u8(reg)
+    writer.write_uvarint(len(dictionary.patterns))
+    for pattern in dictionary.patterns:
+        writer.write_u8(pattern.length)
+        for position in range(pattern.length):
+            writer.write_u8(OP_TABLE[pattern.ops[position]].code)
+            pins = pattern.pins[position]
+            writer.write_u8(len(pins))
+            for field, value in pins:
+                writer.write_u8(_FIELD_TAGS.index(field))
+                writer.write_svarint(value)
+    return writer.getvalue()
+
+
+def deserialize_dictionary(data: bytes) -> PatternDictionary:
+    """Inverse of :func:`serialize_dictionary`."""
+    reader = ByteReader(data)
+    if reader.read_bytes(4) != MAGIC:
+        raise BriscDictionaryError("bad magic; not a BRISC dictionary")
+    ranking = [reader.read_u8() for _ in range(NUM_REGISTERS)]
+    if sorted(ranking) != list(range(NUM_REGISTERS)):
+        raise BriscDictionaryError("register ranking is not a permutation")
+    reg_ranks = {reg: rank for rank, reg in enumerate(ranking)}
+    count = reader.read_uvarint()
+    if count > len(data):
+        raise BriscDictionaryError(f"implausible pattern count {count}")
+    patterns: List[Pattern] = []
+    for _ in range(count):
+        length = reader.read_u8()
+        if length not in (1, 2):
+            raise BriscDictionaryError(f"bad pattern length {length}")
+        ops = []
+        pins = []
+        for _ in range(length):
+            code = reader.read_u8()
+            meta = OP_BY_CODE.get(code)
+            if meta is None:
+                raise BriscDictionaryError(f"unknown opcode code {code}")
+            ops.append(meta.op)
+            pin_count = reader.read_u8()
+            if pin_count > len(_FIELD_TAGS):
+                raise BriscDictionaryError(f"bad pin count {pin_count}")
+            entry_pins = []
+            for _ in range(pin_count):
+                tag = reader.read_u8()
+                if tag >= len(_FIELD_TAGS):
+                    raise BriscDictionaryError(f"unknown field tag {tag}")
+                entry_pins.append((_FIELD_TAGS[tag], reader.read_svarint()))
+            pins.append(tuple(sorted(entry_pins)))
+        patterns.append(Pattern(ops=tuple(ops), pins=tuple(pins)))
+    if not reader.at_end():
+        raise BriscDictionaryError(f"{reader.remaining} trailing bytes")
+    return PatternDictionary(patterns=patterns, reg_ranks=reg_ranks)
+
+
+def serialized_size(dictionary: PatternDictionary) -> int:
+    """Exact on-disk size of the dictionary (replaces the estimate)."""
+    return len(serialize_dictionary(dictionary))

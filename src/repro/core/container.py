@@ -1,0 +1,139 @@
+"""The compressed-program container format.
+
+Byte layout (varints unless stated)::
+
+    magic  b"SSD1"
+    program name        (uvarint length + utf-8)
+    entry function index
+    function count
+    name blob           (uvarint length + LZ-compressed '\\n'-joined names)
+    common base blob    (uvarint length + bytes; empty when unpartitioned)
+    common tree blob    (uvarint length + bytes)
+    segment count
+    per segment:
+        first function index, function count
+        base blob       (uvarint length + bytes)
+        tree blob       (uvarint length + bytes)
+    per function (program order):
+        item stream     (uvarint length + bytes)
+
+Function names ride along (LZ-compressed) so decompression reproduces the
+program exactly; they are charged to the compressed size, just as symbol
+information is part of a shipped binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..lz import lz77
+from ..lz.varint import ByteReader, ByteWriter
+
+MAGIC = b"SSD1"
+
+
+class ContainerError(ValueError):
+    """Raised for malformed container bytes."""
+
+
+@dataclass
+class SegmentSections:
+    """Serialized pieces of one sub-dictionary."""
+
+    first_function: int
+    function_count: int
+    base_blob: bytes
+    tree_blob: bytes
+
+
+@dataclass
+class ContainerSections:
+    """Everything stored in a compressed program, pre-byte-packing."""
+
+    program_name: str
+    entry: int
+    function_names: List[str]
+    common_base_blob: bytes
+    common_tree_blob: bytes
+    segments: List[SegmentSections]
+    item_streams: List[bytes]
+
+    def section_sizes(self) -> dict:
+        """Per-section byte accounting for reports."""
+        return {
+            "names": len(lz77.compress("\n".join(self.function_names).encode())),
+            "common_bases": len(self.common_base_blob),
+            "common_tree": len(self.common_tree_blob),
+            "segment_bases": sum(len(s.base_blob) for s in self.segments),
+            "segment_trees": sum(len(s.tree_blob) for s in self.segments),
+            "items": sum(len(stream) for stream in self.item_streams),
+        }
+
+
+def serialize(sections: ContainerSections) -> bytes:
+    """Pack sections into container bytes."""
+    writer = ByteWriter()
+    writer.write_bytes(MAGIC)
+    name = sections.program_name.encode("utf-8")
+    writer.write_uvarint(len(name))
+    writer.write_bytes(name)
+    writer.write_uvarint(sections.entry)
+    writer.write_uvarint(len(sections.function_names))
+    name_blob = lz77.compress("\n".join(sections.function_names).encode("utf-8"))
+    writer.write_uvarint(len(name_blob))
+    writer.write_bytes(name_blob)
+    for blob in (sections.common_base_blob, sections.common_tree_blob):
+        writer.write_uvarint(len(blob))
+        writer.write_bytes(blob)
+    writer.write_uvarint(len(sections.segments))
+    for segment in sections.segments:
+        writer.write_uvarint(segment.first_function)
+        writer.write_uvarint(segment.function_count)
+        writer.write_uvarint(len(segment.base_blob))
+        writer.write_bytes(segment.base_blob)
+        writer.write_uvarint(len(segment.tree_blob))
+        writer.write_bytes(segment.tree_blob)
+    if len(sections.item_streams) != len(sections.function_names):
+        raise ContainerError("one item stream per function required")
+    for stream in sections.item_streams:
+        writer.write_uvarint(len(stream))
+        writer.write_bytes(stream)
+    return writer.getvalue()
+
+
+def parse(data: bytes) -> ContainerSections:
+    """Inverse of :func:`serialize`."""
+    reader = ByteReader(data)
+    if reader.read_bytes(4) != MAGIC:
+        raise ContainerError("bad magic; not an SSD container")
+    program_name = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
+    entry = reader.read_uvarint()
+    function_count = reader.read_uvarint()
+    name_blob = reader.read_bytes(reader.read_uvarint())
+    joined = lz77.decompress(name_blob).decode("utf-8")
+    function_names = joined.split("\n") if joined else []
+    if len(function_names) != function_count:
+        raise ContainerError(
+            f"expected {function_count} function names, got {len(function_names)}")
+    common_base_blob = reader.read_bytes(reader.read_uvarint())
+    common_tree_blob = reader.read_bytes(reader.read_uvarint())
+    segments = []
+    for _ in range(reader.read_uvarint()):
+        first_function = reader.read_uvarint()
+        seg_count = reader.read_uvarint()
+        base_blob = reader.read_bytes(reader.read_uvarint())
+        tree_blob = reader.read_bytes(reader.read_uvarint())
+        segments.append(SegmentSections(first_function=first_function,
+                                        function_count=seg_count,
+                                        base_blob=base_blob,
+                                        tree_blob=tree_blob))
+    item_streams = [reader.read_bytes(reader.read_uvarint())
+                    for _ in range(function_count)]
+    if not reader.at_end():
+        raise ContainerError(f"{reader.remaining} trailing bytes in container")
+    return ContainerSections(program_name=program_name, entry=entry,
+                             function_names=function_names,
+                             common_base_blob=common_base_blob,
+                             common_tree_blob=common_tree_blob,
+                             segments=segments, item_streams=item_streams)

@@ -1,0 +1,151 @@
+"""Algorithm 3: the copy phase of SSD decompression.
+
+Phase one (``repro.jit.instruction_table``) turns the dictionary into an
+*instruction table*: for every 16-bit index, the native bytes of its
+instruction sequence plus a tag giving the byte length and — for entries
+ending in a control transfer — where the target hole sits.  The copy phase
+then translates a function by looping over its SSD items and copying table
+entries into the output buffer, patching branch holes as it goes:
+
+* backward branches resolve immediately through a forwarding table
+  (item index -> output byte offset);
+* forward branches and calls deposit a relocation, applied at the end
+  (step 3 of Algorithm 3).
+
+Call relocations are returned to the caller (the JIT runtime binds callees
+to buffer addresses or translation stubs); intra-function branch holes are
+fully patched here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .items import DecodedItem
+
+
+class CopyPhaseError(ValueError):
+    """Raised when an item stream cannot be translated."""
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One instruction-table row (the paper's tagged native sequence).
+
+    ``hole_offset`` is the (paper's "negative offset from the end")
+    position of the target hole, expressed here from the start of
+    ``data``; ``hole_size`` is its width.  ``is_call`` marks entries whose
+    hole takes a callee address rather than an intra-function offset.
+    """
+
+    data: bytes
+    hole_offset: int = 0
+    hole_size: int = 0
+    is_call: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def has_hole(self) -> bool:
+        return self.hole_size > 0
+
+
+@dataclass(frozen=True)
+class CallRelocation:
+    """A call hole the runtime must bind: patch ``hole_offset`` with the
+    native address of ``callee`` (function index)."""
+
+    hole_offset: int
+    hole_size: int
+    callee: int
+
+
+@dataclass
+class TranslatedFunction:
+    """Copy-phase output for one function."""
+
+    code: bytearray
+    call_relocations: List[CallRelocation] = field(default_factory=list)
+    #: output byte offset of each item (the forwarding table, kept for tests)
+    item_offsets: List[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.code)
+
+
+def copy_translate(items: Sequence[DecodedItem],
+                   table: Dict[int, TableEntry]) -> TranslatedFunction:
+    """Run Algorithm 3 over one function's decoded items.
+
+    Branch holes are patched with native pc-relative displacements
+    (relative to the end of the branch's hole, as hardware does); call
+    holes are zeroed and reported as relocations.
+    """
+    code = bytearray()
+    item_offsets: List[int] = []
+    relocations: List[CallRelocation] = []
+    # (hole position, hole size, target item index) for forward branches.
+    pending: List[Tuple[int, int, int]] = []
+
+    for item_index, item in enumerate(items):
+        entry = table.get(item.dict_index)
+        if entry is None:
+            raise CopyPhaseError(f"no instruction-table entry for index {item.dict_index}")
+        item_offsets.append(len(code))
+        start = len(code)
+        code += entry.data  # the block copy at the heart of phase two
+        if item.branch_displacement is not None:
+            if not entry.has_hole or entry.is_call:
+                raise CopyPhaseError(
+                    f"item {item_index} supplies a branch target but entry "
+                    f"{item.dict_index} has no branch hole")
+            target_item = item_index + 1 + item.branch_displacement
+            if not 0 <= target_item < len(items):
+                raise CopyPhaseError(
+                    f"item {item_index}: branch target item {target_item} "
+                    f"out of range")
+            hole_at = start + entry.hole_offset
+            if target_item <= item_index:
+                _patch(code, hole_at, entry.hole_size,
+                       item_offsets[target_item] - (hole_at + entry.hole_size))
+            else:
+                pending.append((hole_at, entry.hole_size, target_item))
+        elif item.call_target is not None:
+            if not entry.has_hole or not entry.is_call:
+                raise CopyPhaseError(
+                    f"item {item_index} supplies a call target but entry "
+                    f"{item.dict_index} has no call hole")
+            relocations.append(CallRelocation(
+                hole_offset=start + entry.hole_offset,
+                hole_size=entry.hole_size,
+                callee=item.call_target,
+            ))
+
+    # Step 3: fix forward branches now that all offsets are known.
+    for hole_at, hole_size, target_item in pending:
+        _patch(code, hole_at, hole_size,
+               item_offsets[target_item] - (hole_at + hole_size))
+
+    return TranslatedFunction(code=code, call_relocations=relocations,
+                              item_offsets=item_offsets)
+
+
+def _patch(code: bytearray, offset: int, size: int, value: int) -> None:
+    lo = -(1 << (8 * size - 1))
+    hi = (1 << (8 * size - 1)) - 1
+    if not lo <= value <= hi:
+        raise CopyPhaseError(
+            f"native displacement {value} does not fit the {size}-byte hole")
+    code[offset:offset + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+        size, "little")
+
+
+def read_patched_displacement(code: Sequence[int], offset: int, size: int) -> int:
+    """Read back a patched hole (test helper; signed little-endian)."""
+    value = int.from_bytes(bytes(code[offset:offset + size]), "little")
+    sign = 1 << (8 * size - 1)
+    return value - (1 << (8 * size)) if value & sign else value

@@ -1,0 +1,123 @@
+"""Phase-one decompression: container -> dictionaries -> program.
+
+Section 2.2.4 splits decompression into a *dictionary decompression* phase
+(reverse the base-entry and tree codecs, build the instruction table) and
+a *copy phase* (Algorithm 3, in ``repro.core.copy_phase``).  This module
+implements phase one plus full program reconstruction, which serves as the
+compression-correctness oracle: ``decompress(compress(p))`` must equal
+``p`` instruction-for-instruction.
+
+Decompression is **incremental by design**: :meth:`SSDReader.function_instructions`
+decodes a single function's item stream without touching the rest of the
+program — the property ("basic-block granularity") that makes SSD
+interpretable in the paper's sense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..isa import Function, Instruction, Program
+from . import container
+from .dictionary import BaseEntry
+from .items import DecodedItem, decode_items, resolve_branch_targets
+from .layout import SegmentLayout, layouts_from_sections
+
+
+class DecompressionError(ValueError):
+    """Raised when a container cannot be decoded consistently."""
+
+
+@dataclass
+class SSDReader:
+    """A parsed container with its dictionaries decompressed (phase one)."""
+
+    sections: container.ContainerSections
+    layouts: List[SegmentLayout]
+    segment_of_function: List[int]
+
+    @property
+    def function_count(self) -> int:
+        return len(self.sections.function_names)
+
+    @property
+    def entry(self) -> int:
+        return self.sections.entry
+
+    def layout_for_function(self, findex: int) -> SegmentLayout:
+        return self.layouts[self.segment_of_function[findex]]
+
+    def decoded_items(self, findex: int) -> List[DecodedItem]:
+        layout = self.layout_for_function(findex)
+        return decode_items(self.sections.item_streams[findex], layout.info_of)
+
+    def function_instructions(self, findex: int) -> List[Instruction]:
+        """Incrementally decompress one function back to VM instructions."""
+        layout = self.layout_for_function(findex)
+        items = self.decoded_items(findex)
+        targets = resolve_branch_targets(items)
+        instructions: List[Instruction] = []
+        for item, target in zip(items, targets):
+            path = layout.paths_of[item.dict_index]
+            start = len(instructions)
+            for offset, addr in enumerate(path):
+                base = layout.addr_bases[addr]
+                insn = base.instruction
+                if base.has_target:
+                    if offset != len(path) - 1:
+                        raise DecompressionError(
+                            "control transfer inside a sequence entry")
+                    insn = self._resolve_target(base, item, target,
+                                                position=start + offset)
+                instructions.append(insn)
+        return instructions
+
+    @staticmethod
+    def _resolve_target(base: BaseEntry, item: DecodedItem,
+                        target: Optional[int], position: int) -> Instruction:
+        insn = base.instruction
+        if base.target_in_entry:
+            # Absolute-targets ablation: the target is stored in the entry.
+            return insn.replace_target(base.stored_target)
+        if insn.is_branch:
+            if target is None:
+                raise DecompressionError("branch item without a resolved target")
+            return insn.replace_target(target)
+        if item.call_target is None:
+            raise DecompressionError("call item without a callee index")
+        return insn.replace_target(item.call_target)
+
+    def program(self) -> Program:
+        """Reconstruct the entire program."""
+        functions = [
+            Function(name=self.sections.function_names[findex],
+                     insns=self.function_instructions(findex))
+            for findex in range(self.function_count)
+        ]
+        return Program(name=self.sections.program_name, functions=functions,
+                       entry=self.sections.entry)
+
+
+def open_container(data: bytes) -> SSDReader:
+    """Parse and phase-one-decompress a container."""
+    sections = container.parse(data)
+    layouts = layouts_from_sections(sections.common_base_blob,
+                                    sections.common_tree_blob,
+                                    sections.segments)
+    segment_of_function: List[int] = [0] * len(sections.function_names)
+    for sindex, segment in enumerate(sections.segments):
+        for findex in range(segment.first_function,
+                            segment.first_function + segment.function_count):
+            if findex >= len(segment_of_function):
+                raise DecompressionError(
+                    f"segment {sindex} covers function {findex}, but the "
+                    f"program has {len(segment_of_function)}")
+            segment_of_function[findex] = sindex
+    return SSDReader(sections=sections, layouts=layouts,
+                     segment_of_function=segment_of_function)
+
+
+def decompress(data: bytes) -> Program:
+    """One-call convenience: container bytes -> program."""
+    return open_container(data).program()

@@ -1,0 +1,324 @@
+"""Algorithm 1: SSD dictionary construction.
+
+Given a program, build a dictionary with two kinds of entries and rewrite
+the program as a stream of references to them:
+
+* **base entries** — one per unique instruction in the program (step 1 of
+  Algorithm 1), where "unique" is judged by the paper's matching rule:
+  branch/call targets compare by encoded *size*, everything else exactly;
+* **sequence entries** — one per 2–4 instruction sequence the greedy
+  matcher selects; a candidate must occur at least twice in the program
+  and lie within a single basic block (step 3.a), and may contain at most
+  one control transfer, necessarily last (implied by the basic-block rule
+  because branches and calls terminate blocks).
+
+The paper implements step 3.a with a digram hash table holding occurrence
+*positions* and rescans up to four instructions at each position.  We get
+the same answer in guaranteed O(n) by counting 2-, 3- and 4-gram
+occurrences up front: "sequence s occurs at least twice in P" is exactly
+``ngram_count[s] >= 2`` (the current occurrence contributes one).
+
+The matcher is greedy exactly as in the paper: after matching a prefix of
+length L it skips to the next unmatched instruction, forgoing potentially
+longer matches inside the prefix.
+
+Implementation note: match keys are interned to dense integer *base ids*
+in the first pass; every later stage (n-gram counting, sequence entries,
+item generation, tree serialization) works on small integer tuples.  At
+word97 scale (1.4M instructions) this keeps the n-gram tables hundreds of
+megabytes smaller than tuples-of-keys would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import Instruction, Program, basic_blocks
+
+#: Maximum sequence-entry length (the paper's L <= 4).
+MAX_SEQUENCE_LENGTH = 4
+
+
+@dataclass(frozen=True)
+class BaseEntry:
+    """A dictionary entry for a single unique instruction.
+
+    ``instruction`` is a canonical representative: for branches/calls the
+    target value is meaningless (targets travel in the item stream) and is
+    normalized to 0; ``target_size`` records the encoded target width that
+    is part of the match key.
+
+    In the paper's *absolute-targets* ablation (section 2.1: "a compressor
+    configured to represent branch targets as absolute values within
+    dictionary entries") the target instead lives here: ``stored_target``
+    holds the absolute target (instruction index for branches, callee
+    index for calls), entries with different targets stay distinct, and
+    items carry no target bytes.
+    """
+
+    key: Tuple
+    instruction: Instruction
+    target_size: Optional[int] = None
+    stored_target: Optional[int] = None
+
+    @property
+    def target_in_entry(self) -> bool:
+        return self.stored_target is not None
+
+    @property
+    def is_branch(self) -> bool:
+        return self.instruction.is_branch
+
+    @property
+    def is_call(self) -> bool:
+        return self.instruction.is_call
+
+    @property
+    def has_target(self) -> bool:
+        return self.is_branch or self.is_call
+
+
+@dataclass(frozen=True)
+class EntryRef:
+    """One element of the rewritten program: a dictionary reference.
+
+    ``base_ids`` holds one id for a base-entry reference, two to four for
+    a sequence-entry reference.  If the referenced entry ends in an
+    intra-function branch, ``branch_target`` is the target *instruction
+    index* within the function; if it ends in a call, ``call_target`` is
+    the callee function index.
+    """
+
+    base_ids: Tuple[int, ...]
+    branch_target: Optional[int] = None
+    call_target: Optional[int] = None
+
+    @property
+    def is_sequence(self) -> bool:
+        return len(self.base_ids) > 1
+
+    @property
+    def length(self) -> int:
+        return len(self.base_ids)
+
+
+@dataclass
+class SSDDictionary:
+    """The constructed dictionary plus the rewritten program.
+
+    ``base_entries[i]`` is the base entry with (provisional) id ``i``;
+    ``sequence_entries`` maps id-tuples to their use counts.  Provisional
+    ids are insertion-order; the container layer re-maps them to the
+    canonical order defined by base-entry compression.
+    """
+
+    base_entries: List[BaseEntry] = field(default_factory=list)
+    base_id_of_key: Dict[Tuple, int] = field(default_factory=dict)
+    sequence_entries: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+    base_use_counts: Dict[int, int] = field(default_factory=dict)
+    #: per function: the stream E of dictionary references
+    function_refs: List[List[EntryRef]] = field(default_factory=list)
+
+    @property
+    def entry_count(self) -> int:
+        return len(self.base_entries) + len(self.sequence_entries)
+
+    def coverage(self) -> Tuple[int, int]:
+        """(instructions covered by sequence refs, total instructions)."""
+        covered = 0
+        total = 0
+        for refs in self.function_refs:
+            for ref in refs:
+                total += ref.length
+                if ref.is_sequence:
+                    covered += ref.length
+        return covered, total
+
+
+def _normalized_instruction(insn: Instruction) -> Instruction:
+    """Canonical representative: branch/call targets zeroed."""
+    if insn.is_branch or insn.is_call:
+        return insn.replace_target(0)
+    return insn
+
+
+def build_dictionary(program: Program,
+                     max_len: int = MAX_SEQUENCE_LENGTH,
+                     absolute_targets: bool = False,
+                     match_mode: str = "greedy") -> SSDDictionary:
+    """Run Algorithm 1 over ``program``.
+
+    ``max_len`` parameterizes the paper's fixed 4 for the sequence-length
+    ablation experiment.  ``absolute_targets`` switches to the ablation
+    variant where targets live inside dictionary entries (branches with
+    different targets no longer share an entry).
+
+    ``match_mode`` selects the rewrite strategy:
+
+    * ``"greedy"`` — the paper's Algorithm 1: take the longest match at
+      the current position and skip past it ("by skipping over
+      instructions once it has found a match, Algorithm 1 ignores the
+      possibility of finding a longer match beginning at one of the
+      other instructions in the matched prefix").
+    * ``"optimal"`` — a dynamic program that picks, per function, the
+      segmentation minimizing total item-stream bytes (2 per item plus
+      target bytes).  Dictionary-side cost is not modelled, so this is a
+      lower bound on what non-greedy matching could buy; the ablation
+      experiment measures the actual end-to-end difference.
+    """
+    if max_len < 1:
+        raise ValueError(f"max_len must be >= 1, got {max_len}")
+    if match_mode not in ("greedy", "optimal"):
+        raise ValueError(f"match_mode must be greedy/optimal, got {match_mode!r}")
+    result = SSDDictionary()
+
+    # Pass 0 (step 1): base entries + per-function id lists + block limits.
+    id_lists: List[List[int]] = []
+    block_ends: List[List[int]] = []
+    for fn in program.functions:
+        keys = fn.match_keys()
+        sizes = fn.target_sizes()
+        ids: List[int] = []
+        for index, (insn, key, size) in enumerate(zip(fn.insns, keys, sizes)):
+            stored_target = None
+            if absolute_targets and (insn.is_branch or insn.is_call):
+                stored_target = insn.target
+                key = key + (stored_target,)
+            base_id = result.base_id_of_key.get(key)
+            if base_id is None:
+                base_id = len(result.base_entries)
+                result.base_id_of_key[key] = base_id
+                result.base_entries.append(BaseEntry(
+                    key=key,
+                    instruction=_normalized_instruction(insn),
+                    target_size=size,
+                    stored_target=stored_target,
+                ))
+            ids.append(base_id)
+        id_lists.append(ids)
+        ends = [0] * len(fn.insns)
+        for block in basic_blocks(fn):
+            for index in range(block.start, block.end):
+                ends[index] = block.end
+        block_ends.append(ends)
+
+    # Pass 1: n-gram occurrence counts (the "occurs at least twice" oracle).
+    ngram_counts: Dict[Tuple[int, ...], int] = {}
+    if max_len >= 2:
+        get = ngram_counts.get
+        for ids in id_lists:
+            n = len(ids)
+            for length in range(2, max_len + 1):
+                for start in range(n - length + 1):
+                    window = tuple(ids[start:start + length])
+                    ngram_counts[window] = get(window, 0) + 1
+
+    # Pass 2 (steps 2-3): rewrite each function as dictionary references.
+    for fn, ids, ends in zip(program.functions, id_lists, block_ends):
+        if match_mode == "greedy":
+            lengths = _greedy_segmentation(ids, ends, ngram_counts, max_len)
+        else:
+            lengths = _optimal_segmentation(ids, ends, ngram_counts, max_len,
+                                            result.base_entries)
+        refs: List[EntryRef] = []
+        index = 0
+        for match_len in lengths:
+            last = fn.insns[index + match_len - 1]
+            branch_target = last.target if last.is_branch else None
+            call_target = last.target if last.is_call else None
+            window = tuple(ids[index:index + match_len])
+            if match_len >= 2:
+                result.sequence_entries[window] = (
+                    result.sequence_entries.get(window, 0) + 1)
+            else:
+                result.base_use_counts[window[0]] = (
+                    result.base_use_counts.get(window[0], 0) + 1)
+            refs.append(EntryRef(base_ids=window,
+                                 branch_target=branch_target,
+                                 call_target=call_target))
+            index += match_len
+        result.function_refs.append(refs)
+    return result
+
+
+def _greedy_segmentation(ids: List[int], ends: List[int],
+                         ngram_counts: Dict[Tuple[int, ...], int],
+                         max_len: int) -> List[int]:
+    """The paper's greedy longest-match walk; returns segment lengths."""
+    lengths: List[int] = []
+    n = len(ids)
+    index = 0
+    while index < n:
+        limit = min(max_len, ends[index] - index)
+        match_len = 1
+        for length in range(limit, 1, -1):
+            window = tuple(ids[index:index + length])
+            if ngram_counts.get(window, 0) >= 2:
+                match_len = length
+                break
+        lengths.append(match_len)
+        index += match_len
+    return lengths
+
+
+def _optimal_segmentation(ids: List[int], ends: List[int],
+                          ngram_counts: Dict[Tuple[int, ...], int],
+                          max_len: int,
+                          base_entries: List[BaseEntry]) -> List[int]:
+    """Item-byte-minimizing segmentation (dynamic program).
+
+    ``cost[i]`` = minimal item bytes to encode instructions ``i..n``;
+    each candidate segment costs 2 (the 16-bit index) plus the target
+    bytes its final instruction forces into the item stream.
+    """
+    n = len(ids)
+    cost = [0.0] * (n + 1)
+    choice = [1] * (n + 1)
+
+    def item_bytes(last_id: int) -> float:
+        entry = base_entries[last_id]
+        if entry.has_target and not entry.target_in_entry:
+            return 2.0 + (entry.target_size or 0)
+        return 2.0
+
+    for index in range(n - 1, -1, -1):
+        limit = min(max_len, ends[index] - index)
+        best = item_bytes(ids[index]) + cost[index + 1]
+        best_len = 1
+        for length in range(2, limit + 1):
+            window = tuple(ids[index:index + length])
+            if ngram_counts.get(window, 0) < 2:
+                continue
+            candidate = item_bytes(ids[index + length - 1]) + cost[index + length]
+            # Strict improvement or tie -> prefer the longer match (fewer
+            # items stress the dictionary less).
+            if candidate <= best:
+                best = candidate
+                best_len = length
+        cost[index] = best
+        choice[index] = best_len
+
+    lengths: List[int] = []
+    index = 0
+    while index < n:
+        lengths.append(choice[index])
+        index += choice[index]
+    return lengths
+
+
+def dictionary_statistics(dictionary: SSDDictionary) -> Dict[str, float]:
+    """Summary numbers used by reports and tests."""
+    covered, total = dictionary.coverage()
+    items = sum(len(refs) for refs in dictionary.function_refs)
+    lengths = [len(ids) for ids in dictionary.sequence_entries]
+    return {
+        "base_entries": len(dictionary.base_entries),
+        "sequence_entries": len(dictionary.sequence_entries),
+        "total_entries": dictionary.entry_count,
+        "items": items,
+        "instructions": total,
+        "sequence_coverage": covered / total if total else 0.0,
+        "mean_sequence_length": (sum(lengths) / len(lengths)) if lengths else 0.0,
+        "compression_leverage": total / items if items else 0.0,
+    }

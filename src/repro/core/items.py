@@ -1,0 +1,156 @@
+"""Algorithm 2: SSD item generation (and its inverse).
+
+An SSD item is a 16-bit dictionary index, optionally followed by a branch
+target.  Intra-function branch targets are *pc-relative in item units*
+(displacement from the following item), sized by the dictionary entry's
+target-size class — the design the paper credits with a 6.2% size win over
+absolute targets stored in the dictionary.  Call items carry the callee's
+function index the same way (fixed up via relocation at copy time, like
+forward branches).
+
+Because dictionary entries never span basic blocks, every branch target
+(a block leader) is also the first instruction of some item, so targets
+are always expressible at item granularity; a displacement in items never
+exceeds the same displacement in instructions, so the instruction-derived
+size class always fits.  Encoding performs the paper's two-pass relocation
+(forwarding table for backward branches, relocation items for forward
+ones) in one materialized pass over the per-function reference stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..lz.varint import ByteReader, ByteWriter
+from .dictionary import EntryRef
+
+
+@dataclass(frozen=True)
+class EntryInfo:
+    """What the item codec needs to know about one dictionary index."""
+
+    length: int              # instructions covered
+    is_branch: bool = False  # ends with an intra-function branch/jump
+    is_call: bool = False    # ends with a call
+    target_size: int = 0     # encoded target width (1/2/4) when branch/call
+
+
+class ItemStreamError(ValueError):
+    """Raised for malformed item streams or unresolvable targets."""
+
+
+def _write_signed(writer: ByteWriter, value: int, size: int) -> None:
+    lo = -(1 << (8 * size - 1))
+    hi = (1 << (8 * size - 1)) - 1
+    if not lo <= value <= hi:
+        raise ItemStreamError(f"displacement {value} does not fit in {size} bytes")
+    unsigned = value & ((1 << (8 * size)) - 1)
+    writer.write_bytes(unsigned.to_bytes(size, "little"))
+
+
+def _read_signed(reader: ByteReader, size: int) -> int:
+    value = int.from_bytes(reader.read_bytes(size), "little")
+    sign = 1 << (8 * size - 1)
+    return value - (1 << (8 * size)) if value & sign else value
+
+
+def _write_unsigned(writer: ByteWriter, value: int, size: int) -> None:
+    if not 0 <= value < (1 << (8 * size)):
+        raise ItemStreamError(f"call target {value} does not fit in {size} bytes")
+    writer.write_bytes(value.to_bytes(size, "little"))
+
+
+def encode_items(refs: Sequence[EntryRef],
+                 index_of: Dict[Tuple[int, ...], int],
+                 info_of: Dict[int, EntryInfo]) -> bytes:
+    """Encode one function's reference stream as SSD items.
+
+    ``index_of`` maps a ref's ``base_ids`` tuple to its 16-bit dictionary
+    index; ``info_of`` maps dictionary indices to :class:`EntryInfo`.
+    """
+    # Instruction index -> item index (the forwarding table, materialized).
+    item_of_insn: Dict[int, int] = {}
+    position = 0
+    for item_index, ref in enumerate(refs):
+        item_of_insn[position] = item_index
+        position += ref.length
+
+    writer = ByteWriter()
+    for item_index, ref in enumerate(refs):
+        dict_index = index_of.get(tuple(ref.base_ids))
+        if dict_index is None:
+            raise ItemStreamError(f"no dictionary index for entry {ref.base_ids}")
+        entry = info_of[dict_index]
+        writer.write_u16(dict_index)
+        if entry.is_branch:
+            if ref.branch_target is None:
+                raise ItemStreamError("branch entry without a branch target")
+            target_item = item_of_insn.get(ref.branch_target)
+            if target_item is None:
+                raise ItemStreamError(
+                    f"branch target {ref.branch_target} is not item-aligned")
+            _write_signed(writer, target_item - (item_index + 1), entry.target_size)
+        elif entry.is_call:
+            if ref.call_target is None:
+                raise ItemStreamError("call entry without a call target")
+            _write_unsigned(writer, ref.call_target, entry.target_size)
+    return writer.getvalue()
+
+
+@dataclass(frozen=True)
+class DecodedItem:
+    """One parsed SSD item."""
+
+    dict_index: int
+    length: int
+    #: displacement in items (branches) or callee function index (calls)
+    branch_displacement: Optional[int] = None
+    call_target: Optional[int] = None
+
+
+def decode_items(blob: bytes, info_of: Dict[int, EntryInfo]) -> List[DecodedItem]:
+    """Parse an item stream into :class:`DecodedItem` values."""
+    reader = ByteReader(blob)
+    items: List[DecodedItem] = []
+    while not reader.at_end():
+        dict_index = reader.read_u16()
+        entry = info_of.get(dict_index)
+        if entry is None:
+            raise ItemStreamError(f"item references unknown index {dict_index}")
+        displacement = None
+        call_target = None
+        if entry.is_branch:
+            displacement = _read_signed(reader, entry.target_size)
+        elif entry.is_call:
+            call_target = int.from_bytes(reader.read_bytes(entry.target_size),
+                                         "little")
+        items.append(DecodedItem(dict_index=dict_index, length=entry.length,
+                                 branch_displacement=displacement,
+                                 call_target=call_target))
+    return items
+
+
+def resolve_branch_targets(items: Sequence[DecodedItem]) -> List[Optional[int]]:
+    """Instruction-index branch target of each item (None for non-branches).
+
+    This is the decode-side forwarding pass: item displacements convert
+    back to instruction indices via each item's starting position.
+    """
+    starts: List[int] = []
+    position = 0
+    for item in items:
+        starts.append(position)
+        position += item.length
+    targets: List[Optional[int]] = []
+    for item_index, item in enumerate(items):
+        if item.branch_displacement is None:
+            targets.append(None)
+            continue
+        target_item = item_index + 1 + item.branch_displacement
+        if not 0 <= target_item < len(items):
+            raise ItemStreamError(
+                f"item {item_index}: branch displacement {item.branch_displacement} "
+                f"leaves the function ({len(items)} items)")
+        targets.append(starts[target_item])
+    return targets

@@ -1,0 +1,183 @@
+"""Index-space layout shared by the compressor and the decompressor.
+
+Both sides must assign identical 16-bit indices to every dictionary entry
+without transmitting them.  The agreement comes from two canonical orders:
+
+* base entries are numbered by their position in the section-2.2.1
+  serialization order (:func:`order_base_entries`);
+* sequence-tree nodes are numbered in DFS visit order of the serialized
+  forest.
+
+This module builds, for each segment, a :class:`SegmentLayout` holding the
+maps both directions need.  ``build_layouts`` works from the compressor's
+in-memory dictionary; ``layouts_from_sections`` rebuilds the same layouts
+from decoded container sections — property tests assert they agree.
+
+See ``repro.core.partition`` for the index-space diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .base_entries import decode_base_entries, encode_base_entries, order_base_entries
+from .container import SegmentSections
+from .dictionary import BaseEntry, SSDDictionary
+from .items import EntryInfo
+from .partition import PartitionPlan
+from .sequence_tree import (
+    assign_sequence_indices,
+    decode_sequence_tree,
+    encode_sequence_tree,
+)
+
+
+@dataclass
+class SegmentLayout:
+    """Everything needed to encode or decode one segment's item streams.
+
+    * ``addr_bases[a]`` — the base entry with *addressing id* ``a``
+      (common bases first, then this segment's local bases);
+    * ``info_of`` — 16-bit dictionary index -> :class:`EntryInfo`;
+    * ``paths_of`` — 16-bit dictionary index -> tuple of addressing ids
+      (length 1 for base entries) — the decode side's expansion table;
+    * ``index_of`` — compressor side only: a reference's provisional
+      base-id tuple -> 16-bit dictionary index.
+    """
+
+    addr_bases: List[BaseEntry]
+    info_of: Dict[int, EntryInfo] = field(default_factory=dict)
+    paths_of: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    index_of: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+
+
+def _entry_info(layout_bases: List[BaseEntry], path: Tuple[int, ...]) -> EntryInfo:
+    last = layout_bases[path[-1]]
+    # When the target is stored in the dictionary entry (absolute-targets
+    # ablation), items carry no target bytes: the item codec sees a plain
+    # entry.
+    carries_target = last.has_target and not last.target_in_entry
+    return EntryInfo(
+        length=len(path),
+        is_branch=last.is_branch and carries_target,
+        is_call=last.is_call and carries_target,
+        target_size=(last.target_size or 0) if carries_target else 0,
+    )
+
+
+def _populate(layout: SegmentLayout,
+              common_base_count: int,
+              common_ranks: Dict[Tuple[int, ...], int],
+              local_base_count: int,
+              local_ranks: Dict[Tuple[int, ...], int]) -> Tuple[int, int]:
+    """Fill ``info_of``/``paths_of``; returns (common node count, local base offset)."""
+    cb = common_base_count
+    cs = len(common_ranks)
+    lb = local_base_count
+    # Common bases: [0, cb)
+    for addr in range(cb):
+        layout.info_of[addr] = _entry_info(layout.addr_bases, (addr,))
+        layout.paths_of[addr] = (addr,)
+    # Common tree nodes: [cb, cb+cs)
+    for path, rank in common_ranks.items():
+        index = cb + rank
+        layout.info_of[index] = _entry_info(layout.addr_bases, path)
+        layout.paths_of[index] = path
+    # Local bases: [cb+cs, cb+cs+lb), addressing ids [cb, cb+lb)
+    for position in range(lb):
+        addr = cb + position
+        index = cb + cs + position
+        layout.info_of[index] = _entry_info(layout.addr_bases, (addr,))
+        layout.paths_of[index] = (addr,)
+    # Local tree nodes: [cb+cs+lb, ...)
+    for path, rank in local_ranks.items():
+        index = cb + cs + lb + rank
+        layout.info_of[index] = _entry_info(layout.addr_bases, path)
+        layout.paths_of[index] = path
+    return cs, cb + cs
+
+
+def build_layouts(dictionary: SSDDictionary, plan: PartitionPlan,
+                  codec: str = "lz") -> Tuple[List[SegmentLayout], bytes, bytes,
+                                              List[SegmentSections]]:
+    """Compressor side: layouts plus the serialized dictionary blobs."""
+    # -- common dictionary -------------------------------------------------
+    common_entries = [dictionary.base_entries[p] for p in plan.common_base_ids]
+    ordered_common = order_base_entries(common_entries)
+    addr_of_provisional: Dict[int, int] = {}
+    base_by_key = {entry.key: provisional
+                   for provisional, entry in enumerate(dictionary.base_entries)}
+    for addr, entry in enumerate(ordered_common):
+        addr_of_provisional[base_by_key[entry.key]] = addr
+    cb = len(ordered_common)
+
+    def map_path(sequence: Tuple[int, ...], local_map: Dict[int, int]) -> Tuple[int, ...]:
+        return tuple(
+            addr_of_provisional[p] if p in addr_of_provisional else local_map[p]
+            for p in sequence)
+
+    common_mapped = [tuple(addr_of_provisional[p] for p in sequence)
+                     for sequence in plan.common_sequences]
+    common_ranks = assign_sequence_indices(common_mapped)
+    common_base_blob = encode_base_entries(ordered_common, codec=codec) if ordered_common else b""
+    common_tree_blob = encode_sequence_tree(common_mapped, base_space=max(cb, 1)) \
+        if common_mapped else b""
+    common_seq_index = {path: cb + rank for path, rank in common_ranks.items()}
+
+    layouts: List[SegmentLayout] = []
+    segment_sections: List[SegmentSections] = []
+    for segment in plan.segments:
+        local_ids = sorted(segment.local_base_ids)
+        ordered_local = order_base_entries(
+            [dictionary.base_entries[p] for p in local_ids])
+        local_map: Dict[int, int] = {}
+        for position, entry in enumerate(ordered_local):
+            local_map[base_by_key[entry.key]] = cb + position
+        lb = len(ordered_local)
+
+        local_mapped = sorted(map_path(s, local_map) for s in segment.local_sequences)
+        local_ranks = assign_sequence_indices(local_mapped)
+        base_blob = encode_base_entries(ordered_local, codec=codec) if ordered_local else b""
+        tree_blob = encode_sequence_tree(local_mapped, base_space=cb + lb) \
+            if local_mapped else b""
+
+        layout = SegmentLayout(addr_bases=ordered_common + ordered_local)
+        cs, local_base_index_start = _populate(
+            layout, cb, common_ranks, lb, local_ranks)
+
+        # Compressor-side reference map (provisional ids -> final index).
+        for provisional in plan.common_base_ids:
+            layout.index_of[(provisional,)] = addr_of_provisional[provisional]
+        for provisional in local_ids:
+            layout.index_of[(provisional,)] = cs + local_map[provisional]
+        for sequence in segment.local_sequences:
+            mapped = map_path(sequence, local_map)
+            layout.index_of[tuple(sequence)] = cb + cs + lb + local_ranks[mapped]
+        for sequence, mapped in zip(plan.common_sequences, common_mapped):
+            layout.index_of[tuple(sequence)] = common_seq_index[mapped]
+
+        layouts.append(layout)
+        segment_sections.append(SegmentSections(
+            first_function=segment.function_indices[0] if segment.function_indices else 0,
+            function_count=len(segment.function_indices),
+            base_blob=base_blob,
+            tree_blob=tree_blob,
+        ))
+    return layouts, common_base_blob, common_tree_blob, segment_sections
+
+
+def layouts_from_sections(common_base_blob: bytes, common_tree_blob: bytes,
+                          segments: List[SegmentSections]) -> List[SegmentLayout]:
+    """Decompressor side: rebuild layouts from container sections."""
+    common_bases = decode_base_entries(common_base_blob) if common_base_blob else []
+    common_ranks = decode_sequence_tree(common_tree_blob) if common_tree_blob else {}
+    cb = len(common_bases)
+    layouts: List[SegmentLayout] = []
+    for segment in segments:
+        local_bases = decode_base_entries(segment.base_blob) if segment.base_blob else []
+        local_ranks = decode_sequence_tree(segment.tree_blob) if segment.tree_blob else {}
+        layout = SegmentLayout(addr_bases=common_bases + local_bases)
+        _populate(layout, cb, common_ranks, len(local_bases), local_ranks)
+        layouts.append(layout)
+    return layouts

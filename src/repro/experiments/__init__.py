@@ -1,0 +1,14 @@
+"""One module per paper exhibit, plus the ``ssd-repro`` CLI.
+
+* ``table1`` — instruction/digram redundancy
+* ``table5`` — compression ratios + execution-overhead decomposition
+* ``table6`` — buffer sweep: MB translated, hit rate (word97)
+* ``figure3`` — RAM-constrained overhead, SSD vs BRISC (word97)
+* ``throughput`` — decompression/translation rates (measured + modelled)
+* ``startup`` — application start latency vs disk bandwidth (section 1)
+* ``ablations`` — branch-target mode, base codec, sequence length, policy
+"""
+
+from .common import ALL_BENCHMARKS, ExperimentContext
+
+__all__ = ["ALL_BENCHMARKS", "ExperimentContext"]

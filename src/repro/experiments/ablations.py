@@ -1,0 +1,279 @@
+"""Ablation experiments for SSD's design choices.
+
+Each ablation isolates one decision DESIGN.md calls out:
+
+* **branch targets** — pc-relative targets in the item stream (SSD) vs
+  absolute targets inside dictionary entries.  The paper measured the
+  pc-relative choice ~6.2% smaller (section 2.1).
+* **base-entry codec** — plain LZ over concatenated sorted groups vs delta
+  coding the sorted field.  The paper found LZ "simpler and yielded
+  better compression" (section 2.2.1).
+* **max sequence length** — the paper fixes 4; sweep 1..6.
+* **matching** — the paper's greedy longest-match vs an item-optimal
+  dynamic program (expected tie: the occurrence oracle is factor-closed).
+* **hybrid re-optimization** — copy-phase-only JIT vs section 2.2.4's
+  post-translation optimization, across session lengths.
+* **buffer replacement policy** — the paper's permanent + round-robin
+  hybrid vs pure round-robin and pure LRU, on the word97 trace.
+* **compression landscape** — interpretable (SSD/BRISC) vs archival
+  (LZ77, arithmetic coding) on the same inputs (section 2's taxonomy).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..analysis import render_table
+from ..core import compress
+from ..jit import (
+    PureLRUBuffer,
+    PureRoundRobinBuffer,
+    SSD_COSTS,
+    TranslationBuffer,
+    sweep_buffer_sizes,
+)
+from .common import ExperimentContext
+from .table6 import word97_trace
+
+
+def branch_target_ablation(context: ExperimentContext,
+                           names: Sequence[str] = ("gcc", "vortex", "go", "xlisp"),
+                           ) -> str:
+    rows = []
+    gains = []
+    for name in names:
+        program = context.program(name)
+        relative = context.ssd(name).size
+        absolute = compress(program, branch_targets="absolute").size
+        gain = 100.0 * (absolute - relative) / absolute
+        gains.append(gain)
+        rows.append([name, absolute, relative, gain])
+    rows.append(["average", None, None, sum(gains) / len(gains)])
+    return render_table(
+        ["program", "absolute B", "relative B", "relative wins by %"],
+        rows,
+        title=("Ablation: branch targets in items (SSD) vs in dictionary "
+               "entries — paper reports the item-stream choice ~6.2% smaller"),
+        precision=1) + "\n"
+
+
+def base_codec_ablation(context: ExperimentContext,
+                        names: Sequence[str] = ("gcc", "vortex", "go", "xlisp"),
+                        ) -> str:
+    rows = []
+    for name in names:
+        program = context.program(name)
+        lz_size = context.ssd(name).size
+        delta_size = compress(program, codec="delta").size
+        both_size = compress(program, codec="delta+lz").size
+        rows.append([name, delta_size, lz_size, both_size,
+                     100.0 * (delta_size - lz_size) / delta_size,
+                     100.0 * (lz_size - both_size) / lz_size])
+    return render_table(
+        ["program", "delta B", "lz B", "delta+lz B", "lz vs delta %",
+         "delta+lz vs lz %"],
+        rows,
+        title=("Ablation: base-entry codec — the paper found LZ better than "
+               "delta coding (reproduced); combining them (this repro's "
+               "extension) does better still"),
+        precision=1) + "\n"
+
+
+def sequence_length_ablation(context: ExperimentContext, name: str = "go",
+                             lengths: Sequence[int] = (1, 2, 3, 4, 5, 6)) -> str:
+    program = context.program(name)
+    x86 = context.x86_size(name)
+    rows = []
+    for max_len in lengths:
+        size = compress(program, max_len=max_len).size
+        rows.append([max_len, size, size / x86])
+    return render_table(
+        ["max seq len", "bytes", "ratio"],
+        rows,
+        title=(f"Ablation: maximum sequence-entry length ({name}) — the paper "
+               f"fixes 4; gains should flatten past it"),
+        precision=3) + "\n"
+
+
+def buffer_policy_ablation(context: ExperimentContext, name: str = "word97",
+                           ratios: Sequence[float] = (0.2, 0.25, 0.3, 0.4),
+                           ) -> str:
+    sizes = context.jit_function_sizes(name)
+    trace = word97_trace(context, name)
+    x86 = context.x86_size(name)
+    dictionary = context.ssd_dictionary_bytes(name)
+    policies = [("paper hybrid", TranslationBuffer),
+                ("pure round-robin", PureRoundRobinBuffer),
+                ("pure LRU", PureLRUBuffer)]
+    rows = []
+    for label, buffer_class in policies:
+        points = sweep_buffer_sizes(sizes, trace, x86, list(ratios),
+                                    dictionary_bytes=dictionary,
+                                    costs=SSD_COSTS,
+                                    buffer_class=buffer_class,
+                                    items_per_function=context.item_counts(name))
+        for point in points:
+            rows.append([label, point.buffer_ratio, point.hit_rate_pct,
+                         point.megabytes_translated, point.overhead_pct])
+    return render_table(
+        ["policy", "buffer/x86", "hit %", "MB translated", "overhead %"],
+        rows,
+        title=(f"Ablation: buffer replacement policy ({name}) — the paper's "
+               f"permanent+round-robin hybrid should dominate pure round-robin"),
+        precision=2) + "\n"
+
+
+def matching_ablation(context: ExperimentContext,
+                      names: Sequence[str] = ("go", "xlisp"),
+                      ) -> str:
+    """Greedy (Algorithm 1) vs item-byte-optimal dynamic programming.
+
+    The paper notes its matcher is greedy and "ignores the possibility of
+    finding a longer match beginning at one of the other instructions in
+    the matched prefix"; this measures how much that simplicity costs.
+    """
+    rows = []
+    for name in names:
+        program = context.program(name)
+        greedy = context.ssd(name).size
+        optimal = compress(program, match_mode="optimal").size
+        rows.append([name, greedy, optimal,
+                     100.0 * (greedy - optimal) / greedy])
+    return render_table(
+        ["program", "greedy B", "optimal B", "optimal wins by %"],
+        rows,
+        title=("Ablation: greedy vs optimal matching — expected result: a "
+               "tie.  The >=2-occurrence oracle is factor-closed (every "
+               "sub-window of a repeated window is repeated), and for "
+               "factor-closed dictionaries longest-match greedy is already "
+               "optimal; the paper's simplicity costs nothing"),
+        precision=2) + "\n"
+
+
+def hybrid_ablation(context: ExperimentContext,
+                    names: Sequence[str] = ("go", "xlisp"),
+                    sessions: Sequence[float] = (0.1, 1.0, 60.0)) -> str:
+    """Plain copy-phase JIT vs section 2.2.4's hybrid re-optimization.
+
+    Hybrid pays heavy per-byte optimization once to erase the code-quality
+    gap; it should lose on short sessions and win on long ones.
+    """
+    from ..analysis import measure_overhead
+
+    rows = []
+    for name in names:
+        program = context.program(name)
+        for session in sessions:
+            plain = measure_overhead(program, result=context.run(name),
+                                     compressed_data=context.ssd(name).data,
+                                     session_seconds=session)
+            hybrid = measure_overhead(program, result=context.run(name),
+                                      compressed_data=context.ssd(name).data,
+                                      session_seconds=session, hybrid=True)
+            rows.append([name, session, plain.total_overhead_pct,
+                         hybrid.total_overhead_pct,
+                         "hybrid" if hybrid.total_overhead_pct
+                         < plain.total_overhead_pct else "plain"])
+    return render_table(
+        ["program", "session s", "jit-only ovh%", "hybrid ovh%", "winner"],
+        rows,
+        title=("Ablation: copy-phase JIT vs hybrid re-optimization "
+               "(section 2.2.4) — hybrid recovers code quality at a "
+               "translation cost that only pays off on long sessions"),
+        precision=2) + "\n"
+
+
+def compression_landscape(context: ExperimentContext,
+                          names: Sequence[str] = ("go", "xlisp"),
+                          ) -> str:
+    """Interpretable vs archival compressors on the same programs.
+
+    Section 2's taxonomy: SSD and BRISC are interpretable (random access
+    at basic-block granularity); byte-oriented LZ and arithmetic coding
+    are stream-oriented and archival-only.  The archival coders should
+    compress *better* — the paper's point is that SSD gets close while
+    remaining interpretable.
+    """
+    from ..analysis import measure_sizes
+    from ..core import parse
+    from ..lz import lz77
+
+    rows = []
+    for name in names:
+        report = measure_sizes(context.program(name),
+                               brisc_dictionary=context.brisc_dictionary(exclude=name),
+                               x86_bytes=context.x86_size(name),
+                               include_archival=True)
+        # What would SSD cost if it gave up random access and LZ-packed
+        # its item streams?  (The price of interpretability, inside SSD.)
+        sections = parse(context.ssd(name).data)
+        packed_items = len(lz77.compress(b"".join(sections.item_streams)))
+        ssd_packed = (report.ssd_bytes - report.ssd_item_bytes + packed_items)
+        rows.append([name, report.vm_ratio, report.ssd_ratio,
+                     ssd_packed / report.x86_bytes,
+                     report.brisc_ratio, report.lz_ratio, report.arith_ratio])
+    return render_table(
+        ["program", "vm/x86", "ssd/x86", "ssd+lzitems/x86", "brisc/x86",
+         "lz/x86", "arith/x86"],
+        rows,
+        title=("Compression landscape — interpretable (ssd, brisc) vs "
+               "archival stream compressors (lz77, arithmetic over VM "
+               "bytecode); 'ssd+lzitems' LZ-packs the item streams, "
+               "showing what SSD's random-access property costs"),
+        precision=3) + "\n"
+
+
+def trace_source_validation(context: ExperimentContext, name: str = "word97",
+                            ratios: Sequence[float] = (0.3, 0.5, 0.8),
+                            ) -> str:
+    """Synthetic trace vs the interpreter's real call sequence.
+
+    Table 6/Figure 3 replay a *synthetic* phased Zipf trace (the real
+    Word97 suite being unavailable).  As a sanity check, this replays the
+    call sequence the reference interpreter actually produced while
+    running the benchmark's driver workload — shorter and less phased,
+    but entirely non-synthetic — and confirms the buffer responds with
+    the same qualitative shape (hit rate rising, re-translation falling).
+    """
+    sizes = context.jit_function_sizes(name)
+    x86 = context.x86_size(name)
+    dictionary = context.ssd_dictionary_bytes(name)
+    interpreter_trace = context.run(name).call_sequence
+    synthetic_trace = word97_trace(context, name)
+    rows = []
+    for label, trace in (("interpreter", interpreter_trace),
+                         ("synthetic", synthetic_trace)):
+        points = sweep_buffer_sizes(sizes, trace, x86, list(ratios),
+                                    dictionary_bytes=dictionary,
+                                    costs=SSD_COSTS,
+                                    items_per_function=context.item_counts(name))
+        for point in points:
+            rows.append([label, len(trace), point.buffer_ratio,
+                         point.hit_rate_pct, point.megabytes_translated])
+    return render_table(
+        ["trace source", "calls", "buffer/x86", "hit %", "MB translated"],
+        rows,
+        title=(f"Validation: buffer behaviour under the interpreter's real "
+               f"call sequence vs the synthetic phased trace ({name})"),
+        precision=2) + "\n"
+
+
+def run(context: ExperimentContext) -> str:
+    return "\n".join([
+        branch_target_ablation(context),
+        base_codec_ablation(context),
+        sequence_length_ablation(context),
+        matching_ablation(context),
+        hybrid_ablation(context),
+        buffer_policy_ablation(context),
+        compression_landscape(context),
+        trace_source_validation(context),
+    ])
+
+
+def main(scale: float = 0.25) -> None:  # pragma: no cover - CLI glue
+    print(run(ExperimentContext(scale=scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""Experiment figure3 — RAM-constrained word97 performance, BRISC vs SSD.
+
+Regenerates the paper's Figure 3: execution-time overhead (vs the
+unconstrained native run) as a function of buffer size, for both SSD and
+BRISC.  Both schemes replay the same call trace; each is charged its own
+dictionary (SSD: the program's compressed dictionary; BRISC: the ~150 KB
+external pattern dictionary) and its own translation costs (SSD's cheap
+copy phase vs BRISC's decode-everything path).
+
+Expected shape: both flat and low above the ~0.3 knee; below it BRISC's
+overhead explodes several times faster than SSD's — the paper's
+"graceful degradation" headline.  The paper's companion claims are also
+checked: ~27% overhead for SSD at a one-third-sized buffer, and a
+~14.1% floor from the regeneration infrastructure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis import ascii_chart, render_table
+from ..jit import BRISC_COSTS, BRISC_EXTERNAL_DICT_BYTES, SSD_COSTS, sweep_buffer_sizes
+from .common import ExperimentContext
+from .table6 import RATIOS, word97_trace
+
+#: extra sweep point for the "one-third buffer" claim
+THIRD = 1.0 / 3.0
+
+
+def sweep_both(context: ExperimentContext, name: str = "word97",
+               ratios: Sequence[float] = None) -> Dict[str, List]:
+    ratios = list(ratios) if ratios is not None else sorted(set(RATIOS + [THIRD]))
+    sizes = context.jit_function_sizes(name)
+    trace = word97_trace(context, name)
+    x86 = context.x86_size(name)
+    ssd_points = sweep_buffer_sizes(
+        function_sizes=sizes, trace=trace, x86_size=x86, ratios=ratios,
+        dictionary_bytes=context.ssd_dictionary_bytes(name),
+        costs=SSD_COSTS, items_per_function=context.item_counts(name))
+    # BRISC's external dictionary was ~150 KB against word97's 5.17 MB in
+    # the paper (2.9% of the program); charge the same proportion here so
+    # scaled-down runs keep the paper's accounting.
+    brisc_dict = int(x86 * BRISC_EXTERNAL_DICT_BYTES / 5_175_500)
+    brisc_points = sweep_buffer_sizes(
+        function_sizes=sizes, trace=trace, x86_size=x86, ratios=ratios,
+        dictionary_bytes=brisc_dict,
+        costs=BRISC_COSTS)
+    return {"ratios": ratios, "ssd": ssd_points, "brisc": brisc_points}
+
+
+def run(context: ExperimentContext, name: str = "word97") -> str:
+    data = sweep_both(context, name)
+    rows = []
+    for ratio, ssd_point, brisc_point in zip(data["ratios"], data["ssd"],
+                                             data["brisc"]):
+        rows.append([ratio, ssd_point.overhead_pct, brisc_point.overhead_pct,
+                     brisc_point.overhead_pct / max(ssd_point.overhead_pct, 1e-9)])
+    table = render_table(
+        ["buffer/x86", "SSD ovh%", "BRISC ovh%", "BRISC/SSD"],
+        rows,
+        title=(f"Figure 3 — RAM-constrained {name} performance "
+               f"(scale={context.scale}; paper shows BRISC rising toward "
+               f"~500-600% at 0.2 while SSD degrades gracefully; SSD at a "
+               f"one-third buffer ran at ~27% overhead)"),
+        precision=1)
+    chart = ascii_chart(
+        {"ssd": [p.overhead_pct for p in data["ssd"]],
+         "brisc": [p.overhead_pct for p in data["brisc"]]},
+        x_values=data["ratios"],
+        title="overhead %% vs buffer ratio")
+    return table + "\n\n" + chart + "\n"
+
+
+def main(scale: float = 0.25) -> None:  # pragma: no cover - CLI glue
+    print(run(ExperimentContext(scale=scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,99 @@
+"""Experiment table5 — compression effectiveness and execution overhead.
+
+Regenerates both halves of the paper's Table 5:
+
+* size: SSD and BRISC compressed size as a fraction of optimized native
+  size, per benchmark and on average (paper: 0.47 vs 0.61 — SSD wins
+  everywhere except the tiny ``compress``);
+* time: total SSD execution overhead split into decompression/JIT
+  translation vs reduced code quality (paper: 6.6% total, of which
+  <= 0.7 points is decompression).
+
+Sizes are measured on real compressed bytes; times are modelled cycles
+(see ``repro.jit.costs`` and DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..analysis import measure_overhead, measure_sizes, render_table
+from ..jit import SSD_COSTS
+from ..workloads import profile
+from .common import ALL_BENCHMARKS, ExperimentContext
+
+
+def run(context: ExperimentContext, names: Optional[List[str]] = None,
+        include_brisc: bool = True, include_overhead: bool = True) -> str:
+    names = names or ALL_BENCHMARKS
+    rows = []
+    ssd_ratios = []
+    brisc_ratios = []
+    overheads = []
+    for name in names:
+        paper = profile(name).table5
+        program = context.program(name)
+        brisc_dict = context.brisc_dictionary(exclude=name) if include_brisc else None
+        sizes = measure_sizes(program, brisc_dictionary=brisc_dict,
+                              x86_bytes=context.x86_size(name))
+        # Reuse the cached compressed container for overheads.
+        row = [
+            name,
+            sizes.x86_bytes,
+            paper.ssd_ratio,
+            sizes.ssd_ratio,
+            paper.brisc_ratio,
+            sizes.brisc_ratio,
+        ]
+        ssd_ratios.append(sizes.ssd_ratio)
+        if sizes.brisc_ratio is not None:
+            brisc_ratios.append(sizes.brisc_ratio)
+        if include_overhead:
+            report = measure_overhead(program, fuel=context.fuel,
+                                      costs=SSD_COSTS,
+                                      result=context.run(name),
+                                      compressed_data=context.ssd(name).data)
+            row += [
+                paper.exec_overhead_pct,
+                report.total_overhead_pct,
+                paper.jit_overhead_pct,
+                report.jit_overhead_pct,
+                paper.quality_overhead_pct,
+                report.quality_overhead_pct,
+            ]
+            overheads.append((report.total_overhead_pct, report.jit_overhead_pct,
+                              report.quality_overhead_pct))
+        rows.append(row)
+
+    average = ["average", "",
+               sum(profile(n).table5.ssd_ratio for n in names) / len(names),
+               sum(ssd_ratios) / len(ssd_ratios),
+               sum(profile(n).table5.brisc_ratio for n in names) / len(names),
+               (sum(brisc_ratios) / len(brisc_ratios)) if brisc_ratios else None]
+    if include_overhead and overheads:
+        average += [
+            sum(profile(n).table5.exec_overhead_pct for n in names) / len(names),
+            sum(o[0] for o in overheads) / len(overheads),
+            sum(profile(n).table5.jit_overhead_pct for n in names) / len(names),
+            sum(o[1] for o in overheads) / len(overheads),
+            sum(profile(n).table5.quality_overhead_pct for n in names) / len(names),
+            sum(o[2] for o in overheads) / len(overheads),
+        ]
+    rows.append(average)
+
+    headers = ["program", "x86 B", "ssd(paper)", "ssd(ours)",
+               "brisc(paper)", "brisc(ours)"]
+    if include_overhead:
+        headers += ["ovh%(paper)", "ovh%(ours)", "jit%(paper)", "jit%(ours)",
+                    "qual%(paper)", "qual%(ours)"]
+    title = (f"Table 5 — compression ratios and execution overhead "
+             f"(scale={context.scale}; sizes measured, times modelled)")
+    return render_table(headers, rows, title=title, precision=2) + "\n"
+
+
+def main(scale: float = 0.25) -> None:  # pragma: no cover - CLI glue
+    print(run(ExperimentContext(scale=scale)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,76 @@
+"""The virtual instruction set architecture (OmniVM stand-in).
+
+A RISC-style, 32-register load/store virtual ISA with variable-size
+immediate and pc-relative branch-target fields.  This is the substrate SSD
+compresses: the paper used the (unreleased) Omniware VM; see DESIGN.md for
+why this substitution preserves the behaviour being studied.
+"""
+
+from .asm import AsmError, assemble, disassemble
+from .cfg import BasicBlock, basic_blocks, block_id_map, leaders
+from .encoding import (
+    decode_program,
+    encode_program,
+    instruction_size,
+    program_size,
+)
+from .instruction import (
+    Instruction,
+    TARGET_SIZES,
+    immediate_size_class,
+    target_size_class,
+)
+from .opcodes import (
+    NUM_REGISTERS,
+    OP_BY_CODE,
+    OP_BY_MNEMONIC,
+    OP_TABLE,
+    REG_FP,
+    REG_RA,
+    REG_RV,
+    REG_SP,
+    REG_ZERO,
+    Kind,
+    Op,
+    OpInfo,
+    info,
+)
+from .program import Function, Program, concatenate
+from .validate import ValidationError, validate_program, validation_issues
+
+__all__ = [
+    "AsmError",
+    "BasicBlock",
+    "Function",
+    "Instruction",
+    "Kind",
+    "NUM_REGISTERS",
+    "OP_BY_CODE",
+    "OP_BY_MNEMONIC",
+    "OP_TABLE",
+    "Op",
+    "OpInfo",
+    "Program",
+    "REG_FP",
+    "REG_RA",
+    "REG_RV",
+    "REG_SP",
+    "REG_ZERO",
+    "TARGET_SIZES",
+    "ValidationError",
+    "assemble",
+    "basic_blocks",
+    "block_id_map",
+    "concatenate",
+    "decode_program",
+    "disassemble",
+    "encode_program",
+    "immediate_size_class",
+    "info",
+    "instruction_size",
+    "leaders",
+    "program_size",
+    "target_size_class",
+    "validate_program",
+    "validation_issues",
+]

@@ -1,0 +1,244 @@
+"""Text assembler and disassembler for the virtual ISA.
+
+A small, line-oriented format used by tests, examples and documentation::
+
+    # comment
+    func main
+        li   r1, 10
+    loop:
+        addi r1, r1, -1
+        bnez r1, loop
+        call helper
+        ret
+    end
+
+    func helper
+        ret
+    end
+
+Branch operands are label names (resolved to instruction indices), call
+operands are function names (resolved to function indices).  The
+disassembler produces text the assembler accepts (round-trip property is
+tested).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .instruction import Instruction
+from .opcodes import Kind, OP_BY_MNEMONIC, info
+from .program import Function, Program
+
+
+class AsmError(ValueError):
+    """Raised for malformed assembly input, with line information."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.$]*):$")
+_MEM_RE = re.compile(r"^(-?\d+)\(r(\d+)\)$")
+
+
+def _parse_register(token: str, line: int) -> int:
+    if not token.startswith("r") or not token[1:].isdigit():
+        raise AsmError(line, f"expected register, got {token!r}")
+    return int(token[1:])
+
+
+def _parse_int(token: str, line: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AsmError(line, f"expected integer, got {token!r}") from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [tok.strip() for tok in rest.split(",")] if rest.strip() else []
+
+
+def assemble(text: str) -> Program:
+    """Assemble ``text`` into a :class:`Program`.
+
+    The entry point is the function named ``main`` if present, else the
+    first function.
+    """
+    functions: List[Function] = []
+    function_names: List[str] = []
+    # First pass over the text to learn function names (for call resolution).
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if line.startswith("func "):
+            name = line[5:].strip()
+            if not name:
+                raise AsmError(line_number, "func requires a name")
+            if name in function_names:
+                raise AsmError(line_number, f"duplicate function {name!r}")
+            function_names.append(name)
+    if not function_names:
+        raise AsmError(0, "no functions found")
+    fn_index: Dict[str, int] = {name: i for i, name in enumerate(function_names)}
+
+    current: Optional[str] = None
+    insns: List[Tuple[int, str, List[str]]] = []
+    labels: Dict[str, int] = {}
+
+    def finish_function(end_line: int) -> None:
+        nonlocal current
+        built: List[Instruction] = []
+        for index, (line_number, mnemonic, operands) in enumerate(insns):
+            built.append(_build(line_number, mnemonic, operands, index, labels, fn_index))
+        if not built:
+            raise AsmError(end_line, f"function {current!r} is empty")
+        functions.append(Function(name=current, insns=built))
+        current = None
+
+    def _build(line_number: int, mnemonic: str, operands: List[str], index: int,
+               labels: Dict[str, int], fn_index: Dict[str, int]) -> Instruction:
+        meta = OP_BY_MNEMONIC.get(mnemonic)
+        if meta is None:
+            raise AsmError(line_number, f"unknown opcode {mnemonic!r}")
+        kind = meta.kind
+        rd = rs1 = rs2 = imm = target = None
+        want = []
+        if kind is Kind.LOAD:
+            want = ["rd", "mem"]
+        elif kind is Kind.STORE:
+            want = ["rs2", "mem"]
+        elif kind is Kind.BRANCH:
+            want = ["rs1", "rs2", "label"] if meta.uses_rs2 else ["rs1", "label"]
+        elif kind is Kind.JUMP:
+            want = ["label"]
+        elif kind is Kind.CALL:
+            want = ["func"]
+        else:
+            if meta.uses_rd:
+                want.append("rd")
+            if meta.uses_rs1:
+                want.append("rs1")
+            if meta.uses_rs2:
+                want.append("rs2")
+            if meta.uses_imm:
+                want.append("imm")
+        if len(operands) != len(want):
+            raise AsmError(
+                line_number,
+                f"{mnemonic}: expected {len(want)} operands, got {len(operands)}",
+            )
+        for slot, token in zip(want, operands):
+            if slot == "rd":
+                rd = _parse_register(token, line_number)
+            elif slot == "rs1":
+                rs1 = _parse_register(token, line_number)
+            elif slot == "rs2":
+                rs2 = _parse_register(token, line_number)
+            elif slot == "imm":
+                imm = _parse_int(token, line_number)
+            elif slot == "mem":
+                match = _MEM_RE.match(token)
+                if not match:
+                    raise AsmError(line_number, f"expected offset(rN), got {token!r}")
+                imm = int(match.group(1))
+                rs1 = int(match.group(2))
+            elif slot == "label":
+                if token in labels:
+                    target = labels[token]
+                elif token.lstrip("-").isdigit():
+                    target = int(token)
+                else:
+                    raise AsmError(line_number, f"undefined label {token!r}")
+            elif slot == "func":
+                if token in fn_index:
+                    target = fn_index[token]
+                elif token.isdigit():
+                    target = int(token)
+                else:
+                    raise AsmError(line_number, f"unknown function {token!r}")
+        return Instruction(op=meta.op, rd=rd, rs1=rs1, rs2=rs2, imm=imm, target=target)
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("func "):
+            if current is not None:
+                raise AsmError(line_number, "nested func")
+            current = line[5:].strip()
+            insns = []
+            labels = {}
+            continue
+        if line == "end":
+            if current is None:
+                raise AsmError(line_number, "end outside func")
+            finish_function(line_number)
+            continue
+        if current is None:
+            raise AsmError(line_number, f"instruction outside func: {line!r}")
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            label = label_match.group(1)
+            if label in labels:
+                raise AsmError(line_number, f"duplicate label {label!r}")
+            labels[label] = len(insns)
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0]
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        insns.append((line_number, mnemonic, operands))
+    if current is not None:
+        raise AsmError(len(text.splitlines()), f"function {current!r} missing end")
+
+    entry = fn_index.get("main", 0)
+    return Program(name="asm", functions=functions, entry=entry)
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program`` as text :func:`assemble` accepts."""
+    lines: List[str] = []
+    for fn in program.functions:
+        lines.append(f"func {fn.name}")
+        # Collect branch targets so we can print labels.
+        targets = sorted({insn.target for insn in fn.insns if insn.is_branch})
+        label_of = {t: f"L{t}" for t in targets}
+        for index, insn in enumerate(fn.insns):
+            if index in label_of:
+                lines.append(f"{label_of[index]}:")
+            lines.append("    " + _render(insn, label_of, program))
+        lines.append("end")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _render(insn: Instruction, label_of: Dict[int, str], program: Program) -> str:
+    meta = info(insn.op)
+    if meta.kind is Kind.LOAD:
+        return f"{meta.mnemonic} r{insn.rd}, {insn.imm}(r{insn.rs1})"
+    if meta.kind is Kind.STORE:
+        return f"{meta.mnemonic} r{insn.rs2}, {insn.imm}(r{insn.rs1})"
+    if meta.kind is Kind.BRANCH:
+        label = label_of[insn.target]
+        if meta.uses_rs2:
+            return f"{meta.mnemonic} r{insn.rs1}, r{insn.rs2}, {label}"
+        return f"{meta.mnemonic} r{insn.rs1}, {label}"
+    if meta.kind is Kind.JUMP:
+        return f"{meta.mnemonic} {label_of[insn.target]}"
+    if meta.kind is Kind.CALL:
+        if 0 <= insn.target < len(program.functions):
+            return f"{meta.mnemonic} {program.functions[insn.target].name}"
+        return f"{meta.mnemonic} {insn.target}"
+    operands = []
+    if meta.uses_rd:
+        operands.append(f"r{insn.rd}")
+    if meta.uses_rs1:
+        operands.append(f"r{insn.rs1}")
+    if meta.uses_rs2:
+        operands.append(f"r{insn.rs2}")
+    if meta.uses_imm:
+        operands.append(str(insn.imm))
+    if operands:
+        return f"{meta.mnemonic} " + ", ".join(operands)
+    return meta.mnemonic

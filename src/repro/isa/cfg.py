@@ -1,0 +1,63 @@
+"""Basic-block analysis.
+
+The paper's dictionary construction requires that a candidate instruction
+sequence be "contained within a single basic block" (Algorithm 1 step
+3.a.iv) and that a dictionary entry hold at most one branch, always last.
+This module computes the block partition those rules consult.
+
+Leaders are: instruction 0, every branch/jump target, and every instruction
+following a block terminator (branches, jumps, calls, returns, halt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .program import Function
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """Half-open instruction-index range ``[start, end)`` within a function."""
+
+    start: int
+    end: int
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __contains__(self, index: int) -> bool:
+        return self.start <= index < self.end
+
+
+def leaders(function: Function) -> List[int]:
+    """Return the sorted list of basic-block leader indices."""
+    if not function.insns:
+        return []
+    leader_set = {0}
+    for index, insn in enumerate(function.insns):
+        if insn.is_branch:
+            leader_set.add(insn.target)
+        if insn.is_terminator and index + 1 < len(function.insns):
+            leader_set.add(index + 1)
+    return sorted(leader_set)
+
+
+def basic_blocks(function: Function) -> List[BasicBlock]:
+    """Partition ``function`` into basic blocks."""
+    starts = leaders(function)
+    blocks: List[BasicBlock] = []
+    for position, start in enumerate(starts):
+        end = starts[position + 1] if position + 1 < len(starts) else len(function.insns)
+        blocks.append(BasicBlock(start=start, end=end))
+    return blocks
+
+
+def block_id_map(function: Function) -> List[int]:
+    """Return, per instruction index, the index of its basic block."""
+    ids = [0] * len(function.insns)
+    for block_index, block in enumerate(basic_blocks(function)):
+        for index in range(block.start, block.end):
+            ids[index] = block_index
+    return ids

@@ -1,0 +1,172 @@
+"""Binary encoding of virtual-machine programs.
+
+This is the *uncompressed* VM bytecode format: the form a program would
+ship in without SSD.  It is a conventional variable-length encoding — one
+opcode byte, one byte per register operand, size-tagged immediates and
+pc-relative targets — so that the compression ratios we report are measured
+against a credible dense baseline rather than a padded straw man.
+
+Layout per instruction::
+
+    opcode u8
+    [mode u8]              only if the opcode has an imm or target field:
+                           bits 0-1 encode imm size (0/1/2/4 -> tag 0..3),
+                           bits 2-3 encode target size likewise
+    registers              one u8 per used register operand (rd, rs1, rs2)
+    imm                    little-endian signed, 1/2/4 bytes per mode
+    target                 branches/jumps: signed pc-relative displacement
+                           in instructions, from the following instruction;
+                           calls: unsigned function index
+
+Programs serialize as a varint function count, then per function a
+varint instruction count and the instruction bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..lz.varint import ByteReader, ByteWriter
+from .instruction import Instruction, immediate_size_class, target_size_class
+from .opcodes import OP_BY_CODE, info
+from .program import Function, Program
+
+_SIZE_TO_TAG = {0: 0, 1: 1, 2: 2, 4: 3}
+_TAG_TO_SIZE = {0: 0, 1: 1, 2: 2, 3: 4}
+
+
+def _write_signed(writer: ByteWriter, value: int, size: int) -> None:
+    unsigned = value & ((1 << (8 * size)) - 1)
+    for shift in range(0, 8 * size, 8):
+        writer.write_u8((unsigned >> shift) & 0xFF)
+
+
+def _read_signed(reader: ByteReader, size: int) -> int:
+    value = 0
+    for position in range(size):
+        value |= reader.read_u8() << (8 * position)
+    sign_bit = 1 << (8 * size - 1)
+    return value - (1 << (8 * size)) if value & sign_bit else value
+
+
+def encode_instruction(insn: Instruction, index: int, writer: ByteWriter) -> None:
+    """Append the encoding of ``insn`` (at instruction index ``index``)."""
+    meta = info(insn.op)
+    writer.write_u8(meta.code)
+    imm_size = immediate_size_class(insn.imm) if meta.uses_imm else 0
+    if meta.uses_target:
+        if meta.is_branch:
+            displacement = insn.target - (index + 1)
+            tgt_size = target_size_class(displacement)
+        else:  # call: unsigned function index
+            displacement = insn.target
+            tgt_size = 1 if displacement < (1 << 7) else 2 if displacement < (1 << 15) else 4
+    else:
+        displacement = 0
+        tgt_size = 0
+    if meta.uses_imm or meta.uses_target:
+        writer.write_u8(_SIZE_TO_TAG[imm_size] | (_SIZE_TO_TAG[tgt_size] << 2))
+    for used, reg in ((meta.uses_rd, insn.rd), (meta.uses_rs1, insn.rs1),
+                      (meta.uses_rs2, insn.rs2)):
+        if used:
+            writer.write_u8(reg)
+    if imm_size:
+        _write_signed(writer, insn.imm, imm_size)
+    if tgt_size:
+        _write_signed(writer, displacement, tgt_size)
+
+
+def instruction_size(insn: Instruction, index: int) -> int:
+    """Encoded size in bytes of ``insn`` at instruction index ``index``."""
+    writer = ByteWriter()
+    encode_instruction(insn, index, writer)
+    return len(writer)
+
+
+def decode_instruction(reader: ByteReader, index: int) -> Instruction:
+    """Decode one instruction (at instruction index ``index``)."""
+    meta = OP_BY_CODE[reader.read_u8()]
+    imm_size = 0
+    tgt_size = 0
+    if meta.uses_imm or meta.uses_target:
+        mode = reader.read_u8()
+        imm_size = _TAG_TO_SIZE[mode & 0x3]
+        tgt_size = _TAG_TO_SIZE[(mode >> 2) & 0x3]
+    rd = reader.read_u8() if meta.uses_rd else None
+    rs1 = reader.read_u8() if meta.uses_rs1 else None
+    rs2 = reader.read_u8() if meta.uses_rs2 else None
+    imm = _read_signed(reader, imm_size) if imm_size else None
+    target = None
+    if meta.uses_target:
+        displacement = _read_signed(reader, tgt_size)
+        if meta.is_branch:
+            target = index + 1 + displacement
+        else:
+            target = displacement & ((1 << (8 * tgt_size)) - 1)
+    if meta.uses_imm and imm is None:
+        imm = 0
+    return Instruction(op=meta.op, rd=rd, rs1=rs1, rs2=rs2, imm=imm, target=target)
+
+
+def encode_function(function: Function) -> bytes:
+    writer = ByteWriter()
+    writer.write_uvarint(len(function.insns))
+    for index, insn in enumerate(function.insns):
+        encode_instruction(insn, index, writer)
+    return writer.getvalue()
+
+
+def decode_function(reader: ByteReader, name: str) -> Function:
+    count = reader.read_uvarint()
+    insns = [decode_instruction(reader, index) for index in range(count)]
+    return Function(name=name, insns=insns)
+
+
+def encode_program(program: Program) -> bytes:
+    """Serialize a whole program to VM bytecode."""
+    writer = ByteWriter()
+    name_bytes = program.name.encode("utf-8")
+    writer.write_uvarint(len(name_bytes))
+    writer.write_bytes(name_bytes)
+    writer.write_uvarint(program.entry)
+    writer.write_uvarint(len(program.functions))
+    for function in program.functions:
+        fn_name = function.name.encode("utf-8")
+        writer.write_uvarint(len(fn_name))
+        writer.write_bytes(fn_name)
+        writer.write_bytes(encode_function(function))
+    return writer.getvalue()
+
+
+def decode_program(data: bytes) -> Program:
+    """Inverse of :func:`encode_program`."""
+    reader = ByteReader(data)
+    name = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
+    entry = reader.read_uvarint()
+    count = reader.read_uvarint()
+    functions: List[Function] = []
+    for _ in range(count):
+        fn_name = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
+        functions.append(decode_function(reader, fn_name))
+    return Program(name=name, functions=functions, entry=entry)
+
+
+def program_size(program: Program) -> int:
+    """Total VM bytecode size in bytes (sum over instruction encodings)."""
+    return sum(
+        instruction_size(insn, iindex)
+        for _, iindex, insn in program.iter_instructions()
+    )
+
+
+def function_byte_offsets(function: Function) -> Tuple[List[int], int]:
+    """Byte offset of each instruction in the function's encoding.
+
+    Returns ``(offsets, total_size)``.
+    """
+    offsets: List[int] = []
+    position = 0
+    for index, insn in enumerate(function.insns):
+        offsets.append(position)
+        position += instruction_size(insn, index)
+    return offsets, position

@@ -1,0 +1,174 @@
+"""The :class:`Instruction` value type and the paper's matching rule.
+
+Two ideas from the paper live here:
+
+1. Instructions are *structured* values with named fields (opcode,
+   registers, immediate, branch target) — the non-byte-aligned quantities
+   split-stream methods operate on (paper Figure 1).
+
+2. The match key (section 2.1): when comparing instructions for dictionary
+   construction, two branch instructions match when their pc-relative
+   target fields are "equal in size" while every other field is exactly
+   equal.  :meth:`Instruction.match_key` implements exactly that rule; the
+   Table 1 statistics, Algorithm 1, and BRISC pattern inference all share
+   it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .opcodes import NUM_REGISTERS, Kind, Op, OpInfo, info
+
+#: Byte widths an encoded pc-relative target may occupy.
+TARGET_SIZES = (1, 2, 4)
+
+#: Upper bound on native bytes one VM instruction may lower to (the widest
+#: lowering in ``repro.vm.native`` is 9 bytes; a vm test pins this).  The
+#: target-size classes below are conservative under this expansion so that
+#: the copy phase (Algorithm 3) can always patch a *native* byte
+#: displacement into a hole whose size class was chosen from the VM
+#: instruction-unit displacement.
+NATIVE_EXPANSION_BOUND = 9
+
+#: Instruction-unit displacement limits per size class: |d| * 9 must fit
+#: the signed byte/halfword range.
+_CLASS1_LIMIT = 127 // NATIVE_EXPANSION_BOUND          # 14
+_CLASS2_LIMIT = 32767 // NATIVE_EXPANSION_BOUND        # 3640
+
+
+def target_size_class(displacement: int) -> int:
+    """Return the encoded byte size (1, 2 or 4) of a pc-relative displacement.
+
+    Displacements are measured in instructions.  Classes are conservative:
+    a class-1 displacement is guaranteed to fit a signed byte even after
+    every intervening instruction expands to its largest possible native
+    form (see ``NATIVE_EXPANSION_BOUND``).
+    """
+    if -_CLASS1_LIMIT <= displacement <= _CLASS1_LIMIT:
+        return 1
+    if -_CLASS2_LIMIT <= displacement <= _CLASS2_LIMIT:
+        return 2
+    return 4
+
+
+def immediate_size_class(value: int) -> int:
+    """Return the encoded byte size (1, 2 or 4) of an immediate field."""
+    if -(1 << 7) <= value < (1 << 7):
+        return 1
+    if -(1 << 15) <= value < (1 << 15):
+        return 2
+    return 4
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One virtual-machine instruction.
+
+    ``target`` is an *instruction index* within the enclosing function for
+    branches and jumps, and a *function index* within the program for
+    calls.  Fields an opcode does not use must be ``None``; the constructor
+    enforces this so malformed instructions fail fast.
+    """
+
+    op: Op
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        meta = info(self.op)
+        for name, used, value in (
+            ("rd", meta.uses_rd, self.rd),
+            ("rs1", meta.uses_rs1, self.rs1),
+            ("rs2", meta.uses_rs2, self.rs2),
+            ("imm", meta.uses_imm, self.imm),
+            ("target", meta.uses_target, self.target),
+        ):
+            if used and value is None:
+                raise ValueError(f"{self.op.value}: missing required field {name}")
+            if not used and value is not None:
+                raise ValueError(f"{self.op.value}: unexpected field {name}={value}")
+        for name, value in (("rd", self.rd), ("rs1", self.rs1), ("rs2", self.rs2)):
+            if value is not None and not 0 <= value < NUM_REGISTERS:
+                raise ValueError(f"{self.op.value}: register {name}={value} out of range")
+
+    @property
+    def meta(self) -> OpInfo:
+        return info(self.op)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for intra-function control transfers (branches and jumps)."""
+        return self.meta.is_branch
+
+    @property
+    def is_call(self) -> bool:
+        return self.meta.is_call
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.meta.is_terminator
+
+    def match_key(self, target_size: Optional[int] = None) -> Tuple:
+        """Key under the paper's matching rule.
+
+        For branch/jump instructions the pc-relative target *value* is
+        replaced by its encoded *size* in bytes, which the caller computes
+        from the instruction's position (see
+        :func:`repro.isa.program.Function.target_sizes`).  Calls are
+        likewise matched by target size: their targets are emitted through
+        the item stream's relocation machinery just like forward branches
+        (Algorithm 3 step 2.e).  All other fields must match exactly.
+        """
+        if self.is_branch or self.is_call:
+            if target_size not in TARGET_SIZES:
+                raise ValueError(
+                    f"{self.op.value}: branch match key needs a target size in "
+                    f"{TARGET_SIZES}, got {target_size!r}"
+                )
+            return (self.op, self.rd, self.rs1, self.rs2, self.imm, "sz", target_size)
+        if target_size is not None:
+            raise ValueError(f"{self.op.value}: target size given for non-branch")
+        return (self.op, self.rd, self.rs1, self.rs2, self.imm, None, None)
+
+    def replace_target(self, new_target: int) -> "Instruction":
+        """Return a copy with a different branch/call target."""
+        if not (self.is_branch or self.is_call):
+            raise ValueError(f"{self.op.value}: has no target to replace")
+        return Instruction(
+            op=self.op, rd=self.rd, rs1=self.rs1, rs2=self.rs2,
+            imm=self.imm, target=new_target,
+        )
+
+    def render(self) -> str:
+        """Human-readable assembly-like rendering (no label resolution)."""
+        meta = self.meta
+        parts = [meta.mnemonic]
+        operands = []
+        if meta.kind is Kind.STORE:
+            operands.append(f"r{self.rs2}")
+            operands.append(f"{self.imm}(r{self.rs1})")
+        elif meta.kind is Kind.LOAD:
+            operands.append(f"r{self.rd}")
+            operands.append(f"{self.imm}(r{self.rs1})")
+        else:
+            if meta.uses_rd:
+                operands.append(f"r{self.rd}")
+            if meta.uses_rs1:
+                operands.append(f"r{self.rs1}")
+            if meta.uses_rs2:
+                operands.append(f"r{self.rs2}")
+            if meta.uses_imm:
+                operands.append(str(self.imm))
+            if meta.uses_target:
+                operands.append(f"@{self.target}")
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience only
+        return self.render()

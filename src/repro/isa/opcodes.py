@@ -1,0 +1,234 @@
+"""Opcode table for the virtual instruction set.
+
+The paper compresses programs compiled for the Omniware virtual machine
+(OmniVM), a load/store RISC-style VM whose instructions have a small number
+of well-defined fields.  OmniVM itself was never released, so this module
+defines a stand-in with the same structural properties SSD relies on:
+
+* a fixed opcode vocabulary with per-opcode operand signatures,
+* register operands drawn from a 32-register file,
+* immediates of varying byte widths, and
+* pc-relative intra-function branch targets whose *encoded size*
+  (1, 2 or 4 bytes) is an attribute of the instruction — the property the
+  paper's size-not-value branch matching rule depends on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet
+
+NUM_REGISTERS = 32
+
+# Conventional register roles used by the workload compiler and interpreter.
+REG_ZERO = 0     # always reads as zero; writes are ignored
+REG_RV = 1       # return value
+REG_SP = 29      # stack pointer
+REG_FP = 30      # frame pointer
+REG_RA = 31      # return address (written by CALL)
+
+
+class Kind(enum.Enum):
+    """Coarse instruction classes; drive operand signatures and CFG rules."""
+
+    ALU_RR = "alu_rr"      # rd, rs1, rs2
+    ALU_RI = "alu_ri"      # rd, rs1, imm
+    UNARY = "unary"        # rd, rs1
+    CONST = "const"        # rd, imm
+    LOAD = "load"          # rd, rs1 (base), imm (offset)
+    STORE = "store"        # rs2 (value), rs1 (base), imm (offset)
+    BRANCH = "branch"      # rs1 [, rs2], target (conditional, intra-function)
+    JUMP = "jump"          # target (unconditional, intra-function)
+    CALL = "call"          # target (function index)
+    CALL_INDIRECT = "call_indirect"  # rs1
+    JUMP_INDIRECT = "jump_indirect"  # rs1
+    RET = "ret"            # no operands
+    MISC = "misc"          # nop / halt / trap
+
+
+class Op(enum.Enum):
+    """The opcode vocabulary (48 opcodes)."""
+
+    # Three-register ALU.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIVS = "divs"
+    REMS = "rems"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    SAR = "sar"
+    SLT = "slt"
+    SLTU = "sltu"
+    # Register-immediate ALU.
+    ADDI = "addi"
+    MULI = "muli"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SHLI = "shli"
+    SHRI = "shri"
+    SARI = "sari"
+    SLTI = "slti"
+    # Unary register ops.
+    MOV = "mov"
+    NEG = "neg"
+    NOT = "not"
+    # Constant load.
+    LI = "li"
+    # Memory.
+    LB = "lb"
+    LBU = "lbu"
+    LH = "lh"
+    LHU = "lhu"
+    LW = "lw"
+    SB = "sb"
+    SH = "sh"
+    SW = "sw"
+    # Conditional branches.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLTU = "bltu"
+    BGEU = "bgeu"
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    # Control transfer.
+    JMP = "jmp"
+    CALL = "call"
+    CALLR = "callr"
+    JR = "jr"
+    RET = "ret"
+    # Misc.
+    NOP = "nop"
+    HALT = "halt"
+    TRAP = "trap"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    op: "Op"
+    kind: Kind
+    code: int  # stable numeric encoding (index in the table)
+    mnemonic: str
+
+    @property
+    def uses_rd(self) -> bool:
+        return self.kind in (Kind.ALU_RR, Kind.ALU_RI, Kind.UNARY, Kind.CONST, Kind.LOAD)
+
+    @property
+    def uses_rs1(self) -> bool:
+        return self.kind in (
+            Kind.ALU_RR,
+            Kind.ALU_RI,
+            Kind.UNARY,
+            Kind.LOAD,
+            Kind.STORE,
+            Kind.BRANCH,
+            Kind.CALL_INDIRECT,
+            Kind.JUMP_INDIRECT,
+        )
+
+    @property
+    def uses_rs2(self) -> bool:
+        if self.kind is Kind.STORE:
+            return True
+        if self.kind is Kind.ALU_RR:
+            return True
+        if self.kind is Kind.BRANCH:
+            return self.op not in (Op.BEQZ, Op.BNEZ)
+        return False
+
+    @property
+    def uses_imm(self) -> bool:
+        if self.kind in (Kind.ALU_RI, Kind.CONST, Kind.LOAD, Kind.STORE):
+            return True
+        return self.op is Op.TRAP
+
+    @property
+    def uses_target(self) -> bool:
+        return self.kind in (Kind.BRANCH, Kind.JUMP, Kind.CALL)
+
+    @property
+    def is_branch(self) -> bool:
+        """True for instructions carrying an intra-function pc-relative target."""
+        return self.kind in (Kind.BRANCH, Kind.JUMP)
+
+    @property
+    def is_call(self) -> bool:
+        return self.kind is Kind.CALL
+
+    @property
+    def is_terminator(self) -> bool:
+        """True if the instruction ends a basic block.
+
+        Calls terminate blocks too: the paper requires that a dictionary
+        entry contain at most one control transfer and only as its last
+        instruction, and treating calls as terminators enforces that
+        uniformly.
+        """
+        return self.kind in (
+            Kind.BRANCH,
+            Kind.JUMP,
+            Kind.CALL,
+            Kind.CALL_INDIRECT,
+            Kind.JUMP_INDIRECT,
+            Kind.RET,
+        ) or self.op is Op.HALT
+
+    @property
+    def falls_through(self) -> bool:
+        """True if control may continue to the next instruction."""
+        return self.kind not in (Kind.JUMP, Kind.JUMP_INDIRECT, Kind.RET) and self.op is not Op.HALT
+
+
+_KIND_OF: Dict[Op, Kind] = {
+    Op.ADD: Kind.ALU_RR, Op.SUB: Kind.ALU_RR, Op.MUL: Kind.ALU_RR,
+    Op.DIVS: Kind.ALU_RR, Op.REMS: Kind.ALU_RR, Op.AND: Kind.ALU_RR,
+    Op.OR: Kind.ALU_RR, Op.XOR: Kind.ALU_RR, Op.SHL: Kind.ALU_RR,
+    Op.SHR: Kind.ALU_RR, Op.SAR: Kind.ALU_RR, Op.SLT: Kind.ALU_RR,
+    Op.SLTU: Kind.ALU_RR,
+    Op.ADDI: Kind.ALU_RI, Op.MULI: Kind.ALU_RI, Op.ANDI: Kind.ALU_RI,
+    Op.ORI: Kind.ALU_RI, Op.XORI: Kind.ALU_RI, Op.SHLI: Kind.ALU_RI,
+    Op.SHRI: Kind.ALU_RI, Op.SARI: Kind.ALU_RI, Op.SLTI: Kind.ALU_RI,
+    Op.MOV: Kind.UNARY, Op.NEG: Kind.UNARY, Op.NOT: Kind.UNARY,
+    Op.LI: Kind.CONST,
+    Op.LB: Kind.LOAD, Op.LBU: Kind.LOAD, Op.LH: Kind.LOAD,
+    Op.LHU: Kind.LOAD, Op.LW: Kind.LOAD,
+    Op.SB: Kind.STORE, Op.SH: Kind.STORE, Op.SW: Kind.STORE,
+    Op.BEQ: Kind.BRANCH, Op.BNE: Kind.BRANCH, Op.BLT: Kind.BRANCH,
+    Op.BGE: Kind.BRANCH, Op.BLTU: Kind.BRANCH, Op.BGEU: Kind.BRANCH,
+    Op.BEQZ: Kind.BRANCH, Op.BNEZ: Kind.BRANCH,
+    Op.JMP: Kind.JUMP, Op.CALL: Kind.CALL, Op.CALLR: Kind.CALL_INDIRECT,
+    Op.JR: Kind.JUMP_INDIRECT, Op.RET: Kind.RET,
+    Op.NOP: Kind.MISC, Op.HALT: Kind.MISC, Op.TRAP: Kind.MISC,
+}
+
+#: Opcode metadata indexed by Op; iteration order gives stable numeric codes.
+OP_TABLE: Dict[Op, OpInfo] = {
+    op: OpInfo(op=op, kind=_KIND_OF[op], code=index, mnemonic=op.value)
+    for index, op in enumerate(Op)
+}
+
+#: Reverse lookup: numeric code -> OpInfo.
+OP_BY_CODE: Dict[int, OpInfo] = {info.code: info for info in OP_TABLE.values()}
+
+#: Reverse lookup: mnemonic -> OpInfo.
+OP_BY_MNEMONIC: Dict[str, OpInfo] = {info.mnemonic: info for info in OP_TABLE.values()}
+
+#: Opcodes that compare two registers and branch.
+BRANCH_OPS: FrozenSet[Op] = frozenset(
+    op for op, info in OP_TABLE.items() if info.kind is Kind.BRANCH
+)
+
+
+def info(op: Op) -> OpInfo:
+    """Return the :class:`OpInfo` for ``op``."""
+    return OP_TABLE[op]

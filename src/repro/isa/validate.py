@@ -1,0 +1,82 @@
+"""Structural validation of programs.
+
+Compression, interpretation and JIT translation all assume well-formed
+inputs; this module centralizes the checks so every pipeline stage can
+assert the same invariants.  ``ValidationError`` messages carry function
+and instruction coordinates for debuggability.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .opcodes import Op
+from .program import Program
+
+
+class ValidationError(ValueError):
+    """A program violates a structural invariant."""
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`ValidationError` on the first violated invariant.
+
+    Checked invariants:
+
+    * at least one function; entry index in range;
+    * functions are non-empty;
+    * every function ends with an instruction that does not fall through
+      (``ret``, ``jmp``, ``jr``, or ``halt``);
+    * branch targets lie within their function;
+    * call targets name existing functions;
+    * register numbers are validated by ``Instruction`` itself.
+    """
+    if not program.functions:
+        raise ValidationError(f"{program.name}: program has no functions")
+    if not 0 <= program.entry < len(program.functions):
+        raise ValidationError(f"{program.name}: entry index {program.entry} out of range")
+    for findex, fn in enumerate(program.functions):
+        if not fn.insns:
+            raise ValidationError(f"{program.name}/{fn.name}: function is empty")
+        last = fn.insns[-1]
+        if last.meta.falls_through:
+            raise ValidationError(
+                f"{program.name}/{fn.name}: falls off the end "
+                f"(last instruction {last.render()!r})"
+            )
+        for iindex, insn in enumerate(fn.insns):
+            if insn.is_branch and not 0 <= insn.target < len(fn.insns):
+                raise ValidationError(
+                    f"{program.name}/{fn.name}[{iindex}]: branch target "
+                    f"{insn.target} outside function ({len(fn.insns)} instructions)"
+                )
+            if insn.is_call and not 0 <= insn.target < len(program.functions):
+                raise ValidationError(
+                    f"{program.name}/{fn.name}[{iindex}]: call target "
+                    f"{insn.target} is not a function index"
+                )
+
+
+def validation_issues(program: Program) -> List[str]:
+    """Collect *all* invariant violations instead of stopping at the first."""
+    issues: List[str] = []
+    if not program.functions:
+        return [f"{program.name}: program has no functions"]
+    if not 0 <= program.entry < len(program.functions):
+        issues.append(f"{program.name}: entry index {program.entry} out of range")
+    for fn in program.functions:
+        if not fn.insns:
+            issues.append(f"{program.name}/{fn.name}: function is empty")
+            continue
+        if fn.insns[-1].meta.falls_through:
+            issues.append(f"{program.name}/{fn.name}: falls off the end")
+        for iindex, insn in enumerate(fn.insns):
+            if insn.is_branch and not 0 <= insn.target < len(fn.insns):
+                issues.append(
+                    f"{program.name}/{fn.name}[{iindex}]: branch target out of range"
+                )
+            if insn.is_call and not 0 <= insn.target < len(program.functions):
+                issues.append(
+                    f"{program.name}/{fn.name}[{iindex}]: call target out of range"
+                )
+    return issues

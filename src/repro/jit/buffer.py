@@ -1,0 +1,168 @@
+"""JIT translation buffer with the paper's replacement policy.
+
+Section 3's RAM-constrained experiment uses "a buffer space replacement
+policy that combines round-robin and LRU concepts": the buffer splits into
+a *permanent* area and a *round-robin* area.
+
+* A function moves to the permanent area when the product of its size and
+  the number of times it has been translated exceeds the size of the
+  round-robin area (the paper's footnote 2) — i.e. once re-translating it
+  has provably cost more than the churn it avoids.
+* Functions smaller than 512 bytes also live in the permanent area, to
+  limit fragmentation.
+* Everything else cycles through the round-robin area, evicted in
+  arrival order as space is reclaimed.
+
+Two ablation policies (pure round-robin, pure LRU) implement the same
+interface so ``experiments/ablations.py`` can compare them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict
+
+#: functions below this size are always placed in the permanent area
+PERMANENT_SIZE_THRESHOLD = 512
+
+
+class BufferError_(ValueError):
+    """Raised when a function cannot fit in the buffer at all."""
+
+
+@dataclass
+class BufferStats:
+    """Counters every policy maintains."""
+
+    calls: int = 0
+    hits: int = 0
+    misses: int = 0
+    translated_bytes: int = 0
+    evicted_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.calls if self.calls else 1.0
+
+
+class TranslationBuffer:
+    """The paper's permanent + round-robin policy."""
+
+    def __init__(self, capacity: int,
+                 permanent_fraction_limit: float = 0.85) -> None:
+        if capacity <= 0:
+            raise ValueError(f"buffer capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.permanent_limit = int(capacity * permanent_fraction_limit)
+        self.permanent: Dict[int, int] = {}          # findex -> size
+        self.round_robin: "OrderedDict[int, int]" = OrderedDict()
+        self.permanent_bytes = 0
+        self.rr_bytes = 0
+        self.translation_counts: Dict[int, int] = {}
+        self.stats = BufferStats()
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def rr_capacity(self) -> int:
+        """Current size of the round-robin area."""
+        return self.capacity - self.permanent_bytes
+
+    def resident(self, findex: int) -> bool:
+        return findex in self.permanent or findex in self.round_robin
+
+    # -- the call path -------------------------------------------------------
+
+    def call(self, findex: int, size: int) -> bool:
+        """Record a call to ``findex``; translate on miss.
+
+        Returns True on a hit (already resident).
+        """
+        self.stats.calls += 1
+        if self.resident(findex):
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._translate(findex, size)
+        return False
+
+    def _translate(self, findex: int, size: int) -> None:
+        if size > self.capacity:
+            raise BufferError_(
+                f"function {findex} ({size} bytes) exceeds the whole buffer "
+                f"({self.capacity} bytes)")
+        self.stats.translated_bytes += size
+        count = self.translation_counts.get(findex, 0) + 1
+        self.translation_counts[findex] = count
+        if self._belongs_in_permanent(findex, size, count):
+            self._place_permanent(findex, size)
+        else:
+            self._place_round_robin(findex, size)
+
+    # -- placement ------------------------------------------------------------
+
+    def _belongs_in_permanent(self, findex: int, size: int, count: int) -> bool:
+        if self.permanent_bytes + size > self.permanent_limit:
+            return False
+        if size < PERMANENT_SIZE_THRESHOLD:
+            return True
+        return size * count > self.rr_capacity
+
+    def _place_permanent(self, findex: int, size: int) -> None:
+        while (self.permanent_bytes + self.rr_bytes + size > self.capacity
+               and self.round_robin):
+            self._evict_one()
+        if self.permanent_bytes + self.rr_bytes + size > self.capacity:
+            # Degenerate: permanent area alone fills the buffer.
+            self._place_round_robin(findex, size)
+            return
+        self.permanent[findex] = size
+        self.permanent_bytes += size
+
+    def _place_round_robin(self, findex: int, size: int) -> None:
+        while self.permanent_bytes + self.rr_bytes + size > self.capacity:
+            if self.round_robin:
+                self._evict_one()
+            elif self.permanent:
+                # Last resort: the permanent area has starved the
+                # round-robin area; demote its oldest resident.
+                demoted_findex, demoted_size = next(iter(self.permanent.items()))
+                del self.permanent[demoted_findex]
+                self.permanent_bytes -= demoted_size
+                self.stats.evicted_bytes += demoted_size
+            else:  # pragma: no cover - size > capacity is caught earlier
+                raise BufferError_(
+                    f"function {findex} ({size} bytes) cannot fit in an "
+                    f"empty buffer of {self.capacity} bytes")
+        self.round_robin[findex] = size
+        self.rr_bytes += size
+
+    def _evict_one(self) -> None:
+        evicted, size = self.round_robin.popitem(last=False)
+        self.rr_bytes -= size
+        self.stats.evicted_bytes += size
+
+
+class PureRoundRobinBuffer(TranslationBuffer):
+    """Ablation: no permanent area at all."""
+
+    def _belongs_in_permanent(self, findex: int, size: int, count: int) -> bool:
+        return False
+
+
+class PureLRUBuffer(TranslationBuffer):
+    """Ablation: classic LRU over the whole buffer."""
+
+    def call(self, findex: int, size: int) -> bool:
+        self.stats.calls += 1
+        if findex in self.round_robin:
+            self.round_robin.move_to_end(findex)  # refresh recency
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._translate(findex, size)
+        return False
+
+    def _belongs_in_permanent(self, findex: int, size: int, count: int) -> bool:
+        return False

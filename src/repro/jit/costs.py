@@ -1,0 +1,109 @@
+"""The cycle cost model.
+
+The paper reports wall-clock numbers from a 450 MHz Pentium II; this
+reproduction runs on whatever machine pytest happens to use, so all timing
+*claims* are expressed in modelled cycles instead (DESIGN.md records this
+substitution).  The constants below are anchored to the paper's published
+throughputs:
+
+* SSD copy phase:       12.5 MB/s at 450 MHz -> 36 cycles/byte produced,
+  split into a per-item overhead (the paper's "7+n instructions" fast
+  path) and a per-byte copy cost;
+* SSD dictionary phase:  7.8 MB/s            -> ~58 cycles/byte;
+* BRISC translation:     5.0 MB/s            -> 90 cycles/byte, with no
+  cheap re-translation path (BRISC must re-decode its whole stream);
+* re-generation infrastructure: a per-call indirection tax, sized so a
+  fully-warm constrained run lands near the paper's 14.1% floor versus
+  the 3.2% JIT-once overhead for word97.
+
+Everything downstream (Table 5's overhead split, Table 6, Figure 3) pulls
+from this single module so the model is auditable in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's machine.
+CLOCK_HZ = 450_000_000
+
+#: -- SSD copy phase (Algorithm 3) -------------------------------------
+#: fixed cost per SSD item (the "7+n instructions" fast path, plus branch
+#: handling amortized)
+SSD_ITEM_CYCLES = 12.0
+#: per produced byte (the memcpy)
+SSD_COPY_BYTE_CYCLES = 28.0
+
+#: -- SSD dictionary decompression phase --------------------------------
+#: per byte of instruction-table output (LZ + tree walk + conversion)
+SSD_DICT_BYTE_CYCLES = 58.0
+
+#: -- BRISC ---------------------------------------------------------------
+#: per byte of produced native code; BRISC has no copy phase, so both the
+#: first translation and every re-translation pay this.
+BRISC_BYTE_CYCLES = 90.0
+#: BRISC's corpus-derived external dictionary (paper: ~150 KB) must be
+#: loaded and decoded once.
+BRISC_EXTERNAL_DICT_BYTES = 150_000
+
+#: -- RAM-constrained regeneration infrastructure -----------------------
+#: The paper measures that the machinery needed to discard and regenerate
+#: code (a level of indirection for function calls, plus bookkeeping)
+#: "increases to 14.1% the minimum execution time achievable" versus the
+#: 3.2% JIT-once overhead.  We charge it as a fraction of execution time.
+INFRASTRUCTURE_FRACTION = 0.141
+#: bookkeeping per translation event (allocation, eviction, relocation)
+TRANSLATION_EVENT_CYCLES = 900.0
+
+#: -- hybrid re-optimization (section 2.2.4) ------------------------------
+#: The paper: "the VM can take a hybrid approach by further optimizing
+#: each function once it has generated the native code for that function."
+#: Optimizing compilation is an order of magnitude slower than copying;
+#: this prices it per produced byte (optimizing compilers of the era ran
+#: at a few hundred KB/s on a 450 MHz part).
+HYBRID_OPT_CYCLES_PER_BYTE = 2000.0
+
+#: -- execution ------------------------------------------------------------
+#: modelled cycles per *invocation byte*: executing a function of native
+#: size s costs about s * EXEC_CYCLES_PER_BYTE per call (loops inside
+#: functions are what make this > 1 per instruction).
+EXEC_CYCLES_PER_BYTE = 14.0
+
+
+@dataclass(frozen=True)
+class TranslationCosts:
+    """Cost parameters for one compression scheme's translator."""
+
+    per_item_cycles: float
+    per_byte_cycles: float
+    dict_byte_cycles: float
+    name: str = "ssd"
+
+    def translate_cycles(self, produced_bytes: int, items: int = 0) -> float:
+        return self.per_item_cycles * items + self.per_byte_cycles * produced_bytes
+
+    def dictionary_cycles(self, table_bytes: int) -> float:
+        return self.dict_byte_cycles * table_bytes
+
+
+SSD_COSTS = TranslationCosts(per_item_cycles=SSD_ITEM_CYCLES,
+                             per_byte_cycles=SSD_COPY_BYTE_CYCLES,
+                             dict_byte_cycles=SSD_DICT_BYTE_CYCLES,
+                             name="ssd")
+
+BRISC_COSTS = TranslationCosts(per_item_cycles=0.0,
+                               per_byte_cycles=BRISC_BYTE_CYCLES,
+                               dict_byte_cycles=SSD_DICT_BYTE_CYCLES,
+                               name="brisc")
+
+
+def seconds(cycles: float) -> float:
+    """Convert modelled cycles to modelled seconds on the paper's machine."""
+    return cycles / CLOCK_HZ
+
+
+def mb_per_second(bytes_produced: float, cycles: float) -> float:
+    """Throughput in MB/s implied by a (bytes, cycles) pair."""
+    if cycles <= 0:
+        return 0.0
+    return (bytes_produced / 1e6) / seconds(cycles)

@@ -1,0 +1,68 @@
+"""Phase one's product: the instruction table (section 2.2.4).
+
+Dictionary decompression converts each dictionary entry from VM form to
+*native* instructions, producing a table that maps every 16-bit index to a
+tagged native byte sequence.  The tag carries the sequence length and, for
+entries ending in a control transfer, where the target hole sits — exactly
+what Algorithm 3 needs so that phase two is a block copy plus a patch.
+
+Conversion is per-instruction (the paper: "translation of individual
+instructions, rather than optimizing compilation"), i.e. the *unoptimized*
+native lowering — which is why JIT-translated code is slower than the
+peephole-optimized baseline (Table 5's code-quality overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.copy_phase import TableEntry
+from ..core.decompressor import SSDReader
+from ..core.layout import SegmentLayout
+from ..vm.native import lower_instruction
+
+
+def build_table_for_layout(layout: SegmentLayout) -> Dict[int, TableEntry]:
+    """Build one segment's instruction table from its layout."""
+    base_chunks = []
+    for base in layout.addr_bases:
+        target_size = base.target_size if base.has_target else None
+        base_chunks.append(lower_instruction(base.instruction, target_size))
+
+    table: Dict[int, TableEntry] = {}
+    for index, path in layout.paths_of.items():
+        chunks = [base_chunks[addr] for addr in path]
+        data = b"".join(chunk.data for chunk in chunks)
+        last_base = layout.addr_bases[path[-1]]
+        last = chunks[-1]
+        if last_base.has_target and not last_base.target_in_entry:
+            hole_offset = len(data) - last.size + last.hole_offset
+            table[index] = TableEntry(data=data,
+                                      hole_offset=hole_offset,
+                                      hole_size=last.hole_size,
+                                      is_call=last.is_call)
+        else:
+            table[index] = TableEntry(data=data)
+    return table
+
+
+@dataclass
+class InstructionTables:
+    """Instruction tables for every segment of a compressed program."""
+
+    tables: List[Dict[int, TableEntry]]
+
+    def for_function(self, reader: SSDReader, findex: int) -> Dict[int, TableEntry]:
+        return self.tables[reader.segment_of_function[findex]]
+
+    @property
+    def total_bytes(self) -> int:
+        """Native bytes held by all tables (the dictionary's RAM cost)."""
+        return sum(entry.size for table in self.tables for entry in table.values())
+
+
+def build_tables(reader: SSDReader) -> InstructionTables:
+    """Run dictionary decompression (phase one) for all segments."""
+    return InstructionTables(tables=[build_table_for_layout(layout)
+                                     for layout in reader.layouts])

@@ -1,0 +1,167 @@
+"""Trace-driven RAM-constrained runtime simulation.
+
+Replays a function-call trace against a size-limited JIT translation
+buffer and charges modelled cycles for execution, translation and the
+regeneration infrastructure.  This is the machinery behind Table 6
+(megabytes translated, hit rate vs buffer size) and Figure 3 (execution
+overhead, SSD vs BRISC, vs buffer size).
+
+Buffer accounting follows the paper: the reported "buffer size" includes
+the resident dictionary — SSD's per-program instruction table, or BRISC's
+external pattern dictionary — so a scheme with a bigger dictionary has
+less room for code at the same ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Type
+
+from .buffer import BufferError_, TranslationBuffer
+from .costs import (
+    EXEC_CYCLES_PER_BYTE,
+    INFRASTRUCTURE_FRACTION,
+    TRANSLATION_EVENT_CYCLES,
+    TranslationCosts,
+)
+
+
+@dataclass
+class RuntimeConfig:
+    """One constrained-run scenario."""
+
+    #: total budget (JIT buffer + dictionary), bytes
+    buffer_bytes: int
+    #: resident dictionary size, bytes (subtracted from the code area)
+    dictionary_bytes: int
+    costs: TranslationCosts
+    buffer_class: Type[TranslationBuffer] = TranslationBuffer
+    #: items per function (for the per-item part of SSD's copy cost);
+    #: optional — zero means per-byte cost only.
+    items_per_function: Optional[Sequence[int]] = None
+
+
+@dataclass
+class RuntimeResult:
+    """Outcome of one simulated run."""
+
+    calls: int
+    hits: int
+    misses: int
+    translated_bytes: int
+    execution_cycles: float
+    translation_cycles: float
+    infrastructure_cycles: float
+    dictionary_cycles: float
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.calls if self.calls else 1.0
+
+    @property
+    def total_cycles(self) -> float:
+        return (self.execution_cycles + self.translation_cycles
+                + self.infrastructure_cycles + self.dictionary_cycles)
+
+    @property
+    def translated_megabytes(self) -> float:
+        return self.translated_bytes / 1e6
+
+    def overhead_pct(self, baseline_cycles: float) -> float:
+        """Percent execution-time overhead relative to ``baseline_cycles``."""
+        if baseline_cycles <= 0:
+            raise ValueError("baseline cycles must be positive")
+        return 100.0 * (self.total_cycles - baseline_cycles) / baseline_cycles
+
+
+def baseline_execution_cycles(function_sizes: Sequence[int],
+                              trace: Sequence[int]) -> float:
+    """Modelled cycles to run the trace from pre-translated native code."""
+    return sum(function_sizes[findex] * EXEC_CYCLES_PER_BYTE for findex in trace)
+
+
+def simulate(function_sizes: Sequence[int],
+             trace: Sequence[int],
+             config: RuntimeConfig) -> RuntimeResult:
+    """Replay ``trace`` under ``config``.
+
+    ``function_sizes`` are *native* (JIT-produced) function sizes in bytes.
+    """
+    code_capacity = config.buffer_bytes - config.dictionary_bytes
+    if code_capacity <= 0:
+        raise BufferError_(
+            f"buffer of {config.buffer_bytes} bytes cannot even hold the "
+            f"{config.dictionary_bytes}-byte dictionary")
+    buffer = config.buffer_class(capacity=code_capacity)
+    execution = 0.0
+    translation = 0.0
+    infrastructure = 0.0
+    items = config.items_per_function
+    for findex in trace:
+        size = function_sizes[findex]
+        hit = buffer.call(findex, size)
+        if not hit:
+            item_count = items[findex] if items is not None else 0
+            translation += config.costs.translate_cycles(size, item_count)
+            infrastructure += TRANSLATION_EVENT_CYCLES
+        execution += size * EXEC_CYCLES_PER_BYTE
+    # The regeneration machinery (call indirection, discardable code) taxes
+    # every executed cycle — the paper's 14.1% floor.
+    infrastructure += execution * INFRASTRUCTURE_FRACTION
+    stats = buffer.stats
+    return RuntimeResult(
+        calls=stats.calls,
+        hits=stats.hits,
+        misses=stats.misses,
+        translated_bytes=stats.translated_bytes,
+        execution_cycles=execution,
+        translation_cycles=translation,
+        infrastructure_cycles=infrastructure,
+        dictionary_cycles=config.costs.dictionary_cycles(config.dictionary_bytes),
+    )
+
+
+@dataclass
+class SweepPoint:
+    """One row of a buffer-size sweep (Table 6 / Figure 3)."""
+
+    buffer_ratio: float
+    buffer_bytes: int
+    megabytes_translated: float
+    hit_rate_pct: float
+    overhead_pct: float
+
+
+def sweep_buffer_sizes(function_sizes: Sequence[int],
+                       trace: Sequence[int],
+                       x86_size: int,
+                       ratios: Sequence[float],
+                       dictionary_bytes: int,
+                       costs: TranslationCosts,
+                       buffer_class: Type[TranslationBuffer] = TranslationBuffer,
+                       items_per_function: Optional[Sequence[int]] = None,
+                       ) -> List[SweepPoint]:
+    """Run the constrained simulation at each buffer ratio.
+
+    Ratios are fractions of the *optimized x86* program size, dictionary
+    included — exactly Table 6's x-axis.
+    """
+    baseline = baseline_execution_cycles(function_sizes, trace)
+    points: List[SweepPoint] = []
+    for ratio in ratios:
+        config = RuntimeConfig(
+            buffer_bytes=int(ratio * x86_size),
+            dictionary_bytes=dictionary_bytes,
+            costs=costs,
+            buffer_class=buffer_class,
+            items_per_function=items_per_function,
+        )
+        result = simulate(function_sizes, trace, config)
+        points.append(SweepPoint(
+            buffer_ratio=ratio,
+            buffer_bytes=config.buffer_bytes,
+            megabytes_translated=result.translated_megabytes,
+            hit_rate_pct=100.0 * result.hit_rate,
+            overhead_pct=result.overhead_pct(baseline),
+        ))
+    return points

@@ -1,0 +1,53 @@
+"""Per-function JIT translation: phase two, driven per function.
+
+The Omniware VM "uses SSD decompression to perform JIT translation one
+function at a time" (section 2.2.4); this module packages that unit of
+work.  ``translate_function`` = decode the function's items + run the copy
+phase against the instruction table; ``translate_program`` translates
+everything (the JIT-once configuration of Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.copy_phase import TranslatedFunction, copy_translate
+from ..core.decompressor import SSDReader
+from .instruction_table import InstructionTables, build_tables
+
+
+@dataclass
+class TranslationResult:
+    """Everything the runtime needs about one translated function."""
+
+    findex: int
+    translated: TranslatedFunction
+
+    @property
+    def size(self) -> int:
+        return self.translated.size
+
+
+class Translator:
+    """Stateful translator bound to one compressed program."""
+
+    def __init__(self, reader: SSDReader,
+                 tables: InstructionTables = None) -> None:
+        self.reader = reader
+        self.tables = tables if tables is not None else build_tables(reader)
+
+    def translate_function(self, findex: int) -> TranslationResult:
+        items = self.reader.decoded_items(findex)
+        table = self.tables.for_function(self.reader, findex)
+        return TranslationResult(findex=findex,
+                                 translated=copy_translate(items, table))
+
+    def translate_program(self) -> List[TranslationResult]:
+        return [self.translate_function(findex)
+                for findex in range(self.reader.function_count)]
+
+    def native_function_sizes(self) -> List[int]:
+        """JIT-produced native size of every function (translates them all)."""
+        return [self.translate_function(findex).size
+                for findex in range(self.reader.function_count)]

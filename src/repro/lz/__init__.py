@@ -1,0 +1,37 @@
+"""Byte- and bit-level codec substrate.
+
+These are the low-level codecs SSD builds on: bit-granular I/O for
+split-stream fields, varints for the container format, delta coding and a
+simple LZ77 for base-entry compression (paper section 2.2.1).
+"""
+
+from . import arith
+from .arith import FenwickTable
+from .bitio import BitReader, BitWriter
+from .delta import decode_deltas, encode_deltas
+from .lz77 import compress, decompress
+from .varint import (
+    ByteReader,
+    ByteWriter,
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "FenwickTable",
+    "arith",
+    "ByteReader",
+    "ByteWriter",
+    "compress",
+    "decompress",
+    "decode_deltas",
+    "encode_deltas",
+    "decode_svarint",
+    "decode_uvarint",
+    "encode_svarint",
+    "encode_uvarint",
+]

@@ -1,0 +1,203 @@
+"""Adaptive arithmetic coding (the archival baseline from section 2).
+
+The paper cites arithmetic coding strategies as "the most effective
+archival program compression solutions" — and, like LZ, fundamentally
+stream-oriented: you cannot randomly access a basic block in the middle
+of an arithmetically coded stream, which is exactly why SSD exists.  This
+module supplies that baseline so the analysis layer can show the full
+landscape: interpretable (SSD, BRISC) vs non-interpretable (LZ77,
+arithmetic coding) compressors on the same programs.
+
+The implementation is a classic 32-bit integer range coder with an
+adaptive order-1 byte model (one frequency table per preceding byte,
+periodically halved).  Frequency tables are Fenwick (binary-indexed)
+trees, so updates and cumulative lookups are O(log n) per symbol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .varint import ByteReader, ByteWriter
+
+_TOP = 1 << 24
+_BOTTOM = 1 << 16
+_MAX_RANGE = (1 << 32) - 1
+#: rescale threshold for each context's total frequency
+_RESCALE = 1 << 13
+
+_SYMBOLS = 257  # 256 bytes + EOF
+_EOF = 256
+#: tree size: next power of two above the alphabet
+_TREE_SIZE = 512
+
+
+class FenwickTable:
+    """Frequency table with O(log n) prefix sums and point updates."""
+
+    def __init__(self, symbols: int = _SYMBOLS) -> None:
+        self.symbols = symbols
+        self._tree = [0] * (_TREE_SIZE + 1)
+        self.total = 0
+        for symbol in range(symbols):
+            self.add(symbol, 1)
+
+    def add(self, symbol: int, delta: int) -> None:
+        self.total += delta
+        index = symbol + 1
+        while index <= _TREE_SIZE:
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def cumulative(self, symbol: int) -> int:
+        """Sum of frequencies of symbols < ``symbol``."""
+        total = 0
+        index = symbol
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+    def frequency(self, symbol: int) -> int:
+        return self.cumulative(symbol + 1) - self.cumulative(symbol)
+
+    def locate(self, scaled: int) -> Tuple[int, int, int]:
+        """(symbol, cumulative_low, frequency) covering position ``scaled``."""
+        if not 0 <= scaled < self.total:
+            raise ValueError(f"cumulative position {scaled} outside total {self.total}")
+        index = 0
+        remaining = scaled
+        mask = _TREE_SIZE
+        while mask:
+            probe = index + mask
+            if probe <= _TREE_SIZE and self._tree[probe] <= remaining:
+                index = probe
+                remaining -= self._tree[probe]
+            mask >>= 1
+        symbol = index  # index = count of symbols fully below the target
+        low = scaled - remaining
+        return symbol, low, self.frequency(symbol)
+
+    def halve(self) -> None:
+        frequencies = [max(1, (self.frequency(s) + 1) >> 1)
+                       for s in range(self.symbols)]
+        self._tree = [0] * (_TREE_SIZE + 1)
+        self.total = 0
+        for symbol, frequency in enumerate(frequencies):
+            self.add(symbol, frequency)
+
+
+class _Model:
+    """Adaptive order-1 model: one Fenwick table per preceding byte."""
+
+    def __init__(self) -> None:
+        self._contexts: Dict[int, FenwickTable] = {}
+
+    def table(self, context: int) -> FenwickTable:
+        table = self._contexts.get(context)
+        if table is None:
+            table = FenwickTable()
+            self._contexts[context] = table
+        return table
+
+    def update(self, context: int, symbol: int, increment: int = 32) -> None:
+        table = self.table(context)
+        table.add(symbol, increment)
+        if table.total >= _RESCALE:
+            table.halve()
+
+
+def compress(data: bytes) -> bytes:
+    """Arithmetically encode ``data`` (order-1 adaptive model)."""
+    model = _Model()
+    low = 0
+    range_ = _MAX_RANGE
+    out = bytearray()
+    context = 0
+
+    def encode_symbol(symbol: int) -> None:
+        nonlocal low, range_, context
+        table = model.table(context)
+        cum_low = table.cumulative(symbol)
+        frequency = table.frequency(symbol)
+        range_ //= table.total
+        low = (low + cum_low * range_) & _MAX_RANGE
+        range_ *= frequency
+        while True:
+            if (low ^ (low + range_)) < _TOP:
+                pass  # top byte settled
+            elif range_ < _BOTTOM:
+                range_ = (-low) & (_BOTTOM - 1)
+            else:
+                break
+            out.append((low >> 24) & 0xFF)
+            low = (low << 8) & _MAX_RANGE
+            range_ = (range_ << 8) & _MAX_RANGE
+        model.update(context, symbol)
+        context = symbol if symbol != _EOF else 0
+
+    for byte in data:
+        encode_symbol(byte)
+    encode_symbol(_EOF)
+    for _ in range(4):
+        out.append((low >> 24) & 0xFF)
+        low = (low << 8) & _MAX_RANGE
+
+    writer = ByteWriter()
+    writer.write_uvarint(len(data))
+    writer.write_bytes(bytes(out))
+    return writer.getvalue()
+
+
+def decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    reader = ByteReader(blob)
+    expected = reader.read_uvarint()
+    payload = reader.read_bytes(reader.remaining)
+
+    model = _Model()
+    low = 0
+    range_ = _MAX_RANGE
+    code = 0
+    position = 0
+    for _ in range(4):
+        code = ((code << 8) | (payload[position] if position < len(payload) else 0)) & _MAX_RANGE
+        position += 1
+
+    out = bytearray()
+    context = 0
+    while True:
+        if position > len(payload) + 8:
+            raise ValueError("corrupt arithmetic stream: ran past the payload")
+        table = model.table(context)
+        range_ //= table.total
+        if range_ == 0:
+            raise ValueError("corrupt arithmetic stream: range collapsed")
+        scaled = ((code - low) & _MAX_RANGE) // range_
+        if scaled >= table.total:
+            raise ValueError("corrupt arithmetic stream")
+        symbol, cum_low, frequency = table.locate(scaled)
+        low = (low + cum_low * range_) & _MAX_RANGE
+        range_ *= frequency
+        while True:
+            if (low ^ (low + range_)) < _TOP:
+                pass
+            elif range_ < _BOTTOM:
+                range_ = (-low) & (_BOTTOM - 1)
+            else:
+                break
+            code = ((code << 8) | (payload[position] if position < len(payload) else 0)) & _MAX_RANGE
+            position += 1
+            low = (low << 8) & _MAX_RANGE
+            range_ = (range_ << 8) & _MAX_RANGE
+        model.update(context, symbol)
+        if symbol == _EOF:
+            break
+        out.append(symbol)
+        context = symbol
+        if len(out) > expected:
+            raise ValueError("corrupt arithmetic stream: overlong output")
+    if len(out) != expected:
+        raise ValueError(
+            f"corrupt arithmetic stream: expected {expected} bytes, got {len(out)}")
+    return bytes(out)

@@ -1,0 +1,95 @@
+"""Bit-granular readers and writers.
+
+Split-stream compression (paper section 2) works on fields that are not
+byte-aligned, so the codecs in this package need a way to emit and consume
+values a bit at a time.  Bits are packed least-significant-bit first within
+each byte, which keeps single-bit flags cheap and makes the packing order
+easy to reason about in tests.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits LSB-first into a growing byte buffer."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._bitpos = 0  # bits already used in the final byte (0..7)
+
+    def __len__(self) -> int:
+        """Return the number of bits written so far."""
+        if not self._bytes:
+            return 0
+        return 8 * (len(self._bytes) - 1) + (self._bitpos or 8)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        if self._bitpos == 0:
+            self._bytes.append(0)
+        if bit:
+            self._bytes[-1] |= 1 << self._bitpos
+        self._bitpos = (self._bitpos + 1) % 8
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value``, least-significant bit first."""
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        if width and value >> width:
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for i in range(width):
+            self.write_bit((value >> i) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` one-bits followed by a terminating zero-bit."""
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def getvalue(self) -> bytes:
+        """Return the packed bytes, zero-padding the final partial byte."""
+        return bytes(self._bytes)
+
+
+class BitReader:
+    """Reads bits LSB-first from a byte buffer produced by BitWriter."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # absolute bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        """Number of bits left in the underlying buffer (includes padding)."""
+        return 8 * len(self._data) - self._pos
+
+    def read_bit(self) -> int:
+        """Consume and return one bit."""
+        if self._pos >= 8 * len(self._data):
+            raise EOFError("bit stream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (self._pos & 7)) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Consume ``width`` bits and return them as an unsigned integer."""
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        value = 0
+        for i in range(width):
+            value |= self.read_bit() << i
+        return value
+
+    def read_unary(self) -> int:
+        """Consume a unary-coded value (count of one-bits before a zero)."""
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count

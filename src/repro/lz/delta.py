@@ -1,0 +1,73 @@
+"""Delta coding with escape codes for occasional large deltas.
+
+Section 2.2.1 of the paper describes the first of two base-entry codecs the
+authors tried: within an instruction group sorted by its largest field,
+"delta coding expresses each value as an increment from the previous value
+(with suitable escape codes for occasional large deltas)".
+
+The encoding here follows that description:
+
+* Each delta that fits in a signed byte around zero is written as one byte.
+* Larger deltas emit an escape byte followed by a signed varint.
+
+The paper found plain LZ over the concatenated groups compressed better;
+this module is retained both as a usable codec and to drive the
+``ablation-base`` experiment that reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .varint import ByteReader, ByteWriter
+
+# Deltas in [-127, 127] map to a single byte 0..254; byte 255 escapes to a
+# signed varint carrying the full delta.
+_ESCAPE = 0xFF
+_BIAS = 127
+_MAX_SMALL = 127
+_MIN_SMALL = -127
+
+
+def encode_deltas(values: Iterable[int]) -> bytes:
+    """Delta-code a sequence of integers.
+
+    The first value is stored as a full signed varint; every later value is
+    stored as a (possibly escaped) delta from its predecessor.
+    """
+    writer = ByteWriter()
+    values = list(values)
+    writer.write_uvarint(len(values))
+    if not values:
+        return writer.getvalue()
+    writer.write_svarint(values[0])
+    previous = values[0]
+    for value in values[1:]:
+        delta = value - previous
+        previous = value
+        if _MIN_SMALL <= delta <= _MAX_SMALL:
+            writer.write_u8(delta + _BIAS)
+        else:
+            writer.write_u8(_ESCAPE)
+            writer.write_svarint(delta)
+    return writer.getvalue()
+
+
+def decode_deltas(data: bytes) -> List[int]:
+    """Inverse of :func:`encode_deltas`."""
+    reader = ByteReader(data)
+    count = reader.read_uvarint()
+    if count == 0:
+        return []
+    first = reader.read_svarint()
+    values = [first]
+    previous = first
+    for _ in range(count - 1):
+        byte = reader.read_u8()
+        if byte == _ESCAPE:
+            delta = reader.read_svarint()
+        else:
+            delta = byte - _BIAS
+        previous += delta
+        values.append(previous)
+    return values

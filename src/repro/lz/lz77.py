@@ -1,0 +1,124 @@
+"""A simple byte-oriented LZ77 codec.
+
+The paper uses "a simple form of LZ compression" over the concatenated,
+sorted instruction groups when compressing base dictionary entries
+(section 2.2.1), and cites byte-oriented LZ as the canonical
+stream-oriented, *non*-interpretable compressor (section 2).  This module
+plays both roles:
+
+* :func:`compress` / :func:`decompress` are used by
+  ``repro.core.base_entries`` to pack the split streams.
+* ``repro.analysis.ratios`` uses the same codec as a whole-program
+  byte-oriented baseline, illustrating why split-stream methods beat
+  byte-aligned matching on instruction data.
+
+The format is deliberately simple (the paper stresses that SSD needs only a
+few pages of code): a token stream where each token is either a literal run
+or a back-reference, with varint-coded lengths and distances.  Matching uses
+a hash table over 4-byte prefixes with bounded chain search — greedy, like
+the original LZ77 family.
+"""
+
+from __future__ import annotations
+
+from .varint import ByteReader, ByteWriter
+
+_MIN_MATCH = 4
+_MAX_CHAIN = 32
+_WINDOW = 1 << 16
+
+
+def _hash4(data: bytes, pos: int) -> int:
+    return (
+        data[pos]
+        | (data[pos + 1] << 8)
+        | (data[pos + 2] << 16)
+        | (data[pos + 3] << 24)
+    ) * 2654435761 & 0xFFFFFFFF
+
+
+def compress(data: bytes) -> bytes:
+    """Compress ``data``; always decompressible by :func:`decompress`.
+
+    Token format (varints):
+
+    * literal run:   ``0, length, <length raw bytes>``
+    * back-reference: ``length (>= 1), distance`` meaning "copy ``length + 3``
+      bytes from ``distance`` bytes back".  Overlapping copies are allowed.
+    """
+    writer = ByteWriter()
+    writer.write_uvarint(len(data))
+    table: dict = {}
+    pos = 0
+    literal_start = 0
+    n = len(data)
+
+    def flush_literals(end: int) -> None:
+        if end > literal_start:
+            writer.write_uvarint(0)
+            writer.write_uvarint(end - literal_start)
+            writer.write_bytes(data[literal_start:end])
+
+    while pos + _MIN_MATCH <= n:
+        key = _hash4(data, pos)
+        candidates = table.get(key)
+        best_len = 0
+        best_dist = 0
+        if candidates:
+            for cand in candidates[-_MAX_CHAIN:][::-1]:
+                dist = pos - cand
+                if dist > _WINDOW:
+                    continue
+                # Extend the match as far as it goes.
+                length = 0
+                limit = n - pos
+                while length < limit and data[cand + length] == data[pos + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = dist
+        if best_len >= _MIN_MATCH:
+            flush_literals(pos)
+            writer.write_uvarint(best_len - _MIN_MATCH + 1)
+            writer.write_uvarint(best_dist)
+            # Register hash entries inside the match so later data can refer
+            # into it (sparsely, to bound compressor time).
+            end = pos + best_len
+            step = 1 if best_len <= 32 else 4
+            while pos < end and pos + _MIN_MATCH <= n:
+                table.setdefault(_hash4(data, pos), []).append(pos)
+                pos += step
+            pos = end
+            literal_start = pos
+        else:
+            table.setdefault(key, []).append(pos)
+            pos += 1
+    flush_literals(n)
+    return writer.getvalue()
+
+
+def decompress(data: bytes) -> bytes:
+    """Inverse of :func:`compress`."""
+    reader = ByteReader(data)
+    expected = reader.read_uvarint()
+    out = bytearray()
+    while len(out) < expected:
+        tag = reader.read_uvarint()
+        if tag == 0:
+            length = reader.read_uvarint()
+            out += reader.read_bytes(length)
+        else:
+            length = tag + _MIN_MATCH - 1
+            dist = reader.read_uvarint()
+            if dist == 0 or dist > len(out):
+                raise ValueError(
+                    f"corrupt LZ stream: distance {dist} at output size {len(out)}"
+                )
+            start = len(out) - dist
+            for i in range(length):  # byte-at-a-time handles overlap
+                out.append(out[start + i])
+    if len(out) != expected:
+        raise ValueError(
+            f"corrupt LZ stream: expected {expected} bytes, produced {len(out)}"
+        )
+    return bytes(out)

@@ -1,0 +1,209 @@
+"""``ssd`` — file-level command line tools.
+
+A downstream user's interface to the library without writing Python::
+
+    ssd compress  program.asm -o program.ssd     # assemble + compress
+    ssd compress  bench:xlisp@0.25 -o xlisp.ssd  # synthetic benchmark
+    ssd decompress program.ssd -o program.asm    # back to assembly text
+    ssd inspect   program.ssd                    # sections, dictionary, stats
+    ssd run       program.ssd [--lazy]           # execute in the VM
+
+Inputs are either assembly text files (see ``repro.isa.asm`` for the
+format) or ``bench:<name>[@<scale>]`` references to the synthetic
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import compress, decompress, open_container
+from .core.lazy import LazyProgram
+from .isa import Program, assemble, disassemble, validate_program
+from .vm import native_size, run_program
+
+
+class ToolError(ValueError):
+    """User-facing CLI errors (bad inputs, bad files)."""
+
+
+def load_program(spec: str) -> Program:
+    """Load a program from an asm file path or a ``bench:`` reference."""
+    if spec.startswith("bench:"):
+        reference = spec[len("bench:"):]
+        if "@" in reference:
+            name, _, scale_text = reference.partition("@")
+            try:
+                scale = float(scale_text)
+            except ValueError:
+                raise ToolError(f"bad scale in {spec!r}") from None
+        else:
+            name, scale = reference, 0.25
+        from .workloads import profile as get_profile
+        from .workloads import benchmark_program
+
+        try:
+            get_profile(name)
+        except KeyError as exc:
+            raise ToolError(str(exc)) from None
+        return benchmark_program(name, scale=scale)
+    try:
+        with open(spec, "r", encoding="utf-8") as handle:
+            return assemble(handle.read())
+    except FileNotFoundError:
+        raise ToolError(f"no such file: {spec}") from None
+
+
+def cmd_compress(args: argparse.Namespace) -> int:
+    program = load_program(args.input)
+    validate_program(program)
+    compressed = compress(program, codec=args.codec, max_len=args.max_len)
+    with open(args.output, "wb") as handle:
+        handle.write(compressed.data)
+    x86 = native_size(program)
+    print(f"{program.name}: {program.instruction_count} instructions, "
+          f"native {x86} B -> {compressed.size} B "
+          f"({compressed.size / x86:.1%} of native)")
+    return 0
+
+
+def cmd_decompress(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as handle:
+        program = decompress(handle.read())
+    text = disassemble(program)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(program.functions)} functions to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as handle:
+        data = handle.read()
+    reader = open_container(data)
+    sections = reader.sections
+    print(f"program:   {sections.program_name}")
+    print(f"functions: {len(sections.function_names)} "
+          f"(entry: {sections.function_names[sections.entry]})")
+    print(f"segments:  {len(sections.segments)}")
+    print(f"container: {len(data)} bytes")
+    sizes = sections.section_sizes()
+    for section, size in sorted(sizes.items(), key=lambda kv: -kv[1]):
+        print(f"  {section:>14}: {size:>8} B")
+    for sindex, layout in enumerate(reader.layouts):
+        bases = len(layout.addr_bases)
+        sequences = sum(1 for path in layout.paths_of.values() if len(path) > 1)
+        print(f"segment {sindex}: {bases} base entries, "
+              f"{sequences} sequence-tree nodes")
+    if args.function is not None:
+        findex = args.function
+        if not 0 <= findex < reader.function_count:
+            raise ToolError(f"function index {findex} out of range")
+        print(f"\nfunction {findex} ({sections.function_names[findex]}):")
+        for insn in reader.function_instructions(findex):
+            print(f"    {insn.render()}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Check that a container faithfully represents a source program."""
+    program = load_program(args.source)
+    with open(args.container, "rb") as handle:
+        restored = decompress(handle.read())
+    mismatches = []
+    if len(restored.functions) != len(program.functions):
+        mismatches.append(
+            f"function count: {len(program.functions)} vs {len(restored.functions)}")
+    for findex, (a, b) in enumerate(zip(program.functions, restored.functions)):
+        if a.insns != b.insns:
+            first_bad = next(i for i, (x, y) in enumerate(zip(a.insns, b.insns))
+                             if x != y) if len(a.insns) == len(b.insns) else "length"
+            mismatches.append(f"function {findex} ({a.name}): differs at {first_bad}")
+    if mismatches:
+        for line in mismatches:
+            print(f"MISMATCH: {line}", file=sys.stderr)
+        return 1
+    baseline = run_program(program, fuel=args.fuel)
+    candidate = run_program(restored, fuel=args.fuel)
+    if baseline.output != candidate.output:
+        print("MISMATCH: program outputs differ", file=sys.stderr)
+        return 1
+    print(f"OK: {len(program.functions)} functions identical, "
+          f"outputs match ({len(baseline.output)} values)")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    with open(args.input, "rb") as handle:
+        data = handle.read()
+    if args.lazy:
+        program = LazyProgram(open_container(data))
+    else:
+        program = decompress(data)
+    inputs = [int(v) for v in args.read] if args.read else None
+    result = run_program(program, inputs=inputs, fuel=args.fuel)
+    for value in result.output:
+        print(value)
+    print(f"[halted after {result.steps} steps]", file=sys.stderr)
+    if args.lazy:
+        print(f"[lazily decompressed {program.decompressed_count}/"
+              f"{len(program.functions)} functions]", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ssd", description="SSD program compression tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="assemble + compress to a .ssd file")
+    p.add_argument("input", help="asm file or bench:<name>[@scale]")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--codec", choices=("lz", "delta"), default="lz")
+    p.add_argument("--max-len", type=int, default=4)
+    p.set_defaults(func=cmd_compress)
+
+    p = sub.add_parser("decompress", help="decompress a .ssd file to assembly")
+    p.add_argument("input")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_decompress)
+
+    p = sub.add_parser("inspect", help="show container structure and stats")
+    p.add_argument("input")
+    p.add_argument("--function", type=int, default=None,
+                   help="also disassemble this function index")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("verify", help="check a .ssd file against its source")
+    p.add_argument("container")
+    p.add_argument("source", help="asm file or bench:<name>[@scale]")
+    p.add_argument("--fuel", type=int, default=1_000_000)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("run", help="execute a compressed program")
+    p.add_argument("input")
+    p.add_argument("--fuel", type=int, default=5_000_000)
+    p.add_argument("--lazy", action="store_true",
+                   help="decompress functions on first call")
+    p.add_argument("--read", nargs="*", default=None,
+                   help="values consumed by `trap 2`")
+    p.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ToolError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

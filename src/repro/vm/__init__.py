@@ -1,0 +1,54 @@
+"""Execution substrate: interpreter, liveness, peephole, native backend.
+
+The interpreter is the behaviour oracle and profile source; the native
+backend defines both the "optimized x86" baseline (with peephole fusions)
+and the per-instruction JIT lowering SSD's copy phase pastes together.
+"""
+
+from .errors import ControlFault, MemoryFault, OutOfFuel, VMError
+from .interpreter import (
+    ExecutionResult,
+    Interpreter,
+    TRAP_HALT,
+    TRAP_PRINT,
+    TRAP_READ,
+    run_program,
+)
+from .liveness import live_out, uses_defs
+from .native import (
+    CALL_HOLE_SIZE,
+    LoweredFunction,
+    NativeChunk,
+    function_native_sizes,
+    lower_function,
+    lower_instruction,
+    native_size,
+)
+from .peephole import Fusion, FusionKind, FusionPlan, plan_function, rewritten_consumer
+
+__all__ = [
+    "CALL_HOLE_SIZE",
+    "ControlFault",
+    "ExecutionResult",
+    "Fusion",
+    "FusionKind",
+    "FusionPlan",
+    "Interpreter",
+    "LoweredFunction",
+    "MemoryFault",
+    "NativeChunk",
+    "OutOfFuel",
+    "TRAP_HALT",
+    "TRAP_PRINT",
+    "TRAP_READ",
+    "VMError",
+    "function_native_sizes",
+    "live_out",
+    "lower_function",
+    "lower_instruction",
+    "native_size",
+    "plan_function",
+    "rewritten_consumer",
+    "run_program",
+    "uses_defs",
+]

@@ -1,0 +1,19 @@
+"""Exception types for the virtual machine."""
+
+from __future__ import annotations
+
+
+class VMError(RuntimeError):
+    """Base class for execution errors."""
+
+
+class OutOfFuel(VMError):
+    """Execution exceeded the caller-supplied step budget."""
+
+
+class MemoryFault(VMError):
+    """Load or store outside the machine's memory."""
+
+
+class ControlFault(VMError):
+    """Bad control transfer (call/jump target out of range, stack underflow)."""

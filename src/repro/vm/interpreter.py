@@ -1,0 +1,314 @@
+"""Reference interpreter for the virtual ISA.
+
+Two jobs:
+
+1. **Correctness oracle.**  Compression must preserve behaviour; the
+   integration tests run a program before and after an SSD round trip and
+   require identical outputs.
+
+2. **Dynamic profiles.**  The paper's Table 5 decomposes execution-time
+   overhead using execution-time profiling.  The interpreter counts how
+   often each static instruction executes; ``repro.analysis.overhead``
+   weights per-instruction native cycle costs with those counts.
+
+Semantics: 32-bit two's-complement arithmetic, little-endian byte-addressed
+memory, r0 hard-wired to zero, a call stack separate from data memory (the
+VM knows function boundaries, mirroring the per-function JIT model).
+Division by zero is defined (quotient 0, remainder = dividend) so synthetic
+workloads can't fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..isa import NUM_REGISTERS, Op, Program, REG_RA, REG_SP, REG_ZERO
+from .errors import ControlFault, MemoryFault, OutOfFuel
+
+_MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+
+#: trap codes understood by the interpreter
+TRAP_HALT = 0
+TRAP_PRINT = 1     # append r1 (signed) to the output list
+TRAP_READ = 2      # pop next value from the input iterator into r1
+
+
+def _signed(value: int) -> int:
+    value &= _MASK
+    return value - (1 << 32) if value & _SIGN else value
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one program run."""
+
+    output: List[int]
+    steps: int
+    halted: bool
+    #: dynamic execution count per (function index, instruction index)
+    profile: Dict[Tuple[int, int], int]
+    #: dynamic call count per function index
+    call_counts: Dict[int, int]
+    #: sequence of function indices in call order (drives JIT-buffer replay)
+    call_sequence: List[int] = field(default_factory=list)
+
+
+class Interpreter:
+    """Executes :class:`~repro.isa.Program` values.
+
+    Parameters
+    ----------
+    memory_size:
+        Bytes of data memory.  The stack pointer starts at the top.
+    collect_profile:
+        When False, skips per-instruction counting (≈2× faster) — useful
+        for throughput benchmarks.
+    """
+
+    def __init__(self, memory_size: int = 1 << 16, collect_profile: bool = True) -> None:
+        if memory_size <= 0 or memory_size % 4:
+            raise ValueError(f"memory_size must be a positive multiple of 4, got {memory_size}")
+        self.memory_size = memory_size
+        self.collect_profile = collect_profile
+
+    def run(
+        self,
+        program: Program,
+        inputs: Optional[Iterable[int]] = None,
+        fuel: int = 1_000_000,
+    ) -> ExecutionResult:
+        """Run ``program`` from its entry function until halt or ``fuel``."""
+        regs = [0] * NUM_REGISTERS
+        regs[REG_SP] = self.memory_size
+        memory = bytearray(self.memory_size)
+        input_iter = iter(inputs) if inputs is not None else iter(())
+        output: List[int] = []
+        profile: Dict[Tuple[int, int], int] = {}
+        call_counts: Dict[int, int] = {}
+        call_sequence: List[int] = []
+        stack: List[Tuple[int, int]] = []  # (function index, return instruction index)
+
+        findex = program.entry
+        iindex = 0
+        call_counts[findex] = 1
+        call_sequence.append(findex)
+        functions = program.functions
+        steps = 0
+        halted = False
+
+        def set_reg(reg: int, value: int) -> None:
+            if reg != REG_ZERO:
+                regs[reg] = value & _MASK
+
+        def load(address: int, size: int, signed: bool) -> int:
+            if address < 0 or address + size > self.memory_size:
+                raise MemoryFault(f"load of {size} bytes at {address:#x}")
+            value = int.from_bytes(memory[address:address + size], "little")
+            if signed:
+                bit = 1 << (8 * size - 1)
+                if value & bit:
+                    value -= 1 << (8 * size)
+            return value & _MASK
+
+        def store(address: int, size: int, value: int) -> None:
+            if address < 0 or address + size > self.memory_size:
+                raise MemoryFault(f"store of {size} bytes at {address:#x}")
+            memory[address:address + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+                size, "little"
+            )
+
+        while True:
+            if steps >= fuel:
+                raise OutOfFuel(f"exceeded {fuel} steps in {program.name!r}")
+            steps += 1
+            fn = functions[findex]
+            if iindex >= len(fn.insns):
+                raise ControlFault(f"{fn.name}: fell past the last instruction")
+            insn = fn.insns[iindex]
+            if self.collect_profile:
+                key = (findex, iindex)
+                profile[key] = profile.get(key, 0) + 1
+
+            op = insn.op
+            next_index = iindex + 1
+
+            if op is Op.ADD:
+                set_reg(insn.rd, regs[insn.rs1] + regs[insn.rs2])
+            elif op is Op.SUB:
+                set_reg(insn.rd, regs[insn.rs1] - regs[insn.rs2])
+            elif op is Op.MUL:
+                set_reg(insn.rd, regs[insn.rs1] * regs[insn.rs2])
+            elif op is Op.DIVS:
+                divisor = _signed(regs[insn.rs2])
+                if divisor == 0:
+                    set_reg(insn.rd, 0)
+                else:
+                    quotient = abs(_signed(regs[insn.rs1])) // abs(divisor)
+                    if (_signed(regs[insn.rs1]) < 0) != (divisor < 0):
+                        quotient = -quotient
+                    set_reg(insn.rd, quotient)
+            elif op is Op.REMS:
+                divisor = _signed(regs[insn.rs2])
+                if divisor == 0:
+                    set_reg(insn.rd, regs[insn.rs1])
+                else:
+                    lhs = _signed(regs[insn.rs1])
+                    quotient = abs(lhs) // abs(divisor)
+                    if (lhs < 0) != (divisor < 0):
+                        quotient = -quotient
+                    set_reg(insn.rd, lhs - quotient * divisor)
+            elif op is Op.AND:
+                set_reg(insn.rd, regs[insn.rs1] & regs[insn.rs2])
+            elif op is Op.OR:
+                set_reg(insn.rd, regs[insn.rs1] | regs[insn.rs2])
+            elif op is Op.XOR:
+                set_reg(insn.rd, regs[insn.rs1] ^ regs[insn.rs2])
+            elif op is Op.SHL:
+                set_reg(insn.rd, regs[insn.rs1] << (regs[insn.rs2] & 31))
+            elif op is Op.SHR:
+                set_reg(insn.rd, (regs[insn.rs1] & _MASK) >> (regs[insn.rs2] & 31))
+            elif op is Op.SAR:
+                set_reg(insn.rd, _signed(regs[insn.rs1]) >> (regs[insn.rs2] & 31))
+            elif op is Op.SLT:
+                set_reg(insn.rd, int(_signed(regs[insn.rs1]) < _signed(regs[insn.rs2])))
+            elif op is Op.SLTU:
+                set_reg(insn.rd, int(regs[insn.rs1] < regs[insn.rs2]))
+            elif op is Op.ADDI:
+                set_reg(insn.rd, regs[insn.rs1] + insn.imm)
+            elif op is Op.MULI:
+                set_reg(insn.rd, regs[insn.rs1] * insn.imm)
+            elif op is Op.ANDI:
+                set_reg(insn.rd, regs[insn.rs1] & (insn.imm & _MASK))
+            elif op is Op.ORI:
+                set_reg(insn.rd, regs[insn.rs1] | (insn.imm & _MASK))
+            elif op is Op.XORI:
+                set_reg(insn.rd, regs[insn.rs1] ^ (insn.imm & _MASK))
+            elif op is Op.SHLI:
+                set_reg(insn.rd, regs[insn.rs1] << (insn.imm & 31))
+            elif op is Op.SHRI:
+                set_reg(insn.rd, (regs[insn.rs1] & _MASK) >> (insn.imm & 31))
+            elif op is Op.SARI:
+                set_reg(insn.rd, _signed(regs[insn.rs1]) >> (insn.imm & 31))
+            elif op is Op.SLTI:
+                set_reg(insn.rd, int(_signed(regs[insn.rs1]) < insn.imm))
+            elif op is Op.MOV:
+                set_reg(insn.rd, regs[insn.rs1])
+            elif op is Op.NEG:
+                set_reg(insn.rd, -_signed(regs[insn.rs1]))
+            elif op is Op.NOT:
+                set_reg(insn.rd, ~regs[insn.rs1])
+            elif op is Op.LI:
+                set_reg(insn.rd, insn.imm)
+            elif op is Op.LB:
+                set_reg(insn.rd, load(regs[insn.rs1] + insn.imm, 1, signed=True))
+            elif op is Op.LBU:
+                set_reg(insn.rd, load(regs[insn.rs1] + insn.imm, 1, signed=False))
+            elif op is Op.LH:
+                set_reg(insn.rd, load(regs[insn.rs1] + insn.imm, 2, signed=True))
+            elif op is Op.LHU:
+                set_reg(insn.rd, load(regs[insn.rs1] + insn.imm, 2, signed=False))
+            elif op is Op.LW:
+                set_reg(insn.rd, load(regs[insn.rs1] + insn.imm, 4, signed=False))
+            elif op is Op.SB:
+                store(regs[insn.rs1] + insn.imm, 1, regs[insn.rs2])
+            elif op is Op.SH:
+                store(regs[insn.rs1] + insn.imm, 2, regs[insn.rs2])
+            elif op is Op.SW:
+                store(regs[insn.rs1] + insn.imm, 4, regs[insn.rs2])
+            elif op is Op.BEQ:
+                if regs[insn.rs1] == regs[insn.rs2]:
+                    next_index = insn.target
+            elif op is Op.BNE:
+                if regs[insn.rs1] != regs[insn.rs2]:
+                    next_index = insn.target
+            elif op is Op.BLT:
+                if _signed(regs[insn.rs1]) < _signed(regs[insn.rs2]):
+                    next_index = insn.target
+            elif op is Op.BGE:
+                if _signed(regs[insn.rs1]) >= _signed(regs[insn.rs2]):
+                    next_index = insn.target
+            elif op is Op.BLTU:
+                if regs[insn.rs1] < regs[insn.rs2]:
+                    next_index = insn.target
+            elif op is Op.BGEU:
+                if regs[insn.rs1] >= regs[insn.rs2]:
+                    next_index = insn.target
+            elif op is Op.BEQZ:
+                if regs[insn.rs1] == 0:
+                    next_index = insn.target
+            elif op is Op.BNEZ:
+                if regs[insn.rs1] != 0:
+                    next_index = insn.target
+            elif op is Op.JMP:
+                next_index = insn.target
+            elif op is Op.CALL:
+                if not 0 <= insn.target < len(functions):
+                    raise ControlFault(f"call target {insn.target} out of range")
+                stack.append((findex, next_index))
+                set_reg(REG_RA, next_index)
+                findex = insn.target
+                next_index = 0
+                call_counts[findex] = call_counts.get(findex, 0) + 1
+                call_sequence.append(findex)
+            elif op is Op.CALLR:
+                callee = regs[insn.rs1]
+                if not 0 <= callee < len(functions):
+                    raise ControlFault(f"indirect call target {callee} out of range")
+                stack.append((findex, next_index))
+                set_reg(REG_RA, next_index)
+                findex = callee
+                next_index = 0
+                call_counts[findex] = call_counts.get(findex, 0) + 1
+                call_sequence.append(findex)
+            elif op is Op.JR:
+                next_index = regs[insn.rs1]
+                if not 0 <= next_index < len(fn.insns):
+                    raise ControlFault(f"{fn.name}: jr to {next_index} out of range")
+            elif op is Op.RET:
+                if not stack:
+                    halted = True
+                    break
+                findex, next_index = stack.pop()
+            elif op is Op.NOP:
+                pass
+            elif op is Op.HALT:
+                halted = True
+                break
+            elif op is Op.TRAP:
+                if insn.imm == TRAP_HALT:
+                    halted = True
+                    break
+                if insn.imm == TRAP_PRINT:
+                    output.append(_signed(regs[1]))
+                elif insn.imm == TRAP_READ:
+                    try:
+                        set_reg(1, next(input_iter))
+                    except StopIteration:
+                        set_reg(1, 0)
+                else:
+                    raise ControlFault(f"unknown trap code {insn.imm}")
+            else:  # pragma: no cover - table is exhaustive
+                raise ControlFault(f"unimplemented opcode {op}")
+
+            iindex = next_index
+
+        return ExecutionResult(
+            output=output,
+            steps=steps,
+            halted=halted,
+            profile=profile,
+            call_counts=call_counts,
+            call_sequence=call_sequence,
+        )
+
+
+def run_program(
+    program: Program,
+    inputs: Optional[Iterable[int]] = None,
+    fuel: int = 1_000_000,
+    collect_profile: bool = True,
+) -> ExecutionResult:
+    """Convenience wrapper: run ``program`` with default machine settings."""
+    return Interpreter(collect_profile=collect_profile).run(program, inputs=inputs, fuel=fuel)

@@ -1,0 +1,120 @@
+"""Per-function register liveness analysis.
+
+The peephole optimizer (``repro.vm.peephole``) may only fuse away a
+producer instruction when its destination register is *dead* after the
+consumer.  This module computes, for every instruction, the set of
+registers live immediately after it, via the standard backward dataflow
+over basic blocks.
+
+Conservatism: calls are treated as reading every register (so anything
+live across a call stays live), ``ret`` as reading the return value plus
+every callee-saved register (the calling convention below), and a ``jr``
+(computed intra-function jump) as possibly reaching every block.  The
+analysis is sound for programs that respect the calling convention —
+which everything produced by ``repro.workloads.compiler`` does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..isa import Function, Kind, NUM_REGISTERS, Op, basic_blocks, info
+from ..isa.opcodes import REG_FP, REG_RA, REG_RV, REG_SP, REG_ZERO
+
+ALL_REGS: FrozenSet[int] = frozenset(range(1, NUM_REGISTERS))  # r0 never live
+
+#: Calling convention: r2-r15 are caller-saved argument/temp registers,
+#: r16-r28 are callee-saved, r29/r30/r31 are sp/fp/ra.  ``ret`` publishes
+#: the return value and must preserve exactly these registers; temps die.
+CALLEE_SAVED: FrozenSet[int] = frozenset(range(16, 29)) | {REG_SP, REG_FP}
+RET_USES: FrozenSet[int] = CALLEE_SAVED | {REG_RV, REG_RA}
+
+
+def uses_defs(insn) -> Tuple[Set[int], Set[int]]:
+    """Return ``(uses, defs)`` register sets for one instruction."""
+    meta = info(insn.op)
+    uses: Set[int] = set()
+    defs: Set[int] = set()
+    if meta.uses_rs1 and insn.rs1 != REG_ZERO:
+        uses.add(insn.rs1)
+    if meta.uses_rs2 and insn.rs2 != REG_ZERO:
+        uses.add(insn.rs2)
+    if meta.uses_rd and insn.rd != REG_ZERO:
+        defs.add(insn.rd)
+    if meta.kind in (Kind.CALL, Kind.CALL_INDIRECT):
+        uses |= ALL_REGS
+        defs |= {REG_RV, REG_RA}
+    elif meta.kind is Kind.RET:
+        uses |= RET_USES
+    elif insn.op is Op.TRAP:
+        uses.add(REG_RV)
+        defs.add(REG_RV)
+    return uses, defs
+
+
+def live_out(function: Function) -> List[Set[int]]:
+    """Registers live immediately *after* each instruction.
+
+    Returns a list parallel to ``function.insns``.
+    """
+    insns = function.insns
+    if not insns:
+        return []
+    blocks = basic_blocks(function)
+    block_of_index: Dict[int, int] = {}
+    for bindex, block in enumerate(blocks):
+        for i in range(block.start, block.end):
+            block_of_index[i] = bindex
+
+    successors: List[List[int]] = []
+    for bindex, block in enumerate(blocks):
+        last = insns[block.end - 1]
+        succ: List[int] = []
+        meta = info(last.op)
+        if last.op is Op.JR:
+            succ = list(range(len(blocks)))  # conservative: could go anywhere
+        elif last.is_branch:
+            succ.append(block_of_index[last.target])
+            if meta.falls_through and block.end < len(insns):
+                succ.append(block_of_index[block.end])
+        elif meta.falls_through and block.end < len(insns):
+            succ.append(block_of_index[block.end])
+        successors.append(sorted(set(succ)))
+
+    # Per-block use/def summaries.
+    block_use: List[Set[int]] = []
+    block_def: List[Set[int]] = []
+    for block in blocks:
+        used: Set[int] = set()
+        defined: Set[int] = set()
+        for i in range(block.start, block.end):
+            u, d = uses_defs(insns[i])
+            used |= u - defined
+            defined |= d
+        block_use.append(used)
+        block_def.append(defined)
+
+    live_in: List[Set[int]] = [set() for _ in blocks]
+    live_out_blocks: List[Set[int]] = [set() for _ in blocks]
+    changed = True
+    while changed:
+        changed = False
+        for bindex in range(len(blocks) - 1, -1, -1):
+            out: Set[int] = set()
+            for succ in successors[bindex]:
+                out |= live_in[succ]
+            new_in = block_use[bindex] | (out - block_def[bindex])
+            if out != live_out_blocks[bindex] or new_in != live_in[bindex]:
+                live_out_blocks[bindex] = out
+                live_in[bindex] = new_in
+                changed = True
+
+    # Walk each block backwards for per-instruction live-out.
+    result: List[Set[int]] = [set() for _ in insns]
+    for bindex, block in enumerate(blocks):
+        live = set(live_out_blocks[bindex])
+        for i in range(block.end - 1, block.start - 1, -1):
+            result[i] = set(live)
+            u, d = uses_defs(insns[i])
+            live = (live - d) | u
+    return result

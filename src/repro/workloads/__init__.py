@@ -1,0 +1,65 @@
+"""Benchmark synthesis: AST, compiler, profiles, generator, traces, corpus.
+
+The paper evaluated on Word97 and spec95 compiled for OmniVM; neither is
+available.  This package regenerates the *statistical phenomenon* those
+binaries exhibit — template-driven compiler output with heavy instruction
+re-use — as seeded, executable synthetic programs (see DESIGN.md for the
+substitution argument).
+"""
+
+from . import ast
+from .compiler import CompileError, GLOBALS_BASE, compile_function, compile_module
+from .corpus import benchmark_program, clear_cache, corpus, training_corpus
+from .generator import ProgramGenerator, generate_benchmark
+from .profiles import (
+    PAPER_AVERAGE_BRISC_RATIO,
+    PAPER_AVERAGE_EXEC_OVERHEAD_PCT,
+    PAPER_AVERAGE_SSD_RATIO,
+    PAPER_BRISC_TRANSLATE_MBPS,
+    PAPER_REGEN_INFRASTRUCTURE_OVERHEAD_PCT,
+    PAPER_SSD_COPY_PHASE_MBPS,
+    PAPER_SSD_DICT_PHASE_MBPS,
+    PAPER_TABLE6,
+    PAPER_WORD97_THIRD_BUFFER_OVERHEAD_PCT,
+    PROFILE_BY_NAME,
+    PROFILES,
+    BenchmarkProfile,
+    GeneratorKnobs,
+    PaperTable1Row,
+    PaperTable5Row,
+    profile,
+)
+from .traces import TraceSpec, generate_trace, trace_statistics
+
+__all__ = [
+    "BenchmarkProfile",
+    "CompileError",
+    "GLOBALS_BASE",
+    "GeneratorKnobs",
+    "PAPER_AVERAGE_BRISC_RATIO",
+    "PAPER_AVERAGE_EXEC_OVERHEAD_PCT",
+    "PAPER_AVERAGE_SSD_RATIO",
+    "PAPER_BRISC_TRANSLATE_MBPS",
+    "PAPER_REGEN_INFRASTRUCTURE_OVERHEAD_PCT",
+    "PAPER_SSD_COPY_PHASE_MBPS",
+    "PAPER_SSD_DICT_PHASE_MBPS",
+    "PAPER_TABLE6",
+    "PAPER_WORD97_THIRD_BUFFER_OVERHEAD_PCT",
+    "PROFILES",
+    "PROFILE_BY_NAME",
+    "PaperTable1Row",
+    "PaperTable5Row",
+    "ProgramGenerator",
+    "TraceSpec",
+    "ast",
+    "benchmark_program",
+    "clear_cache",
+    "compile_function",
+    "compile_module",
+    "corpus",
+    "generate_benchmark",
+    "generate_trace",
+    "profile",
+    "trace_statistics",
+    "training_corpus",
+]

@@ -1,0 +1,191 @@
+"""A miniature imperative AST.
+
+The paper's benchmarks (Word97, the spec95 suite) are compiler output, and
+SSD's effectiveness comes from the idioms compilers emit over and over
+(Table 1).  We cannot redistribute those binaries, so we regenerate the
+*phenomenon*: a random-program generator builds ASTs in this little
+language and ``repro.workloads.compiler`` lowers them with fixed code
+templates — producing exactly the kind of instruction-sequence re-use the
+paper measures.
+
+The language: 32-bit integers, scalar locals, per-program global cells,
+counted and conditional loops, non-recursive calls, and a ``print``
+primitive so every program produces observable output (the compression
+round-trip oracle compares outputs).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+
+class BinOpKind(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    AND = "&"
+    OR = "|"
+    XOR = "^"
+    SHL = "<<"
+    SHR = ">>"
+
+
+class CmpKind(enum.Enum):
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    GE = ">="
+    LTU = "<u"
+    GEU = ">=u"
+
+
+# --- expressions -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+
+@dataclass(frozen=True)
+class Local:
+    """A scalar local variable, identified by slot index."""
+
+    slot: int
+
+
+@dataclass(frozen=True)
+class Param:
+    """The n-th function parameter (0-based)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Global:
+    """A program-wide global cell, identified by index."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class BinOp:
+    kind: BinOpKind
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Const, Local, Param, Global, BinOp]
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """A comparison used as a statement condition."""
+
+    kind: CmpKind
+    left: Expr
+    right: Expr
+
+
+# --- statements ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    dest: Union[Local, Global]
+    value: Expr
+
+
+@dataclass(frozen=True)
+class CallAssign:
+    """``dest = callee(args...)`` — calls only appear at statement level."""
+
+    dest: Local
+    callee: int  # function index within the Module
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Cmp
+    then_body: Tuple["Stmt", ...]
+    else_body: Tuple["Stmt", ...] = ()
+
+
+@dataclass(frozen=True)
+class CountedLoop:
+    """``for counter in 0..count: body`` with a dedicated counter local."""
+
+    counter: Local
+    count: Expr
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class While:
+    """Guarded loop; generator guarantees termination via its condition."""
+
+    cond: Cmp
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class Print:
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Expr
+
+
+Stmt = Union[Assign, CallAssign, If, CountedLoop, While, Print, Return]
+
+
+# --- functions and modules --------------------------------------------------
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    params: int
+    locals_count: int
+    body: Tuple[Stmt, ...]
+
+
+@dataclass
+class Module:
+    """A whole source program: functions (index 0 is the entry), globals."""
+
+    name: str
+    functions: List[FunctionDef] = field(default_factory=list)
+    globals_count: int = 0
+
+
+def walk_statements(body: Sequence[Stmt]):
+    """Yield every statement in ``body``, recursively."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+        elif isinstance(stmt, (CountedLoop, While)):
+            yield from walk_statements(stmt.body)
+
+
+def walk_expressions(expr: Expr):
+    """Yield every node of ``expr``, recursively."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expressions(expr.left)
+        yield from walk_expressions(expr.right)
+
+
+def expression_depth(expr: Expr) -> int:
+    if isinstance(expr, BinOp):
+        return 1 + max(expression_depth(expr.left), expression_depth(expr.right))
+    return 1

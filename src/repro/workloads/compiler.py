@@ -1,0 +1,306 @@
+"""Lowers the miniature AST to virtual-ISA code.
+
+This is a deliberately *template-driven* compiler: every construct lowers
+through a fixed code shape, the way production compilers of the paper's era
+did.  Those fixed shapes are what make compiled code so dictionary-friendly
+(Table 1's re-use frequencies); reproducing them faithfully matters more
+here than clever code generation.
+
+Calling convention (shared with ``repro.vm.liveness``):
+
+* arguments in r2..r8 (max 7), return value in r1;
+* r9..r15 are expression temporaries (caller-saved);
+* locals and parameters live in stack slots off the frame pointer, so
+  values survive calls without register shuffling;
+* fp (r30) is saved/restored in the prologue/epilogue; the interpreter
+  keeps return addresses on its own control stack, so ra is not spilled.
+
+Comparisons other than equality lower to ``slt``/``sltu`` + ``beqz/bnez``
+pairs (the MIPS idiom).  The optimized native backend fuses those pairs;
+SSD's per-instruction JIT translation cannot — reproducing the paper's
+"overhead due to reduced code quality" column structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..isa import Function, Instruction, Op, Program
+from ..isa.opcodes import REG_FP, REG_RV, REG_SP
+from . import ast
+
+#: First byte of the global-cell region (absolute addressing off r0).
+GLOBALS_BASE = 1024
+
+_ARG_REGS = list(range(2, 9))
+_TEMP_REGS = list(range(9, 16))
+
+_BINOP_RR = {
+    ast.BinOpKind.ADD: Op.ADD,
+    ast.BinOpKind.SUB: Op.SUB,
+    ast.BinOpKind.MUL: Op.MUL,
+    ast.BinOpKind.DIV: Op.DIVS,
+    ast.BinOpKind.MOD: Op.REMS,
+    ast.BinOpKind.AND: Op.AND,
+    ast.BinOpKind.OR: Op.OR,
+    ast.BinOpKind.XOR: Op.XOR,
+    ast.BinOpKind.SHL: Op.SHL,
+    ast.BinOpKind.SHR: Op.SHR,
+}
+_BINOP_RI = {
+    ast.BinOpKind.ADD: Op.ADDI,
+    ast.BinOpKind.MUL: Op.MULI,
+    ast.BinOpKind.AND: Op.ANDI,
+    ast.BinOpKind.OR: Op.ORI,
+    ast.BinOpKind.XOR: Op.XORI,
+    ast.BinOpKind.SHL: Op.SHLI,
+    ast.BinOpKind.SHR: Op.SHRI,
+}
+
+_IMM16_MIN, _IMM16_MAX = -(1 << 15), (1 << 15) - 1
+
+
+class CompileError(ValueError):
+    """Raised for ASTs the compiler cannot lower (too deep, too many params)."""
+
+
+@dataclass
+class _Emitter:
+    """Accumulates instructions with patchable branch targets."""
+
+    insns: List[Instruction]
+
+    def emit(self, insn: Instruction) -> int:
+        self.insns.append(insn)
+        return len(self.insns) - 1
+
+    def here(self) -> int:
+        return len(self.insns)
+
+    def patch(self, index: int, target: int) -> None:
+        self.insns[index] = self.insns[index].replace_target(target)
+
+
+class _FunctionCompiler:
+    def __init__(self, fn: ast.FunctionDef, module: ast.Module) -> None:
+        if fn.params > len(_ARG_REGS):
+            raise CompileError(f"{fn.name}: more than {len(_ARG_REGS)} parameters")
+        self.fn = fn
+        self.module = module
+        self.emitter = _Emitter(insns=[])
+        self.slots = fn.params + fn.locals_count
+        self.frame = 4 * self.slots + 8  # locals + saved fp (+ padding word)
+        self.free_temps = list(reversed(_TEMP_REGS))
+
+    # -- register allocation -------------------------------------------
+
+    def alloc_temp(self) -> int:
+        if not self.free_temps:
+            raise CompileError(f"{self.fn.name}: expression too deep (out of temps)")
+        return self.free_temps.pop()
+
+    def free_temp(self, reg: int) -> None:
+        if reg in _TEMP_REGS:
+            self.free_temps.append(reg)
+
+    # -- addressing ------------------------------------------------------
+
+    def slot_offset(self, slot: int) -> int:
+        if not 0 <= slot < self.slots:
+            raise CompileError(f"{self.fn.name}: local slot {slot} out of range")
+        return 4 * slot
+
+    def global_offset(self, index: int) -> int:
+        if not 0 <= index < self.module.globals_count:
+            raise CompileError(f"{self.fn.name}: global {index} out of range")
+        return GLOBALS_BASE + 4 * index
+
+    # -- expressions ------------------------------------------------------
+
+    def compile_expr(self, expr: ast.Expr, dest: int) -> None:
+        emit = self.emitter.emit
+        if isinstance(expr, ast.Const):
+            emit(Instruction(op=Op.LI, rd=dest, imm=expr.value))
+        elif isinstance(expr, ast.Local):
+            emit(Instruction(op=Op.LW, rd=dest, rs1=REG_FP,
+                             imm=self.slot_offset(expr.slot)))
+        elif isinstance(expr, ast.Param):
+            emit(Instruction(op=Op.LW, rd=dest, rs1=REG_FP,
+                             imm=self.slot_offset(expr.index)))
+        elif isinstance(expr, ast.Global):
+            emit(Instruction(op=Op.LW, rd=dest, rs1=0,
+                             imm=self.global_offset(expr.index)))
+        elif isinstance(expr, ast.BinOp):
+            self._compile_binop(expr, dest)
+        else:
+            raise CompileError(f"unknown expression node {expr!r}")
+
+    def _compile_binop(self, expr: ast.BinOp, dest: int) -> None:
+        emit = self.emitter.emit
+        right = expr.right
+        if (isinstance(right, ast.Const) and expr.kind in _BINOP_RI
+                and _IMM16_MIN <= right.value <= _IMM16_MAX):
+            self.compile_expr(expr.left, dest)
+            emit(Instruction(op=_BINOP_RI[expr.kind], rd=dest, rs1=dest,
+                             imm=right.value))
+            return
+        if (isinstance(right, ast.Const) and expr.kind is ast.BinOpKind.SUB
+                and _IMM16_MIN < right.value <= _IMM16_MAX):
+            self.compile_expr(expr.left, dest)
+            emit(Instruction(op=Op.ADDI, rd=dest, rs1=dest, imm=-right.value))
+            return
+        self.compile_expr(expr.left, dest)
+        temp = self.alloc_temp()
+        self.compile_expr(right, temp)
+        emit(Instruction(op=_BINOP_RR[expr.kind], rd=dest, rs1=dest, rs2=temp))
+        self.free_temp(temp)
+
+    # -- conditions -------------------------------------------------------
+
+    def compile_branch(self, cond: ast.Cmp, *, jump_if: bool) -> int:
+        """Emit code that jumps when ``cond`` evaluates to ``jump_if``.
+
+        Returns the emitted branch's instruction index for later patching.
+        """
+        left = self.alloc_temp()
+        self.compile_expr(cond.left, left)
+        kind = cond.kind
+        emit = self.emitter.emit
+
+        if kind in (ast.CmpKind.EQ, ast.CmpKind.NE):
+            want_eq = (kind is ast.CmpKind.EQ) == jump_if
+            if isinstance(cond.right, ast.Const) and cond.right.value == 0:
+                op = Op.BEQZ if want_eq else Op.BNEZ
+                index = emit(Instruction(op=op, rs1=left, target=0))
+            else:
+                right = self.alloc_temp()
+                self.compile_expr(cond.right, right)
+                op = Op.BEQ if want_eq else Op.BNE
+                index = emit(Instruction(op=op, rs1=left, rs2=right, target=0))
+                self.free_temp(right)
+            self.free_temp(left)
+            return index
+
+        # Ordered comparisons: the MIPS slt idiom.  LT jumps on the slt
+        # result; GE jumps on its negation.
+        right = self.alloc_temp()
+        self.compile_expr(cond.right, right)
+        slt_op = Op.SLTU if kind in (ast.CmpKind.LTU, ast.CmpKind.GEU) else Op.SLT
+        flag = self.alloc_temp()
+        emit(Instruction(op=slt_op, rd=flag, rs1=left, rs2=right))
+        is_lt = kind in (ast.CmpKind.LT, ast.CmpKind.LTU)
+        branch_op = Op.BNEZ if is_lt == jump_if else Op.BEQZ
+        index = emit(Instruction(op=branch_op, rs1=flag, target=0))
+        self.free_temp(flag)
+        self.free_temp(right)
+        self.free_temp(left)
+        return index
+
+    # -- statements -------------------------------------------------------
+
+    def compile_stmt(self, stmt: ast.Stmt, epilogue_patches: List[int]) -> None:
+        emit = self.emitter.emit
+        if isinstance(stmt, ast.Assign):
+            temp = self.alloc_temp()
+            self.compile_expr(stmt.value, temp)
+            if isinstance(stmt.dest, ast.Local):
+                emit(Instruction(op=Op.SW, rs1=REG_FP, rs2=temp,
+                                 imm=self.slot_offset(stmt.dest.slot)))
+            else:
+                emit(Instruction(op=Op.SW, rs1=0, rs2=temp,
+                                 imm=self.global_offset(stmt.dest.index)))
+            self.free_temp(temp)
+        elif isinstance(stmt, ast.CallAssign):
+            if len(stmt.args) > len(_ARG_REGS):
+                raise CompileError(f"{self.fn.name}: too many call arguments")
+            for position, arg in enumerate(stmt.args):
+                self.compile_expr(arg, _ARG_REGS[position])
+            emit(Instruction(op=Op.CALL, target=stmt.callee))
+            emit(Instruction(op=Op.SW, rs1=REG_FP, rs2=REG_RV,
+                             imm=self.slot_offset(stmt.dest.slot)))
+        elif isinstance(stmt, ast.If):
+            to_else = self.compile_branch(stmt.cond, jump_if=False)
+            for inner in stmt.then_body:
+                self.compile_stmt(inner, epilogue_patches)
+            if stmt.else_body:
+                to_end = emit(Instruction(op=Op.JMP, target=0))
+                self.emitter.patch(to_else, self.emitter.here())
+                for inner in stmt.else_body:
+                    self.compile_stmt(inner, epilogue_patches)
+                self.emitter.patch(to_end, self.emitter.here())
+            else:
+                self.emitter.patch(to_else, self.emitter.here())
+        elif isinstance(stmt, ast.CountedLoop):
+            offset = self.slot_offset(stmt.counter.slot)
+            temp = self.alloc_temp()
+            emit(Instruction(op=Op.LI, rd=temp, imm=0))
+            emit(Instruction(op=Op.SW, rs1=REG_FP, rs2=temp, imm=offset))
+            self.free_temp(temp)
+            head = self.emitter.here()
+            exit_branch = self.compile_branch(
+                ast.Cmp(ast.CmpKind.LT, stmt.counter, stmt.count), jump_if=False)
+            for inner in stmt.body:
+                self.compile_stmt(inner, epilogue_patches)
+            temp = self.alloc_temp()
+            emit(Instruction(op=Op.LW, rd=temp, rs1=REG_FP, imm=offset))
+            emit(Instruction(op=Op.ADDI, rd=temp, rs1=temp, imm=1))
+            emit(Instruction(op=Op.SW, rs1=REG_FP, rs2=temp, imm=offset))
+            self.free_temp(temp)
+            emit(Instruction(op=Op.JMP, target=head))
+            self.emitter.patch(exit_branch, self.emitter.here())
+        elif isinstance(stmt, ast.While):
+            head = self.emitter.here()
+            exit_branch = self.compile_branch(stmt.cond, jump_if=False)
+            for inner in stmt.body:
+                self.compile_stmt(inner, epilogue_patches)
+            emit(Instruction(op=Op.JMP, target=head))
+            self.emitter.patch(exit_branch, self.emitter.here())
+        elif isinstance(stmt, ast.Print):
+            self.compile_expr(stmt.value, REG_RV)
+            emit(Instruction(op=Op.TRAP, imm=1))
+        elif isinstance(stmt, ast.Return):
+            self.compile_expr(stmt.value, REG_RV)
+            epilogue_patches.append(emit(Instruction(op=Op.JMP, target=0)))
+        else:
+            raise CompileError(f"unknown statement node {stmt!r}")
+
+    # -- whole function ---------------------------------------------------
+
+    def compile(self) -> Function:
+        emit = self.emitter.emit
+        # Prologue: allocate frame, save fp, establish new fp, spill params.
+        emit(Instruction(op=Op.ADDI, rd=REG_SP, rs1=REG_SP, imm=-self.frame))
+        emit(Instruction(op=Op.SW, rs1=REG_SP, rs2=REG_FP, imm=self.frame - 4))
+        emit(Instruction(op=Op.MOV, rd=REG_FP, rs1=REG_SP))
+        for position in range(self.fn.params):
+            emit(Instruction(op=Op.SW, rs1=REG_FP, rs2=_ARG_REGS[position],
+                             imm=self.slot_offset(position)))
+        epilogue_patches: List[int] = []
+        for stmt in self.fn.body:
+            self.compile_stmt(stmt, epilogue_patches)
+        # Functions without a trailing return yield 0.
+        if not (self.fn.body and isinstance(self.fn.body[-1], ast.Return)):
+            emit(Instruction(op=Op.LI, rd=REG_RV, imm=0))
+        epilogue = self.emitter.here()
+        for index in epilogue_patches:
+            self.emitter.patch(index, epilogue)
+        emit(Instruction(op=Op.LW, rd=REG_FP, rs1=REG_SP, imm=self.frame - 4))
+        emit(Instruction(op=Op.ADDI, rd=REG_SP, rs1=REG_SP, imm=self.frame))
+        emit(Instruction(op=Op.RET))
+        return Function(name=self.fn.name, insns=self.emitter.insns)
+
+
+def compile_function(fn: ast.FunctionDef, module: ast.Module) -> Function:
+    """Compile one function definition."""
+    return _FunctionCompiler(fn, module).compile()
+
+
+def compile_module(module: ast.Module) -> Program:
+    """Compile ``module`` into a validated :class:`Program`."""
+    functions = [compile_function(fn, module) for fn in module.functions]
+    program = Program(name=module.name, functions=functions, entry=0)
+    from ..isa import validate_program
+
+    validate_program(program)
+    return program

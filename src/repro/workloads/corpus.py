@@ -1,0 +1,51 @@
+"""Corpus construction: the nine benchmark programs, plus caching.
+
+Building the full-scale word97 stand-in takes tens of seconds, so the
+corpus builder memoizes per (name, scale) within a process.  Experiments
+share one corpus instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..isa import Program
+from .generator import generate_benchmark
+from .profiles import PROFILES, BenchmarkProfile, profile
+
+_cache: Dict[Tuple[str, float], Program] = {}
+
+
+def benchmark_program(name: str, scale: float = 1.0) -> Program:
+    """Return the synthetic program for benchmark ``name`` at ``scale``."""
+    key = (name, scale)
+    if key not in _cache:
+        _cache[key] = generate_benchmark(profile(name), scale=scale)
+    return _cache[key]
+
+
+def corpus(scale: float = 1.0,
+           names: Optional[Iterable[str]] = None) -> List[Tuple[BenchmarkProfile, Program]]:
+    """Build (profile, program) pairs for the requested benchmarks.
+
+    ``names=None`` builds all nine, in the paper's (size-descending) order.
+    """
+    selected = list(names) if names is not None else [p.name for p in PROFILES]
+    return [(profile(name), benchmark_program(name, scale)) for name in selected]
+
+
+def clear_cache() -> None:
+    """Drop memoized programs (tests use this to bound memory)."""
+    _cache.clear()
+
+
+def training_corpus(scale: float = 1.0,
+                    exclude: Optional[str] = None) -> List[Program]:
+    """Programs used to train BRISC's external dictionary.
+
+    BRISC needs a corpus of *representative* programs (paper section 2);
+    excluding the program under test reproduces the honest setting where
+    the external dictionary was trained ahead of time.
+    """
+    names = [p.name for p in PROFILES if p.name != exclude]
+    return [benchmark_program(name, scale) for name in names]

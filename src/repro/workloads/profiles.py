@@ -1,0 +1,210 @@
+"""Per-benchmark profiles: the paper's measurements plus generator knobs.
+
+Paper data is transcribed from Table 1 (redundancy statistics), Table 5
+(compression ratios and execution-time overheads) and Table 6 / Figure 3
+(buffer behaviour, word97 only).  The generator knobs are calibrated so the
+synthetic stand-ins reproduce each benchmark's *size* and *redundancy
+structure* — the properties SSD's compression ratio actually depends on.
+
+Knob intuition:
+
+* ``constant_pool`` — how many distinct literal constants the program
+  draws from.  A small pool relative to program size means the same ``li``
+  instructions recur, raising instruction re-use (word97 behaviour); a
+  large pool lowers it (ijpeg/compress behaviour).
+* ``max_locals`` — more locals means more distinct frame offsets in
+  loads/stores, lowering re-use.
+* ``avg_statements`` — statements per function; with ``function_count``
+  fixed by the instruction target this shifts function size distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    """One row of the paper's Table 1."""
+
+    x86_bytes: int
+    total_instructions: int
+    unique_instructions: int
+    avg_reuse: float
+    unique_digrams: int
+    digram_reuse: float
+    top_sequence_reuse: float
+
+
+@dataclass(frozen=True)
+class PaperTable5Row:
+    """One row of the paper's Table 5."""
+
+    ssd_ratio: float
+    brisc_ratio: float
+    exec_overhead_pct: float
+    jit_overhead_pct: float
+    quality_overhead_pct: float
+
+
+@dataclass(frozen=True)
+class GeneratorKnobs:
+    """Tuning parameters for the synthetic program generator."""
+
+    constant_pool: int
+    wide_constant_fraction: float
+    max_locals: int
+    max_params: int
+    avg_statements: int
+    loop_fraction: float
+    if_fraction: float
+    call_fraction: float
+    global_fraction: float
+    globals_count: int
+    expr_depth: int
+    #: exponent of the Zipf-flavoured constant draw; higher concentrates
+    #: use on fewer pool entries (raises instruction re-use).
+    constant_skew: float = 1.6
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Everything needed to synthesize and evaluate one benchmark."""
+
+    name: str
+    seed: int
+    table1: PaperTable1Row
+    table5: PaperTable5Row
+    knobs: GeneratorKnobs
+    #: iterations of the main driver loop (controls dynamic profile length)
+    workload_iterations: int = 15
+
+
+def _knobs(pool: int, locals_: int, stmts: int, *, wide: float = 0.15,
+           params: int = 4, loops: float = 0.18, ifs: float = 0.25,
+           calls: float = 0.15, globals_frac: float = 0.1,
+           globals_count: int = 32, depth: int = 3,
+           skew: float = 1.6) -> GeneratorKnobs:
+    return GeneratorKnobs(
+        constant_pool=pool,
+        wide_constant_fraction=wide,
+        max_locals=locals_,
+        max_params=params,
+        avg_statements=stmts,
+        loop_fraction=loops,
+        if_fraction=ifs,
+        call_fraction=calls,
+        global_fraction=globals_frac,
+        globals_count=globals_count,
+        expr_depth=depth,
+        constant_skew=skew,
+    )
+
+
+#: The nine benchmarks, ordered as in the paper's tables (largest first).
+PROFILES: List[BenchmarkProfile] = [
+    BenchmarkProfile(
+        name="word97",
+        seed=971,
+        table1=PaperTable1Row(5175500, 1427592, 124288, 11.5, 518351, 2.8, 16.6),
+        table5=PaperTable5Row(0.45, 0.69, 3.2, 0.7, 2.5),
+        knobs=_knobs(pool=34000, locals_=8, stmts=18, wide=0.06, globals_count=96, skew=2.6),
+    ),
+    BenchmarkProfile(
+        name="gcc",
+        seed=263,
+        table1=PaperTable1Row(747436, 194501, 22946, 8.4, 78413, 2.5, 12.5),
+        table5=PaperTable5Row(0.49, 0.57, 9.1, 0.4, 8.7),
+        knobs=_knobs(pool=5600, locals_=9, stmts=16, wide=0.08, globals_count=64, skew=2.4),
+    ),
+    BenchmarkProfile(
+        name="vortex",
+        seed=400,
+        table1=PaperTable1Row(400040, 97931, 11828, 8.3, 34657, 2.8, 12.8),
+        table5=PaperTable5Row(0.37, 0.55, 7.7, 0.4, 7.3),
+        knobs=_knobs(pool=2400, locals_=8, stmts=17, wide=0.07, globals_count=64, skew=2.4),
+    ),
+    BenchmarkProfile(
+        name="perl",
+        seed=239,
+        table1=PaperTable1Row(238950, 75270, 11664, 6.5, 34043, 2.2, 9.5),
+        table5=PaperTable5Row(0.57, 0.85, 8.6, 0.3, 8.3),
+        knobs=_knobs(pool=4200, locals_=10, stmts=15, wide=0.12, globals_count=48),
+    ),
+    BenchmarkProfile(
+        name="go",
+        seed=181,
+        table1=PaperTable1Row(180838, 36398, 6133, 5.9, 17568, 2.1, 10.0),
+        table5=PaperTable5Row(0.42, 0.60, 5.5, 0.2, 5.3),
+        knobs=_knobs(pool=2300, locals_=9, stmts=16, wide=0.10, globals_count=48),
+    ),
+    BenchmarkProfile(
+        name="ijpeg",
+        seed=136,
+        table1=PaperTable1Row(136070, 31057, 7893, 3.9, 19207, 1.6, 8.5),
+        table5=PaperTable5Row(0.50, 0.60, 8.1, 0.5, 7.6),
+        knobs=_knobs(pool=7000, locals_=12, stmts=15, wide=0.28, globals_count=48,
+                     depth=4, skew=1.0),
+    ),
+    BenchmarkProfile(
+        name="m88ksim",
+        seed=119,
+        table1=PaperTable1Row(119782, 21957, 5865, 3.7, 11403, 1.9, 3.4),
+        table5=PaperTable5Row(0.41, 0.49, 7.4, 0.3, 7.1),
+        knobs=_knobs(pool=5600, locals_=12, stmts=14, wide=0.28, globals_count=40,
+                     depth=4, skew=1.0),
+    ),
+    BenchmarkProfile(
+        name="xlisp",
+        seed=75,
+        table1=PaperTable1Row(75942, 13414, 1860, 7.2, 5549, 2.4, 7.4),
+        table5=PaperTable5Row(0.43, 0.59, 5.1, 0.2, 4.9),
+        knobs=_knobs(pool=550, locals_=6, stmts=13, wide=0.05, globals_count=24, skew=2.8),
+    ),
+    BenchmarkProfile(
+        name="compress",
+        seed=7,
+        table1=PaperTable1Row(7234, 1411, 591, 2.4, 1032, 1.4, 5.2),
+        table5=PaperTable5Row(0.58, 0.57, 4.3, 0.2, 4.1),
+        knobs=_knobs(pool=520, locals_=10, stmts=12, wide=0.30, globals_count=16,
+                     depth=4, skew=1.0),
+    ),
+]
+
+PROFILE_BY_NAME: Dict[str, BenchmarkProfile] = {p.name: p for p in PROFILES}
+
+#: Paper Table 5 averages (the "Average" row).
+PAPER_AVERAGE_SSD_RATIO = 0.47
+PAPER_AVERAGE_BRISC_RATIO = 0.61
+PAPER_AVERAGE_EXEC_OVERHEAD_PCT = 6.6
+PAPER_AVERAGE_JIT_OVERHEAD_PCT = 0.4
+PAPER_AVERAGE_QUALITY_OVERHEAD_PCT = 6.2
+
+#: Paper Table 6: (buffer ratio, MB JIT-translated, hit rate %), word97.
+PAPER_TABLE6 = [
+    (0.200, 208.0, 91.31),
+    (0.250, 119.1, 94.35),
+    (0.275, 53.2, 99.83),
+    (0.300, 13.5, 99.87),
+    (0.325, 9.3, 99.89),
+    (0.350, 7.4, 99.89),
+    (0.400, 6.5, 99.93),
+    (0.450, 6.1, 99.95),
+    (0.500, 5.3, 99.96),
+]
+
+#: Section 3 narrative numbers for Figure 3 / the word97 story.
+PAPER_WORD97_THIRD_BUFFER_OVERHEAD_PCT = 27.0
+PAPER_REGEN_INFRASTRUCTURE_OVERHEAD_PCT = 14.1
+PAPER_SSD_COPY_PHASE_MBPS = 12.5
+PAPER_SSD_DICT_PHASE_MBPS = 7.8
+PAPER_BRISC_TRANSLATE_MBPS = 5.0
+
+
+def profile(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name."""
+    if name not in PROFILE_BY_NAME:
+        known = ", ".join(sorted(PROFILE_BY_NAME))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+    return PROFILE_BY_NAME[name]

@@ -1,0 +1,53 @@
+"""Tests for the hybrid re-optimization overhead mode."""
+
+import pytest
+
+from repro.analysis import measure_overhead
+from repro.isa import assemble
+
+WORKLOAD = """
+func main
+    li r2, 40
+    li r3, 0
+loop:
+    slt r4, r3, r2
+    beqz r4, done
+    lw r5, -8(r29)
+    addi r5, r5, 3
+    sw r5, -8(r29)
+    addi r3, r3, 1
+    jmp loop
+done:
+    mov r1, r3
+    trap 1
+    ret
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(WORKLOAD)
+
+
+class TestHybridMode:
+    def test_hybrid_erases_quality_overhead(self, program):
+        report = measure_overhead(program, fuel=100_000, hybrid=True)
+        assert report.quality_overhead_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_hybrid_costs_more_translation(self, program):
+        plain = measure_overhead(program, fuel=100_000)
+        hybrid = measure_overhead(program, fuel=100_000, hybrid=True)
+        assert hybrid.translation_cycles > plain.translation_cycles
+
+    def test_hybrid_wins_on_long_sessions(self, program):
+        plain = measure_overhead(program, fuel=100_000, session_seconds=600.0)
+        hybrid = measure_overhead(program, fuel=100_000, session_seconds=600.0,
+                                  hybrid=True)
+        assert hybrid.total_overhead_pct < plain.total_overhead_pct
+
+    def test_plain_wins_on_tiny_sessions(self, program):
+        plain = measure_overhead(program, fuel=100_000, session_seconds=0.0001)
+        hybrid = measure_overhead(program, fuel=100_000, session_seconds=0.0001,
+                                  hybrid=True)
+        assert hybrid.total_overhead_pct > plain.total_overhead_pct

@@ -1,0 +1,177 @@
+"""Tests for the BRISC baseline (patterns, codec, comparison properties)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.brisc import (
+    BriscError,
+    Pattern,
+    PatternDictionary,
+    compress,
+    decompress,
+    train,
+)
+from repro.brisc.codec import compress_function, decompress_function
+from repro.isa import Instruction, Op, assemble
+from repro.vm import native_size, run_program
+
+from .strategies import programs
+
+TRAINING = """
+func a
+    li r1, 0
+    addi r1, r1, 1
+    lw r2, 0(r29)
+    addi r1, r1, 1
+    lw r2, 0(r29)
+    addi r1, r1, 1
+    lw r2, 0(r29)
+    addi r1, r1, 1
+    lw r2, 0(r29)
+    sw r2, 4(r29)
+    ret
+end
+func b
+    li r1, 0
+    addi r1, r1, 1
+    lw r2, 0(r29)
+    addi r1, r1, 1
+    sw r2, 4(r29)
+    ret
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return train([assemble(TRAINING)], budget=300)
+
+
+class TestPattern:
+    def test_pattern_length_validated(self):
+        with pytest.raises(ValueError):
+            Pattern(ops=(Op.NOP, Op.NOP, Op.NOP), pins=((), (), ()))
+
+    def test_parallel_pins_validated(self):
+        with pytest.raises(ValueError):
+            Pattern(ops=(Op.NOP,), pins=((), ()))
+
+    def test_open_fields_excludes_pins(self):
+        pattern = Pattern(ops=(Op.ADDI,), pins=((("imm", 1),),))
+        assert pattern.open_fields(0) == ["rd", "rs1"]
+
+    def test_matches_checks_pins(self):
+        pattern = Pattern(ops=(Op.ADDI,), pins=((("imm", 1),),))
+        hit = [Instruction(op=Op.ADDI, rd=1, rs1=1, imm=1)]
+        miss = [Instruction(op=Op.ADDI, rd=1, rs1=1, imm=2)]
+        assert pattern.matches(hit, 0)
+        assert not pattern.matches(miss, 0)
+
+    def test_pair_pattern_needs_both(self):
+        pattern = Pattern(ops=(Op.LI, Op.ADDI), pins=((), ()))
+        insns = [Instruction(op=Op.LI, rd=1, imm=0),
+                 Instruction(op=Op.ADDI, rd=1, rs1=1, imm=1)]
+        assert pattern.matches(insns, 0)
+        assert not pattern.matches(insns, 1)  # out of range
+
+
+class TestTraining:
+    def test_every_opcode_covered(self, dictionary):
+        ops_with_bare = {p.ops[0] for p in dictionary.patterns
+                         if p.length == 1 and p.pins == ((),)}
+        assert ops_with_bare == set(Op)
+
+    def test_budget_respected(self):
+        d = train([assemble(TRAINING)], budget=100)
+        assert len(d) <= 100
+
+    def test_hot_pattern_gets_small_code(self, dictionary):
+        # addi r1, r1, 1 appears 3 times: some specialized pattern for
+        # ADDI should be in the dictionary beyond the bare one.
+        specialized = [p for p in dictionary.patterns
+                       if p.ops == (Op.ADDI,) and p.pins != ((),)]
+        assert specialized
+
+    def test_pairs_are_unpinned(self, dictionary):
+        for pattern in dictionary.patterns:
+            if pattern.length == 2:
+                assert pattern.pins == ((), ())
+
+    def test_register_ranking_total(self, dictionary):
+        assert sorted(dictionary.reg_ranks.values()) == list(range(32))
+
+    def test_external_dictionary_size_reported(self, dictionary):
+        assert dictionary.size_bytes() > 0
+
+
+class TestCodec:
+    def test_function_roundtrip(self, dictionary):
+        program = assemble(TRAINING)
+        for fn in program.functions:
+            blob = compress_function(fn, dictionary)
+            assert decompress_function(blob, fn.name, dictionary).insns == fn.insns
+
+    def test_program_roundtrip(self, dictionary):
+        program = assemble(TRAINING)
+        restored = decompress(compress(program, dictionary), dictionary)
+        assert [f.insns for f in restored.functions] == [f.insns for f in program.functions]
+
+    def test_behaviour_preserved(self, dictionary):
+        program = assemble("""
+func main
+    li r2, 5
+    li r1, 0
+loop:
+    add r1, r1, r2
+    addi r2, r2, -1
+    bnez r2, loop
+    trap 1
+    ret
+end
+""")
+        restored = decompress(compress(program, dictionary), dictionary)
+        assert run_program(restored).output == run_program(program).output
+
+    def test_unseen_instructions_escape(self, dictionary):
+        # trap/div never appear in the training text; they still encode.
+        program = assemble("""
+func main
+    divs r3, r1, r2
+    trap 1
+    ret
+end
+""")
+        restored = decompress(compress(program, dictionary), dictionary)
+        assert [f.insns for f in restored.functions] == [f.insns for f in program.functions]
+
+    def test_bad_pattern_code_rejected(self, dictionary):
+        from repro.lz.varint import ByteWriter
+
+        w = ByteWriter()
+        w.write_uvarint(1)
+        w.write_u8(0xF0 | 14)  # two-byte code way past the dictionary
+        w.write_u8(200)
+        with pytest.raises(BriscError, match="not in dictionary"):
+            decompress_function(w.getvalue(), "f", dictionary)
+
+    def test_compressed_size_excludes_external_dictionary(self, dictionary):
+        program = assemble(TRAINING)
+        compressed = compress(program, dictionary)
+        assert compressed.size == sum(len(b) for b in compressed.function_blobs)
+
+
+class TestComparative:
+    def test_brisc_compresses_redundant_code(self, dictionary):
+        # Training-corpus-like code should compress below native size.
+        program = assemble(TRAINING)
+        assert compress(program, dictionary).size < native_size(program)
+
+
+@given(programs(max_functions=3, max_function_size=20))
+@settings(max_examples=25, deadline=None)
+def test_property_brisc_roundtrip_any_program(program):
+    # An arbitrary program must roundtrip even when the dictionary was
+    # trained on something completely different (escapes cover the rest).
+    dictionary = train([assemble(TRAINING)], budget=200)
+    restored = decompress(compress(program, dictionary), dictionary)
+    assert [f.insns for f in restored.functions] == [f.insns for f in program.functions]

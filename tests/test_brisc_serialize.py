@@ -1,0 +1,95 @@
+"""Tests for BRISC external-dictionary serialization."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.brisc import (
+    BriscDictionaryError,
+    PatternDictionary,
+    compress,
+    decompress,
+    deserialize_dictionary,
+    serialize_dictionary,
+    serialized_size,
+    train,
+)
+from repro.isa import assemble
+
+from .strategies import programs
+
+TRAINING = """
+func a
+    li r1, 0
+    addi r1, r1, 1
+    lw r2, 0(r29)
+    addi r1, r1, 1
+    lw r2, 0(r29)
+    sw r2, 4(r29)
+    ret
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def dictionary():
+    return train([assemble(TRAINING)], budget=200)
+
+
+class TestSerialization:
+    def test_roundtrip(self, dictionary):
+        blob = serialize_dictionary(dictionary)
+        restored = deserialize_dictionary(blob)
+        assert restored.patterns == dictionary.patterns
+        assert restored.reg_ranks == dictionary.reg_ranks
+
+    def test_restored_dictionary_decompresses(self, dictionary):
+        program = assemble(TRAINING)
+        compressed = compress(program, dictionary)
+        restored_dict = deserialize_dictionary(serialize_dictionary(dictionary))
+        result = decompress(compressed, restored_dict)
+        assert [f.insns for f in result.functions] == \
+            [f.insns for f in program.functions]
+
+    def test_serialized_size_positive(self, dictionary):
+        assert serialized_size(dictionary) == len(serialize_dictionary(dictionary))
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(BriscDictionaryError, match="magic"):
+            deserialize_dictionary(b"NOPE" + b"\x00" * 40)
+
+    def test_truncated_rejected(self, dictionary):
+        blob = serialize_dictionary(dictionary)
+        with pytest.raises((BriscDictionaryError, EOFError)):
+            deserialize_dictionary(blob[: len(blob) // 2])
+
+    def test_trailing_garbage_rejected(self, dictionary):
+        blob = serialize_dictionary(dictionary) + b"\x00"
+        with pytest.raises(BriscDictionaryError, match="trailing"):
+            deserialize_dictionary(blob)
+
+    def test_bad_register_ranking_rejected(self, dictionary):
+        blob = bytearray(serialize_dictionary(dictionary))
+        blob[4] = blob[5]  # duplicate a rank entry
+        with pytest.raises(BriscDictionaryError, match="permutation"):
+            deserialize_dictionary(bytes(blob))
+
+    def test_corruption_fails_cleanly(self, dictionary):
+        import random
+
+        blob = serialize_dictionary(dictionary)
+        rng = random.Random(5)
+        for _ in range(150):
+            corrupted = bytearray(blob)
+            corrupted[rng.randrange(len(corrupted))] ^= 0xFF
+            try:
+                deserialize_dictionary(bytes(corrupted))
+            except (BriscDictionaryError, ValueError, EOFError):
+                pass  # clean library errors only
+
+
+@given(programs(max_functions=3, max_function_size=25))
+@settings(max_examples=15, deadline=None)
+def test_property_trained_dictionaries_roundtrip(program):
+    dictionary = train([program], budget=150)
+    restored = deserialize_dictionary(serialize_dictionary(dictionary))
+    assert restored.patterns == dictionary.patterns

@@ -1,0 +1,251 @@
+"""Tests for repro.core.dictionary (Algorithm 1)."""
+
+import pytest
+
+from repro.isa import Instruction, Op, assemble
+from repro.core import build_dictionary, dictionary_statistics
+from repro.core.dictionary import MAX_SEQUENCE_LENGTH
+
+
+def _dict_for(text, **kwargs):
+    return build_dictionary(assemble(text), **kwargs)
+
+
+REPEATED = """
+func main
+    li r1, 1
+    addi r1, r1, 2
+    mul r2, r1, r1
+    li r1, 1
+    addi r1, r1, 2
+    mul r2, r1, r1
+    ret
+end
+"""
+
+
+class TestBaseEntries:
+    def test_every_unique_instruction_is_a_base_entry(self):
+        d = _dict_for(REPEATED)
+        # li, addi, mul, ret -> 4 unique instructions.
+        assert len(d.base_entries) == 4
+
+    def test_duplicate_instructions_share_entries(self):
+        d = _dict_for("""
+func main
+    li r1, 5
+    li r1, 5
+    li r1, 6
+    ret
+end
+""")
+        li_entries = [e for e in d.base_entries if e.instruction.op is Op.LI]
+        assert len(li_entries) == 2
+
+    def test_branches_match_by_target_size_not_value(self):
+        # Two bnez with different nearby targets share one base entry.
+        d = _dict_for("""
+func main
+    bnez r1, a
+    bnez r1, b
+a:
+    nop
+b:
+    ret
+end
+""")
+        branch_entries = [e for e in d.base_entries if e.is_branch]
+        assert len(branch_entries) == 1
+        assert branch_entries[0].instruction.target == 0  # normalized
+
+    def test_branch_entries_record_target_size(self):
+        d = _dict_for("""
+func main
+    bnez r1, out
+out:
+    ret
+end
+""")
+        entry = next(e for e in d.base_entries if e.is_branch)
+        assert entry.target_size == 1
+
+    def test_far_branches_get_distinct_entry(self):
+        lines = ["func main", "    bnez r1, far", "    bnez r1, near", "near:"]
+        lines += ["    nop"] * 40
+        lines += ["far:", "    ret", "end"]
+        d = _dict_for("\n".join(lines))
+        branch_entries = [e for e in d.base_entries if e.is_branch]
+        assert len(branch_entries) == 2
+        assert {e.target_size for e in branch_entries} == {1, 2}
+
+
+class TestSequenceEntries:
+    def test_repeated_triple_becomes_sequence_entry(self):
+        d = _dict_for(REPEATED)
+        assert len(d.sequence_entries) == 1
+        (sequence,) = d.sequence_entries
+        assert len(sequence) == 3
+
+    def test_unique_code_has_no_sequence_entries(self):
+        d = _dict_for("""
+func main
+    li r1, 1
+    li r2, 2
+    li r3, 3
+    ret
+end
+""")
+        assert d.sequence_entries == {}
+
+    def test_sequences_never_cross_basic_blocks(self):
+        # The repeated pair li/addi is split by a branch target (leader).
+        d = _dict_for("""
+func main
+    li r1, 1
+    beqz r1, mid
+mid:
+    addi r1, r1, 2
+    li r1, 1
+    beqz r1, mid2
+mid2:
+    addi r1, r1, 2
+    ret
+end
+""")
+        for sequence in d.sequence_entries:
+            assert len(sequence) <= 2
+
+    def test_max_length_respected(self):
+        body = "    li r1, 1\n    li r2, 2\n    li r3, 3\n    li r4, 4\n    li r5, 5\n    li r6, 6\n"
+        d = _dict_for(f"func main\n{body}{body}    ret\nend\n")
+        assert max(len(s) for s in d.sequence_entries) <= MAX_SEQUENCE_LENGTH
+
+    def test_max_length_parameter(self):
+        body = "    li r1, 1\n    li r2, 2\n    li r3, 3\n"
+        d = _dict_for(f"func main\n{body}{body}    ret\nend\n", max_len=2)
+        assert max(len(s) for s in d.sequence_entries) <= 2
+
+    def test_max_len_one_means_no_sequences(self):
+        d = _dict_for(REPEATED, max_len=1)
+        assert d.sequence_entries == {}
+
+    def test_bad_max_len_rejected(self):
+        with pytest.raises(ValueError):
+            _dict_for(REPEATED, max_len=0)
+
+    def test_branch_only_last_in_sequence(self):
+        d = _dict_for("""
+func main
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    addi r1, r1, -1
+    bnez r1, loop
+    ret
+end
+""")
+        for sequence in d.sequence_entries:
+            # reconstruct instructions via base entries
+            for position, base_id in enumerate(sequence):
+                entry = d.base_entries[base_id]
+                if entry.is_branch or entry.is_call:
+                    assert position == len(sequence) - 1
+
+    def test_cross_function_repetition_detected(self):
+        d = _dict_for("""
+func main
+    li r1, 1
+    addi r1, r1, 2
+    ret
+end
+func other
+    li r1, 1
+    addi r1, r1, 2
+    ret
+end
+""")
+        assert len(d.sequence_entries) >= 1
+
+
+class TestRefs:
+    def test_refs_cover_program_exactly(self):
+        program = assemble(REPEATED)
+        d = build_dictionary(program)
+        for fn, refs in zip(program.functions, d.function_refs):
+            assert sum(r.length for r in refs) == len(fn.insns)
+
+    def test_greedy_prefers_longest(self):
+        d = _dict_for(REPEATED)
+        refs = d.function_refs[0]
+        assert refs[0].length == 3  # the whole repeated triple
+
+    def test_branch_refs_carry_targets(self):
+        d = _dict_for("""
+func main
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    ret
+end
+""")
+        branch_refs = [r for refs in d.function_refs for r in refs
+                       if r.branch_target is not None]
+        assert branch_refs
+        assert branch_refs[0].branch_target == 0
+
+    def test_call_refs_carry_callee(self):
+        d = _dict_for("""
+func main
+    call helper
+    ret
+end
+func helper
+    ret
+end
+""")
+        call_refs = [r for refs in d.function_refs for r in refs
+                     if r.call_target is not None]
+        assert call_refs
+        assert call_refs[0].call_target == 1
+
+
+class TestAbsoluteTargets:
+    def test_absolute_mode_distinguishes_targets(self):
+        text = """
+func main
+    bnez r1, a
+    bnez r1, b
+a:
+    nop
+b:
+    ret
+end
+"""
+        relative = _dict_for(text)
+        absolute = _dict_for(text, absolute_targets=True)
+        rel_branches = [e for e in relative.base_entries if e.is_branch]
+        abs_branches = [e for e in absolute.base_entries if e.is_branch]
+        assert len(rel_branches) == 1
+        assert len(abs_branches) == 2
+        assert all(e.target_in_entry for e in abs_branches)
+
+    def test_absolute_mode_stores_target(self):
+        d = _dict_for("""
+func main
+    jmp out
+out:
+    ret
+end
+""", absolute_targets=True)
+        entry = next(e for e in d.base_entries if e.is_branch)
+        assert entry.stored_target == 1  # absolute index of 'out' 
+
+
+class TestStatistics:
+    def test_statistics_fields(self):
+        stats = dictionary_statistics(_dict_for(REPEATED))
+        assert stats["base_entries"] == 4
+        assert stats["sequence_entries"] == 1
+        assert stats["instructions"] == 7
+        assert 0 < stats["sequence_coverage"] < 1
+        assert stats["compression_leverage"] > 1

@@ -1,0 +1,105 @@
+"""Tests for lazy incremental decompression (repro.core.lazy)."""
+
+import pytest
+
+from repro.core import compress
+from repro.core.lazy import LazyProgram, lazy_program
+from repro.isa import assemble
+from repro.vm import run_program
+
+SOURCE = """
+func main
+    li r2, 3
+    call used
+    trap 1
+    ret
+end
+func used
+    add r1, r2, r2
+    ret
+end
+func never_called
+    li r1, 999
+    ret
+end
+func also_dead
+    li r1, 998
+    ret
+end
+"""
+
+
+@pytest.fixture()
+def lazy():
+    return lazy_program(compress(assemble(SOURCE)).data)
+
+
+class TestLazyProgram:
+    def test_nothing_materialized_up_front(self, lazy):
+        assert lazy.decompressed_count == 0
+
+    def test_runs_directly_in_interpreter(self, lazy):
+        result = run_program(lazy)
+        assert result.output == [6]
+
+    def test_only_executed_functions_decompressed(self, lazy):
+        run_program(lazy)
+        assert lazy.decompressed_functions == {0, 1}
+        assert lazy.decompressed_fraction == pytest.approx(0.5)
+
+    def test_output_matches_eager_decompression(self):
+        program = assemble(SOURCE)
+        data = compress(program).data
+        eager = run_program(program)
+        lazy = lazy_program(data)
+        assert run_program(lazy).output == eager.output
+
+    def test_materialized_functions_cached(self, lazy):
+        first = lazy.functions[1]
+        second = lazy.functions[1]
+        assert first is second
+
+    def test_materialized_matches_original(self, lazy):
+        program = assemble(SOURCE)
+        for findex in range(len(program.functions)):
+            assert lazy.functions[findex].insns == program.functions[findex].insns
+
+    def test_len_and_iteration(self, lazy):
+        assert len(lazy.functions) == 4
+        names = [fn.name for fn in lazy.functions]
+        assert names == ["main", "used", "never_called", "also_dead"]
+
+    def test_negative_index(self, lazy):
+        assert lazy.functions[-1].name == "also_dead"
+
+    def test_out_of_range_rejected(self, lazy):
+        with pytest.raises(IndexError):
+            lazy.functions[99]
+
+    def test_slicing_rejected(self, lazy):
+        with pytest.raises(TypeError):
+            lazy.functions[0:2]
+
+    def test_prefetch(self, lazy):
+        lazy.prefetch([2, 3])
+        assert lazy.decompressed_functions == {2, 3}
+
+    def test_metadata_exposed(self, lazy):
+        assert lazy.entry == 0
+        assert lazy.name == "asm"
+        assert lazy.reader.function_count == 4
+
+
+class TestLazyBenchmark:
+    def test_benchmark_program_runs_lazily(self):
+        from repro.workloads import benchmark_program, clear_cache
+
+        program = benchmark_program("compress", scale=0.5)
+        data = compress(program).data
+        lazy = lazy_program(data)
+        eager = run_program(program, fuel=3_000_000)
+        result = run_program(lazy, fuel=3_000_000)
+        assert result.output == eager.output
+        # A phased driver never touches everything.
+        assert 0 < lazy.decompressed_count <= len(program.functions)
+        clear_cache()

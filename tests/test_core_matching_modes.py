@@ -1,0 +1,113 @@
+"""Tests for greedy vs optimal matching (repro.core.dictionary modes)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import build_dictionary, compress, decompress
+from repro.core.dictionary import (
+    BaseEntry,
+    _greedy_segmentation,
+    _optimal_segmentation,
+)
+from repro.isa import Instruction, Op, assemble
+
+from .strategies import programs
+
+
+def _bases(count):
+    return [BaseEntry(key=(i,), instruction=Instruction(op=Op.NOP))
+            for i in range(count)]
+
+
+class TestSegmentationUnits:
+    def test_greedy_takes_longest(self):
+        ids = [0, 1, 2, 3]
+        ends = [4, 4, 4, 4]
+        counts = {(0, 1, 2): 2, (0, 1): 5}
+        assert _greedy_segmentation(ids, ends, counts, 4) == [3, 1]
+
+    def test_greedy_respects_block_ends(self):
+        ids = [0, 1, 2, 3]
+        ends = [2, 2, 4, 4]
+        counts = {(0, 1): 2, (2, 3): 2, (0, 1, 2, 3): 9}
+        # The 4-window crosses a block boundary, so only the pairs match.
+        assert _greedy_segmentation(ids, ends, counts, 4) == [2, 2]
+
+    def test_optimal_beats_greedy_on_non_factor_closed_oracle(self):
+        # (0,1) and (1,2,3,4) marked repeated, but no sub-window of the
+        # latter — impossible for real occurrence counts (factor-closed),
+        # but exactly the case where greedy loses.
+        ids = [0, 1, 2, 3, 4]
+        ends = [5] * 5
+        counts = {(0, 1): 2, (1, 2, 3, 4): 2}
+        greedy = _greedy_segmentation(ids, ends, counts, 4)
+        optimal = _optimal_segmentation(ids, ends, counts, 4, _bases(5))
+        assert len(greedy) == 4
+        assert optimal == [1, 4]
+
+    def test_optimal_accounts_for_branch_target_bytes(self):
+        # Entry 2 is a branch with a 4-byte target: a segmentation that
+        # uses it as its own item pays 6 bytes either way, so the DP
+        # still prefers fewer items.
+        insn = Instruction(op=Op.JMP, target=0)
+        bases = _bases(3)
+        bases[2] = BaseEntry(key=(2,), instruction=insn, target_size=4)
+        ids = [0, 1, 2]
+        ends = [3, 3, 3]
+        counts = {(0, 1, 2): 2}
+        optimal = _optimal_segmentation(ids, ends, counts, 4, bases)
+        assert optimal == [3]
+
+    def test_segmentations_cover_input(self):
+        ids = list(range(10))
+        ends = [10] * 10
+        for mode in (_greedy_segmentation(ids, ends, {}, 4),
+                     _optimal_segmentation(ids, ends, {}, 4, _bases(10))):
+            assert sum(mode) == 10
+
+
+class TestMatchModes:
+    SOURCE = """
+func main
+    li r1, 1
+    li r2, 2
+    li r3, 3
+    li r1, 1
+    li r2, 2
+    li r3, 3
+    ret
+end
+"""
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="match_mode"):
+            build_dictionary(assemble(self.SOURCE), match_mode="psychic")
+
+    def test_optimal_roundtrip(self):
+        program = assemble(self.SOURCE)
+        restored = decompress(compress(program, match_mode="optimal").data)
+        assert [f.insns for f in restored.functions] == \
+            [f.insns for f in program.functions]
+
+    def test_greedy_matches_optimal_on_real_programs(self):
+        # The factor-closure argument: real occurrence counts make greedy
+        # optimal, so item counts agree.
+        program = assemble(self.SOURCE)
+        greedy = build_dictionary(program, match_mode="greedy")
+        optimal = build_dictionary(program, match_mode="optimal")
+        greedy_items = sum(len(refs) for refs in greedy.function_refs)
+        optimal_items = sum(len(refs) for refs in optimal.function_refs)
+        assert greedy_items == optimal_items
+
+
+@given(programs(max_functions=3, max_function_size=30))
+@settings(max_examples=25, deadline=None)
+def test_property_optimal_never_worse_and_roundtrips(program):
+    greedy = compress(program, match_mode="greedy")
+    optimal = compress(program, match_mode="optimal")
+    greedy_items = greedy.dictionary_stats["items"]
+    optimal_items = optimal.dictionary_stats["items"]
+    assert optimal_items <= greedy_items
+    restored = decompress(optimal.data)
+    assert [f.insns for f in restored.functions] == \
+        [f.insns for f in program.functions]

@@ -1,0 +1,122 @@
+"""Tests for dictionary partitioning (common + sub-dictionaries)."""
+
+import pytest
+
+from repro.core import (
+    build_dictionary,
+    compress,
+    decompress,
+    open_container,
+    plan_partition,
+)
+from repro.core import partition as partition_module
+from repro.core.partition import PartitionError, _tree_node_count
+from repro.isa import assemble
+from repro.workloads import benchmark_program, clear_cache
+
+
+def _diverse_program(functions=12, insns_per_fn=40):
+    """A program with many unique instructions (pressure on the capacity)."""
+    lines = []
+    value = 0
+    for findex in range(functions):
+        lines.append(f"func f{findex}")
+        for _ in range(insns_per_fn):
+            value += 7
+            lines.append(f"    li r1, {value}")
+        lines.append("    ret")
+        lines.append("end")
+    return assemble("\n".join(lines))
+
+
+class TestTreeNodeCount:
+    def test_counts_shared_prefixes_once(self):
+        assert _tree_node_count({(1, 2, 3), (1, 2, 4)}) == 3
+
+    def test_empty(self):
+        assert _tree_node_count(set()) == 0
+
+
+class TestUnpartitioned:
+    def test_single_segment_when_small(self):
+        program = assemble("func main\n    li r1, 1\n    ret\nend\n")
+        plan = plan_partition(build_dictionary(program))
+        assert len(plan.segments) == 1
+        assert plan.common_base_ids == []
+        assert not plan.is_partitioned
+
+
+class TestPartitioned:
+    @pytest.fixture()
+    def tiny_capacity(self, monkeypatch):
+        monkeypatch.setattr(partition_module, "SEGMENT_CAPACITY", 220)
+        return 220
+
+    def test_multiple_segments_created(self, tiny_capacity):
+        program = _diverse_program()
+        plan = plan_partition(build_dictionary(program), common_budget=60)
+        assert len(plan.segments) > 1
+        assert plan.is_partitioned
+
+    def test_segment_functions_contiguous(self, tiny_capacity):
+        program = _diverse_program()
+        plan = plan_partition(build_dictionary(program), common_budget=60)
+        seen = []
+        for segment in plan.segments:
+            seen.extend(segment.function_indices)
+        assert seen == list(range(len(program.functions)))
+
+    def test_common_sequences_use_common_bases(self, monkeypatch):
+        monkeypatch.setattr(partition_module, "SEGMENT_CAPACITY", 260)
+        # Diverse constants plus one hot idiom repeated in every function,
+        # so the common dictionary has a sequence worth promoting.
+        lines = []
+        value = 0
+        for findex in range(14):
+            lines.append(f"func f{findex}")
+            lines.append("    addi r29, r29, -8")
+            lines.append("    sw r30, 4(r29)")
+            lines.append("    mov r30, r29")
+            for _ in range(25):
+                value += 7
+                lines.append(f"    li r1, {value}")
+            lines.append("    ret")
+            lines.append("end")
+        program = assemble("\n".join(lines))
+        plan = plan_partition(build_dictionary(program), common_budget=60)
+        assert plan.common_sequences, "expected a promoted common sequence"
+        common = set(plan.common_base_ids)
+        for sequence in plan.common_sequences:
+            assert all(base in common for base in sequence)
+
+    def test_capacity_respected(self, tiny_capacity):
+        program = _diverse_program()
+        plan = plan_partition(build_dictionary(program), common_budget=60)
+        common_space = len(plan.common_base_ids) + _tree_node_count(
+            set(plan.common_sequences))
+        for segment in plan.segments:
+            space = (common_space + len(segment.local_base_ids)
+                     + _tree_node_count(segment.local_sequences))
+            assert space <= tiny_capacity
+
+    def test_oversized_function_rejected(self, monkeypatch):
+        monkeypatch.setattr(partition_module, "SEGMENT_CAPACITY", 10)
+        program = _diverse_program(functions=1, insns_per_fn=50)
+        with pytest.raises(PartitionError):
+            plan_partition(build_dictionary(program), common_budget=0)
+
+    def test_partitioned_roundtrip(self, monkeypatch):
+        monkeypatch.setattr(partition_module, "SEGMENT_CAPACITY", 300)
+        program = _diverse_program(functions=16, insns_per_fn=30)
+        compressed = compress(program, common_budget=80)
+        assert compressed.partition_stats["segments"] > 1
+        restored = decompress(compressed.data)
+        assert [f.insns for f in restored.functions] == \
+            [f.insns for f in program.functions]
+
+    def test_partitioned_reader_segment_mapping(self, monkeypatch):
+        monkeypatch.setattr(partition_module, "SEGMENT_CAPACITY", 300)
+        program = _diverse_program(functions=16, insns_per_fn=30)
+        reader = open_container(compress(program, common_budget=80).data)
+        assert len(reader.layouts) > 1
+        assert len(set(reader.segment_of_function)) == len(reader.layouts)

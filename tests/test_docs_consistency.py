@@ -1,0 +1,107 @@
+"""Documentation consistency checks.
+
+Cheap guards that keep the written story in sync with the code: the
+deliverable docs exist, reference real modules, and the recorded
+full-scale results cover every exhibit.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _read(name):
+    path = ROOT / name
+    assert path.exists(), f"{name} missing"
+    return path.read_text(encoding="utf-8")
+
+
+class TestDeliverableDocs:
+    def test_readme_covers_all_packages(self):
+        readme = _read("README.md")
+        for package in ("repro.core", "repro.isa", "repro.vm", "repro.brisc",
+                        "repro.jit", "repro.workloads", "repro.lz"):
+            assert package in readme
+
+    def test_design_has_experiment_index(self):
+        design = _read("DESIGN.md")
+        for exhibit in ("table1", "table5", "table6", "figure3",
+                        "throughput", "ablation-branch", "startup"):
+            assert exhibit in design, exhibit
+
+    def test_experiments_covers_every_exhibit(self):
+        experiments = _read("EXPERIMENTS.md")
+        for heading in ("Table 1", "Table 5", "Table 6", "Figure 3",
+                        "Throughput", "Startup", "Ablations"):
+            assert heading in experiments, heading
+
+    def test_format_doc_matches_magic(self):
+        from repro.core.container import MAGIC
+
+        assert MAGIC.decode() in _read("docs/FORMAT.md")
+
+    def test_algorithms_doc_references_real_modules(self):
+        import importlib
+
+        doc = _read("docs/ALGORITHMS.md")
+        for reference in set(re.findall(r"`(repro\.[a-z_.]+)`", doc)):
+            parts = reference.split(".")
+            # The reference may be a module or module.attribute.
+            for split in range(len(parts), 0, -1):
+                try:
+                    obj = importlib.import_module(".".join(parts[:split]))
+                except ModuleNotFoundError:
+                    continue
+                for attribute in parts[split:]:
+                    obj = getattr(obj, attribute)
+                break
+            else:
+                pytest.fail(f"dangling reference {reference!r}")
+
+
+class TestRecordedResults:
+    def test_full_scale_results_exist(self):
+        results = _read("results/full_scale.txt")
+        for marker in ("Table 1", "Table 5", "Table 6", "Figure 3",
+                       "Throughput", "Startup"):
+            assert marker in results, marker
+
+    def test_full_scale_ablations_exist(self):
+        results = _read("results/full_scale_ablations.txt")
+        for marker in ("branch targets", "base-entry codec",
+                       "sequence-entry length", "optimal matching",
+                       "hybrid re-optimization", "replacement policy",
+                       "Compression landscape", "Validation"):
+            assert marker in results, marker
+
+    def test_no_failed_exhibits_recorded(self):
+        assert "FAILED" not in _read("results/full_scale.txt")
+        assert "Traceback" not in _read("results/full_scale_ablations.txt")
+
+
+class TestPaperConstantsTranscription:
+    def test_table6_rows_match_paper(self):
+        from repro.workloads import PAPER_TABLE6
+
+        assert len(PAPER_TABLE6) == 9
+        assert PAPER_TABLE6[0] == (0.200, 208.0, 91.31)
+        assert PAPER_TABLE6[-1] == (0.500, 5.3, 99.96)
+
+    def test_average_row_consistency(self):
+        # Paper's Table 5 average row: 0.47 / 0.61 / 6.6%.
+        from repro.workloads import (
+            PAPER_AVERAGE_BRISC_RATIO,
+            PAPER_AVERAGE_EXEC_OVERHEAD_PCT,
+            PAPER_AVERAGE_SSD_RATIO,
+            PROFILES,
+        )
+
+        ssd = sum(p.table5.ssd_ratio for p in PROFILES) / len(PROFILES)
+        brisc = sum(p.table5.brisc_ratio for p in PROFILES) / len(PROFILES)
+        overhead = sum(p.table5.exec_overhead_pct for p in PROFILES) / len(PROFILES)
+        assert ssd == pytest.approx(PAPER_AVERAGE_SSD_RATIO, abs=0.01)
+        assert brisc == pytest.approx(PAPER_AVERAGE_BRISC_RATIO, abs=0.01)
+        assert overhead == pytest.approx(PAPER_AVERAGE_EXEC_OVERHEAD_PCT, abs=0.1)

@@ -1,0 +1,57 @@
+"""Tests for the startup-latency experiment."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments.startup import (
+    PAPER_ERA_DISK_MBPS,
+    StartupPoint,
+    model_startup,
+    run,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(scale=0.05)
+
+
+class TestStartupModel:
+    def test_points_cover_sweep(self, context):
+        points = model_startup(context, name="gcc", disk_sweep=(1.0, 10.0))
+        assert [p.disk_mbps for p in points] == [1.0, 10.0]
+
+    def test_ssd_wins_on_slow_disks(self, context):
+        points = model_startup(context, name="gcc", disk_sweep=(0.5,))
+        assert points[0].speedup_pct > 0
+
+    def test_native_wins_on_fast_disks(self, context):
+        points = model_startup(context, name="gcc", disk_sweep=(500.0,))
+        assert points[0].speedup_pct < 0
+
+    def test_speedup_monotone_in_disk_speed(self, context):
+        points = model_startup(context, name="gcc",
+                               disk_sweep=(1.0, 4.0, 16.0, 64.0))
+        speedups = [p.speedup_pct for p in points]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_bigger_startup_set_costs_more(self, context):
+        small = model_startup(context, name="gcc", startup_fraction=0.2,
+                              disk_sweep=(2.5,))[0]
+        large = model_startup(context, name="gcc", startup_fraction=0.8,
+                              disk_sweep=(2.5,))[0]
+        assert large.ssd_seconds > small.ssd_seconds
+        assert large.native_seconds > small.native_seconds
+
+    def test_bad_fraction_rejected(self, context):
+        with pytest.raises(ValueError):
+            model_startup(context, name="gcc", startup_fraction=0)
+
+    def test_render_mentions_paper_claim(self, context):
+        out = run(context, name="gcc")
+        assert "14" in out
+        assert str(PAPER_ERA_DISK_MBPS) in out
+
+    def test_point_speedup_math(self):
+        point = StartupPoint(disk_mbps=1.0, native_seconds=2.0, ssd_seconds=1.0)
+        assert point.speedup_pct == 50.0

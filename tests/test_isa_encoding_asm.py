@@ -1,0 +1,186 @@
+"""Tests for repro.isa.encoding and repro.isa.asm."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.isa import (
+    AsmError,
+    Function,
+    Instruction,
+    Op,
+    Program,
+    assemble,
+    decode_program,
+    disassemble,
+    encode_program,
+    instruction_size,
+    program_size,
+    validate_program,
+)
+from repro.isa.encoding import function_byte_offsets
+
+from .strategies import programs
+
+EXAMPLE = """
+# compute 10 iterations
+func main
+    li   r1, 10
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    call helper
+    ret
+end
+
+func helper
+    mov r2, r1
+    ret
+end
+"""
+
+
+class TestAssembler:
+    def test_assemble_example(self):
+        program = assemble(EXAMPLE)
+        assert [fn.name for fn in program.functions] == ["main", "helper"]
+        validate_program(program)
+
+    def test_labels_resolve_backward(self):
+        program = assemble(EXAMPLE)
+        bnez = program.functions[0].insns[2]
+        assert bnez.op is Op.BNEZ
+        assert bnez.target == 1
+
+    def test_forward_label(self):
+        program = assemble("""
+func main
+    beqz r1, done
+    addi r1, r1, 1
+done:
+    ret
+end
+""")
+        assert program.functions[0].insns[0].target == 2
+
+    def test_call_by_name(self):
+        program = assemble(EXAMPLE)
+        call = program.functions[0].insns[3]
+        assert call.op is Op.CALL
+        assert call.target == 1
+
+    def test_memory_operands(self):
+        program = assemble("""
+func main
+    lw r1, 8(r29)
+    sw r1, -4(r30)
+    ret
+end
+""")
+        lw, sw = program.functions[0].insns[:2]
+        assert (lw.rd, lw.rs1, lw.imm) == (1, 29, 8)
+        assert (sw.rs2, sw.rs1, sw.imm) == (1, 30, -4)
+
+    def test_entry_is_main(self):
+        program = assemble("""
+func helper
+    ret
+end
+func main
+    ret
+end
+""")
+        assert program.entry == 1
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AsmError, match="unknown opcode"):
+            assemble("func main\n    frobnicate r1\nend\n")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AsmError, match="undefined label"):
+            assemble("func main\n    jmp nowhere\n    ret\nend\n")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(AsmError, match="duplicate function"):
+            assemble("func a\n    ret\nend\nfunc a\n    ret\nend\n")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AsmError, match="duplicate label"):
+            assemble("func a\nx:\nx:\n    ret\nend\n")
+
+    def test_operand_count_checked(self):
+        with pytest.raises(AsmError, match="expected 3 operands"):
+            assemble("func a\n    add r1, r2\n    ret\nend\n")
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(AsmError, match="missing end"):
+            assemble("func a\n    ret\n")
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(AsmError, match="empty"):
+            assemble("func a\nend\n")
+
+    def test_instruction_outside_func_rejected(self):
+        with pytest.raises(AsmError, match="outside func"):
+            assemble("    nop\nfunc a\n    ret\nend\n")
+
+    def test_no_functions_rejected(self):
+        with pytest.raises(AsmError, match="no functions"):
+            assemble("    nop\n")
+
+    def test_disassemble_roundtrip_example(self):
+        program = assemble(EXAMPLE)
+        text = disassemble(program)
+        again = assemble(text)
+        assert [fn.insns for fn in again.functions] == [fn.insns for fn in program.functions]
+
+
+class TestEncoding:
+    def test_roundtrip_example(self):
+        program = assemble(EXAMPLE)
+        decoded = decode_program(encode_program(program))
+        assert decoded.name == program.name
+        assert decoded.entry == program.entry
+        assert [fn.insns for fn in decoded.functions] == [fn.insns for fn in program.functions]
+
+    def test_instruction_size_small_alu(self):
+        # addi: opcode + mode + rd + rs1 + 1-byte imm = 5 bytes
+        insn = Instruction(op=Op.ADDI, rd=1, rs1=1, imm=4)
+        assert instruction_size(insn, 0) == 5
+
+    def test_instruction_size_nop(self):
+        assert instruction_size(Instruction(op=Op.NOP), 0) == 1
+
+    def test_wide_immediates_cost_more(self):
+        small = Instruction(op=Op.LI, rd=1, imm=5)
+        wide = Instruction(op=Op.LI, rd=1, imm=1 << 20)
+        assert instruction_size(wide, 0) > instruction_size(small, 0)
+
+    def test_program_size_sums_instructions(self):
+        program = assemble(EXAMPLE)
+        total = program_size(program)
+        assert total == sum(
+            instruction_size(insn, i)
+            for fn in program.functions
+            for i, insn in enumerate(fn.insns)
+        )
+
+    def test_function_byte_offsets_monotone(self):
+        program = assemble(EXAMPLE)
+        offsets, total = function_byte_offsets(program.functions[0])
+        assert offsets == sorted(offsets)
+        assert total > offsets[-1]
+
+
+@given(programs())
+@settings(max_examples=50)
+def test_property_encode_decode_roundtrip(program):
+    decoded = decode_program(encode_program(program))
+    assert [fn.insns for fn in decoded.functions] == [fn.insns for fn in program.functions]
+
+
+@given(programs(max_functions=3, max_function_size=15))
+@settings(max_examples=30)
+def test_property_disassemble_assemble_roundtrip(program):
+    text = disassemble(program)
+    again = assemble(text)
+    assert [fn.insns for fn in again.functions] == [fn.insns for fn in program.functions]

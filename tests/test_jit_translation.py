@@ -1,0 +1,174 @@
+"""Tests for the copy phase, instruction tables and per-function translation."""
+
+import pytest
+
+from repro.core import (
+    CopyPhaseError,
+    DecodedItem,
+    TableEntry,
+    compress,
+    copy_translate,
+    open_container,
+    read_patched_displacement,
+)
+from repro.isa import assemble
+from repro.jit import Translator, build_tables
+from repro.vm import lower_function
+
+EXAMPLE = """
+func main
+    li r2, 9
+    call helper
+loop:
+    addi r2, r2, -1
+    bnez r2, loop
+    beqz r2, fwd
+    nop
+fwd:
+    ret
+end
+func helper
+    li r1, 42
+    ret
+end
+"""
+
+
+def _translator(text=EXAMPLE):
+    program = assemble(text)
+    reader = open_container(compress(program).data)
+    return program, Translator(reader)
+
+
+class TestCopyPhaseUnit:
+    def _table(self):
+        return {
+            0: TableEntry(data=b"\xAA\xBB"),
+            1: TableEntry(data=b"\xCC\x00", hole_offset=1, hole_size=1),
+            2: TableEntry(data=b"\xE8\x00\x00\x00\x00", hole_offset=1,
+                          hole_size=4, is_call=True),
+        }
+
+    def test_plain_items_concatenate(self):
+        items = [DecodedItem(dict_index=0, length=1),
+                 DecodedItem(dict_index=0, length=1)]
+        out = copy_translate(items, self._table())
+        assert bytes(out.code) == b"\xAA\xBB\xAA\xBB"
+        assert out.item_offsets == [0, 2]
+
+    def test_backward_branch_patched_immediately(self):
+        items = [
+            DecodedItem(dict_index=0, length=1),
+            DecodedItem(dict_index=1, length=1, branch_displacement=-2),
+        ]
+        out = copy_translate(items, self._table())
+        # hole at offset 3; branch targets item 0 at offset 0; native
+        # displacement = 0 - (3+1) = -4
+        assert read_patched_displacement(out.code, 3, 1) == -4
+
+    def test_forward_branch_patched_in_step3(self):
+        items = [
+            DecodedItem(dict_index=1, length=1, branch_displacement=1),
+            DecodedItem(dict_index=0, length=1),
+            DecodedItem(dict_index=0, length=1),
+        ]
+        out = copy_translate(items, self._table())
+        # hole at 1..2, target = item 2 at offset 4: disp = 4 - 2 = 2
+        assert read_patched_displacement(out.code, 1, 1) == 2
+
+    def test_call_generates_relocation(self):
+        items = [DecodedItem(dict_index=2, length=1, call_target=5)]
+        out = copy_translate(items, self._table())
+        assert len(out.call_relocations) == 1
+        reloc = out.call_relocations[0]
+        assert reloc.callee == 5
+        assert reloc.hole_offset == 1
+        assert reloc.hole_size == 4
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(CopyPhaseError, match="no instruction-table entry"):
+            copy_translate([DecodedItem(dict_index=9, length=1)], self._table())
+
+    def test_branch_into_nowhere_rejected(self):
+        items = [DecodedItem(dict_index=1, length=1, branch_displacement=5)]
+        with pytest.raises(CopyPhaseError, match="out of range"):
+            copy_translate(items, self._table())
+
+    def test_target_on_holeless_entry_rejected(self):
+        items = [DecodedItem(dict_index=0, length=1, branch_displacement=0)]
+        with pytest.raises(CopyPhaseError, match="no branch hole"):
+            copy_translate(items, self._table())
+
+
+class TestInstructionTables:
+    def test_tables_cover_every_index(self):
+        program = assemble(EXAMPLE)
+        reader = open_container(compress(program).data)
+        tables = build_tables(reader)
+        for layout, table in zip(reader.layouts, tables.tables):
+            assert set(table) == set(layout.paths_of)
+
+    def test_sequence_entries_concatenate_bases(self):
+        program = assemble(EXAMPLE)
+        reader = open_container(compress(program).data)
+        tables = build_tables(reader)
+        layout = reader.layouts[0]
+        table = tables.tables[0]
+        # Each multi-instruction entry must be exactly as long as the sum
+        # of its constituent base chunks.
+        base_size = {}
+        for index, path in layout.paths_of.items():
+            if len(path) == 1:
+                base_size[path[0]] = table[index].size
+        for index, path in layout.paths_of.items():
+            if len(path) > 1 and all(p in base_size for p in path):
+                assert table[index].size == sum(base_size[p] for p in path)
+
+    def test_total_bytes_positive(self):
+        program = assemble(EXAMPLE)
+        reader = open_container(compress(program).data)
+        assert build_tables(reader).total_bytes > 0
+
+
+class TestTranslator:
+    def test_translated_size_matches_unoptimized_lowering(self):
+        # The JIT path must produce exactly the per-instruction lowering
+        # of the original function (same bytes modulo target patching).
+        program, translator = _translator()
+        for findex, fn in enumerate(program.functions):
+            jit_size = translator.translate_function(findex).size
+            assert jit_size == lower_function(fn, optimize=False).size
+
+    def test_translate_program_covers_all_functions(self):
+        program, translator = _translator()
+        results = translator.translate_program()
+        assert len(results) == len(program.functions)
+
+    def test_branch_holes_patched_consistently(self):
+        # Translate and verify the backward loop branch points backwards.
+        program, translator = _translator()
+        result = translator.translate_function(0)
+        fn = program.functions[0]
+        lowered = lower_function(fn, optimize=False)
+        offsets = lowered.byte_offsets()
+        # Find the bnez (index 3 in main: li, call, addi, bnez, ...)
+        bnez_index = next(i for i, insn in enumerate(fn.insns)
+                          if insn.op.value == "bnez")
+        chunk = lowered.chunks[bnez_index]
+        hole_at = offsets[bnez_index] + chunk.hole_offset
+        disp = read_patched_displacement(result.translated.code, hole_at,
+                                         chunk.hole_size)
+        target_offset = offsets[fn.insns[bnez_index].target]
+        assert disp == target_offset - (hole_at + chunk.hole_size)
+
+    def test_call_relocations_point_at_callees(self):
+        program, translator = _translator()
+        result = translator.translate_function(0)
+        callees = [r.callee for r in result.translated.call_relocations]
+        assert callees == [1]
+
+    def test_native_function_sizes(self):
+        program, translator = _translator()
+        sizes = translator.native_function_sizes()
+        assert len(sizes) == 2
+        assert all(s > 0 for s in sizes)

@@ -1,0 +1,109 @@
+"""Tests for the adaptive arithmetic coder (repro.lz.arith)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lz.arith import FenwickTable, compress, decompress
+
+
+class TestFenwickTable:
+    def test_starts_uniform(self):
+        table = FenwickTable()
+        assert table.total == 257
+        assert table.frequency(0) == 1
+        assert table.cumulative(10) == 10
+
+    def test_add_updates_total_and_prefix(self):
+        table = FenwickTable()
+        table.add(5, 10)
+        assert table.total == 267
+        assert table.frequency(5) == 11
+        assert table.cumulative(6) == 16
+        assert table.cumulative(5) == 5
+
+    def test_locate_matches_cumulative(self):
+        table = FenwickTable()
+        table.add(3, 7)
+        for symbol in (0, 3, 100, 256):
+            low = table.cumulative(symbol)
+            found, found_low, frequency = table.locate(low)
+            assert found == symbol
+            assert found_low == low
+            assert frequency == table.frequency(symbol)
+
+    def test_locate_mid_range(self):
+        table = FenwickTable()
+        table.add(7, 9)  # freq(7) = 10, covering [7, 17)
+        for scaled in range(7, 17):
+            symbol, low, frequency = table.locate(scaled)
+            assert symbol == 7
+            assert low == 7
+            assert frequency == 10
+
+    def test_locate_out_of_range_rejected(self):
+        table = FenwickTable()
+        with pytest.raises(ValueError):
+            table.locate(table.total)
+
+    def test_halve_preserves_order_of_magnitude(self):
+        table = FenwickTable()
+        table.add(9, 100)
+        table.halve()
+        assert table.frequency(9) > table.frequency(8)
+        assert table.frequency(0) >= 1
+        assert table.total == sum(table.frequency(s) for s in range(257))
+
+
+class TestArithmeticCodec:
+    @pytest.mark.parametrize("data", [
+        b"", b"x", b"aaaa" * 100, b"the quick brown fox " * 30,
+        bytes(range(256)),
+    ])
+    def test_roundtrip(self, data):
+        assert decompress(compress(data)) == data
+
+    def test_repetitive_text_compresses_well(self):
+        data = b"program compression " * 200
+        assert len(compress(data)) < len(data) // 6
+
+    def test_order1_beats_uniform_on_structured_data(self):
+        # Alternating structure is exactly what an order-1 model captures.
+        data = bytes([1, 2] * 2000)
+        assert len(compress(data)) < 120
+
+    def test_corrupt_stream_detected(self):
+        data = compress(b"hello world, this is a longer message" * 5)
+        corrupted = bytearray(data)
+        corrupted[len(corrupted) // 2] ^= 0xFF
+        with pytest.raises(ValueError):
+            decompress(bytes(corrupted))
+
+    def test_vm_bytecode_compresses(self):
+        from repro.isa import assemble
+        from repro.isa.encoding import encode_program
+
+        source = ["func main"]
+        for i in range(200):
+            source.append(f"    addi r1, r1, {i % 7}")
+            source.append("    lw r2, 4(r29)")
+        source += ["    ret", "end"]
+        data = encode_program(assemble("\n".join(source)))
+        compressed = compress(data)
+        assert len(compressed) < len(data) // 2
+        assert decompress(compressed) == data
+
+
+@given(st.binary(max_size=1500))
+@settings(max_examples=40, deadline=None)
+def test_property_arith_roundtrip(data):
+    assert decompress(compress(data)) == data
+
+
+@given(st.binary(min_size=64, max_size=400))
+@settings(max_examples=15, deadline=None)
+def test_property_repetition_compresses(chunk):
+    data = chunk * 16
+    compressed = compress(data)
+    assert len(compressed) < len(data)
+    assert decompress(compressed) == data

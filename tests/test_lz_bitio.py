@@ -1,0 +1,125 @@
+"""Unit and property tests for repro.lz.bitio."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lz.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_writer_produces_no_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_bit_sets_lsb(self):
+        w = BitWriter()
+        w.write_bit(1)
+        assert w.getvalue() == b"\x01"
+
+    def test_eight_bits_fill_one_byte(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 0, 1, 0, 1, 0):
+            w.write_bit(bit)
+        assert w.getvalue() == bytes([0b01010101])
+
+    def test_ninth_bit_starts_second_byte(self):
+        w = BitWriter()
+        for _ in range(8):
+            w.write_bit(0)
+        w.write_bit(1)
+        assert w.getvalue() == b"\x00\x01"
+
+    def test_write_bits_lsb_first(self):
+        w = BitWriter()
+        w.write_bits(0b1101, 4)
+        assert w.getvalue() == bytes([0b1101])
+
+    def test_write_bits_rejects_overflow(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(16, 4)
+
+    def test_write_bits_rejects_negative(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bits(-1, 4)
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bit(2)
+
+    def test_len_counts_bits(self):
+        w = BitWriter()
+        assert len(w) == 0
+        w.write_bits(0, 3)
+        assert len(w) == 3
+        w.write_bits(0, 7)
+        assert len(w) == 10
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write_bits(0, 0)
+        assert w.getvalue() == b""
+
+
+class TestBitReader:
+    def test_read_past_end_raises(self):
+        r = BitReader(b"")
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\xff")
+        assert r.bits_remaining == 8
+        r.read_bits(3)
+        assert r.bits_remaining == 5
+
+    def test_read_bits_matches_written(self):
+        w = BitWriter()
+        w.write_bits(0x2B, 6)
+        w.write_bits(0x3, 2)
+        r = BitReader(w.getvalue())
+        assert r.read_bits(6) == 0x2B
+        assert r.read_bits(2) == 0x3
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00").read_bits(-1)
+
+
+class TestUnary:
+    def test_unary_zero(self):
+        w = BitWriter()
+        w.write_unary(0)
+        assert BitReader(w.getvalue()).read_unary() == 0
+
+    def test_unary_roundtrip_small_values(self):
+        for value in range(20):
+            w = BitWriter()
+            w.write_unary(value)
+            assert BitReader(w.getvalue()).read_unary() == value
+
+    def test_unary_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_unary(-1)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**24 - 1),
+                          st.integers(min_value=0, max_value=24))))
+def test_property_bits_roundtrip(pairs):
+    pairs = [(v & ((1 << w) - 1) if w else 0, w) for v, w in pairs]
+    writer = BitWriter()
+    for value, width in pairs:
+        writer.write_bits(value, width)
+    reader = BitReader(writer.getvalue())
+    for value, width in pairs:
+        assert reader.read_bits(width) == value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), min_size=1))
+def test_property_single_bits_roundtrip(bits):
+    writer = BitWriter()
+    for bit in bits:
+        writer.write_bit(bit)
+    reader = BitReader(writer.getvalue())
+    assert [reader.read_bit() for _ in bits] == bits

@@ -1,0 +1,127 @@
+"""Unit and property tests for repro.lz.varint."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lz.varint import (
+    ByteReader,
+    ByteWriter,
+    decode_svarint,
+    decode_uvarint,
+    encode_svarint,
+    encode_uvarint,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestUvarint:
+    def test_zero_is_one_byte(self):
+        assert encode_uvarint(0) == b"\x00"
+
+    def test_small_values_one_byte(self):
+        assert encode_uvarint(127) == b"\x7f"
+
+    def test_128_takes_two_bytes(self):
+        assert encode_uvarint(128) == b"\x80\x01"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_decode_returns_next_offset(self):
+        data = encode_uvarint(300) + b"\xAA"
+        value, offset = decode_uvarint(data)
+        assert value == 300
+        assert data[offset] == 0xAA
+
+    def test_truncated_raises_eof(self):
+        with pytest.raises(EOFError):
+            decode_uvarint(b"\x80")
+
+    def test_overlong_raises(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80" * 12 + b"\x01")
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value,expected", [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)])
+    def test_known_mapping(self, value, expected):
+        assert zigzag_encode(value) == expected
+        assert zigzag_decode(expected) == value
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            zigzag_decode(-1)
+
+
+class TestSvarint:
+    def test_roundtrip_extremes(self):
+        for value in (0, -1, 1, 2**31 - 1, -(2**31), 2**40, -(2**40)):
+            decoded, _ = decode_svarint(encode_svarint(value))
+            assert decoded == value
+
+
+class TestByteWriterReader:
+    def test_fixed_width_roundtrip(self):
+        w = ByteWriter()
+        w.write_u8(0xAB)
+        w.write_u16(0xCDEF)
+        w.write_u32(0x12345678)
+        r = ByteReader(w.getvalue())
+        assert r.read_u8() == 0xAB
+        assert r.read_u16() == 0xCDEF
+        assert r.read_u32() == 0x12345678
+        assert r.at_end()
+
+    def test_u8_range_check(self):
+        with pytest.raises(ValueError):
+            ByteWriter().write_u8(256)
+
+    def test_u16_range_check(self):
+        with pytest.raises(ValueError):
+            ByteWriter().write_u16(1 << 16)
+
+    def test_u32_range_check(self):
+        with pytest.raises(ValueError):
+            ByteWriter().write_u32(1 << 32)
+
+    def test_read_bytes_truncated(self):
+        r = ByteReader(b"ab")
+        with pytest.raises(EOFError):
+            r.read_bytes(3)
+
+    def test_remaining_and_position(self):
+        r = ByteReader(b"abcd", offset=1)
+        assert r.position == 1
+        assert r.remaining == 3
+        r.read_bytes(2)
+        assert r.position == 3
+        assert r.remaining == 1
+
+    def test_mixed_varints(self):
+        w = ByteWriter()
+        w.write_uvarint(999)
+        w.write_svarint(-999)
+        r = ByteReader(w.getvalue())
+        assert r.read_uvarint() == 999
+        assert r.read_svarint() == -999
+
+
+@given(st.integers(min_value=0, max_value=2**62))
+def test_property_uvarint_roundtrip(value):
+    decoded, offset = decode_uvarint(encode_uvarint(value))
+    assert decoded == value
+    assert offset == len(encode_uvarint(value))
+
+
+@given(st.integers(min_value=-(2**60), max_value=2**60))
+def test_property_svarint_roundtrip(value):
+    decoded, _ = decode_svarint(encode_svarint(value))
+    assert decoded == value
+
+
+@given(st.integers(min_value=-(2**60), max_value=2**60))
+def test_property_zigzag_roundtrip(value):
+    assert zigzag_decode(zigzag_encode(value)) == value

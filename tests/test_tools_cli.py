@@ -1,0 +1,131 @@
+"""Tests for the ``ssd`` file-level CLI (repro.tools)."""
+
+import pytest
+
+from repro.tools import ToolError, build_parser, load_program, main
+
+ASM = """
+func main
+    li r2, 6
+    call double
+    trap 1
+    ret
+end
+func double
+    add r1, r2, r2
+    ret
+end
+"""
+
+
+@pytest.fixture()
+def asm_file(tmp_path):
+    path = tmp_path / "program.asm"
+    path.write_text(ASM)
+    return path
+
+
+@pytest.fixture()
+def ssd_file(tmp_path, asm_file):
+    path = tmp_path / "program.ssd"
+    assert main(["compress", str(asm_file), "-o", str(path)]) == 0
+    return path
+
+
+class TestLoadProgram:
+    def test_asm_file(self, asm_file):
+        program = load_program(str(asm_file))
+        assert len(program.functions) == 2
+
+    def test_missing_file(self):
+        with pytest.raises(ToolError, match="no such file"):
+            load_program("/nonexistent/path.asm")
+
+    def test_bench_reference(self):
+        program = load_program("bench:compress@0.2")
+        assert program.name == "compress"
+
+    def test_bench_default_scale(self):
+        assert load_program("bench:compress").name == "compress"
+
+    def test_bad_bench_name(self):
+        with pytest.raises(ToolError, match="unknown benchmark"):
+            load_program("bench:doom")
+
+    def test_bad_scale(self):
+        with pytest.raises(ToolError, match="bad scale"):
+            load_program("bench:compress@fast")
+
+
+class TestCommands:
+    def test_compress_writes_container(self, ssd_file):
+        assert ssd_file.read_bytes()[:4] == b"SSD1"
+
+    def test_decompress_roundtrip(self, ssd_file, tmp_path, capsys):
+        out = tmp_path / "out.asm"
+        assert main(["decompress", str(ssd_file), "-o", str(out)]) == 0
+        from repro.isa import assemble
+
+        original = assemble(ASM)
+        restored = assemble(out.read_text())
+        assert [f.insns for f in restored.functions] == \
+            [f.insns for f in original.functions]
+
+    def test_decompress_to_stdout(self, ssd_file, capsys):
+        assert main(["decompress", str(ssd_file)]) == 0
+        assert "func main" in capsys.readouterr().out
+
+    def test_inspect(self, ssd_file, capsys):
+        assert main(["inspect", str(ssd_file)]) == 0
+        out = capsys.readouterr().out
+        assert "functions: 2" in out
+        assert "segment 0" in out
+
+    def test_inspect_function_disassembly(self, ssd_file, capsys):
+        assert main(["inspect", str(ssd_file), "--function", "1"]) == 0
+        assert "add r1, r2, r2" in capsys.readouterr().out
+
+    def test_inspect_bad_function_index(self, ssd_file, capsys):
+        assert main(["inspect", str(ssd_file), "--function", "9"]) == 2
+
+    def test_run(self, ssd_file, capsys):
+        assert main(["run", str(ssd_file)]) == 0
+        assert capsys.readouterr().out.strip() == "12"
+
+    def test_run_lazy(self, ssd_file, capsys):
+        assert main(["run", str(ssd_file), "--lazy"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "12"
+        assert "lazily decompressed" in captured.err
+
+    def test_run_with_inputs(self, tmp_path, capsys):
+        asm = tmp_path / "io.asm"
+        asm.write_text("func main\n    trap 2\n    trap 1\n    ret\nend\n")
+        ssd = tmp_path / "io.ssd"
+        assert main(["compress", str(asm), "-o", str(ssd)]) == 0
+        capsys.readouterr()
+        assert main(["run", str(ssd), "--read", "42"]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_compress_bench(self, tmp_path, capsys):
+        out = tmp_path / "bench.ssd"
+        assert main(["compress", "bench:compress@0.2", "-o", str(out)]) == 0
+        assert out.exists()
+
+    def test_error_returns_exit_code_2(self, tmp_path, capsys):
+        out = tmp_path / "x.ssd"
+        assert main(["compress", "/nope.asm", "-o", str(out)]) == 2
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_verify_matching(self, ssd_file, asm_file, capsys):
+        assert main(["verify", str(ssd_file), str(asm_file)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_detects_mismatch(self, ssd_file, tmp_path, capsys):
+        other = tmp_path / "other.asm"
+        other.write_text("func main\n    li r1, 1\n    trap 1\n    ret\nend\n")
+        assert main(["verify", str(ssd_file), str(other)]) == 1
+        assert "MISMATCH" in capsys.readouterr().err

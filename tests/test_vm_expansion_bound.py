@@ -1,0 +1,69 @@
+"""Pins the NATIVE_EXPANSION_BOUND contract.
+
+The target-size classes in ``repro.isa.instruction`` assume no VM
+instruction lowers to more than NATIVE_EXPANSION_BOUND native bytes; if a
+lowering ever grows past it, Algorithm 3 could overflow a branch hole.
+These tests enumerate the worst case of every opcode.
+"""
+
+from hypothesis import given, settings
+
+from repro.isa import Instruction, Kind, NUM_REGISTERS, Op, info
+from repro.isa.instruction import NATIVE_EXPANSION_BOUND
+from repro.vm import lower_instruction
+
+from .strategies import non_control_instruction
+
+_WIDE = 2**31 - 1
+
+
+def _worst_case_instances(op):
+    """Instructions maximizing the encoded size for ``op``."""
+    meta = info(op)
+    kind = meta.kind
+    regs = dict(rd=NUM_REGISTERS - 1, rs1=NUM_REGISTERS - 2, rs2=NUM_REGISTERS - 3)
+    if kind is Kind.ALU_RR:
+        yield Instruction(op=op, **regs)
+    elif kind is Kind.ALU_RI:
+        yield Instruction(op=op, rd=1, rs1=2, imm=_WIDE)
+        yield Instruction(op=op, rd=1, rs1=1, imm=_WIDE)
+    elif kind is Kind.UNARY:
+        yield Instruction(op=op, rd=1, rs1=2)
+    elif kind is Kind.CONST:
+        yield Instruction(op=op, rd=1, imm=_WIDE)
+    elif kind is Kind.LOAD:
+        yield Instruction(op=op, rd=1, rs1=2, imm=_WIDE)
+    elif kind is Kind.STORE:
+        yield Instruction(op=op, rs1=2, rs2=3, imm=_WIDE)
+    elif kind is Kind.BRANCH:
+        yield Instruction(op=op, rs1=1, target=0,
+                          **({"rs2": 2} if meta.uses_rs2 else {}))
+    elif kind is Kind.JUMP:
+        yield Instruction(op=op, target=0)
+    elif kind is Kind.CALL:
+        yield Instruction(op=op, target=0)
+    elif kind in (Kind.CALL_INDIRECT, Kind.JUMP_INDIRECT):
+        yield Instruction(op=op, rs1=1)
+    elif op is Op.TRAP:
+        yield Instruction(op=op, imm=_WIDE)
+    else:
+        yield Instruction(op=op)
+
+
+def test_every_opcode_within_expansion_bound():
+    for op in Op:
+        meta = info(op)
+        for insn in _worst_case_instances(op):
+            if meta.uses_target and meta.is_branch:
+                for size in (1, 2, 4):
+                    chunk = lower_instruction(insn, size)
+                    assert chunk.size <= NATIVE_EXPANSION_BOUND, (op, size)
+            else:
+                chunk = lower_instruction(insn)
+                assert chunk.size <= NATIVE_EXPANSION_BOUND, op
+
+
+@given(non_control_instruction())
+@settings(max_examples=200)
+def test_property_random_instructions_within_bound(insn):
+    assert lower_instruction(insn).size <= NATIVE_EXPANSION_BOUND

@@ -1,0 +1,425 @@
+"""Tests for repro.vm.interpreter."""
+
+import pytest
+
+from repro.isa import Instruction, Op, assemble
+from repro.vm import (
+    ControlFault,
+    Interpreter,
+    MemoryFault,
+    OutOfFuel,
+    run_program,
+)
+
+
+def run_asm(text, inputs=None, fuel=100_000):
+    return run_program(assemble(text), inputs=inputs, fuel=fuel)
+
+
+class TestArithmetic:
+    def test_countdown_loop(self):
+        result = run_asm("""
+func main
+    li r1, 5
+    li r2, 0
+loop:
+    add r2, r2, r1
+    addi r1, r1, -1
+    bnez r1, loop
+    mov r1, r2
+    trap 1
+    ret
+end
+""")
+        assert result.output == [15]
+        assert result.halted
+
+    def test_signed_division(self):
+        result = run_asm("""
+func main
+    li r1, -7
+    li r2, 2
+    divs r3, r1, r2
+    mov r1, r3
+    trap 1
+    ret
+end
+""")
+        assert result.output == [-3]  # truncates toward zero
+
+    def test_division_by_zero_defined(self):
+        result = run_asm("""
+func main
+    li r1, 9
+    li r2, 0
+    divs r3, r1, r2
+    rems r4, r1, r2
+    mov r1, r3
+    trap 1
+    mov r1, r4
+    trap 1
+    ret
+end
+""")
+        assert result.output == [0, 9]
+
+    def test_remainder_sign_follows_dividend(self):
+        result = run_asm("""
+func main
+    li r1, -7
+    li r2, 3
+    rems r3, r1, r2
+    mov r1, r3
+    trap 1
+    ret
+end
+""")
+        assert result.output == [-1]
+
+    def test_wrapping_add(self):
+        result = run_asm("""
+func main
+    li r1, 2147483647
+    addi r1, r1, 1
+    trap 1
+    ret
+end
+""")
+        assert result.output == [-2147483648]
+
+    def test_shift_amount_masked(self):
+        result = run_asm("""
+func main
+    li r1, 1
+    li r2, 33
+    shl r3, r1, r2
+    mov r1, r3
+    trap 1
+    ret
+end
+""")
+        assert result.output == [2]  # 33 & 31 == 1
+
+    def test_arithmetic_shift_right(self):
+        result = run_asm("""
+func main
+    li r1, -8
+    sari r1, r1, 1
+    trap 1
+    ret
+end
+""")
+        assert result.output == [-4]
+
+    def test_logical_shift_right(self):
+        result = run_asm("""
+func main
+    li r1, -8
+    shri r1, r1, 1
+    slti r2, r1, 0
+    mov r1, r2
+    trap 1
+    ret
+end
+""")
+        assert result.output == [0]  # top bit cleared
+
+    def test_slt_signed_vs_sltu(self):
+        result = run_asm("""
+func main
+    li r1, -1
+    li r2, 1
+    slt r3, r1, r2
+    sltu r4, r1, r2
+    mov r1, r3
+    trap 1
+    mov r1, r4
+    trap 1
+    ret
+end
+""")
+        assert result.output == [1, 0]
+
+    def test_register_zero_is_hardwired(self):
+        result = run_asm("""
+func main
+    li r0, 42
+    mov r1, r0
+    trap 1
+    ret
+end
+""")
+        assert result.output == [0]
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self):
+        result = run_asm("""
+func main
+    li r1, 123456
+    li r2, 256
+    sw r1, 0(r2)
+    lw r3, 0(r2)
+    mov r1, r3
+    trap 1
+    ret
+end
+""")
+        assert result.output == [123456]
+
+    def test_byte_sign_extension(self):
+        result = run_asm("""
+func main
+    li r1, 255
+    li r2, 64
+    sb r1, 0(r2)
+    lb r3, 0(r2)
+    lbu r4, 0(r2)
+    mov r1, r3
+    trap 1
+    mov r1, r4
+    trap 1
+    ret
+end
+""")
+        assert result.output == [-1, 255]
+
+    def test_halfword_sign_extension(self):
+        result = run_asm("""
+func main
+    li r1, 65535
+    li r2, 64
+    sh r1, 0(r2)
+    lh r3, 0(r2)
+    lhu r4, 0(r2)
+    mov r1, r3
+    trap 1
+    mov r1, r4
+    trap 1
+    ret
+end
+""")
+        assert result.output == [-1, 65535]
+
+    def test_little_endian_layout(self):
+        result = run_asm("""
+func main
+    li r1, 258
+    li r2, 64
+    sw r1, 0(r2)
+    lbu r3, 0(r2)
+    lbu r4, 1(r2)
+    mov r1, r3
+    trap 1
+    mov r1, r4
+    trap 1
+    ret
+end
+""")
+        assert result.output == [2, 1]
+
+    def test_out_of_range_load_faults(self):
+        with pytest.raises(MemoryFault):
+            run_asm("""
+func main
+    li r2, -4
+    lw r1, 0(r2)
+    ret
+end
+""")
+
+    def test_out_of_range_store_faults(self):
+        with pytest.raises(MemoryFault):
+            run_asm("""
+func main
+    li r2, 1000000000
+    sw r1, 0(r2)
+    ret
+end
+""")
+
+
+class TestControl:
+    def test_call_and_return(self):
+        result = run_asm("""
+func main
+    li r2, 20
+    call double
+    trap 1
+    ret
+end
+func double
+    add r1, r2, r2
+    ret
+end
+""")
+        assert result.output == [40]
+
+    def test_nested_calls(self):
+        result = run_asm("""
+func main
+    li r2, 3
+    call a
+    trap 1
+    ret
+end
+func a
+    call b
+    addi r1, r1, 1
+    ret
+end
+func b
+    add r1, r2, r2
+    ret
+end
+""")
+        assert result.output == [7]
+
+    def test_recursion(self):
+        # factorial(5) with an explicit stack
+        result = run_asm("""
+func main
+    li r2, 5
+    call fact
+    trap 1
+    ret
+end
+func fact
+    bnez r2, recurse
+    li r1, 1
+    ret
+recurse:
+    addi r29, r29, -8
+    sw r31, 0(r29)
+    sw r2, 4(r29)
+    addi r2, r2, -1
+    call fact
+    lw r2, 4(r29)
+    lw r31, 0(r29)
+    addi r29, r29, 8
+    mul r1, r1, r2
+    ret
+end
+""", fuel=10_000)
+        assert result.output == [120]
+
+    def test_ret_from_entry_halts(self):
+        result = run_asm("func main\n    ret\nend\n")
+        assert result.halted
+        assert result.output == []
+
+    def test_halt_stops_execution(self):
+        result = run_asm("""
+func main
+    li r1, 1
+    trap 1
+    halt
+end
+""")
+        assert result.output == [1]
+
+    def test_fuel_exhaustion(self):
+        with pytest.raises(OutOfFuel):
+            run_asm("""
+func main
+spin:
+    jmp spin
+end
+""", fuel=100)
+
+    def test_trap_read_consumes_inputs(self):
+        result = run_asm("""
+func main
+    trap 2
+    trap 1
+    trap 2
+    trap 1
+    ret
+end
+""", inputs=[11, 22])
+        assert result.output == [11, 22]
+
+    def test_trap_read_exhausted_returns_zero(self):
+        result = run_asm("""
+func main
+    trap 2
+    trap 1
+    ret
+end
+""", inputs=[])
+        assert result.output == [0]
+
+    def test_unknown_trap_faults(self):
+        with pytest.raises(ControlFault):
+            run_asm("func main\n    trap 99\n    ret\nend\n")
+
+    def test_indirect_call(self):
+        result = run_asm("""
+func main
+    li r3, 1
+    callr r3
+    trap 1
+    ret
+end
+func target
+    li r1, 77
+    ret
+end
+""")
+        assert result.output == [77]
+
+    def test_indirect_call_bad_target_faults(self):
+        with pytest.raises(ControlFault):
+            run_asm("""
+func main
+    li r3, 99
+    callr r3
+    ret
+end
+""")
+
+
+class TestProfile:
+    def test_profile_counts_loop_body(self):
+        result = run_asm("""
+func main
+    li r1, 4
+loop:
+    addi r1, r1, -1
+    bnez r1, loop
+    ret
+end
+""")
+        assert result.profile[(0, 1)] == 4  # addi executed 4 times
+        assert result.profile[(0, 0)] == 1
+
+    def test_call_counts_and_sequence(self):
+        result = run_asm("""
+func main
+    call f
+    call f
+    ret
+end
+func f
+    ret
+end
+""")
+        assert result.call_counts[1] == 2
+        assert result.call_sequence == [0, 1, 1]
+
+    def test_profile_disabled(self):
+        program = assemble("func main\n    ret\nend\n")
+        result = Interpreter(collect_profile=False).run(program)
+        assert result.profile == {}
+
+    def test_steps_counted(self):
+        result = run_asm("func main\n    nop\n    nop\n    ret\nend\n")
+        assert result.steps == 3
+
+
+class TestInterpreterConfig:
+    def test_bad_memory_size_rejected(self):
+        with pytest.raises(ValueError):
+            Interpreter(memory_size=0)
+        with pytest.raises(ValueError):
+            Interpreter(memory_size=1001)

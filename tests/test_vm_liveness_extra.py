@@ -1,0 +1,108 @@
+"""Additional liveness and peephole edge-case tests."""
+
+from repro.isa import Function, Instruction, Op, assemble
+from repro.vm import live_out, plan_function, uses_defs
+from repro.vm.liveness import CALLEE_SAVED, RET_USES
+
+
+def _fn(text):
+    return assemble(text).functions[0]
+
+
+class TestConventionSets:
+    def test_callee_saved_range(self):
+        assert set(range(16, 29)) <= CALLEE_SAVED
+        assert 29 in CALLEE_SAVED  # sp
+        assert 30 in CALLEE_SAVED  # fp
+
+    def test_ret_publishes_return_value(self):
+        assert 1 in RET_USES
+
+    def test_temps_not_in_ret_uses(self):
+        for temp in range(9, 16):
+            assert temp not in RET_USES
+
+
+class TestJrConservatism:
+    def test_jr_keeps_everything_live(self):
+        # With a computed jump, any block may follow any other; the temp
+        # set before the jr must stay live (no fusion may kill it).
+        fn = _fn("""
+func f
+    li r5, 3
+    jr r5
+    add r2, r2, r5
+    ret
+end
+""")
+        lo = live_out(fn)
+        assert 5 in lo[0]
+
+    def test_jr_function_gets_no_unsafe_fusions(self):
+        fn = _fn("""
+func f
+    li r5, 3
+    jr r5
+    add r2, r2, r5
+    ret
+end
+""")
+        plan = plan_function(fn)
+        assert all(fn.insns[f.producer].rd != 5 or f.kind.name == ""
+                   for f in plan.fusions) or plan.fusions == []
+
+
+class TestUsesDefs:
+    def test_trap_touches_r1(self):
+        uses, defs = uses_defs(Instruction(op=Op.TRAP, imm=1))
+        assert 1 in uses
+        assert 1 in defs
+
+    def test_call_defines_rv_and_ra(self):
+        _, defs = uses_defs(Instruction(op=Op.CALL, target=0))
+        assert 1 in defs
+        assert 31 in defs
+
+    def test_store_uses_both_registers(self):
+        uses, defs = uses_defs(Instruction(op=Op.SW, rs1=29, rs2=3, imm=0))
+        assert uses == {29, 3}
+        assert defs == set()
+
+    def test_load_defines_rd(self):
+        uses, defs = uses_defs(Instruction(op=Op.LW, rd=4, rs1=29, imm=0))
+        assert uses == {29}
+        assert defs == {4}
+
+
+class TestPeepholeEdges:
+    def test_addr_fold_overflow_guard(self):
+        # Folded displacement exceeding i32 must not fuse.
+        fn = Function(name="f", insns=[
+            Instruction(op=Op.ADDI, rd=5, rs1=29, imm=2**31 - 1),
+            Instruction(op=Op.LW, rd=2, rs1=5, imm=100),
+            Instruction(op=Op.RET),
+        ])
+        plan = plan_function(fn)
+        assert not any(f.kind.name == "ADDR_FOLD" for f in plan.fusions)
+
+    def test_li_fold_skips_ops_without_imm_form(self):
+        fn = _fn("""
+func f
+    li r5, 9
+    divs r2, r2, r5
+    ret
+end
+""")
+        plan = plan_function(fn)
+        assert not any(f.kind.name == "LI_FOLD" for f in plan.fusions)
+
+    def test_no_fusion_when_producer_writes_zero_register(self):
+        fn = Function(name="f", insns=[
+            Instruction(op=Op.LI, rd=0, imm=9),
+            Instruction(op=Op.ADD, rd=2, rs1=2, rs2=0),
+            Instruction(op=Op.RET),
+        ])
+        assert plan_function(fn).fusions == []
+
+    def test_empty_function_plan(self):
+        assert plan_function(Function(name="f", insns=[])).fusions == []

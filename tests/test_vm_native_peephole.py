@@ -1,0 +1,431 @@
+"""Tests for repro.vm.liveness, repro.vm.peephole and repro.vm.native."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.isa import Function, Instruction, Op, assemble, validate_program
+from repro.vm import (
+    CALL_HOLE_SIZE,
+    FusionKind,
+    live_out,
+    lower_function,
+    lower_instruction,
+    native_size,
+    plan_function,
+    rewritten_consumer,
+    run_program,
+    uses_defs,
+)
+
+from .strategies import programs
+
+
+def _fn(text):
+    return assemble(text).functions[0]
+
+
+class TestLiveness:
+    def test_uses_defs_alu(self):
+        uses, defs = uses_defs(Instruction(op=Op.ADD, rd=1, rs1=2, rs2=3))
+        assert uses == {2, 3}
+        assert defs == {1}
+
+    def test_register_zero_excluded(self):
+        uses, defs = uses_defs(Instruction(op=Op.ADD, rd=0, rs1=0, rs2=3))
+        assert uses == {3}
+        assert defs == set()
+
+    def test_dead_temp_not_live(self):
+        fn = _fn("""
+func f
+    li r5, 1
+    add r2, r2, r5
+    ret
+end
+""")
+        lo = live_out(fn)
+        assert 5 not in lo[1]  # r5 dead after its only use
+
+    def test_live_across_branch(self):
+        fn = _fn("""
+func f
+    li r5, 1
+    beqz r2, skip
+    add r2, r2, r5
+skip:
+    add r3, r3, r5
+    ret
+end
+""")
+        lo = live_out(fn)
+        assert 5 in lo[1]  # r5 still needed on both paths
+        assert 5 in lo[2]
+
+    def test_loop_keeps_counter_live(self):
+        fn = _fn("""
+func f
+    li r4, 10
+loop:
+    addi r4, r4, -1
+    bnez r4, loop
+    ret
+end
+""")
+        lo = live_out(fn)
+        assert 4 in lo[1]
+        assert 4 in lo[2]  # live around the back edge
+
+    def test_call_keeps_everything_live(self):
+        fn = _fn("""
+func f
+    li r9, 7
+    call f
+    add r2, r2, r9
+    ret
+end
+""")
+        lo = live_out(fn)
+        assert 9 in lo[0]
+
+    def test_empty_function(self):
+        assert live_out(Function(name="f", insns=[])) == []
+
+
+class TestPeephole:
+    def test_cmp_fuse_found(self):
+        fn = _fn("""
+func f
+    slt r5, r2, r3
+    bnez r5, out
+    addi r2, r2, 1
+out:
+    ret
+end
+""")
+        plan = plan_function(fn)
+        assert len(plan.fusions) == 1
+        assert plan.fusions[0].kind is FusionKind.CMP_BRANCH
+
+    def test_cmp_fuse_blocked_by_live_temp(self):
+        fn = _fn("""
+func f
+    slt r5, r2, r3
+    bnez r5, out
+    addi r2, r2, 1
+out:
+    add r2, r2, r5
+    ret
+end
+""")
+        assert plan_function(fn).fusions == []
+
+    def test_addr_fold_found(self):
+        fn = _fn("""
+func f
+    addi r5, r29, 16
+    lw r2, 4(r5)
+    ret
+end
+""")
+        plan = plan_function(fn)
+        assert len(plan.fusions) == 1
+        assert plan.fusions[0].kind is FusionKind.ADDR_FOLD
+
+    def test_addr_fold_blocked_when_store_value_is_temp(self):
+        fn = _fn("""
+func f
+    addi r5, r29, 16
+    sw r5, 4(r5)
+    ret
+end
+""")
+        assert plan_function(fn).fusions == []
+
+    def test_li_fold_found(self):
+        fn = _fn("""
+func f
+    li r5, 40
+    add r2, r2, r5
+    ret
+end
+""")
+        plan = plan_function(fn)
+        assert plan.fusions[0].kind is FusionKind.LI_FOLD
+
+    def test_li_fold_commutative_rs1(self):
+        fn = _fn("""
+func f
+    li r5, 40
+    add r2, r5, r3
+    ret
+end
+""")
+        assert plan_function(fn).fusions[0].kind is FusionKind.LI_FOLD
+
+    def test_mov_fold_found(self):
+        fn = _fn("""
+func f
+    mov r5, r2
+    add r3, r5, r4
+    ret
+end
+""")
+        assert plan_function(fn).fusions[0].kind is FusionKind.MOV_FOLD
+
+    def test_no_fusion_across_block_boundary(self):
+        fn = _fn("""
+func f
+    li r5, 40
+target:
+    add r2, r2, r5
+    bnez r2, target
+    ret
+end
+""")
+        # 'target:' is a leader; li and add are in different blocks.
+        assert plan_function(fn).fusions == []
+
+    def test_fusion_chains_do_not_overlap(self):
+        fn = _fn("""
+func f
+    mov r5, r2
+    mov r6, r5
+    add r3, r6, r6
+    ret
+end
+""")
+        plan = plan_function(fn)
+        # Each instruction participates in at most one fusion.
+        seen = set()
+        for fusion in plan.fusions:
+            assert fusion.producer not in seen
+            assert fusion.consumer not in seen
+            seen.update((fusion.producer, fusion.consumer))
+
+
+class TestRewrittenConsumer:
+    def test_cmp_fuse_slt_bnez_is_blt(self):
+        producer = Instruction(op=Op.SLT, rd=5, rs1=2, rs2=3)
+        consumer = Instruction(op=Op.BNEZ, rs1=5, target=9)
+        merged = rewritten_consumer(producer, consumer, FusionKind.CMP_BRANCH)
+        assert merged.op is Op.BLT
+        assert (merged.rs1, merged.rs2, merged.target) == (2, 3, 9)
+
+    def test_cmp_fuse_slt_beqz_is_bge(self):
+        producer = Instruction(op=Op.SLT, rd=5, rs1=2, rs2=3)
+        consumer = Instruction(op=Op.BEQZ, rs1=5, target=9)
+        assert rewritten_consumer(producer, consumer, FusionKind.CMP_BRANCH).op is Op.BGE
+
+    def test_addr_fold_sums_offsets(self):
+        producer = Instruction(op=Op.ADDI, rd=5, rs1=29, imm=16)
+        consumer = Instruction(op=Op.LW, rd=2, rs1=5, imm=4)
+        merged = rewritten_consumer(producer, consumer, FusionKind.ADDR_FOLD)
+        assert (merged.rs1, merged.imm) == (29, 20)
+
+    def test_li_fold_uses_imm_form(self):
+        producer = Instruction(op=Op.LI, rd=5, imm=40)
+        consumer = Instruction(op=Op.ADD, rd=2, rs1=2, rs2=5)
+        merged = rewritten_consumer(producer, consumer, FusionKind.LI_FOLD)
+        assert merged.op is Op.ADDI
+        assert merged.imm == 40
+
+    def test_mov_fold_renames(self):
+        producer = Instruction(op=Op.MOV, rd=5, rs1=2)
+        consumer = Instruction(op=Op.ADD, rd=3, rs1=5, rs2=5)
+        merged = rewritten_consumer(producer, consumer, FusionKind.MOV_FOLD)
+        assert (merged.rs1, merged.rs2) == (2, 2)
+
+
+class TestNativeLowering:
+    def test_branch_has_hole_at_end(self):
+        chunk = lower_instruction(Instruction(op=Op.BNE, rs1=1, rs2=2, target=0), 1)
+        assert chunk.is_branch
+        assert chunk.hole_size == 1
+        assert chunk.data[chunk.hole_offset:] == b"\x00"
+
+    def test_wider_target_wider_hole(self):
+        short = lower_instruction(Instruction(op=Op.JMP, target=0), 1)
+        wide = lower_instruction(Instruction(op=Op.JMP, target=0), 4)
+        assert wide.hole_size == 4
+        assert wide.size > short.size
+
+    def test_branch_requires_target_size(self):
+        with pytest.raises(ValueError):
+            lower_instruction(Instruction(op=Op.JMP, target=0))
+
+    def test_call_hole_is_rel32(self):
+        chunk = lower_instruction(Instruction(op=Op.CALL, target=3))
+        assert chunk.is_call
+        assert chunk.hole_size == CALL_HOLE_SIZE
+
+    def test_two_address_penalty(self):
+        same = lower_instruction(Instruction(op=Op.ADD, rd=1, rs1=1, rs2=2))
+        diff = lower_instruction(Instruction(op=Op.ADD, rd=3, rs1=1, rs2=2))
+        assert diff.size > same.size
+        assert diff.cycles > same.cycles
+
+    def test_wide_immediate_costs_bytes(self):
+        small = lower_instruction(Instruction(op=Op.LI, rd=1, imm=5))
+        wide = lower_instruction(Instruction(op=Op.LI, rd=1, imm=1 << 20))
+        assert wide.size > small.size
+
+    def test_div_is_expensive(self):
+        div = lower_instruction(Instruction(op=Op.DIVS, rd=1, rs1=1, rs2=2))
+        add = lower_instruction(Instruction(op=Op.ADD, rd=1, rs1=1, rs2=2))
+        assert div.cycles > 5 * add.cycles
+
+    def test_ret_is_one_byte(self):
+        assert lower_instruction(Instruction(op=Op.RET)).size == 1
+
+
+class TestLowerFunction:
+    def test_chunks_parallel_to_insns(self):
+        fn = _fn("""
+func f
+    li r1, 5
+    addi r1, r1, 1
+    ret
+end
+""")
+        lowered = lower_function(fn)
+        assert len(lowered.chunks) == len(fn.insns)
+        assert lowered.size == sum(c.size for c in lowered.chunks)
+
+    def test_optimized_never_larger(self):
+        fn = _fn("""
+func f
+    li r5, 40
+    add r2, r2, r5
+    slt r6, r2, r3
+    bnez r6, out
+    addi r7, r29, 8
+    lw r2, 0(r7)
+out:
+    ret
+end
+""")
+        plain = lower_function(fn, optimize=False)
+        optimized = lower_function(fn, optimize=True)
+        assert optimized.size < plain.size
+
+    def test_absorbed_chunks_are_empty(self):
+        fn = _fn("""
+func f
+    li r5, 40
+    add r2, r2, r5
+    ret
+end
+""")
+        lowered = lower_function(fn, optimize=True)
+        assert lowered.chunks[0].size == 0
+        assert lowered.chunks[0].cycles == 0.0
+
+    def test_byte_offsets_monotone(self):
+        fn = _fn("""
+func f
+    li r1, 5
+    addi r1, r1, 1
+    ret
+end
+""")
+        offsets = lower_function(fn).byte_offsets()
+        assert offsets == sorted(offsets)
+
+    def test_native_size_positive(self):
+        program = assemble("func main\n    li r1, 1\n    ret\nend\n")
+        assert native_size(program) > 0
+        assert native_size(program, optimize=False) >= native_size(program, optimize=True)
+
+
+class TestFusionSemantics:
+    """Fused programs must behave exactly like the originals."""
+
+    CASES = [
+        """
+func main
+    li r2, 9
+    li r3, 12
+    slt r5, r2, r3
+    bnez r5, less
+    li r1, 0
+    trap 1
+    ret
+less:
+    li r1, 1
+    trap 1
+    ret
+end
+""",
+        """
+func main
+    li r2, 64
+    li r1, 321
+    sw r1, 8(r2)
+    addi r5, r2, 8
+    lw r1, 0(r5)
+    trap 1
+    ret
+end
+""",
+        """
+func main
+    li r2, 5
+    li r5, 40
+    add r2, r2, r5
+    mov r1, r2
+    trap 1
+    ret
+end
+""",
+        """
+func main
+    li r2, 5
+    mov r5, r2
+    add r1, r5, r5
+    trap 1
+    ret
+end
+""",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_rewritten_program_equivalent(self, source):
+        program = assemble(source)
+        baseline = run_program(program).output
+
+        # Apply every planned fusion by rewriting the instruction list:
+        # producer becomes nop, consumer becomes the merged instruction.
+        rewritten_functions = []
+        from repro.isa import Function, Program
+
+        for fn in program.functions:
+            plan = plan_function(fn)
+            insns = list(fn.insns)
+            for fusion in plan.fusions:
+                merged = rewritten_consumer(insns[fusion.producer],
+                                            insns[fusion.consumer], fusion.kind)
+                insns[fusion.producer] = Instruction(op=Op.NOP)
+                insns[fusion.consumer] = merged
+            rewritten_functions.append(Function(name=fn.name, insns=insns))
+            assert plan.fusions, f"expected a fusion in {source}"
+        rewritten = Program(name="rw", functions=rewritten_functions,
+                            entry=program.entry)
+        validate_program(rewritten)
+        assert run_program(rewritten).output == baseline
+
+
+@given(programs(max_functions=4, max_function_size=25))
+@settings(max_examples=40)
+def test_property_lowering_covers_all_instructions(program):
+    for fn in program.functions:
+        lowered = lower_function(fn, optimize=False)
+        assert len(lowered.chunks) == len(fn.insns)
+        for chunk in lowered.chunks:
+            assert chunk.size > 0
+
+
+@given(programs(max_functions=4, max_function_size=25))
+@settings(max_examples=40)
+def test_property_optimized_size_never_exceeds_plain(program):
+    for fn in program.functions:
+        assert lower_function(fn, optimize=True).size <= lower_function(fn).size

@@ -1,0 +1,250 @@
+"""Tests for repro.workloads.ast and repro.workloads.compiler."""
+
+import pytest
+
+from repro.isa import Op, validate_program
+from repro.vm import run_program
+from repro.workloads import ast, compile_module
+from repro.workloads.compiler import CompileError, GLOBALS_BASE, compile_function
+
+
+def _module(*functions, globals_count=4):
+    return ast.Module(name="t", functions=list(functions), globals_count=globals_count)
+
+
+def _main(body, locals_count=4, params=0):
+    return ast.FunctionDef(name="main", params=params, locals_count=locals_count,
+                           body=tuple(body))
+
+
+def run_module(module, fuel=100_000):
+    program = compile_module(module)
+    validate_program(program)
+    return run_program(program, fuel=fuel)
+
+
+class TestExpressions:
+    def test_constant(self):
+        module = _module(_main([ast.Print(ast.Const(42)), ast.Return(ast.Const(0))]))
+        assert run_module(module).output == [42]
+
+    def test_binop_arithmetic(self):
+        expr = ast.BinOp(ast.BinOpKind.ADD,
+                         ast.BinOp(ast.BinOpKind.MUL, ast.Const(6), ast.Const(7)),
+                         ast.Const(8))
+        module = _module(_main([ast.Print(expr), ast.Return(ast.Const(0))]))
+        assert run_module(module).output == [50]
+
+    def test_subtraction_constant_becomes_addi(self):
+        fn = _main([ast.Print(ast.BinOp(ast.BinOpKind.SUB, ast.Const(10), ast.Const(3))),
+                    ast.Return(ast.Const(0))])
+        program = compile_module(_module(fn))
+        ops = [insn.op for insn in program.functions[0].insns]
+        assert Op.ADDI in ops
+        assert Op.SUB not in ops
+
+    def test_local_read_write(self):
+        body = [
+            ast.Assign(ast.Local(0), ast.Const(5)),
+            ast.Assign(ast.Local(1), ast.BinOp(ast.BinOpKind.ADD,
+                                               ast.Local(0), ast.Const(2))),
+            ast.Print(ast.Local(1)),
+            ast.Return(ast.Const(0)),
+        ]
+        assert run_module(_module(_main(body))).output == [7]
+
+    def test_global_read_write(self):
+        body = [
+            ast.Assign(ast.Global(2), ast.Const(99)),
+            ast.Print(ast.Global(2)),
+            ast.Return(ast.Const(0)),
+        ]
+        assert run_module(_module(_main(body))).output == [99]
+
+    def test_globals_use_absolute_addressing(self):
+        body = [ast.Print(ast.Global(1)), ast.Return(ast.Const(0))]
+        program = compile_module(_module(_main(body)))
+        loads = [insn for insn in program.functions[0].insns if insn.op is Op.LW]
+        globals_loads = [insn for insn in loads if insn.rs1 == 0]
+        assert globals_loads
+        assert globals_loads[0].imm == GLOBALS_BASE + 4
+
+    def test_global_out_of_range_rejected(self):
+        body = [ast.Print(ast.Global(9)), ast.Return(ast.Const(0))]
+        with pytest.raises(CompileError, match="global"):
+            compile_module(_module(_main(body), globals_count=2))
+
+    def test_expression_too_deep_rejected(self):
+        expr = ast.Const(1)
+        for _ in range(10):
+            expr = ast.BinOp(ast.BinOpKind.DIV, expr, expr)  # DIV has no imm form
+        with pytest.raises(CompileError, match="too deep"):
+            compile_module(_module(_main([ast.Print(expr), ast.Return(ast.Const(0))])))
+
+
+class TestControlFlow:
+    def test_if_then(self):
+        body = [
+            ast.If(ast.Cmp(ast.CmpKind.LT, ast.Const(1), ast.Const(2)),
+                   (ast.Print(ast.Const(1)),)),
+            ast.Return(ast.Const(0)),
+        ]
+        assert run_module(_module(_main(body))).output == [1]
+
+    def test_if_else_taken(self):
+        body = [
+            ast.If(ast.Cmp(ast.CmpKind.LT, ast.Const(5), ast.Const(2)),
+                   (ast.Print(ast.Const(1)),),
+                   (ast.Print(ast.Const(2)),)),
+            ast.Return(ast.Const(0)),
+        ]
+        assert run_module(_module(_main(body))).output == [2]
+
+    @pytest.mark.parametrize("kind,left,right,expected", [
+        (ast.CmpKind.EQ, 3, 3, True),
+        (ast.CmpKind.EQ, 3, 4, False),
+        (ast.CmpKind.NE, 3, 4, True),
+        (ast.CmpKind.LT, -1, 1, True),
+        (ast.CmpKind.GE, 1, 1, True),
+        (ast.CmpKind.GE, 0, 1, False),
+        (ast.CmpKind.LTU, -1, 1, False),  # -1 unsigned is huge
+        (ast.CmpKind.GEU, -1, 1, True),
+    ])
+    def test_comparison_kinds(self, kind, left, right, expected):
+        body = [
+            ast.If(ast.Cmp(kind, ast.Const(left), ast.Const(right)),
+                   (ast.Print(ast.Const(1)),),
+                   (ast.Print(ast.Const(0)),)),
+            ast.Return(ast.Const(0)),
+        ]
+        assert run_module(_module(_main(body))).output == [1 if expected else 0]
+
+    def test_counted_loop(self):
+        body = [
+            ast.Assign(ast.Local(1), ast.Const(0)),
+            ast.CountedLoop(ast.Local(0), ast.Const(5),
+                            (ast.Assign(ast.Local(1),
+                                        ast.BinOp(ast.BinOpKind.ADD, ast.Local(1),
+                                                  ast.Local(0))),)),
+            ast.Print(ast.Local(1)),
+            ast.Return(ast.Const(0)),
+        ]
+        assert run_module(_module(_main(body))).output == [0 + 1 + 2 + 3 + 4]
+
+    def test_counted_loop_zero_iterations(self):
+        body = [
+            ast.Assign(ast.Local(1), ast.Const(7)),
+            ast.CountedLoop(ast.Local(0), ast.Const(0),
+                            (ast.Assign(ast.Local(1), ast.Const(0)),)),
+            ast.Print(ast.Local(1)),
+            ast.Return(ast.Const(0)),
+        ]
+        assert run_module(_module(_main(body))).output == [7]
+
+    def test_while_loop(self):
+        counter = ast.Local(0)
+        body = [
+            ast.Assign(counter, ast.Const(3)),
+            ast.Assign(ast.Local(1), ast.Const(0)),
+            ast.While(ast.Cmp(ast.CmpKind.NE, counter, ast.Const(0)),
+                      (ast.Assign(ast.Local(1),
+                                  ast.BinOp(ast.BinOpKind.ADD, ast.Local(1),
+                                            ast.Const(10))),
+                       ast.Assign(counter,
+                                  ast.BinOp(ast.BinOpKind.SUB, counter,
+                                            ast.Const(1))))),
+            ast.Print(ast.Local(1)),
+            ast.Return(ast.Const(0)),
+        ]
+        assert run_module(_module(_main(body))).output == [30]
+
+    def test_slt_branch_idiom_emitted(self):
+        body = [
+            ast.If(ast.Cmp(ast.CmpKind.LT, ast.Local(0), ast.Const(5)),
+                   (ast.Print(ast.Const(1)),)),
+            ast.Return(ast.Const(0)),
+        ]
+        program = compile_module(_module(_main(body)))
+        ops = [insn.op for insn in program.functions[0].insns]
+        assert Op.SLT in ops  # the fusible MIPS idiom
+
+    def test_return_mid_function(self):
+        body = [
+            ast.If(ast.Cmp(ast.CmpKind.EQ, ast.Const(1), ast.Const(1)),
+                   (ast.Return(ast.Const(11)),)),
+            ast.Return(ast.Const(22)),
+        ]
+        main = _main([
+            ast.CallAssign(ast.Local(0), 1, ()),
+            ast.Print(ast.Local(0)),
+            ast.Return(ast.Const(0)),
+        ])
+        helper = ast.FunctionDef(name="h", params=0, locals_count=2, body=tuple(body))
+        assert run_module(_module(main, helper)).output == [11]
+
+
+class TestCalls:
+    def test_call_with_arguments(self):
+        add2 = ast.FunctionDef(
+            name="add2", params=2, locals_count=1,
+            body=(ast.Return(ast.BinOp(ast.BinOpKind.ADD, ast.Param(0),
+                                       ast.Param(1))),))
+        main = _main([
+            ast.CallAssign(ast.Local(0), 1, (ast.Const(30), ast.Const(12))),
+            ast.Print(ast.Local(0)),
+            ast.Return(ast.Const(0)),
+        ])
+        assert run_module(_module(main, add2)).output == [42]
+
+    def test_nested_calls_preserve_frames(self):
+        # g(x) = x + 1; f(x) = g(x) * 2 + x  — x must survive the call to g.
+        g = ast.FunctionDef(
+            name="g", params=1, locals_count=1,
+            body=(ast.Return(ast.BinOp(ast.BinOpKind.ADD, ast.Param(0),
+                                       ast.Const(1))),))
+        f = ast.FunctionDef(
+            name="f", params=1, locals_count=2,
+            body=(
+                ast.CallAssign(ast.Local(1), 2, (ast.Param(0),)),
+                ast.Return(ast.BinOp(ast.BinOpKind.ADD,
+                                     ast.BinOp(ast.BinOpKind.MUL, ast.Local(1),
+                                               ast.Const(2)),
+                                     ast.Param(0))),
+            ))
+        main = _main([
+            ast.CallAssign(ast.Local(0), 1, (ast.Const(10),)),
+            ast.Print(ast.Local(0)),
+            ast.Return(ast.Const(0)),
+        ])
+        assert run_module(_module(main, f, g)).output == [10 * 0 + 22 + 10]
+
+    def test_too_many_params_rejected(self):
+        fn = ast.FunctionDef(name="f", params=9, locals_count=0,
+                             body=(ast.Return(ast.Const(0)),))
+        with pytest.raises(CompileError, match="parameters"):
+            compile_function(fn, _module(fn))
+
+    def test_params_spilled_to_frame(self):
+        fn = ast.FunctionDef(name="f", params=2, locals_count=0,
+                             body=(ast.Return(ast.Param(1)),))
+        compiled = compile_function(fn, _module(fn))
+        stores = [insn for insn in compiled.insns if insn.op is Op.SW]
+        # old fp + 2 params
+        assert len(stores) >= 3
+
+
+class TestFunctionShape:
+    def test_prologue_epilogue_balance(self):
+        fn = ast.FunctionDef(name="f", params=0, locals_count=3,
+                             body=(ast.Return(ast.Const(1)),))
+        compiled = compile_function(fn, _module(fn))
+        first, last = compiled.insns[0], compiled.insns[-1]
+        assert first.op is Op.ADDI and first.imm < 0  # sp down
+        assert last.op is Op.RET
+        sp_up = [insn for insn in compiled.insns
+                 if insn.op is Op.ADDI and insn.imm == -first.imm]
+        assert sp_up  # frame released
+
+    def test_compiled_program_validates(self):
+        module = _module(_main([ast.Return(ast.Const(0))]))
+        validate_program(compile_module(module))
