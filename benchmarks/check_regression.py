@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Compression-throughput regression guard.
+
+Measures full-pipeline ``repro.core.compress`` (and ``decompress``)
+wall-clock on the largest corpus program, writes the numbers to
+``benchmarks/BENCH_pipeline.json``, and exits non-zero if compress
+throughput regressed more than ``--tolerance`` (default 20%) against the
+recorded baseline in ``benchmarks/BENCH_baseline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # guard
+    PYTHONPATH=src python benchmarks/check_regression.py --record   # re-baseline
+
+Run it alongside the tier-1 suite when touching the compress path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "BENCH_baseline.json"
+RESULT_PATH = HERE / "BENCH_pipeline.json"
+
+
+def measure(program_name: str, scale: float, rounds: int) -> dict:
+    from repro.core import compress, decompress
+    from repro.workloads import benchmark_program
+
+    program = benchmark_program(program_name, scale=scale)
+    compress_s = min(_timed(compress, program) for _ in range(rounds))
+    container = compress(program)
+    decompress_s = min(_timed(decompress, container.data) for _ in range(rounds))
+    return {
+        "program": program_name,
+        "scale": scale,
+        "instructions": program.instruction_count,
+        "container_bytes": container.size,
+        "compress_s": compress_s,
+        "decompress_s": decompress_s,
+    }
+
+
+def _timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--program", default=None,
+                        help="corpus program (default: baseline's)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default: baseline's)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds; best is kept (default 3)")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional throughput loss (default 0.20)")
+    parser.add_argument("--record", action="store_true",
+                        help="rewrite BENCH_baseline.json from this run")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
+    program = args.program or baseline.get("program", "word97")
+    scale = args.scale if args.scale is not None else baseline.get("scale", 0.1)
+
+    result = measure(program, scale, args.rounds)
+    throughput = result["instructions"] / result["compress_s"]
+    result["compress_insns_per_s"] = round(throughput, 1)
+
+    if args.record:
+        recorded = dict(result)
+        recorded["note"] = "Recorded by check_regression.py --record; best of %d runs." % args.rounds
+        BASELINE_PATH.write_text(json.dumps(recorded, indent=2) + "\n")
+        print(f"recorded baseline: compress {result['compress_s']:.3f}s "
+              f"({throughput:,.0f} insns/s) -> {BASELINE_PATH.name}")
+
+    verdict = "no-baseline"
+    if baseline.get("compress_s") and baseline.get("program") == program \
+            and baseline.get("scale") == scale:
+        base_throughput = baseline["instructions"] / baseline["compress_s"]
+        ratio = throughput / base_throughput
+        result["baseline_compress_s"] = baseline["compress_s"]
+        result["throughput_vs_baseline"] = round(ratio, 3)
+        verdict = "pass" if ratio >= 1.0 - args.tolerance else "regression"
+        print(f"compress: {result['compress_s']:.3f}s vs baseline "
+              f"{baseline['compress_s']:.3f}s ({ratio:.2f}x throughput, "
+              f"tolerance {1.0 - args.tolerance:.2f}x) -> {verdict}")
+    else:
+        print(f"compress: {result['compress_s']:.3f}s "
+              f"({throughput:,.0f} insns/s); no comparable baseline")
+
+    result["verdict"] = verdict
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH.name}")
+    return 1 if verdict == "regression" else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,224 @@
+"""Benchmark: optimized kernels and parallel pipeline scaling.
+
+Guards this repo's perf work rather than a paper exhibit:
+
+* the rewritten serial kernels (packed-key n-gram counting, slice-based
+  LZ77 matching, hoisted copy-phase loop) must beat the recorded seed
+  baseline (``BENCH_baseline.json``) by >= 1.3x on full-pipeline compress;
+* ``compress(..., jobs=k)`` must be byte-identical to serial, and on
+  machines with >= 4 cores ``jobs=4`` must clear 2x over the seed serial
+  baseline;
+* micro-benchmarks keep the kernel/legacy comparison visible (the legacy
+  reference implementations live here, frozen from the seed).
+
+Results are appended to ``BENCH_pipeline_scaling.json`` for inspection.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import compress
+from repro.core.dictionary import _count_ngrams
+from repro.lz import lz77
+
+HERE = Path(__file__).resolve().parent
+BASELINE = json.loads((HERE / "BENCH_baseline.json").read_text())
+RESULTS_PATH = HERE / "BENCH_pipeline_scaling.json"
+
+#: The largest corpus program; matches the recorded baseline.
+LARGEST = BASELINE["program"]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _record(entry: dict) -> None:
+    existing = (json.loads(RESULTS_PATH.read_text())
+                if RESULTS_PATH.exists() else [])
+    existing.append(entry)
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Legacy reference kernels (frozen copies of the seed implementations).
+# ---------------------------------------------------------------------------
+
+def _legacy_count_ngrams(id_lists, max_len):
+    """Seed n-gram counter: one tuple allocation per window."""
+    counts = {}
+    for ids in id_lists:
+        n = len(ids)
+        for start in range(n):
+            top = min(max_len, n - start)
+            for length in range(2, top + 1):
+                window = tuple(ids[start:start + length])
+                counts[window] = counts.get(window, 0) + 1
+    return counts
+
+
+def _legacy_lz_compress(data):
+    """Seed LZ77 matcher: per-position candidate list copies, byte loops."""
+    from repro.lz.varint import ByteWriter
+
+    writer = ByteWriter()
+    writer.write_uvarint(len(data))
+    table = {}
+    pos = 0
+    literal_start = 0
+    n = len(data)
+
+    def flush_literals(end):
+        if end > literal_start:
+            writer.write_uvarint(0)
+            writer.write_uvarint(end - literal_start)
+            writer.write_bytes(data[literal_start:end])
+
+    while pos + 4 <= n:
+        key = lz77._hash4(data, pos)
+        candidates = table.get(key)
+        best_len = 0
+        best_dist = 0
+        if candidates:
+            for cand in candidates[-32:][::-1]:
+                dist = pos - cand
+                if dist > (1 << 16):
+                    continue
+                length = 0
+                limit = n - pos
+                while length < limit and data[cand + length] == data[pos + length]:
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = dist
+        if best_len >= 4:
+            flush_literals(pos)
+            writer.write_uvarint(best_len - 4 + 1)
+            writer.write_uvarint(best_dist)
+            end = pos + best_len
+            step = 1 if best_len <= 32 else 4
+            while pos < end and pos + 4 <= n:
+                table.setdefault(lz77._hash4(data, pos), []).append(pos)
+                pos += step
+            pos = end
+            literal_start = pos
+        else:
+            table.setdefault(key, []).append(pos)
+            pos += 1
+    flush_literals(n)
+    return writer.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Full-pipeline guards against the recorded seed baseline.
+# ---------------------------------------------------------------------------
+
+def test_serial_kernels_beat_seed_baseline(context):
+    """The tentpole claim: serial rewrites alone give >= 1.3x compress."""
+    program = context.program(LARGEST)
+    assert program.instruction_count == BASELINE["instructions"]
+    # Best-of-5 to shrug off transient machine load.
+    elapsed = min(_timed(lambda: compress(program)) for _ in range(5))
+    speedup = BASELINE["compress_s"] / elapsed
+    _record({"test": "serial_vs_seed", "compress_s": round(elapsed, 3),
+             "seed_compress_s": BASELINE["compress_s"],
+             "speedup": round(speedup, 2)})
+    assert speedup >= 1.3, (
+        f"serial compress {elapsed:.3f}s is only {speedup:.2f}x over the "
+        f"seed baseline {BASELINE['compress_s']:.3f}s (need >= 1.3x)")
+
+
+def test_parallel_output_byte_identical(context):
+    program = context.program(LARGEST)
+    serial = compress(program)
+    for jobs in (2, 4):
+        parallel = compress(program, jobs=jobs)
+        assert parallel.data == serial.data, (
+            f"jobs={jobs} output differs from serial")
+
+
+def test_parallel_scaling_vs_seed_baseline(context):
+    """jobs=4 >= 2x over the *seed* serial baseline (needs real cores)."""
+    program = context.program(LARGEST)
+    elapsed = min(_timed(lambda: compress(program, jobs=4)) for _ in range(2))
+    speedup = BASELINE["compress_s"] / elapsed
+    _record({"test": "jobs4_vs_seed", "compress_s": round(elapsed, 3),
+             "seed_compress_s": BASELINE["compress_s"],
+             "speedup": round(speedup, 2),
+             "cpu_count": os.cpu_count()})
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip(f"only {os.cpu_count()} CPU(s): process fan-out cannot "
+                    f"scale here (measured {speedup:.2f}x)")
+    assert speedup >= 2.0, (
+        f"jobs=4 compress {elapsed:.3f}s is only {speedup:.2f}x over the "
+        f"seed baseline {BASELINE['compress_s']:.3f}s (need >= 2x)")
+
+
+# ---------------------------------------------------------------------------
+# Kernel micro-benchmarks: new vs frozen legacy reference.
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def ngram_input(context):
+    from repro.core.dictionary import build_dictionary
+    program = context.program(LARGEST)
+    result = build_dictionary(program)
+    key_bits = max(1, (len(result.base_entries) - 1).bit_length())
+    # Recover per-function id lists the same way pass 0 does.
+    interned = {entry.key: index
+                for index, entry in enumerate(result.base_entries)}
+    id_lists = []
+    for fn in program.functions:
+        keys, _ = fn.keys_and_sizes()
+        id_lists.append([interned[key] for key in keys])
+    return id_lists, key_bits
+
+
+def test_ngram_kernel_packed(benchmark, ngram_input):
+    id_lists, key_bits = ngram_input
+    counts = benchmark(_count_ngrams, id_lists, 4, key_bits)
+    assert counts
+
+
+def test_ngram_kernel_legacy_reference(benchmark, ngram_input):
+    id_lists, _ = ngram_input
+    counts = benchmark(_legacy_count_ngrams, id_lists, 4)
+    assert counts
+
+
+def test_ngram_kernels_agree(ngram_input):
+    """Packed counts must be the legacy tuple counts under a bijection."""
+    id_lists, key_bits = ngram_input
+    legacy = _legacy_count_ngrams(id_lists, 4)
+    packed = _count_ngrams(id_lists, 4, key_bits)
+    assert len(legacy) == len(packed)
+    marks = [1 << (length * key_bits) for length in range(5)]
+    for window, count in legacy.items():
+        key = marks[len(window)]
+        for offset, base_id in enumerate(window):
+            key |= base_id << (offset * key_bits)
+        assert packed[key] == count
+
+
+@pytest.fixture(scope="module")
+def lz_input(context):
+    # The byte-oriented-baseline workload (analysis.ratios): a whole
+    # program's VM encoding — redundant, match-rich bytes.
+    from repro.analysis.ratios import encode_program
+    return encode_program(context.program(LARGEST))
+
+
+def test_lz77_kernel_new(benchmark, lz_input):
+    out = benchmark(lz77.compress, lz_input)
+    assert lz77.decompress(out) == lz_input
+
+
+def test_lz77_kernel_legacy_reference(benchmark, lz_input):
+    out = benchmark(_legacy_lz_compress, lz_input)
+    assert out == lz77.compress(lz_input)  # output unchanged by the rewrite

@@ -15,7 +15,8 @@ from repro.jit import Translator, build_tables
 def test_dictionary_phase_throughput(benchmark, context):
     data = context.ssd("go").data
     reader = open_container(data)
-    tables = benchmark(build_tables, reader)
+    # use_cache=False: this bench measures phase one itself, not the memo.
+    tables = benchmark(build_tables, reader, use_cache=False)
     assert tables.total_bytes > 0
 
 

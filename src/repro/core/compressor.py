@@ -17,13 +17,16 @@ of pc-relative in the item stream); SSD proper uses ``"relative"``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..isa import Program
+from ..perf.parallel import fanout, get_shared, resolve_jobs
+from ..perf.profile import PhaseProfile, ensure
 from . import container
 from .base_entries import order_base_entries
 from .dictionary import (
     MAX_SEQUENCE_LENGTH,
+    EntryRef,
     SSDDictionary,
     build_dictionary,
     dictionary_statistics,
@@ -47,12 +50,47 @@ class CompressedProgram:
         return len(self.data)
 
 
+def _encode_items_chunk(tasks: List[Tuple[int, List[EntryRef]]]) -> List[bytes]:
+    """Fan-out worker: encode item streams for a chunk of functions."""
+    layouts, segment_of_function = get_shared()
+    streams: List[bytes] = []
+    for findex, refs in tasks:
+        layout = layouts[segment_of_function[findex]]
+        streams.append(encode_items(refs, layout.index_of, layout.info_of))
+    return streams
+
+
+def _encode_item_streams(dictionary: SSDDictionary, plan, layouts,
+                         jobs: int) -> List[bytes]:
+    """Per-function item encoding, serially or over worker processes."""
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(dictionary.function_refs) < 2:
+        streams: List[bytes] = []
+        segment_of_function = plan.segment_of_function
+        for findex, refs in enumerate(dictionary.function_refs):
+            layout = layouts[segment_of_function[findex]]
+            streams.append(encode_items(refs, layout.index_of, layout.info_of))
+        return streams
+    tasks = list(enumerate(dictionary.function_refs))
+    chunk_size = max(1, len(tasks) // (workers * 4))
+    chunks = [tasks[start:start + chunk_size]
+              for start in range(0, len(tasks), chunk_size)]
+    results = fanout(_encode_items_chunk, chunks, workers,
+                     shared=(layouts, plan.segment_of_function), chunksize=1)
+    streams = []
+    for chunk_result in results:
+        streams.extend(chunk_result)
+    return streams
+
+
 def compress(program: Program,
              codec: str = "lz",
              max_len: int = MAX_SEQUENCE_LENGTH,
              common_budget: int = DEFAULT_COMMON_BUDGET,
              branch_targets: str = "relative",
-             match_mode: str = "greedy") -> CompressedProgram:
+             match_mode: str = "greedy",
+             jobs: int = 1,
+             profile: Optional[PhaseProfile] = None) -> CompressedProgram:
     """Compress ``program`` into an SSD container.
 
     Parameters
@@ -72,31 +110,44 @@ def compress(program: Program,
     match_mode:
         ``"greedy"`` (the paper's Algorithm 1) or ``"optimal"`` (an
         item-byte-minimizing dynamic program; see ``build_dictionary``).
+    jobs:
+        Worker processes for the parallelizable stages (n-gram counting,
+        segmentation, item encoding).  ``1`` (default) is fully serial,
+        ``0`` means one worker per core.  The container bytes are
+        **byte-identical** whatever ``jobs`` is — parallelism only changes
+        wall-clock time, never output.
+    profile:
+        Optional :class:`repro.perf.PhaseProfile`; receives wall-clock
+        timings for every pipeline phase (``dictionary.*``, ``partition``,
+        ``layout``, ``items``, ``serialize``).
     """
     if branch_targets not in ("relative", "absolute"):
         raise ValueError(f"branch_targets must be relative/absolute, got {branch_targets!r}")
+    prof = ensure(profile)
     dictionary = build_dictionary(program, max_len=max_len,
                                   absolute_targets=branch_targets == "absolute",
-                                  match_mode=match_mode)
-    plan = plan_partition(dictionary, common_budget=common_budget)
-    layouts, common_base_blob, common_tree_blob, segment_sections = build_layouts(
-        dictionary, plan, codec=codec)
+                                  match_mode=match_mode, jobs=jobs,
+                                  profile=profile)
+    with prof.phase("partition"):
+        plan = plan_partition(dictionary, common_budget=common_budget)
+    with prof.phase("layout"):
+        layouts, common_base_blob, common_tree_blob, segment_sections = build_layouts(
+            dictionary, plan, codec=codec)
 
-    item_streams: List[bytes] = []
-    for findex, refs in enumerate(dictionary.function_refs):
-        layout = layouts[plan.segment_of_function[findex]]
-        item_streams.append(encode_items(refs, layout.index_of, layout.info_of))
+    with prof.phase("items"):
+        item_streams = _encode_item_streams(dictionary, plan, layouts, jobs)
 
-    sections = container.ContainerSections(
-        program_name=program.name,
-        entry=program.entry,
-        function_names=[fn.name for fn in program.functions],
-        common_base_blob=common_base_blob,
-        common_tree_blob=common_tree_blob,
-        segments=segment_sections,
-        item_streams=item_streams,
-    )
-    data = container.serialize(sections)
+    with prof.phase("serialize"):
+        sections = container.ContainerSections(
+            program_name=program.name,
+            entry=program.entry,
+            function_names=[fn.name for fn in program.functions],
+            common_base_blob=common_base_blob,
+            common_tree_blob=common_tree_blob,
+            segments=segment_sections,
+            item_streams=item_streams,
+        )
+        data = container.serialize(sections)
     return CompressedProgram(
         data=data,
         dictionary_stats=dictionary_statistics(dictionary),

@@ -91,35 +91,45 @@ def copy_translate(items: Sequence[DecodedItem],
     # (hole position, hole size, target item index) for forward branches.
     pending: List[Tuple[int, int, int]] = []
 
+    # The item loop is the copy phase's hot path: hoist every per-iteration
+    # attribute/bound-method lookup out of it.
+    table_get = table.get
+    offsets_append = item_offsets.append
+    pending_append = pending.append
+    relocations_append = relocations.append
+    item_count = len(items)
+
     for item_index, item in enumerate(items):
-        entry = table.get(item.dict_index)
+        entry = table_get(item.dict_index)
         if entry is None:
             raise CopyPhaseError(f"no instruction-table entry for index {item.dict_index}")
-        item_offsets.append(len(code))
         start = len(code)
+        offsets_append(start)
         code += entry.data  # the block copy at the heart of phase two
-        if item.branch_displacement is not None:
-            if not entry.has_hole or entry.is_call:
+        displacement = item.branch_displacement
+        if displacement is not None:
+            hole_size = entry.hole_size
+            if hole_size == 0 or entry.is_call:
                 raise CopyPhaseError(
                     f"item {item_index} supplies a branch target but entry "
                     f"{item.dict_index} has no branch hole")
-            target_item = item_index + 1 + item.branch_displacement
-            if not 0 <= target_item < len(items):
+            target_item = item_index + 1 + displacement
+            if not 0 <= target_item < item_count:
                 raise CopyPhaseError(
                     f"item {item_index}: branch target item {target_item} "
                     f"out of range")
             hole_at = start + entry.hole_offset
             if target_item <= item_index:
-                _patch(code, hole_at, entry.hole_size,
-                       item_offsets[target_item] - (hole_at + entry.hole_size))
+                _patch(code, hole_at, hole_size,
+                       item_offsets[target_item] - (hole_at + hole_size))
             else:
-                pending.append((hole_at, entry.hole_size, target_item))
+                pending_append((hole_at, hole_size, target_item))
         elif item.call_target is not None:
-            if not entry.has_hole or not entry.is_call:
+            if entry.hole_size == 0 or not entry.is_call:
                 raise CopyPhaseError(
                     f"item {item_index} supplies a call target but entry "
                     f"{item.dict_index} has no call hole")
-            relocations.append(CallRelocation(
+            relocations_append(CallRelocation(
                 hole_offset=start + entry.hole_offset,
                 hole_size=entry.hole_size,
                 callee=item.call_target,

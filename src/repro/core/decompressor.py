@@ -15,10 +15,12 @@ interpretable in the paper's sense.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ..isa import Function, Instruction, Program
+from ..perf.profile import PhaseProfile, ensure
 from . import container
 from .dictionary import BaseEntry
 from .items import DecodedItem, decode_items, resolve_branch_targets
@@ -31,11 +33,17 @@ class DecompressionError(ValueError):
 
 @dataclass
 class SSDReader:
-    """A parsed container with its dictionaries decompressed (phase one)."""
+    """A parsed container with its dictionaries decompressed (phase one).
+
+    ``container_hash`` fingerprints the container bytes; the JIT layer uses
+    it to memoize instruction tables (``repro.jit.build_tables``) so that
+    re-translation after buffer eviction skips the dictionary phase.
+    """
 
     sections: container.ContainerSections
     layouts: List[SegmentLayout]
     segment_of_function: List[int]
+    container_hash: Optional[str] = None
 
     @property
     def function_count(self) -> int:
@@ -99,12 +107,21 @@ class SSDReader:
                        entry=self.sections.entry)
 
 
-def open_container(data: bytes) -> SSDReader:
-    """Parse and phase-one-decompress a container."""
-    sections = container.parse(data)
-    layouts = layouts_from_sections(sections.common_base_blob,
-                                    sections.common_tree_blob,
-                                    sections.segments)
+def open_container(data: bytes,
+                   profile: Optional[PhaseProfile] = None) -> SSDReader:
+    """Parse and phase-one-decompress a container.
+
+    ``profile`` receives ``parse`` and ``dictionary_phase`` timings — the
+    latter is the paper's phase one (base-entry and tree codecs reversed,
+    index spaces rebuilt).
+    """
+    prof = ensure(profile)
+    with prof.phase("parse"):
+        sections = container.parse(data)
+    with prof.phase("dictionary_phase"):
+        layouts = layouts_from_sections(sections.common_base_blob,
+                                        sections.common_tree_blob,
+                                        sections.segments)
     segment_of_function: List[int] = [0] * len(sections.function_names)
     for sindex, segment in enumerate(sections.segments):
         for findex in range(segment.first_function,
@@ -115,9 +132,18 @@ def open_container(data: bytes) -> SSDReader:
                     f"program has {len(segment_of_function)}")
             segment_of_function[findex] = sindex
     return SSDReader(sections=sections, layouts=layouts,
-                     segment_of_function=segment_of_function)
+                     segment_of_function=segment_of_function,
+                     container_hash=hashlib.sha256(data).hexdigest())
 
 
-def decompress(data: bytes) -> Program:
-    """One-call convenience: container bytes -> program."""
-    return open_container(data).program()
+def decompress(data: bytes,
+               profile: Optional[PhaseProfile] = None) -> Program:
+    """One-call convenience: container bytes -> program.
+
+    ``profile`` receives the phase-one timings of :func:`open_container`
+    plus ``copy_phase`` — the per-function item expansion (the paper's
+    Algorithm 3 analogue on the VM-instruction side).
+    """
+    reader = open_container(data, profile=profile)
+    with ensure(profile).phase("copy_phase"):
+        return reader.program()

@@ -24,17 +24,30 @@ longer matches inside the prefix.
 
 Implementation note: match keys are interned to dense integer *base ids*
 in the first pass; every later stage (n-gram counting, sequence entries,
-item generation, tree serialization) works on small integer tuples.  At
-word97 scale (1.4M instructions) this keeps the n-gram tables hundreds of
-megabytes smaller than tuples-of-keys would.
+item generation, tree serialization) works on small integers.  The n-gram
+tables go further and pack each window of ids into a *single* integer
+(``id0 | id1 << k | ...`` plus a length-marker bit) so the counting loop
+allocates no per-window tuples at all.  At word97 scale (1.4M
+instructions) this keeps the n-gram tables hundreds of megabytes smaller
+than tuples-of-keys would, and roughly halves counting time.
+
+Construction is parallelizable: ``build_dictionary(..., jobs=n)`` fans the
+n-gram counting (mergeable partial counts) and the per-function
+segmentation out over worker processes via :mod:`repro.perf.parallel`.
+The parallel result is byte-identical to the serial one: partial counts
+merge to the same table, and segmentation is a pure per-function function
+of that table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..isa import Instruction, Program, basic_blocks
+from ..isa.opcodes import OP_TABLE
+from ..perf.parallel import fanout, get_shared, resolve_jobs
+from ..perf.profile import PhaseProfile, ensure
 
 #: Maximum sequence-entry length (the paper's L <= 4).
 MAX_SEQUENCE_LENGTH = 4
@@ -146,7 +159,9 @@ def _normalized_instruction(insn: Instruction) -> Instruction:
 def build_dictionary(program: Program,
                      max_len: int = MAX_SEQUENCE_LENGTH,
                      absolute_targets: bool = False,
-                     match_mode: str = "greedy") -> SSDDictionary:
+                     match_mode: str = "greedy",
+                     jobs: int = 1,
+                     profile: Optional[PhaseProfile] = None) -> SSDDictionary:
     """Run Algorithm 1 over ``program``.
 
     ``max_len`` parameterizes the paper's fixed 4 for the sequence-length
@@ -166,131 +181,255 @@ def build_dictionary(program: Program,
       target bytes).  Dictionary-side cost is not modelled, so this is a
       lower bound on what non-greedy matching could buy; the ablation
       experiment measures the actual end-to-end difference.
+
+    ``jobs`` fans n-gram counting and segmentation out over worker
+    processes (0 = one per core, see
+    :func:`repro.perf.parallel.resolve_jobs`); the result is byte-identical
+    to ``jobs=1``.  ``profile`` (a :class:`repro.perf.PhaseProfile`)
+    receives per-phase timings when supplied.
     """
     if max_len < 1:
         raise ValueError(f"max_len must be >= 1, got {max_len}")
     if match_mode not in ("greedy", "optimal"):
         raise ValueError(f"match_mode must be greedy/optimal, got {match_mode!r}")
+    prof = ensure(profile)
     result = SSDDictionary()
 
     # Pass 0 (step 1): base entries + per-function id lists + block limits.
+    # Interning assigns ids in first-seen program order, so this pass is
+    # inherently serial.
     id_lists: List[List[int]] = []
     block_ends: List[List[int]] = []
-    for fn in program.functions:
-        keys = fn.match_keys()
-        sizes = fn.target_sizes()
-        ids: List[int] = []
-        for index, (insn, key, size) in enumerate(zip(fn.insns, keys, sizes)):
-            stored_target = None
-            if absolute_targets and (insn.is_branch or insn.is_call):
-                stored_target = insn.target
-                key = key + (stored_target,)
-            base_id = result.base_id_of_key.get(key)
-            if base_id is None:
-                base_id = len(result.base_entries)
-                result.base_id_of_key[key] = base_id
-                result.base_entries.append(BaseEntry(
-                    key=key,
-                    instruction=_normalized_instruction(insn),
-                    target_size=size,
-                    stored_target=stored_target,
-                ))
-            ids.append(base_id)
-        id_lists.append(ids)
-        ends = [0] * len(fn.insns)
-        for block in basic_blocks(fn):
-            for index in range(block.start, block.end):
-                ends[index] = block.end
-        block_ends.append(ends)
+    with prof.phase("dictionary.base_entries"):
+        base_id_of_key = result.base_id_of_key
+        base_entries = result.base_entries
+        for fn in program.functions:
+            keys, sizes = fn.keys_and_sizes()
+            ids: List[int] = []
+            append = ids.append
+            for insn, key, size in zip(fn.insns, keys, sizes):
+                stored_target = None
+                # ``size is not None`` exactly for branch/call instructions.
+                if absolute_targets and size is not None:
+                    stored_target = insn.target
+                    key = key + (stored_target,)
+                base_id = base_id_of_key.get(key)
+                if base_id is None:
+                    base_id = len(base_entries)
+                    base_id_of_key[key] = base_id
+                    base_entries.append(BaseEntry(
+                        key=key,
+                        instruction=_normalized_instruction(insn),
+                        target_size=size,
+                        stored_target=stored_target,
+                    ))
+                append(base_id)
+            id_lists.append(ids)
+            ends = [0] * len(fn.insns)
+            for block in basic_blocks(fn):
+                for index in range(block.start, block.end):
+                    ends[index] = block.end
+            block_ends.append(ends)
+
+    # Windows of base ids pack into single integers — ``id0 | id1 << k | ...``
+    # with a marker bit above the top id disambiguating window lengths — so
+    # the hot loops below allocate no per-window tuples.
+    key_bits = max(1, (len(result.base_entries) - 1).bit_length())
+    marks = [1 << (length * key_bits) for length in range(max_len + 1)]
 
     # Pass 1: n-gram occurrence counts (the "occurs at least twice" oracle).
-    ngram_counts: Dict[Tuple[int, ...], int] = {}
-    if max_len >= 2:
-        get = ngram_counts.get
-        for ids in id_lists:
-            n = len(ids)
-            for length in range(2, max_len + 1):
-                for start in range(n - length + 1):
-                    window = tuple(ids[start:start + length])
-                    ngram_counts[window] = get(window, 0) + 1
+    with prof.phase("dictionary.ngrams"):
+        ngram_counts = _ngram_counts(id_lists, max_len, key_bits, jobs)
 
-    # Pass 2 (steps 2-3): rewrite each function as dictionary references.
-    for fn, ids, ends in zip(program.functions, id_lists, block_ends):
-        if match_mode == "greedy":
-            lengths = _greedy_segmentation(ids, ends, ngram_counts, max_len)
+    # Pass 2a (step 3.a): segment every function against the counts.
+    with prof.phase("dictionary.segmentation"):
+        if match_mode == "optimal":
+            item_costs = [
+                2.0 + (entry.target_size or 0)
+                if entry.has_target and not entry.target_in_entry else 2.0
+                for entry in result.base_entries
+            ]
         else:
-            lengths = _optimal_segmentation(ids, ends, ngram_counts, max_len,
-                                            result.base_entries)
-        refs: List[EntryRef] = []
-        index = 0
-        for match_len in lengths:
-            last = fn.insns[index + match_len - 1]
-            branch_target = last.target if last.is_branch else None
-            call_target = last.target if last.is_call else None
-            window = tuple(ids[index:index + match_len])
-            if match_len >= 2:
-                result.sequence_entries[window] = (
-                    result.sequence_entries.get(window, 0) + 1)
-            else:
-                result.base_use_counts[window[0]] = (
-                    result.base_use_counts.get(window[0], 0) + 1)
-            refs.append(EntryRef(base_ids=window,
-                                 branch_target=branch_target,
-                                 call_target=call_target))
-            index += match_len
-        result.function_refs.append(refs)
+            item_costs = None
+        all_lengths = _segment_functions(id_lists, block_ends, ngram_counts,
+                                         max_len, key_bits, marks, match_mode,
+                                         item_costs, jobs)
+
+    # Pass 2b (steps 2-3): rewrite each function as dictionary references.
+    with prof.phase("dictionary.rewrite"):
+        sequence_entries = result.sequence_entries
+        base_use_counts = result.base_use_counts
+        for fn, ids, lengths in zip(program.functions, id_lists, all_lengths):
+            refs: List[EntryRef] = []
+            append = refs.append
+            insns = fn.insns
+            index = 0
+            for match_len in lengths:
+                last = insns[index + match_len - 1]
+                meta = OP_TABLE[last.op]
+                branch_target = last.target if meta.is_branch else None
+                call_target = last.target if meta.is_call else None
+                window = tuple(ids[index:index + match_len])
+                if match_len >= 2:
+                    sequence_entries[window] = (
+                        sequence_entries.get(window, 0) + 1)
+                else:
+                    base_use_counts[window[0]] = (
+                        base_use_counts.get(window[0], 0) + 1)
+                append(EntryRef(base_ids=window,
+                                branch_target=branch_target,
+                                call_target=call_target))
+                index += match_len
+            result.function_refs.append(refs)
     return result
 
 
+# ---------------------------------------------------------------------------
+# Pass 1: packed n-gram counting (serial kernel + parallel fan-out).
+
+def _count_ngrams(id_lists: Sequence[List[int]], max_len: int,
+                  key_bits: int) -> Dict[int, int]:
+    """Count 2..``max_len``-gram occurrences; packed-int keys, no tuples."""
+    counts: Dict[int, int] = {}
+    if max_len < 2:
+        return counts
+    get = counts.get
+    marks = [1 << (length * key_bits) for length in range(max_len + 1)]
+    for ids in id_lists:
+        n = len(ids)
+        for start in range(n - 1):
+            packed = ids[start]
+            shift = key_bits
+            top = n - start
+            if top > max_len:
+                top = max_len
+            for offset in range(1, top):
+                packed |= ids[start + offset] << shift
+                shift += key_bits
+                key = packed | marks[offset + 1]
+                counts[key] = get(key, 0) + 1
+    return counts
+
+
+def _count_chunk(id_lists: List[List[int]]) -> Dict[int, int]:
+    """Fan-out worker: partial counts for one chunk of functions."""
+    max_len, key_bits = get_shared()
+    return _count_ngrams(id_lists, max_len, key_bits)
+
+
+def _split_by_weight(items: List, parts: int) -> List[List]:
+    """Split ``items`` into up to ``parts`` contiguous, similar-weight chunks.
+
+    Weight is ``len(item[0])`` for tuple items (the segmentation tasks) and
+    ``len(item)`` otherwise (the id lists) — instruction counts both ways.
+    """
+    def weight_of(item) -> int:
+        return len(item[0]) if isinstance(item, tuple) else len(item)
+
+    total = sum(weight_of(item) for item in items)
+    target = max(1, total // parts)
+    chunks: List[List] = []
+    current: List = []
+    weight = 0
+    for item in items:
+        current.append(item)
+        weight += weight_of(item)
+        if weight >= target and len(chunks) < parts - 1:
+            chunks.append(current)
+            current = []
+            weight = 0
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def _ngram_counts(id_lists: List[List[int]], max_len: int, key_bits: int,
+                  jobs: int) -> Dict[int, int]:
+    """Global n-gram table, optionally merged from per-chunk partial counts."""
+    if max_len < 2:
+        return {}
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(id_lists) < 2:
+        return _count_ngrams(id_lists, max_len, key_bits)
+    chunks = _split_by_weight(id_lists, workers)
+    parts = fanout(_count_chunk, chunks, workers, shared=(max_len, key_bits),
+                   chunksize=1)
+    merged = parts[0]
+    for part in parts[1:]:
+        get = merged.get
+        for key, value in part.items():
+            merged[key] = get(key, 0) + value
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Pass 2a: per-function segmentation (serial kernels + parallel fan-out).
+
 def _greedy_segmentation(ids: List[int], ends: List[int],
-                         ngram_counts: Dict[Tuple[int, ...], int],
-                         max_len: int) -> List[int]:
+                         ngram_counts: Dict[int, int], max_len: int,
+                         key_bits: int, marks: List[int]) -> List[int]:
     """The paper's greedy longest-match walk; returns segment lengths."""
     lengths: List[int] = []
+    append = lengths.append
+    get = ngram_counts.get
     n = len(ids)
     index = 0
     while index < n:
-        limit = min(max_len, ends[index] - index)
+        limit = ends[index] - index
+        if limit > max_len:
+            limit = max_len
         match_len = 1
-        for length in range(limit, 1, -1):
-            window = tuple(ids[index:index + length])
-            if ngram_counts.get(window, 0) >= 2:
-                match_len = length
-                break
-        lengths.append(match_len)
+        if limit >= 2:
+            packed = ids[index] | (ids[index + 1] << key_bits)
+            if limit == 2:
+                if get(packed | marks[2], 0) >= 2:
+                    match_len = 2
+            else:
+                packs = [0, 0, packed]
+                shift = 2 * key_bits
+                for offset in range(2, limit):
+                    packed |= ids[index + offset] << shift
+                    shift += key_bits
+                    packs.append(packed)
+                for length in range(limit, 1, -1):
+                    if get(packs[length] | marks[length], 0) >= 2:
+                        match_len = length
+                        break
+        append(match_len)
         index += match_len
     return lengths
 
 
 def _optimal_segmentation(ids: List[int], ends: List[int],
-                          ngram_counts: Dict[Tuple[int, ...], int],
-                          max_len: int,
-                          base_entries: List[BaseEntry]) -> List[int]:
+                          ngram_counts: Dict[int, int], max_len: int,
+                          key_bits: int, marks: List[int],
+                          item_costs: List[float]) -> List[int]:
     """Item-byte-minimizing segmentation (dynamic program).
 
     ``cost[i]`` = minimal item bytes to encode instructions ``i..n``;
     each candidate segment costs 2 (the 16-bit index) plus the target
-    bytes its final instruction forces into the item stream.
+    bytes its final instruction forces into the item stream
+    (``item_costs``, indexed by base id).
     """
     n = len(ids)
     cost = [0.0] * (n + 1)
     choice = [1] * (n + 1)
-
-    def item_bytes(last_id: int) -> float:
-        entry = base_entries[last_id]
-        if entry.has_target and not entry.target_in_entry:
-            return 2.0 + (entry.target_size or 0)
-        return 2.0
+    get = ngram_counts.get
 
     for index in range(n - 1, -1, -1):
-        limit = min(max_len, ends[index] - index)
-        best = item_bytes(ids[index]) + cost[index + 1]
+        limit = ends[index] - index
+        if limit > max_len:
+            limit = max_len
+        best = item_costs[ids[index]] + cost[index + 1]
         best_len = 1
+        packed = ids[index]
+        shift = key_bits
         for length in range(2, limit + 1):
-            window = tuple(ids[index:index + length])
-            if ngram_counts.get(window, 0) < 2:
+            packed |= ids[index + length - 1] << shift
+            shift += key_bits
+            if get(packed | marks[length], 0) < 2:
                 continue
-            candidate = item_bytes(ids[index + length - 1]) + cost[index + length]
+            candidate = item_costs[ids[index + length - 1]] + cost[index + length]
             # Strict improvement or tie -> prefer the longer match (fewer
             # items stress the dictionary less).
             if candidate <= best:
@@ -305,6 +444,44 @@ def _optimal_segmentation(ids: List[int], ends: List[int],
         lengths.append(choice[index])
         index += choice[index]
     return lengths
+
+
+def _segment_chunk(tasks: List[Tuple[List[int], List[int]]]) -> List[List[int]]:
+    """Fan-out worker: segment one chunk of ``(ids, block_ends)`` functions."""
+    mode, ngram_counts, max_len, key_bits, marks, item_costs = get_shared()
+    if mode == "greedy":
+        return [_greedy_segmentation(ids, ends, ngram_counts, max_len,
+                                     key_bits, marks)
+                for ids, ends in tasks]
+    return [_optimal_segmentation(ids, ends, ngram_counts, max_len,
+                                  key_bits, marks, item_costs)
+            for ids, ends in tasks]
+
+
+def _segment_functions(id_lists: List[List[int]], block_ends: List[List[int]],
+                       ngram_counts: Dict[int, int], max_len: int,
+                       key_bits: int, marks: List[int], match_mode: str,
+                       item_costs: Optional[List[float]],
+                       jobs: int) -> List[List[int]]:
+    """Segment every function, serially or over worker processes."""
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(id_lists) < 2:
+        if match_mode == "greedy":
+            return [_greedy_segmentation(ids, ends, ngram_counts, max_len,
+                                         key_bits, marks)
+                    for ids, ends in zip(id_lists, block_ends)]
+        return [_optimal_segmentation(ids, ends, ngram_counts, max_len,
+                                      key_bits, marks, item_costs)
+                for ids, ends in zip(id_lists, block_ends)]
+    tasks = list(zip(id_lists, block_ends))
+    chunks = _split_by_weight(tasks, workers)
+    shared = (match_mode, ngram_counts, max_len, key_bits, marks, item_costs)
+    results = fanout(_segment_chunk, chunks, workers, shared=shared,
+                     chunksize=1)
+    merged: List[List[int]] = []
+    for chunk_result in results:
+        merged.extend(chunk_result)
+    return merged
 
 
 def dictionary_statistics(dictionary: SSDDictionary) -> Dict[str, float]:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from .opcodes import OP_TABLE
 from .program import Function
 
 
@@ -36,10 +37,12 @@ def leaders(function: Function) -> List[int]:
     if not function.insns:
         return []
     leader_set = {0}
+    count = len(function.insns)
     for index, insn in enumerate(function.insns):
-        if insn.is_branch:
+        meta = OP_TABLE[insn.op]
+        if meta.is_branch:
             leader_set.add(insn.target)
-        if insn.is_terminator and index + 1 < len(function.insns):
+        if meta.is_terminator and index + 1 < count:
             leader_set.add(index + 1)
     return sorted(leader_set)
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, FrozenSet
 
 NUM_REGISTERS = 32
@@ -119,11 +120,11 @@ class OpInfo:
     code: int  # stable numeric encoding (index in the table)
     mnemonic: str
 
-    @property
+    @cached_property
     def uses_rd(self) -> bool:
         return self.kind in (Kind.ALU_RR, Kind.ALU_RI, Kind.UNARY, Kind.CONST, Kind.LOAD)
 
-    @property
+    @cached_property
     def uses_rs1(self) -> bool:
         return self.kind in (
             Kind.ALU_RR,
@@ -136,7 +137,7 @@ class OpInfo:
             Kind.JUMP_INDIRECT,
         )
 
-    @property
+    @cached_property
     def uses_rs2(self) -> bool:
         if self.kind is Kind.STORE:
             return True
@@ -146,26 +147,26 @@ class OpInfo:
             return self.op not in (Op.BEQZ, Op.BNEZ)
         return False
 
-    @property
+    @cached_property
     def uses_imm(self) -> bool:
         if self.kind in (Kind.ALU_RI, Kind.CONST, Kind.LOAD, Kind.STORE):
             return True
         return self.op is Op.TRAP
 
-    @property
+    @cached_property
     def uses_target(self) -> bool:
         return self.kind in (Kind.BRANCH, Kind.JUMP, Kind.CALL)
 
-    @property
+    @cached_property
     def is_branch(self) -> bool:
         """True for instructions carrying an intra-function pc-relative target."""
         return self.kind in (Kind.BRANCH, Kind.JUMP)
 
-    @property
+    @cached_property
     def is_call(self) -> bool:
         return self.kind is Kind.CALL
 
-    @property
+    @cached_property
     def is_terminator(self) -> bool:
         """True if the instruction ends a basic block.
 
@@ -183,7 +184,7 @@ class OpInfo:
             Kind.RET,
         ) or self.op is Op.HALT
 
-    @property
+    @cached_property
     def falls_through(self) -> bool:
         """True if control may continue to the next instruction."""
         return self.kind not in (Kind.JUMP, Kind.JUMP_INDIRECT, Kind.RET) and self.op is not Op.HALT
@@ -216,6 +217,15 @@ OP_TABLE: Dict[Op, OpInfo] = {
     op: OpInfo(op=op, kind=_KIND_OF[op], code=index, mnemonic=op.value)
     for index, op in enumerate(Op)
 }
+
+# Prime every cached flag at import: the flags are hot in dictionary
+# construction and JIT translation, and priming keeps first-access cost out
+# of measured phases (and out of forked worker processes).
+for _info in OP_TABLE.values():
+    (_info.uses_rd, _info.uses_rs1, _info.uses_rs2, _info.uses_imm,
+     _info.uses_target, _info.is_branch, _info.is_call, _info.is_terminator,
+     _info.falls_through)
+del _info
 
 #: Reverse lookup: numeric code -> OpInfo.
 OP_BY_CODE: Dict[int, OpInfo] = {info.code: info for info in OP_TABLE.values()}

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .instruction import Instruction, target_size_class
-from .opcodes import Op
+from .opcodes import OP_TABLE, Op
 
 
 @dataclass
@@ -38,23 +38,32 @@ class Function:
         encodings.  Call target sizes depend on the callee index width.
         """
         sizes: List[Optional[int]] = []
+        append = sizes.append
         for index, insn in enumerate(self.insns):
-            if insn.is_branch:
-                sizes.append(target_size_class(insn.target - (index + 1)))
-            elif insn.is_call:
-                sizes.append(1 if insn.target < (1 << 8) else
-                             2 if insn.target < (1 << 16) else 4)
+            meta = OP_TABLE[insn.op]
+            if meta.is_branch:
+                append(target_size_class(insn.target - (index + 1)))
+            elif meta.is_call:
+                append(1 if insn.target < (1 << 8) else
+                       2 if insn.target < (1 << 16) else 4)
             else:
-                sizes.append(None)
+                append(None)
         return sizes
 
     def match_keys(self) -> List[Tuple]:
         """Match key (paper section 2.1 rule) for every instruction."""
+        return self.keys_and_sizes()[0]
+
+    def keys_and_sizes(self) -> Tuple[List[Tuple], List[Optional[int]]]:
+        """Match keys and target sizes in one pass (the compressor's pass 0).
+
+        ``target_sizes`` yields ``None`` exactly for instructions without a
+        target, so ``match_key(size)`` handles every case: branch/call keys
+        embed the size, all other keys ignore the ``None``.
+        """
         sizes = self.target_sizes()
-        return [
-            insn.match_key(size) if (insn.is_branch or insn.is_call) else insn.match_key()
-            for insn, size in zip(self.insns, sizes)
-        ]
+        keys = [insn.match_key(size) for insn, size in zip(self.insns, sizes)]
+        return keys, sizes
 
     def validate_targets(self) -> None:
         """Raise ``ValueError`` on out-of-range intra-function targets."""

@@ -14,6 +14,7 @@ peephole-optimized baseline (Table 5's code-quality overhead).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -62,7 +63,32 @@ class InstructionTables:
         return sum(entry.size for table in self.tables for entry in table.values())
 
 
-def build_tables(reader: SSDReader) -> InstructionTables:
-    """Run dictionary decompression (phase one) for all segments."""
-    return InstructionTables(tables=[build_table_for_layout(layout)
-                                     for layout in reader.layouts])
+#: LRU memo of instruction tables keyed by container hash.  The paper notes
+#: re-translation after buffer eviction must be cheap; memoizing phase one
+#: makes a re-translation skip dictionary decompression entirely.
+_TABLE_CACHE: "OrderedDict[str, InstructionTables]" = OrderedDict()
+_TABLE_CACHE_LIMIT = 8
+
+
+def build_tables(reader: SSDReader, use_cache: bool = True) -> InstructionTables:
+    """Run dictionary decompression (phase one) for all segments.
+
+    When ``use_cache`` is true and ``reader.container_hash`` is set, the
+    result is memoized per container hash: translating the same container
+    again (e.g. after the JIT runtime evicted its buffers) returns the
+    cached tables without redoing phase one.  Pass ``use_cache=False`` to
+    force a rebuild (benchmarks measuring phase one do this).
+    """
+    key = reader.container_hash if use_cache else None
+    if key is not None:
+        cached = _TABLE_CACHE.get(key)
+        if cached is not None:
+            _TABLE_CACHE.move_to_end(key)
+            return cached
+    tables = InstructionTables(tables=[build_table_for_layout(layout)
+                                       for layout in reader.layouts])
+    if key is not None:
+        _TABLE_CACHE[key] = tables
+        while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
+            _TABLE_CACHE.popitem(last=False)
+    return tables

@@ -26,6 +26,11 @@ from .varint import ByteReader, ByteWriter
 _MIN_MATCH = 4
 _MAX_CHAIN = 32
 _WINDOW = 1 << 16
+#: Hash-chain lists are trimmed back to ``_MAX_CHAIN`` entries once they
+#: grow past this, bounding memory on degenerate (highly repetitive) input.
+#: Only the most recent ``_MAX_CHAIN`` candidates are ever consulted, so
+#: trimming older ones never changes the output.
+_CHAIN_CAP = 4 * _MAX_CHAIN
 
 
 def _hash4(data: bytes, pos: int) -> int:
@@ -59,19 +64,40 @@ def compress(data: bytes) -> bytes:
             writer.write_uvarint(end - literal_start)
             writer.write_bytes(data[literal_start:end])
 
+    table_get = table.get
+    table_setdefault = table.setdefault
+
     while pos + _MIN_MATCH <= n:
         key = _hash4(data, pos)
-        candidates = table.get(key)
+        candidates = table_get(key)
         best_len = 0
         best_dist = 0
         if candidates:
-            for cand in candidates[-_MAX_CHAIN:][::-1]:
+            # Walk the newest _MAX_CHAIN candidates in place, most recent
+            # first.  Distance grows monotonically as we walk back, so the
+            # first out-of-window candidate ends the scan.
+            limit = n - pos
+            lo = len(candidates) - _MAX_CHAIN
+            if lo < 0:
+                lo = 0
+            for cidx in range(len(candidates) - 1, lo - 1, -1):
+                cand = candidates[cidx]
                 dist = pos - cand
                 if dist > _WINDOW:
-                    continue
-                # Extend the match as far as it goes.
+                    break
+                if best_len:
+                    if best_len >= limit:
+                        break
+                    # A candidate can only beat best_len if it also matches
+                    # at offset best_len; reject cheaply otherwise.
+                    if data[cand + best_len] != data[pos + best_len]:
+                        continue
+                # Extend the match: 16-byte slice compares, then a byte tail.
                 length = 0
-                limit = n - pos
+                while (length + 16 <= limit
+                       and data[cand + length:cand + length + 16]
+                       == data[pos + length:pos + length + 16]):
+                    length += 16
                 while length < limit and data[cand + length] == data[pos + length]:
                     length += 1
                 if length > best_len:
@@ -86,12 +112,18 @@ def compress(data: bytes) -> bytes:
             end = pos + best_len
             step = 1 if best_len <= 32 else 4
             while pos < end and pos + _MIN_MATCH <= n:
-                table.setdefault(_hash4(data, pos), []).append(pos)
+                chain = table_setdefault(_hash4(data, pos), [])
+                chain.append(pos)
+                if len(chain) > _CHAIN_CAP:
+                    del chain[:-_MAX_CHAIN]
                 pos += step
             pos = end
             literal_start = pos
         else:
-            table.setdefault(key, []).append(pos)
+            chain = table_setdefault(key, [])
+            chain.append(pos)
+            if len(chain) > _CHAIN_CAP:
+                del chain[:-_MAX_CHAIN]
             pos += 1
     flush_literals(n)
     return writer.getvalue()
@@ -115,8 +147,16 @@ def decompress(data: bytes) -> bytes:
                     f"corrupt LZ stream: distance {dist} at output size {len(out)}"
                 )
             start = len(out) - dist
-            for i in range(length):  # byte-at-a-time handles overlap
-                out.append(out[start + i])
+            if dist >= length:
+                out += out[start:start + length]
+            else:
+                # Overlapping copy: the source region repeats with period
+                # ``dist``.  Double a seed slice until it covers ``length``
+                # instead of appending byte by byte.
+                chunk = bytes(out[start:])
+                while len(chunk) < length:
+                    chunk += chunk
+                out += chunk[:length]
     if len(out) != expected:
         raise ValueError(
             f"corrupt LZ stream: expected {expected} bytes, produced {len(out)}"

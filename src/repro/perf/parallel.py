@@ -1,0 +1,92 @@
+"""Process-level fan-out for the compression pipeline.
+
+``fanout(worker, tasks, jobs, shared=...)`` maps ``worker`` over ``tasks``
+preserving order, either serially (``jobs <= 1``) or on a
+``ProcessPoolExecutor``.  Results must be deterministic functions of
+``(task, shared)`` so the parallel path is byte-identical to the serial
+one — the pipeline's stages (partial n-gram counts, per-function
+segmentation, per-function item encoding) all have this shape.
+
+Large read-only state (the merged n-gram table, segment layouts) travels
+via :func:`get_shared` rather than per-task arguments: under the ``fork``
+start method (Linux) workers inherit it for free at pool creation; under
+``spawn`` it is pickled once per worker through the pool initializer
+instead of once per task.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, List, Optional, Sequence, TypeVar, Union
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Read-only state visible to workers via :func:`get_shared`.
+_SHARED: Any = None
+
+
+def get_shared() -> Any:
+    """The ``shared`` value of the enclosing :func:`fanout` call."""
+    return _SHARED
+
+
+def _set_shared(shared: Any) -> None:
+    global _SHARED
+    _SHARED = shared
+
+
+def resolve_jobs(jobs: Union[int, str, None]) -> int:
+    """Normalize a ``jobs`` request to a worker count.
+
+    ``None`` or ``1`` mean serial; ``0`` or ``"auto"`` mean one worker per
+    CPU; any other positive integer is taken literally.
+    """
+    if jobs is None:
+        return 1
+    if jobs == "auto" or jobs == 0:
+        return os.cpu_count() or 1
+    count = int(jobs)
+    if count < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs!r}")
+    return count
+
+
+def fanout(worker: Callable[[_T], _R],
+           tasks: Sequence[_T],
+           jobs: Union[int, str, None],
+           shared: Any = None,
+           chunksize: Optional[int] = None) -> List[_R]:
+    """Map ``worker`` over ``tasks`` in order, with ``jobs`` processes.
+
+    ``worker`` must be a module-level function (picklable by qualified
+    name) and may read ``shared`` through :func:`get_shared` — in the
+    serial path and in every worker process alike.
+    """
+    tasks = list(tasks)
+    count = resolve_jobs(jobs)
+    if tasks:
+        count = min(count, len(tasks))
+    if count <= 1 or not tasks:
+        _set_shared(shared)
+        try:
+            return [worker(task) for task in tasks]
+        finally:
+            _set_shared(None)
+    if chunksize is None:
+        chunksize = max(1, len(tasks) // (count * 4))
+    context = multiprocessing.get_context()
+    _set_shared(shared)  # fork children inherit this snapshot
+    try:
+        if context.get_start_method() == "fork":
+            pool = ProcessPoolExecutor(max_workers=count, mp_context=context)
+        else:  # pragma: no cover - non-fork platforms
+            pool = ProcessPoolExecutor(max_workers=count, mp_context=context,
+                                       initializer=_set_shared,
+                                       initargs=(shared,))
+        with pool:
+            return list(pool.map(worker, tasks, chunksize=chunksize))
+    finally:
+        _set_shared(None)

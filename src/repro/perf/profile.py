@@ -1,0 +1,86 @@
+"""Per-phase wall-clock profiling.
+
+A :class:`PhaseProfile` accumulates named phase timings::
+
+    profile = PhaseProfile()
+    with profile.phase("dictionary"):
+        ...
+    print(profile.format())
+
+Phases may repeat (times accumulate) and nest (each phase records its own
+wall time; nesting is not subtracted — the phase names used by the
+pipeline are chosen to be disjoint).  ``compress(..., profile=p)`` and
+``decompress(..., profile=p)`` fill a caller-supplied profile; the ``ssd``
+CLI's ``--profile`` flag prints one to stderr.
+
+:data:`NULL_PROFILE` is a no-op stand-in so pipeline code can time phases
+unconditionally without branching on ``profile is None``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class PhaseProfile:
+    """Accumulates wall-clock seconds per named phase, in first-seen order."""
+
+    def __init__(self) -> None:
+        self.timings: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time the enclosed block and accumulate it under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    @property
+    def total(self) -> float:
+        return sum(self.timings.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.timings)
+
+    def format(self, title: str = "phase timings") -> str:
+        """Aligned report: one line per phase with ms and share of total."""
+        lines = [f"{title}:"]
+        total = self.total or 1.0
+        width = max((len(name) for name in self.timings), default=0)
+        for name, seconds in self.timings.items():
+            lines.append(f"  {name:<{width}}  {seconds * 1e3:>9.2f} ms"
+                         f"  {100.0 * seconds / total:>5.1f}%")
+        lines.append(f"  {'total':<{width}}  {self.total * 1e3:>9.2f} ms")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PhaseProfile({self.timings!r})"
+
+
+class _NullProfile(PhaseProfile):
+    """A profile that measures nothing (avoids timer overhead on hot paths)."""
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        yield
+
+    def record(self, name: str, seconds: float) -> None:
+        pass
+
+
+#: Shared no-op profile for ``profile=None`` call sites.
+NULL_PROFILE = _NullProfile()
+
+
+def ensure(profile: Optional[PhaseProfile]) -> PhaseProfile:
+    """Return ``profile`` or the shared no-op profile."""
+    return profile if profile is not None else NULL_PROFILE

@@ -22,6 +22,7 @@ from typing import List, Optional
 from .core import compress, decompress, open_container
 from .core.lazy import LazyProgram
 from .isa import Program, assemble, disassemble, validate_program
+from .perf import PhaseProfile
 from .vm import native_size, run_program
 
 
@@ -57,21 +58,30 @@ def load_program(spec: str) -> Program:
 
 
 def cmd_compress(args: argparse.Namespace) -> int:
+    if args.jobs < 0:
+        raise ToolError(f"--jobs must be >= 0, got {args.jobs}")
     program = load_program(args.input)
     validate_program(program)
-    compressed = compress(program, codec=args.codec, max_len=args.max_len)
+    profile = PhaseProfile() if args.profile else None
+    compressed = compress(program, codec=args.codec, max_len=args.max_len,
+                          jobs=args.jobs, profile=profile)
     with open(args.output, "wb") as handle:
         handle.write(compressed.data)
     x86 = native_size(program)
     print(f"{program.name}: {program.instruction_count} instructions, "
           f"native {x86} B -> {compressed.size} B "
           f"({compressed.size / x86:.1%} of native)")
+    if profile is not None:
+        print(profile.format(title="compress phases"), file=sys.stderr)
     return 0
 
 
 def cmd_decompress(args: argparse.Namespace) -> int:
+    profile = PhaseProfile() if args.profile else None
     with open(args.input, "rb") as handle:
-        program = decompress(handle.read())
+        program = decompress(handle.read(), profile=profile)
+    if profile is not None:
+        print(profile.format(title="decompress phases"), file=sys.stderr)
     text = disassemble(program)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -166,11 +176,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--codec", choices=("lz", "delta"), default="lz")
     p.add_argument("--max-len", type=int, default=4)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the parallel pipeline "
+                        "(0 = all cores; output is identical to --jobs 1)")
+    p.add_argument("--profile", action="store_true",
+                   help="print per-phase timings to stderr")
     p.set_defaults(func=cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a .ssd file to assembly")
     p.add_argument("input")
     p.add_argument("-o", "--output", default=None)
+    p.add_argument("--profile", action="store_true",
+                   help="print per-phase timings to stderr")
     p.set_defaults(func=cmd_decompress)
 
     p = sub.add_parser("inspect", help="show container structure and stats")

@@ -19,19 +19,42 @@ def _bases(count):
             for i in range(count)]
 
 
+def _item_costs(bases):
+    # Mirrors build_dictionary's optimal-mode cost table.
+    return [2.0 + (entry.target_size or 0)
+            if entry.has_target and not entry.target_in_entry else 2.0
+            for entry in bases]
+
+
+def _packed(counts, num_bases, max_len):
+    """Pack tuple-keyed window counts into the kernels' integer keys."""
+    key_bits = max(1, (num_bases - 1).bit_length())
+    marks = [1 << (length * key_bits) for length in range(max_len + 1)]
+    packed = {}
+    for window, count in counts.items():
+        key = 0
+        for offset, base_id in enumerate(window):
+            key |= base_id << (offset * key_bits)
+        packed[key | marks[len(window)]] = count
+    return packed, key_bits, marks
+
+
 class TestSegmentationUnits:
     def test_greedy_takes_longest(self):
         ids = [0, 1, 2, 3]
         ends = [4, 4, 4, 4]
-        counts = {(0, 1, 2): 2, (0, 1): 5}
-        assert _greedy_segmentation(ids, ends, counts, 4) == [3, 1]
+        counts, key_bits, marks = _packed({(0, 1, 2): 2, (0, 1): 5}, 4, 4)
+        assert _greedy_segmentation(ids, ends, counts, 4,
+                                    key_bits, marks) == [3, 1]
 
     def test_greedy_respects_block_ends(self):
         ids = [0, 1, 2, 3]
         ends = [2, 2, 4, 4]
-        counts = {(0, 1): 2, (2, 3): 2, (0, 1, 2, 3): 9}
+        counts, key_bits, marks = _packed(
+            {(0, 1): 2, (2, 3): 2, (0, 1, 2, 3): 9}, 4, 4)
         # The 4-window crosses a block boundary, so only the pairs match.
-        assert _greedy_segmentation(ids, ends, counts, 4) == [2, 2]
+        assert _greedy_segmentation(ids, ends, counts, 4,
+                                    key_bits, marks) == [2, 2]
 
     def test_optimal_beats_greedy_on_non_factor_closed_oracle(self):
         # (0,1) and (1,2,3,4) marked repeated, but no sub-window of the
@@ -39,9 +62,10 @@ class TestSegmentationUnits:
         # but exactly the case where greedy loses.
         ids = [0, 1, 2, 3, 4]
         ends = [5] * 5
-        counts = {(0, 1): 2, (1, 2, 3, 4): 2}
-        greedy = _greedy_segmentation(ids, ends, counts, 4)
-        optimal = _optimal_segmentation(ids, ends, counts, 4, _bases(5))
+        counts, key_bits, marks = _packed({(0, 1): 2, (1, 2, 3, 4): 2}, 5, 4)
+        greedy = _greedy_segmentation(ids, ends, counts, 4, key_bits, marks)
+        optimal = _optimal_segmentation(ids, ends, counts, 4, key_bits, marks,
+                                        _item_costs(_bases(5)))
         assert len(greedy) == 4
         assert optimal == [1, 4]
 
@@ -54,15 +78,20 @@ class TestSegmentationUnits:
         bases[2] = BaseEntry(key=(2,), instruction=insn, target_size=4)
         ids = [0, 1, 2]
         ends = [3, 3, 3]
-        counts = {(0, 1, 2): 2}
-        optimal = _optimal_segmentation(ids, ends, counts, 4, bases)
+        counts, key_bits, marks = _packed({(0, 1, 2): 2}, 3, 4)
+        optimal = _optimal_segmentation(ids, ends, counts, 4, key_bits, marks,
+                                        _item_costs(bases))
         assert optimal == [3]
 
     def test_segmentations_cover_input(self):
         ids = list(range(10))
         ends = [10] * 10
-        for mode in (_greedy_segmentation(ids, ends, {}, 4),
-                     _optimal_segmentation(ids, ends, {}, 4, _bases(10))):
+        counts, key_bits, marks = _packed({}, 10, 4)
+        for mode in (_greedy_segmentation(ids, ends, counts, 4,
+                                          key_bits, marks),
+                     _optimal_segmentation(ids, ends, counts, 4,
+                                           key_bits, marks,
+                                           _item_costs(_bases(10)))):
             assert sum(mode) == 10
 
 

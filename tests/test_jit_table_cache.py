@@ -1,0 +1,76 @@
+"""Tests for the ``build_tables`` per-container-hash memo (re-translation
+after buffer eviction must skip the dictionary phase)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import compress, open_container
+from repro.jit import build_tables
+from repro.jit.instruction_table import _TABLE_CACHE, _TABLE_CACHE_LIMIT
+from repro.workloads import benchmark_program
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    _TABLE_CACHE.clear()
+    yield
+    _TABLE_CACHE.clear()
+
+
+@pytest.fixture(scope="module")
+def container_bytes():
+    return compress(benchmark_program("go", scale=0.02)).data
+
+
+class TestBuildTablesMemo:
+    def test_same_container_hits_cache(self, container_bytes):
+        first = build_tables(open_container(container_bytes))
+        second = build_tables(open_container(container_bytes))
+        assert second is first  # two readers, one hash, one build
+
+    def test_mutated_container_rebuilds(self, container_bytes):
+        other = compress(benchmark_program("go", scale=0.03)).data
+        assert other != container_bytes
+        a = build_tables(open_container(container_bytes))
+        b = build_tables(open_container(other))
+        assert b is not a
+
+    def test_use_cache_false_builds_fresh(self, container_bytes):
+        reader = open_container(container_bytes)
+        cached = build_tables(reader)
+        fresh = build_tables(reader, use_cache=False)
+        assert fresh is not cached
+        assert fresh.total_bytes == cached.total_bytes
+        # A bypassing build must not disturb the memo either.
+        assert build_tables(reader) is cached
+
+    def test_reader_without_hash_never_cached(self, container_bytes):
+        reader = open_container(container_bytes)
+        bare = dataclasses.replace(reader, container_hash=None)
+        a = build_tables(bare)
+        b = build_tables(bare)
+        assert a is not b
+        assert not _TABLE_CACHE
+
+    def test_cache_is_bounded(self, container_bytes):
+        reader = open_container(container_bytes)
+        first = build_tables(reader)
+        # Fill the cache past its limit with distinct fake hashes.
+        for index in range(_TABLE_CACHE_LIMIT + 2):
+            fake = dataclasses.replace(reader, container_hash=f"fake-{index}")
+            build_tables(fake)
+        assert len(_TABLE_CACHE) <= _TABLE_CACHE_LIMIT
+        # The oldest entry (the real container) was evicted.
+        assert build_tables(open_container(container_bytes)) is not first
+
+    def test_lru_order_refreshes_on_hit(self, container_bytes):
+        reader = open_container(container_bytes)
+        kept = build_tables(reader)
+        for index in range(_TABLE_CACHE_LIMIT - 1):
+            fake = dataclasses.replace(reader, container_hash=f"fake-{index}")
+            build_tables(fake)
+        # Touch the original, then overflow by one: the original survives.
+        assert build_tables(reader) is kept
+        build_tables(dataclasses.replace(reader, container_hash="overflow"))
+        assert build_tables(reader) is kept

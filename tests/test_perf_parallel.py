@@ -1,0 +1,107 @@
+"""Tests for ``repro.perf.parallel`` and the parallel compression pipeline.
+
+The pipeline's contract is strict: ``compress(program, jobs=k)`` must be
+*byte-identical* to ``compress(program, jobs=1)`` for any ``k`` — the
+fan-out only changes how the work is scheduled, never what is computed.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import compress, decompress
+from repro.perf.parallel import fanout, get_shared, resolve_jobs
+from repro.core.dictionary import _split_by_weight
+
+from .strategies import programs
+
+
+class TestResolveJobs:
+    def test_serial_defaults(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_auto_uses_cpu_count(self):
+        import os
+        expected = os.cpu_count() or 1
+        assert resolve_jobs(0) == expected
+        assert resolve_jobs("auto") == expected
+
+    def test_explicit_counts(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(16) == 16
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+def _double_with_shared(x):
+    return x * get_shared()
+
+
+class TestFanout:
+    def test_serial_path_preserves_order(self):
+        assert fanout(_double_with_shared, [1, 2, 3], jobs=1, shared=10) \
+            == [10, 20, 30]
+
+    def test_parallel_path_matches_serial(self):
+        tasks = list(range(20))
+        serial = fanout(_double_with_shared, tasks, jobs=1, shared=3)
+        parallel = fanout(_double_with_shared, tasks, jobs=2, shared=3)
+        assert parallel == serial
+
+    def test_empty_tasks(self):
+        assert fanout(_double_with_shared, [], jobs=4) == []
+
+    def test_shared_cleared_after_call(self):
+        fanout(_double_with_shared, [1], jobs=1, shared=5)
+        assert get_shared() is None
+
+
+class TestSplitByWeight:
+    def test_partition_preserves_order_and_content(self):
+        items = [[0] * n for n in (5, 1, 8, 2, 2, 7)]
+        chunks = _split_by_weight(items, 3)
+        flat = [item for chunk in chunks for item in chunk]
+        assert flat == items
+        assert 1 <= len(chunks) <= 3
+
+    def test_single_part(self):
+        items = [[0], [0, 0]]
+        assert _split_by_weight(items, 1) == [items]
+
+    def test_more_parts_than_items(self):
+        items = [[0], [0, 0]]
+        chunks = _split_by_weight(items, 8)
+        assert [item for chunk in chunks for item in chunk] == items
+
+
+class TestParallelByteIdentical:
+    """The headline property: jobs=k output is byte-for-byte serial output."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(programs(min_functions=2, max_functions=6, max_function_size=25))
+    def test_jobs2_identical_and_roundtrips(self, program):
+        serial = compress(program, jobs=1)
+        parallel = compress(program, jobs=2)
+        assert parallel.data == serial.data
+        restored = decompress(parallel.data)
+        assert [fn.insns for fn in restored.functions] \
+            == [fn.insns for fn in program.functions]
+
+    @settings(max_examples=4, deadline=None)
+    @given(programs(min_functions=2, max_functions=6, max_function_size=25))
+    def test_jobs4_identical(self, program):
+        assert compress(program, jobs=4).data == compress(program, jobs=1).data
+
+    @settings(max_examples=4, deadline=None)
+    @given(programs(min_functions=1, max_functions=4, max_function_size=20))
+    def test_optimal_mode_jobs2_identical(self, program):
+        serial = compress(program, match_mode="optimal", jobs=1)
+        parallel = compress(program, match_mode="optimal", jobs=2)
+        assert parallel.data == serial.data
+
+    def test_jobs_auto_accepted(self):
+        from repro.workloads import benchmark_program
+        program = benchmark_program("go", scale=0.02)
+        assert compress(program, jobs=0).data == compress(program).data
