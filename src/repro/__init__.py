@@ -21,18 +21,32 @@ paper-to-module map.
 """
 
 from .core import CompressedProgram, SSDReader, compress, decompress, open_container
+from .errors import (
+    BufferCapacityError,
+    ChecksumMismatch,
+    CorruptContainer,
+    LimitExceeded,
+    ReproError,
+    TruncatedStream,
+)
 from .isa import Instruction, Op, Program, assemble, disassemble
 from .vm import Interpreter, run_program
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BufferCapacityError",
+    "ChecksumMismatch",
     "CompressedProgram",
+    "CorruptContainer",
     "Instruction",
     "Interpreter",
+    "LimitExceeded",
     "Op",
     "Program",
+    "ReproError",
     "SSDReader",
+    "TruncatedStream",
     "__version__",
     "assemble",
     "compress",

@@ -10,7 +10,18 @@ reverses phase one (``decompressor``); Algorithm 3 lives in
 
 from .base_entries import decode_base_entries, encode_base_entries, order_base_entries
 from .compressor import CompressedProgram, compress
-from .container import ContainerError, ContainerSections, parse, serialize
+from .container import (
+    DEFAULT_LIMITS,
+    ContainerError,
+    ContainerSections,
+    DecodeLimits,
+    IntegrityReport,
+    SectionSpan,
+    container_version,
+    integrity_report,
+    parse,
+    serialize,
+)
 from .copy_phase import (
     CallRelocation,
     CopyPhaseError,
@@ -62,9 +73,13 @@ __all__ = [
     "ContainerSections",
     "CopyPhaseError",
     "DEFAULT_COMMON_BUDGET",
+    "DEFAULT_LIMITS",
+    "DecodeLimits",
     "DecodedItem",
     "DecompressionError",
     "EntryInfo",
+    "IntegrityReport",
+    "SectionSpan",
     "EntryRef",
     "ItemStreamError",
     "LazyProgram",
@@ -82,6 +97,7 @@ __all__ = [
     "build_dictionary",
     "build_layouts",
     "compress",
+    "container_version",
     "copy_translate",
     "decode_base_entries",
     "decode_items",
@@ -91,6 +107,7 @@ __all__ = [
     "encode_base_entries",
     "encode_items",
     "encode_sequence_tree",
+    "integrity_report",
     "layouts_from_sections",
     "lazy_program",
     "open_container",

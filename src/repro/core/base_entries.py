@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ..errors import CorruptContainer
 from ..isa import Instruction, info
 from ..isa.opcodes import OP_BY_CODE
 from ..lz import delta as delta_codec
@@ -91,16 +92,16 @@ def _decode_groups(data: bytes, use_delta: bool) -> List[BaseEntry]:
     reader = ByteReader(data)
     group_count = reader.read_uvarint()
     if group_count > len(OP_BY_CODE):
-        raise ValueError(f"corrupt base-entry blob: {group_count} groups")
+        raise CorruptContainer(f"corrupt base-entry blob: {group_count} groups")
     entries: List[BaseEntry] = []
     for _ in range(group_count):
         code = reader.read_u8()
         meta = OP_BY_CODE.get(code)
         if meta is None:
-            raise ValueError(f"corrupt base-entry blob: unknown opcode {code}")
+            raise CorruptContainer(f"corrupt base-entry blob: unknown opcode {code}")
         count = reader.read_uvarint()
         if count > len(data):
-            raise ValueError(f"corrupt base-entry blob: group of {count} entries")
+            raise CorruptContainer(f"corrupt base-entry blob: group of {count} entries")
         imms: List[Optional[int]] = [None] * count
         target_sizes: List[Optional[int]] = [None] * count
         regs = {"rd": [None] * count, "rs1": [None] * count, "rs2": [None] * count}
@@ -159,10 +160,10 @@ def encode_base_entries(ordered: List[BaseEntry], codec: str = "lz") -> bytes:
 def decode_base_entries(blob: bytes) -> List[BaseEntry]:
     """Inverse of :func:`encode_base_entries`; order defines indices."""
     if not blob:
-        raise ValueError("empty base-entry blob")
+        raise CorruptContainer("empty base-entry blob")
     codec_tag = blob[0]
     if codec_tag >= len(CODECS):
-        raise ValueError(f"unknown codec tag {codec_tag}")
+        raise CorruptContainer(f"unknown codec tag {codec_tag}")
     payload = blob[1:]
     codec = CODECS[codec_tag]
     if codec == "lz":

@@ -1,40 +1,94 @@
 """The compressed-program container format.
 
-Byte layout (varints unless stated)::
+Version 2 (current, magic ``SSD2``) byte layout (varints unless stated)::
 
-    magic  b"SSD1"
+    magic  b"SSD2"
+    version             u8 (= 2)
     program name        (uvarint length + utf-8)
     entry function index
     function count
-    name blob           (uvarint length + LZ-compressed '\\n'-joined names)
-    common base blob    (uvarint length + bytes; empty when unpartitioned)
-    common tree blob    (uvarint length + bytes)
+    name blob           (uvarint length + LZ-compressed '\\n'-joined names + u32 CRC32)
+    common base blob    (uvarint length + bytes + u32 CRC32; empty when unpartitioned)
+    common tree blob    (uvarint length + bytes + u32 CRC32)
     segment count
     per segment:
         first function index, function count
-        base blob       (uvarint length + bytes)
-        tree blob       (uvarint length + bytes)
+        base blob       (uvarint length + bytes + u32 CRC32)
+        tree blob       (uvarint length + bytes + u32 CRC32)
     per function (program order):
-        item stream     (uvarint length + bytes)
+        item stream     (uvarint length + bytes + u32 CRC32)
+    container CRC       u32 CRC32 over everything after the version byte
+                        and before this field
+
+Every *blob* carries its own CRC32 so corruption is attributed to a
+section with a byte offset; the trailing container CRC covers the varint
+metadata between blobs (counts, indices, lengths).  Version 1 (magic
+``SSD1``) is the same layout minus the version byte and every CRC; it is
+still read for compatibility with old archives.
 
 Function names ride along (LZ-compressed) so decompression reproduces the
 program exactly; they are charged to the compressed size, just as symbol
 information is part of a shipped binary.
+
+Decoding is treated as a hostile-input boundary: all failures raise
+``repro.errors`` types (:class:`~repro.errors.CorruptContainer`,
+:class:`~repro.errors.ChecksumMismatch`,
+:class:`~repro.errors.TruncatedStream`,
+:class:`~repro.errors.LimitExceeded`) and resource limits
+(:class:`DecodeLimits`) bound what a malformed length field can allocate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional
 
+from ..errors import ChecksumMismatch, CorruptContainer, LimitExceeded
 from ..lz import lz77
 from ..lz.varint import ByteReader, ByteWriter
 
+#: legacy (version 1) magic — still readable, no longer written by default
 MAGIC = b"SSD1"
+#: current magic
+MAGIC_V2 = b"SSD2"
+#: the format version :func:`serialize` emits by default
+FORMAT_VERSION = 2
 
 
-class ContainerError(ValueError):
+class ContainerError(CorruptContainer):
     """Raised for malformed container bytes."""
+
+
+@dataclass(frozen=True)
+class DecodeLimits:
+    """Resource ceilings enforced while parsing untrusted containers."""
+
+    #: maximum functions a container may declare
+    max_functions: int = 1 << 20
+    #: maximum segments a container may declare
+    max_segments: int = 1 << 14
+    #: maximum decompressed size of any single LZ-compressed blob
+    max_blob_output: int = lz77.MAX_OUTPUT_BYTES
+    #: maximum dictionary entries (bases + tree nodes) per segment; the
+    #: item encoding is 16-bit so anything above 0x10000 is unreferencable
+    max_dict_entries: int = 1 << 16
+
+
+DEFAULT_LIMITS = DecodeLimits()
+
+
+@dataclass(frozen=True)
+class SectionSpan:
+    """Location of one section inside the container bytes (for reports
+    and structure-aware fault injection)."""
+
+    name: str
+    length_offset: int        # offset of the uvarint length field
+    data_offset: int          # offset of the section payload
+    length: int               # payload length in bytes
+    crc_offset: int = -1      # offset of the stored CRC32 (-1: none, v1)
+    crc_ok: Optional[bool] = None  # None when the section carries no CRC
 
 
 @dataclass
@@ -71,69 +125,235 @@ class ContainerSections:
         }
 
 
-def serialize(sections: ContainerSections) -> bytes:
-    """Pack sections into container bytes."""
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def serialize(sections: ContainerSections, version: int = FORMAT_VERSION) -> bytes:
+    """Pack sections into container bytes.
+
+    ``version=2`` (default) writes the checksummed ``SSD2`` layout;
+    ``version=1`` writes the legacy ``SSD1`` layout (used by tests that
+    pin backward compatibility).
+    """
+    if version not in (1, 2):
+        raise ValueError(f"unsupported container version {version}")
+    if len(sections.item_streams) != len(sections.function_names):
+        raise ContainerError("one item stream per function required")
+    with_crc = version == 2
     writer = ByteWriter()
-    writer.write_bytes(MAGIC)
+    writer.write_bytes(MAGIC_V2 if with_crc else MAGIC)
+    if with_crc:
+        writer.write_u8(FORMAT_VERSION)
+    body_start = len(writer)
+
+    def write_blob(blob: bytes) -> None:
+        writer.write_uvarint(len(blob))
+        writer.write_bytes(blob)
+        if with_crc:
+            writer.write_u32(_crc(blob))
+
     name = sections.program_name.encode("utf-8")
     writer.write_uvarint(len(name))
     writer.write_bytes(name)
     writer.write_uvarint(sections.entry)
     writer.write_uvarint(len(sections.function_names))
-    name_blob = lz77.compress("\n".join(sections.function_names).encode("utf-8"))
-    writer.write_uvarint(len(name_blob))
-    writer.write_bytes(name_blob)
-    for blob in (sections.common_base_blob, sections.common_tree_blob):
-        writer.write_uvarint(len(blob))
-        writer.write_bytes(blob)
+    write_blob(lz77.compress("\n".join(sections.function_names).encode("utf-8")))
+    write_blob(sections.common_base_blob)
+    write_blob(sections.common_tree_blob)
     writer.write_uvarint(len(sections.segments))
     for segment in sections.segments:
         writer.write_uvarint(segment.first_function)
         writer.write_uvarint(segment.function_count)
-        writer.write_uvarint(len(segment.base_blob))
-        writer.write_bytes(segment.base_blob)
-        writer.write_uvarint(len(segment.tree_blob))
-        writer.write_bytes(segment.tree_blob)
-    if len(sections.item_streams) != len(sections.function_names):
-        raise ContainerError("one item stream per function required")
+        write_blob(segment.base_blob)
+        write_blob(segment.tree_blob)
     for stream in sections.item_streams:
-        writer.write_uvarint(len(stream))
-        writer.write_bytes(stream)
+        write_blob(stream)
+    if with_crc:
+        writer.write_u32(_crc(writer.getvalue()[body_start:]))
     return writer.getvalue()
 
 
-def parse(data: bytes) -> ContainerSections:
-    """Inverse of :func:`serialize`."""
+def _read_blob(reader: ByteReader, section: str, with_crc: bool,
+               trace: Optional[List[SectionSpan]],
+               strict: bool) -> "tuple[bytes, Optional[bool]]":
+    length_offset = reader.position
+    length = reader.read_uvarint()
+    data_offset = reader.position
+    payload = reader.read_bytes(length)
+    crc_offset = -1
+    crc_ok: Optional[bool] = None
+    if with_crc:
+        crc_offset = reader.position
+        stored = reader.read_u32()
+        crc_ok = _crc(payload) == stored
+    if trace is not None:
+        trace.append(SectionSpan(name=section, length_offset=length_offset,
+                                 data_offset=data_offset, length=length,
+                                 crc_offset=crc_offset, crc_ok=crc_ok))
+    if strict and crc_ok is False:
+        raise ChecksumMismatch(
+            f"CRC32 mismatch: stored {stored:#010x}, "
+            f"computed {_crc(payload):#010x}",
+            section=section, offset=data_offset)
+    return payload, crc_ok
+
+
+def parse(data: bytes,
+          limits: DecodeLimits = DEFAULT_LIMITS,
+          trace: Optional[List[SectionSpan]] = None,
+          strict: bool = True) -> ContainerSections:
+    """Inverse of :func:`serialize` (both format versions).
+
+    ``trace`` (optional) receives a :class:`SectionSpan` per section as it
+    is walked — the machinery behind ``ssd verify`` and the fault
+    injector.  ``strict=False`` records CRC mismatches in the trace
+    instead of raising, so a report can keep walking past a corrupt
+    section (structural errors still raise).
+    """
     reader = ByteReader(data)
-    if reader.read_bytes(4) != MAGIC:
-        raise ContainerError("bad magic; not an SSD container")
-    program_name = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
+    magic = reader.read_bytes(4)
+    if magic == MAGIC:
+        with_crc = False
+    elif magic == MAGIC_V2:
+        with_crc = True
+        version = reader.read_u8()
+        if version != FORMAT_VERSION:
+            raise ContainerError(f"unsupported container version {version}",
+                                 section="header", offset=4)
+    else:
+        raise ContainerError("bad magic; not an SSD container",
+                             section="header", offset=0)
+    body_start = reader.position
+
+    name_length = reader.read_uvarint()
+    if name_length > 1 << 16:
+        raise LimitExceeded(f"program name of {name_length} bytes",
+                            section="header", offset=reader.position)
+    try:
+        program_name = reader.read_bytes(name_length).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ContainerError(f"program name is not UTF-8: {exc}",
+                             section="header") from exc
     entry = reader.read_uvarint()
     function_count = reader.read_uvarint()
-    name_blob = reader.read_bytes(reader.read_uvarint())
-    joined = lz77.decompress(name_blob).decode("utf-8")
-    function_names = joined.split("\n") if joined else []
-    if len(function_names) != function_count:
+    if function_count > limits.max_functions:
+        raise LimitExceeded(
+            f"container declares {function_count} functions "
+            f"(limit {limits.max_functions})",
+            section="header", offset=reader.position)
+    if function_count and entry >= function_count:
         raise ContainerError(
-            f"expected {function_count} function names, got {len(function_names)}")
-    common_base_blob = reader.read_bytes(reader.read_uvarint())
-    common_tree_blob = reader.read_bytes(reader.read_uvarint())
+            f"entry index {entry} out of range for {function_count} functions",
+            section="header")
+    name_blob, names_crc_ok = _read_blob(reader, "names", with_crc, trace, strict)
+    function_names = []
+    if names_crc_ok is not False:  # skip semantic decode of known-corrupt bytes
+        try:
+            joined = lz77.decompress(
+                name_blob, max_output=limits.max_blob_output).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ContainerError(f"function names are not UTF-8: {exc}",
+                                 section="names") from exc
+        except CorruptContainer as exc:
+            raise exc.__class__(f"names: {exc}", section="names") from exc
+        function_names = joined.split("\n") if joined else []
+        if len(function_names) != function_count:
+            raise ContainerError(
+                f"expected {function_count} function names, "
+                f"got {len(function_names)}", section="names")
+    common_base_blob, _ = _read_blob(reader, "common_bases", with_crc, trace, strict)
+    common_tree_blob, _ = _read_blob(reader, "common_tree", with_crc, trace, strict)
+    segment_count = reader.read_uvarint()
+    if segment_count > limits.max_segments:
+        raise LimitExceeded(
+            f"container declares {segment_count} segments "
+            f"(limit {limits.max_segments})",
+            section="header", offset=reader.position)
     segments = []
-    for _ in range(reader.read_uvarint()):
+    for sindex in range(segment_count):
         first_function = reader.read_uvarint()
         seg_count = reader.read_uvarint()
-        base_blob = reader.read_bytes(reader.read_uvarint())
-        tree_blob = reader.read_bytes(reader.read_uvarint())
+        base_blob, _ = _read_blob(reader, f"segment[{sindex}].bases",
+                                  with_crc, trace, strict)
+        tree_blob, _ = _read_blob(reader, f"segment[{sindex}].tree",
+                                  with_crc, trace, strict)
         segments.append(SegmentSections(first_function=first_function,
                                         function_count=seg_count,
                                         base_blob=base_blob,
                                         tree_blob=tree_blob))
-    item_streams = [reader.read_bytes(reader.read_uvarint())
-                    for _ in range(function_count)]
+    item_streams = [_read_blob(reader, f"items[{findex}]",
+                               with_crc, trace, strict)[0]
+                    for findex in range(function_count)]
+    if with_crc:
+        crc_offset = reader.position
+        body = data[body_start:crc_offset]
+        stored = reader.read_u32()
+        crc_ok = _crc(body) == stored
+        if trace is not None:
+            trace.append(SectionSpan(name="container", length_offset=-1,
+                                     data_offset=body_start, length=len(body),
+                                     crc_offset=crc_offset, crc_ok=crc_ok))
+        if strict and not crc_ok:
+            raise ChecksumMismatch(
+                f"container CRC32 mismatch: stored {stored:#010x}, "
+                f"computed {_crc(body):#010x}",
+                section="container", offset=crc_offset)
     if not reader.at_end():
-        raise ContainerError(f"{reader.remaining} trailing bytes in container")
+        raise ContainerError(f"{reader.remaining} trailing bytes in container",
+                             offset=reader.position)
     return ContainerSections(program_name=program_name, entry=entry,
                              function_names=function_names,
                              common_base_blob=common_base_blob,
                              common_tree_blob=common_tree_blob,
                              segments=segments, item_streams=item_streams)
+
+
+def container_version(data: bytes) -> int:
+    """The format version of ``data`` (1 or 2); raises on bad magic."""
+    if data[:4] == MAGIC:
+        return 1
+    if data[:4] == MAGIC_V2:
+        return 2
+    raise ContainerError("bad magic; not an SSD container",
+                         section="header", offset=0)
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of a structural + checksum walk over container bytes."""
+
+    version: int
+    spans: List[SectionSpan] = field(default_factory=list)
+    #: structural error that stopped the walk, if any
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and all(
+            span.crc_ok is not False for span in self.spans)
+
+    @property
+    def corrupt_sections(self) -> List[SectionSpan]:
+        return [span for span in self.spans if span.crc_ok is False]
+
+
+def integrity_report(data: bytes,
+                     limits: DecodeLimits = DEFAULT_LIMITS) -> IntegrityReport:
+    """Check magic/version/CRCs without decoding dictionary contents.
+
+    Walks every section, recording per-section CRC status; keeps going
+    past checksum failures (structural failures necessarily stop the
+    walk).  Never raises on corrupt input.
+    """
+    spans: List[SectionSpan] = []
+    try:
+        version = container_version(data)
+    except CorruptContainer as exc:
+        return IntegrityReport(version=0, spans=spans, error=str(exc))
+    report = IntegrityReport(version=version, spans=spans)
+    try:
+        parse(data, limits=limits, trace=spans, strict=False)
+    except CorruptContainer as exc:
+        report.error = str(exc)
+    return report

@@ -22,10 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
+from ..errors import CorruptContainer
 from .items import DecodedItem
 
 
-class CopyPhaseError(ValueError):
+class CopyPhaseError(CorruptContainer):
     """Raised when an item stream cannot be translated."""
 
 

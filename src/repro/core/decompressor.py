@@ -19,15 +19,17 @@ import hashlib
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..errors import CorruptContainer, ReproError, as_corrupt
 from ..isa import Function, Instruction, Program
 from ..perf.profile import PhaseProfile, ensure
 from . import container
+from .container import DEFAULT_LIMITS, DecodeLimits
 from .dictionary import BaseEntry
 from .items import DecodedItem, decode_items, resolve_branch_targets
 from .layout import SegmentLayout, layouts_from_sections
 
 
-class DecompressionError(ValueError):
+class DecompressionError(CorruptContainer):
     """Raised when a container cannot be decoded consistently."""
 
 
@@ -108,20 +110,38 @@ class SSDReader:
 
 
 def open_container(data: bytes,
-                   profile: Optional[PhaseProfile] = None) -> SSDReader:
+                   profile: Optional[PhaseProfile] = None,
+                   limits: DecodeLimits = DEFAULT_LIMITS) -> SSDReader:
     """Parse and phase-one-decompress a container.
 
     ``profile`` receives ``parse`` and ``dictionary_phase`` timings — the
     latter is the paper's phase one (base-entry and tree codecs reversed,
     index spaces rebuilt).
+
+    This is a hostile-input boundary: any failure — structural, checksum,
+    or resource — surfaces as a ``repro.errors`` type (all of which are
+    ``ValueError``/``EOFError`` compatible); ``limits`` bounds what a
+    malformed container can make the decoder allocate.
     """
     prof = ensure(profile)
-    with prof.phase("parse"):
-        sections = container.parse(data)
-    with prof.phase("dictionary_phase"):
-        layouts = layouts_from_sections(sections.common_base_blob,
-                                        sections.common_tree_blob,
-                                        sections.segments)
+    try:
+        with prof.phase("parse"):
+            sections = container.parse(data, limits=limits)
+        with prof.phase("dictionary_phase"):
+            layouts = layouts_from_sections(sections.common_base_blob,
+                                            sections.common_tree_blob,
+                                            sections.segments,
+                                            limits=limits)
+    except ReproError:
+        raise
+    except (ValueError, EOFError) as exc:
+        # Legacy decoders below this boundary may still raise bare
+        # builtins; normalize so callers see exactly one taxonomy.
+        raise as_corrupt(exc) from exc
+    if sections.function_names and not layouts:
+        raise DecompressionError(
+            f"container has {len(sections.function_names)} functions "
+            "but no segment dictionaries")
     segment_of_function: List[int] = [0] * len(sections.function_names)
     for sindex, segment in enumerate(sections.segments):
         for findex in range(segment.first_function,
@@ -137,13 +157,19 @@ def open_container(data: bytes,
 
 
 def decompress(data: bytes,
-               profile: Optional[PhaseProfile] = None) -> Program:
+               profile: Optional[PhaseProfile] = None,
+               limits: DecodeLimits = DEFAULT_LIMITS) -> Program:
     """One-call convenience: container bytes -> program.
 
     ``profile`` receives the phase-one timings of :func:`open_container`
     plus ``copy_phase`` — the per-function item expansion (the paper's
     Algorithm 3 analogue on the VM-instruction side).
     """
-    reader = open_container(data, profile=profile)
+    reader = open_container(data, profile=profile, limits=limits)
     with ensure(profile).phase("copy_phase"):
-        return reader.program()
+        try:
+            return reader.program()
+        except ReproError:
+            raise
+        except (ValueError, EOFError) as exc:
+            raise as_corrupt(exc) from exc

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..errors import CorruptContainer
 from ..lz.varint import ByteReader, ByteWriter
 from .dictionary import EntryRef
 
@@ -36,7 +37,7 @@ class EntryInfo:
     target_size: int = 0     # encoded target width (1/2/4) when branch/call
 
 
-class ItemStreamError(ValueError):
+class ItemStreamError(CorruptContainer):
     """Raised for malformed item streams or unresolvable targets."""
 
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from ..errors import CorruptContainer, LimitExceeded
 from .base_entries import decode_base_entries, encode_base_entries, order_base_entries
-from .container import SegmentSections
+from .container import DEFAULT_LIMITS, DecodeLimits, SegmentSections
 from .dictionary import BaseEntry, SSDDictionary
 from .items import EntryInfo
 from .partition import PartitionPlan
@@ -167,16 +168,43 @@ def build_layouts(dictionary: SSDDictionary, plan: PartitionPlan,
     return layouts, common_base_blob, common_tree_blob, segment_sections
 
 
+def _check_decoded_segment(sindex: int, addr_base_count: int,
+                           common_ranks: Dict[Tuple[int, ...], int],
+                           local_ranks: Dict[Tuple[int, ...], int],
+                           limits: DecodeLimits) -> None:
+    """Reject decoded dictionaries whose paths index outside the base
+    space or whose entry total exceeds the decode limit — a corrupt tree
+    blob must surface as a typed error, never an ``IndexError`` later."""
+    total = addr_base_count + len(common_ranks) + len(local_ranks)
+    if total > limits.max_dict_entries:
+        raise LimitExceeded(
+            f"segment {sindex} declares {total} dictionary entries "
+            f"(limit {limits.max_dict_entries})",
+            section=f"segment[{sindex}]")
+    for ranks in (common_ranks, local_ranks):
+        for path in ranks:
+            for addr in path:
+                if addr >= addr_base_count:
+                    raise CorruptContainer(
+                        f"segment {sindex}: sequence path references base "
+                        f"{addr}, but only {addr_base_count} bases exist",
+                        section=f"segment[{sindex}].tree")
+
+
 def layouts_from_sections(common_base_blob: bytes, common_tree_blob: bytes,
-                          segments: List[SegmentSections]) -> List[SegmentLayout]:
+                          segments: List[SegmentSections],
+                          limits: DecodeLimits = DEFAULT_LIMITS,
+                          ) -> List[SegmentLayout]:
     """Decompressor side: rebuild layouts from container sections."""
     common_bases = decode_base_entries(common_base_blob) if common_base_blob else []
     common_ranks = decode_sequence_tree(common_tree_blob) if common_tree_blob else {}
     cb = len(common_bases)
     layouts: List[SegmentLayout] = []
-    for segment in segments:
+    for sindex, segment in enumerate(segments):
         local_bases = decode_base_entries(segment.base_blob) if segment.base_blob else []
         local_ranks = decode_sequence_tree(segment.tree_blob) if segment.tree_blob else {}
+        _check_decoded_segment(sindex, cb + len(local_bases),
+                               common_ranks, local_ranks, limits)
         layout = SegmentLayout(addr_bases=common_bases + local_bases)
         _populate(layout, cb, common_ranks, len(local_bases), local_ranks)
         layouts.append(layout)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
+from ..errors import CorruptContainer
 from ..lz import lz77
 from ..lz.varint import ByteReader, ByteWriter
 
@@ -134,13 +135,13 @@ def decode_sequence_tree(blob: bytes) -> Dict[Tuple[int, ...], int]:
         token = reader.read_u16()
         if token == pop_token:
             if not path:
-                raise ValueError("corrupt sequence tree: pop past a root")
+                raise CorruptContainer("corrupt sequence tree: pop past a root")
             path.pop()
             if not path:
                 roots_seen += 1
             continue
         if use_high_bit and token & _POP_HIGH_BIT:
-            raise ValueError(f"corrupt sequence tree: unexpected token {token:#x}")
+            raise CorruptContainer(f"corrupt sequence tree: unexpected token {token:#x}")
         path.append(token)
         if len(path) >= 2:
             ranks[tuple(path)] = counter

@@ -1,0 +1,88 @@
+"""The unified error taxonomy for hostile-input and resource faults.
+
+Every failure a *byte-level decoder* can hit maps onto one of the types
+below, so callers handle exactly one hierarchy instead of a grab bag of
+``IndexError``/``struct.error`` internals.  The classes multiply-inherit
+from the builtin exceptions historical callers caught (``ValueError``,
+``EOFError``), so pre-taxonomy code keeps working:
+
+* :class:`CorruptContainer` — structurally invalid bytes (root of the
+  decode-error branch; also a ``ValueError``);
+* :class:`ChecksumMismatch` — bytes contradict a stored CRC32;
+* :class:`TruncatedStream` — input ended mid-field (also an ``EOFError``);
+* :class:`LimitExceeded` — input is well-formed so far but would exceed a
+  decode resource limit (expansion size, entry counts, varint width);
+* :class:`BufferCapacityError` — a function cannot be placed in the JIT
+  translation buffer (allocation failure, capacity exceeded).
+
+Decode errors carry ``offset`` (byte position in the input being decoded)
+and ``section`` (the container section name) when known, both reflected
+in the rendered message.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Root of the library's typed error hierarchy."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised by ``repro.faults`` for misuse of the harness itself."""
+
+
+class CorruptContainer(ReproError, ValueError):
+    """Container (or sub-stream) bytes are structurally invalid.
+
+    ``offset`` is the byte position within the stream being decoded at
+    which the inconsistency was detected; ``section`` names the container
+    section when the decoder knows it.
+    """
+
+    def __init__(self, message: str, *,
+                 offset: Optional[int] = None,
+                 section: Optional[str] = None) -> None:
+        self.offset = offset
+        self.section = section
+        detail = message
+        if section is not None:
+            detail += f" [section: {section}]"
+        if offset is not None:
+            detail += f" [byte offset {offset}]"
+        super().__init__(detail)
+
+
+class ChecksumMismatch(CorruptContainer):
+    """Stored CRC32 disagrees with the bytes it covers."""
+
+
+class TruncatedStream(CorruptContainer, EOFError):
+    """Input ended in the middle of a field or declared region."""
+
+
+class LimitExceeded(CorruptContainer):
+    """Decoding would exceed a resource limit (size, count, expansion)."""
+
+
+class BufferCapacityError(ReproError, ValueError):
+    """A function cannot be placed in the JIT translation buffer."""
+
+
+def as_corrupt(exc: BaseException, *, section: Optional[str] = None,
+               offset: Optional[int] = None) -> CorruptContainer:
+    """Wrap a non-taxonomy exception as :class:`CorruptContainer`.
+
+    Decoder boundaries use this to guarantee that whatever a lower layer
+    raised (legacy ``ValueError``/``EOFError``), the caller sees a typed
+    error; the original exception is preserved as ``__cause__`` by the
+    ``raise ... from`` at the call site.
+    """
+    if isinstance(exc, CorruptContainer):
+        return exc
+    if isinstance(exc, EOFError):
+        return TruncatedStream(str(exc) or exc.__class__.__name__,
+                               section=section, offset=offset)
+    return CorruptContainer(str(exc) or exc.__class__.__name__,
+                            section=section, offset=offset)

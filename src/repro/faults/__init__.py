@@ -1,0 +1,34 @@
+"""Deterministic fault injection for containers and runtime components.
+
+The robustness layer's attack harness.  Three pieces:
+
+* :mod:`repro.faults.injector` — seedable corruption of container bytes
+  (bit flips, truncation, varint overflow, blob swaps, length-field
+  lies), structure-aware via the container's section map;
+* :mod:`repro.faults.harness` — sweep driver: generate N corruptions,
+  attempt decode, classify every outcome against the ``repro.errors``
+  taxonomy (anything else is a finding);
+* :mod:`repro.faults.runtime` — runtime fault injectors: worker
+  crash/hang functions for ``repro.perf.fanout`` and deterministic
+  allocation failures for the JIT translation buffer.
+
+Everything is seeded and reproducible: the same ``(container, seed,
+case index)`` always produces the same corruption, so a CI failure is
+replayable with ``ssd fuzz --seed``.
+"""
+
+from .injector import KINDS, ContainerCorruptor, Corruption
+from .harness import CaseOutcome, SweepReport, sweep
+from .runtime import AllocationFaults, crashing_worker, hanging_worker
+
+__all__ = [
+    "AllocationFaults",
+    "CaseOutcome",
+    "ContainerCorruptor",
+    "Corruption",
+    "KINDS",
+    "SweepReport",
+    "crashing_worker",
+    "hanging_worker",
+    "sweep",
+]

@@ -1,0 +1,123 @@
+"""Sweep driver: corrupt N times, decode, classify every outcome.
+
+The contract under test is the decoder's hostile-input boundary: for any
+corruption, decode either succeeds (possible only for checksum-free v1
+containers) or raises a :class:`repro.errors.ReproError` subtype.  Any
+other exception — ``IndexError``, ``KeyError``, ``struct.error``,
+``RecursionError`` — is recorded as a *finding*: a crash a malicious or
+damaged archive could trigger in production.
+
+Used three ways: the ``ssd fuzz`` CLI subcommand, the CI smoke run, and
+``tests/test_faults_harness.py``'s acceptance sweep.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import ReproError
+from .injector import KINDS, ContainerCorruptor
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """Classification of one corruption case."""
+
+    index: int
+    kind: str
+    position: int
+    detail: str
+    outcome: str          # 'typed-error' | 'decoded' | 'unexpected'
+    error_type: str = ""  # exception class name when outcome != 'decoded'
+    message: str = ""
+
+
+@dataclass
+class SweepReport:
+    """Aggregate result of one fault-injection sweep."""
+
+    seed: int
+    cases: List[CaseOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.cases)
+
+    @property
+    def typed_errors(self) -> int:
+        return sum(1 for case in self.cases if case.outcome == "typed-error")
+
+    @property
+    def decoded(self) -> int:
+        return sum(1 for case in self.cases if case.outcome == "decoded")
+
+    @property
+    def unexpected(self) -> List[CaseOutcome]:
+        return [case for case in self.cases if case.outcome == "unexpected"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no corruption escaped the error taxonomy."""
+        return not self.unexpected
+
+    def format(self) -> str:
+        """Human-readable summary (the ``ssd fuzz`` output)."""
+        lines = [f"fault sweep: {self.total} cases, seed {self.seed}"]
+        by_kind = Counter(case.kind for case in self.cases)
+        errors_by_type = Counter(case.error_type for case in self.cases
+                                 if case.outcome == "typed-error")
+        lines.append(f"  typed errors: {self.typed_errors}  "
+                     f"clean decodes: {self.decoded}  "
+                     f"unexpected: {len(self.unexpected)}")
+        lines.append("  corruption kinds: "
+                     + ", ".join(f"{kind}={count}"
+                                 for kind, count in sorted(by_kind.items())))
+        lines.append("  error types: "
+                     + (", ".join(f"{name}={count}" for name, count
+                                  in sorted(errors_by_type.items())) or "none"))
+        for case in self.unexpected:
+            lines.append(f"  FINDING case {case.index} [{case.kind}] "
+                         f"{case.detail}: {case.error_type}: {case.message}")
+        lines.append("result: " + ("OK" if self.ok else
+                                   f"{len(self.unexpected)} findings"))
+        return "\n".join(lines)
+
+
+def sweep(container: bytes,
+          cases: int = 500,
+          seed: int = 0,
+          decode: Optional[Callable[[bytes], object]] = None,
+          kinds: Sequence[str] = KINDS) -> SweepReport:
+    """Run a seeded fault-injection sweep against ``decode``.
+
+    ``decode`` defaults to full decompression
+    (:func:`repro.core.decompress`), exercising container parse,
+    dictionary phase, and the copy phase.
+    """
+    if decode is None:
+        from ..core import decompress as decode  # late import: avoid cycle
+    corruptor = ContainerCorruptor(container, seed=seed, kinds=kinds)
+    report = SweepReport(seed=seed)
+    for corruption in corruptor.corruptions(cases):
+        try:
+            decode(corruption.data)
+        except ReproError as exc:
+            report.cases.append(CaseOutcome(
+                index=corruption.index, kind=corruption.kind,
+                position=corruption.position, detail=corruption.detail,
+                outcome="typed-error", error_type=type(exc).__name__,
+                message=str(exc)))
+        except BaseException as exc:  # noqa: BLE001 - the whole point
+            report.cases.append(CaseOutcome(
+                index=corruption.index, kind=corruption.kind,
+                position=corruption.position, detail=corruption.detail,
+                outcome="unexpected", error_type=type(exc).__name__,
+                message=str(exc)))
+        else:
+            report.cases.append(CaseOutcome(
+                index=corruption.index, kind=corruption.kind,
+                position=corruption.position, detail=corruption.detail,
+                outcome="decoded"))
+    return report

@@ -1,0 +1,163 @@
+"""Seedable, structure-aware corruption of container bytes.
+
+Each corruption kind models a distinct real-world failure:
+
+* ``bitflip`` / ``zero_run`` — media or transfer corruption;
+* ``truncate`` / ``extend`` — interrupted writes, concatenation bugs;
+* ``varint_overflow`` — a length field rewritten as an overlong LEB128
+  (decoder loop-bound attack);
+* ``blob_swap`` — two sections' payloads exchanged (misdirected writes);
+* ``length_lie`` — a section's declared length changed while its bytes
+  stay put, so the field contradicts the data (framing attack).
+
+The injector is deterministic: corruption ``i`` under seed ``s`` is a
+pure function of ``(container bytes, s, i)`` — independent of iteration
+order — so any harness finding replays exactly.
+
+Structure-aware kinds (``blob_swap``, ``length_lie``, ``varint_overflow``)
+use the container's section map (:func:`repro.core.integrity_report`) to
+aim at real length fields and payload ranges; on containers too small to
+have usable targets they degrade to bit flips rather than silently doing
+nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..core.container import SectionSpan, integrity_report
+from ..errors import FaultInjectionError
+from ..lz.varint import decode_uvarint, encode_uvarint
+
+#: all corruption kinds, in the round-robin order the harness cycles
+KINDS: Tuple[str, ...] = (
+    "bitflip",
+    "zero_run",
+    "truncate",
+    "extend",
+    "varint_overflow",
+    "blob_swap",
+    "length_lie",
+)
+
+
+@dataclass(frozen=True)
+class Corruption:
+    """One corrupted container plus provenance for replay/reporting."""
+
+    index: int          # case number within the sweep
+    kind: str
+    position: int       # primary byte offset the corruption touched
+    detail: str         # human-readable description of what changed
+    data: bytes         # the corrupted container
+
+
+class ContainerCorruptor:
+    """Generates deterministic corruptions of one container."""
+
+    def __init__(self, data: bytes, seed: int = 0,
+                 kinds: Sequence[str] = KINDS) -> None:
+        if len(data) < 8:
+            raise FaultInjectionError(
+                f"container of {len(data)} bytes is too small to corrupt "
+                "meaningfully")
+        unknown = [kind for kind in kinds if kind not in KINDS]
+        if unknown:
+            raise FaultInjectionError(f"unknown corruption kinds: {unknown}")
+        self.data = bytes(data)
+        self.seed = seed
+        self.kinds = tuple(kinds)
+        # Section map for the structure-aware kinds; tolerate anything
+        # (the injector must work on already-corrupt input too).
+        report = integrity_report(self.data)
+        self._spans: List[SectionSpan] = [
+            span for span in report.spans if span.length_offset >= 0]
+
+    # -- case generation ---------------------------------------------------
+
+    def corruption(self, index: int) -> Corruption:
+        """The ``index``-th corruption: pure function of (data, seed, index)."""
+        rng = random.Random(f"{self.seed}:{index}")
+        kind = self.kinds[index % len(self.kinds)]
+        position, detail, corrupted = getattr(self, f"_{kind}")(rng)
+        if corrupted == self.data:
+            # Degenerate draw (e.g. swapped identical payloads): replace
+            # with a bit flip so every case actually perturbs the input.
+            kind = "bitflip"
+            position, detail, corrupted = self._bitflip(rng)
+        return Corruption(index=index, kind=kind, position=position,
+                          detail=detail, data=corrupted)
+
+    def corruptions(self, count: int) -> Iterator[Corruption]:
+        for index in range(count):
+            yield self.corruption(index)
+
+    # -- kinds -------------------------------------------------------------
+
+    def _bitflip(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        position = rng.randrange(len(self.data))
+        bit = rng.randrange(8)
+        corrupted = bytearray(self.data)
+        corrupted[position] ^= 1 << bit
+        return position, f"flip bit {bit} at {position}", bytes(corrupted)
+
+    def _zero_run(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        position = rng.randrange(len(self.data))
+        length = min(rng.randint(1, 16), len(self.data) - position)
+        corrupted = bytearray(self.data)
+        corrupted[position:position + length] = b"\x00" * length
+        return position, f"zero {length} bytes at {position}", bytes(corrupted)
+
+    def _truncate(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        cut = rng.randrange(len(self.data))
+        return cut, f"truncate to {cut} bytes", self.data[:cut]
+
+    def _extend(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        extra = bytes(rng.randrange(256) for _ in range(rng.randint(1, 8)))
+        return len(self.data), f"append {len(extra)} bytes", self.data + extra
+
+    def _varint_overflow(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        """Rewrite a real length field as an overlong (>9-byte) varint."""
+        if not self._spans:
+            return self._bitflip(rng)
+        span = rng.choice(self._spans)
+        offset = span.length_offset
+        try:
+            _, end = decode_uvarint(self.data, offset)
+        except (ValueError, EOFError):  # pragma: no cover - spans are valid
+            return self._bitflip(rng)
+        overlong = b"\x80" * 10 + b"\x01"
+        corrupted = self.data[:offset] + overlong + self.data[end:]
+        return offset, f"overlong varint for {span.name} at {offset}", corrupted
+
+    def _blob_swap(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        """Exchange two sections' payload bytes (lengths/CRCs stay put)."""
+        candidates = [span for span in self._spans if span.length > 0]
+        if len(candidates) < 2:
+            return self._bitflip(rng)
+        first, second = rng.sample(candidates, 2)
+        if first.data_offset > second.data_offset:
+            first, second = second, first
+        data = self.data
+        corrupted = (data[:first.data_offset]
+                     + data[second.data_offset:second.data_offset + second.length]
+                     + data[first.data_offset + first.length:second.data_offset]
+                     + data[first.data_offset:first.data_offset + first.length]
+                     + data[second.data_offset + second.length:])
+        return first.data_offset, f"swap {first.name} and {second.name}", corrupted
+
+    def _length_lie(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        """Change a section's declared length without moving its bytes."""
+        if not self._spans:
+            return self._bitflip(rng)
+        span = rng.choice(self._spans)
+        delta = rng.choice([-1, 1]) * rng.randint(1, 16)
+        lying = max(0, span.length + delta)
+        lie = encode_uvarint(lying)
+        corrupted = (self.data[:span.length_offset] + lie
+                     + self.data[span.data_offset:])
+        return span.length_offset, \
+            f"declare {span.name} as {lying} bytes (really {span.length})", \
+            corrupted

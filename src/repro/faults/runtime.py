@@ -1,0 +1,74 @@
+"""Runtime fault injectors: worker crashes/hangs and allocation failures.
+
+``crashing_worker`` and ``hanging_worker`` are module-level functions so
+they survive pickling into :class:`concurrent.futures.ProcessPoolExecutor`
+workers.  They misbehave *only inside a worker process*
+(``multiprocessing.parent_process()`` is set there), so when
+``repro.perf.fanout`` falls back to serial execution in the parent the
+same callable computes the correct result — which is exactly the
+degradation contract under test.
+
+:class:`AllocationFaults` plugs into
+:class:`repro.jit.buffer.TranslationBuffer` via its ``alloc_hook`` and
+deterministically fails allocations for chosen functions, driving the
+JIT quarantine path without needing a buffer that is actually full.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+from typing import FrozenSet, Iterable, Optional
+
+from ..errors import BufferCapacityError
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def crashing_worker(task: int) -> int:
+    """Doubles its input — but hard-exits when run in a pool worker.
+
+    ``os._exit`` skips all cleanup, modelling a segfault/OOM-kill: the
+    executor sees the process vanish and raises ``BrokenProcessPool``.
+    """
+    if _in_worker():
+        os._exit(23)
+    return task * 2
+
+
+def hanging_worker(task: int) -> int:
+    """Doubles its input — but stalls indefinitely in a pool worker."""
+    if _in_worker():
+        time.sleep(3600)
+    return task * 2
+
+
+class AllocationFaults:
+    """Deterministic allocation-failure injector for the JIT buffer.
+
+    Pass as ``TranslationBuffer(..., alloc_hook=AllocationFaults(...))``.
+    Fails allocation for every function index in ``fail_findexes``, plus
+    a seeded random ``rate`` fraction of all other requests.  ``injected``
+    counts the failures actually delivered.
+    """
+
+    def __init__(self, fail_findexes: Iterable[int] = (),
+                 seed: Optional[int] = None, rate: float = 0.0) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.fail_findexes: FrozenSet[int] = frozenset(fail_findexes)
+        self.rate = rate
+        self._rng = random.Random(seed)
+        self.injected = 0
+
+    def __call__(self, findex: int, size: int) -> None:
+        if findex in self.fail_findexes or \
+                (self.rate > 0.0 and self._rng.random() < self.rate):
+            self.injected += 1
+            raise BufferCapacityError(
+                f"injected allocation failure for function {findex} "
+                f"({size} bytes requested)")

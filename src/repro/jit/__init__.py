@@ -7,6 +7,7 @@ replays call traces under RAM constraints (Tables 6, Figure 3); ``costs``
 holds the single auditable cycle model.
 """
 
+from ..errors import BufferCapacityError
 from .buffer import (
     BufferError_,
     BufferStats,
@@ -32,6 +33,7 @@ from .block_translator import (
     copy_translate_range,
 )
 from .instruction_table import InstructionTables, build_table_for_layout, build_tables
+from .resilience import QuarantineRecord, ResilientRuntime, run_lazy
 from .runtime import (
     RuntimeConfig,
     RuntimeResult,
@@ -49,6 +51,7 @@ __all__ = [
     "ExternalBranch",
     "TranslatedFragment",
     "copy_translate_range",
+    "BufferCapacityError",
     "BufferError_",
     "BufferStats",
     "CLOCK_HZ",
@@ -57,6 +60,8 @@ __all__ = [
     "PERMANENT_SIZE_THRESHOLD",
     "PureLRUBuffer",
     "PureRoundRobinBuffer",
+    "QuarantineRecord",
+    "ResilientRuntime",
     "RuntimeConfig",
     "RuntimeResult",
     "SSD_COSTS",
@@ -69,6 +74,7 @@ __all__ = [
     "build_table_for_layout",
     "build_tables",
     "mb_per_second",
+    "run_lazy",
     "seconds",
     "simulate",
     "sweep_buffer_sizes",

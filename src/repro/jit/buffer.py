@@ -21,14 +21,16 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional
+
+from ..errors import BufferCapacityError
 
 #: functions below this size are always placed in the permanent area
 PERMANENT_SIZE_THRESHOLD = 512
 
-
-class BufferError_(ValueError):
-    """Raised when a function cannot fit in the buffer at all."""
+#: Backwards-compatible alias for the pre-taxonomy name; new code should
+#: catch :class:`repro.errors.BufferCapacityError`.
+BufferError_ = BufferCapacityError
 
 
 @dataclass
@@ -50,10 +52,15 @@ class TranslationBuffer:
     """The paper's permanent + round-robin policy."""
 
     def __init__(self, capacity: int,
-                 permanent_fraction_limit: float = 0.85) -> None:
+                 permanent_fraction_limit: float = 0.85,
+                 alloc_hook: Optional[Callable[[int, int], None]] = None) -> None:
         if capacity <= 0:
             raise ValueError(f"buffer capacity must be positive, got {capacity}")
         self.capacity = capacity
+        #: called as ``alloc_hook(findex, size)`` before every translation;
+        #: may raise :class:`BufferCapacityError` to simulate allocation
+        #: failure (the fault-injection harness uses this).
+        self.alloc_hook = alloc_hook
         self.permanent_limit = int(capacity * permanent_fraction_limit)
         self.permanent: Dict[int, int] = {}          # findex -> size
         self.round_robin: "OrderedDict[int, int]" = OrderedDict()
@@ -88,8 +95,10 @@ class TranslationBuffer:
         return False
 
     def _translate(self, findex: int, size: int) -> None:
+        if self.alloc_hook is not None:
+            self.alloc_hook(findex, size)
         if size > self.capacity:
-            raise BufferError_(
+            raise BufferCapacityError(
                 f"function {findex} ({size} bytes) exceeds the whole buffer "
                 f"({self.capacity} bytes)")
         self.stats.translated_bytes += size
@@ -132,7 +141,7 @@ class TranslationBuffer:
                 self.permanent_bytes -= demoted_size
                 self.stats.evicted_bytes += demoted_size
             else:  # pragma: no cover - size > capacity is caught earlier
-                raise BufferError_(
+                raise BufferCapacityError(
                     f"function {findex} ({size} bytes) cannot fit in an "
                     f"empty buffer of {self.capacity} bytes")
         self.round_robin[findex] = size

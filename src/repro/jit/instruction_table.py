@@ -21,15 +21,28 @@ from typing import Dict, List
 from ..core.copy_phase import TableEntry
 from ..core.decompressor import SSDReader
 from ..core.layout import SegmentLayout
+from ..errors import CorruptContainer, ReproError
 from ..vm.native import lower_instruction
 
 
 def build_table_for_layout(layout: SegmentLayout) -> Dict[int, TableEntry]:
-    """Build one segment's instruction table from its layout."""
+    """Build one segment's instruction table from its layout.
+
+    Dictionary entries come from untrusted container bytes, so lowering
+    failures (a decoded entry whose fields no native encoding can hold)
+    surface as :class:`~repro.errors.CorruptContainer`, not as internal
+    exceptions.
+    """
     base_chunks = []
-    for base in layout.addr_bases:
+    for addr, base in enumerate(layout.addr_bases):
         target_size = base.target_size if base.has_target else None
-        base_chunks.append(lower_instruction(base.instruction, target_size))
+        try:
+            base_chunks.append(lower_instruction(base.instruction, target_size))
+        except ReproError:
+            raise
+        except (ValueError, OverflowError, KeyError) as exc:
+            raise CorruptContainer(
+                f"dictionary entry {addr} fails native lowering: {exc}") from exc
 
     table: Dict[int, TableEntry] = {}
     for index, path in layout.paths_of.items():

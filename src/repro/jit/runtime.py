@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Type
 
-from .buffer import BufferError_, TranslationBuffer
+from ..errors import BufferCapacityError
+from .buffer import TranslationBuffer
 from .costs import (
     EXEC_CYCLES_PER_BYTE,
     INFRASTRUCTURE_FRACTION,
@@ -89,7 +90,7 @@ def simulate(function_sizes: Sequence[int],
     """
     code_capacity = config.buffer_bytes - config.dictionary_bytes
     if code_capacity <= 0:
-        raise BufferError_(
+        raise BufferCapacityError(
             f"buffer of {config.buffer_bytes} bytes cannot even hold the "
             f"{config.dictionary_bytes}-byte dictionary")
     buffer = config.buffer_class(capacity=code_capacity)

@@ -21,7 +21,12 @@ the original LZ77 family.
 
 from __future__ import annotations
 
+from ..errors import CorruptContainer, LimitExceeded
 from .varint import ByteReader, ByteWriter
+
+#: default cap on the declared decompressed size — corrupt or hostile
+#: streams cannot make :func:`decompress` allocate beyond this.
+MAX_OUTPUT_BYTES = 1 << 26
 
 _MIN_MATCH = 4
 _MAX_CHAIN = 32
@@ -129,23 +134,45 @@ def compress(data: bytes) -> bytes:
     return writer.getvalue()
 
 
-def decompress(data: bytes) -> bytes:
-    """Inverse of :func:`compress`."""
+def decompress(data: bytes, max_output: int = MAX_OUTPUT_BYTES) -> bytes:
+    """Inverse of :func:`compress`.
+
+    Every token's declared length is validated against the stream's
+    declared output size *before* any bytes are materialized, so a lying
+    length field raises :class:`~repro.errors.CorruptContainer` (or
+    :class:`~repro.errors.LimitExceeded` for the declared size itself)
+    instead of over-allocating or silently producing short output.
+    """
     reader = ByteReader(data)
     expected = reader.read_uvarint()
+    if expected > max_output:
+        raise LimitExceeded(
+            f"LZ stream declares {expected} output bytes, limit {max_output}",
+            offset=0)
     out = bytearray()
     while len(out) < expected:
+        token_at = reader.position
         tag = reader.read_uvarint()
         if tag == 0:
             length = reader.read_uvarint()
+            if length > expected - len(out):
+                raise CorruptContainer(
+                    f"corrupt LZ stream: literal run of {length} overruns the "
+                    f"declared {expected}-byte output at {len(out)}",
+                    offset=token_at)
             out += reader.read_bytes(length)
         else:
             length = tag + _MIN_MATCH - 1
             dist = reader.read_uvarint()
+            if length > expected - len(out):
+                raise CorruptContainer(
+                    f"corrupt LZ stream: copy of {length} overruns the "
+                    f"declared {expected}-byte output at {len(out)}",
+                    offset=token_at)
             if dist == 0 or dist > len(out):
-                raise ValueError(
-                    f"corrupt LZ stream: distance {dist} at output size {len(out)}"
-                )
+                raise CorruptContainer(
+                    f"corrupt LZ stream: distance {dist} at output size {len(out)}",
+                    offset=token_at)
             start = len(out) - dist
             if dist >= length:
                 out += out[start:start + length]
@@ -157,8 +184,4 @@ def decompress(data: bytes) -> bytes:
                 while len(chunk) < length:
                     chunk += chunk
                 out += chunk[:length]
-    if len(out) != expected:
-        raise ValueError(
-            f"corrupt LZ stream: expected {expected} bytes, produced {len(out)}"
-        )
     return bytes(out)

@@ -8,6 +8,8 @@ important for the delta coder, whose deltas hover around zero.
 
 from __future__ import annotations
 
+from ..errors import LimitExceeded, TruncatedStream
+
 
 def encode_uvarint(value: int) -> bytes:
     """Encode a non-negative integer as LEB128 bytes."""
@@ -34,7 +36,7 @@ def decode_uvarint(data: bytes, offset: int = 0) -> "tuple[int, int]":
     pos = offset
     while True:
         if pos >= len(data):
-            raise EOFError("truncated uvarint")
+            raise TruncatedStream("truncated uvarint", offset=pos)
         byte = data[pos]
         pos += 1
         value |= (byte & 0x7F) << shift
@@ -42,7 +44,9 @@ def decode_uvarint(data: bytes, offset: int = 0) -> "tuple[int, int]":
             return value, pos
         shift += 7
         if shift > 63:
-            raise ValueError("uvarint too long (more than 9 continuation bytes)")
+            raise LimitExceeded(
+                "uvarint too long (more than 9 continuation bytes)",
+                offset=offset)
 
 
 def zigzag_encode(value: int) -> int:
@@ -98,7 +102,9 @@ class ByteReader:
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         if self._pos + count > len(self._data):
-            raise EOFError("truncated byte block")
+            raise TruncatedStream(
+                f"truncated byte block: need {count} bytes, "
+                f"{len(self._data) - self._pos} remain", offset=self._pos)
         chunk = self._data[self._pos:self._pos + count]
         self._pos += count
         return chunk

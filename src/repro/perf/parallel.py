@@ -12,17 +12,32 @@ via :func:`get_shared` rather than per-task arguments: under the ``fork``
 start method (Linux) workers inherit it for free at pool creation; under
 ``spawn`` it is pickled once per worker through the pool initializer
 instead of once per task.
+
+Parallel execution is an optimization, never a correctness requirement:
+if a worker process dies (OOM kill, segfault) or stalls past ``timeout``,
+:func:`fanout` retries on a fresh pool up to ``retries`` times and then
+falls back to in-process serial execution, which always produces the
+same results.  The most recent call's degradation path is recorded in
+:data:`LAST_OUTCOME` for tests and diagnostics.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, TypeVar, Union
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+#: failures that mean "the pool broke", not "the worker function raised"
+_POOL_FAILURES = (BrokenExecutor, FuturesTimeoutError, TimeoutError, OSError)
 
 #: Read-only state visible to workers via :func:`get_shared`.
 _SHARED: Any = None
@@ -36,6 +51,22 @@ def get_shared() -> Any:
 def _set_shared(shared: Any) -> None:
     global _SHARED
     _SHARED = shared
+
+
+@dataclass
+class FanoutOutcome:
+    """How the most recent :func:`fanout` call actually executed."""
+
+    #: 'serial' | 'parallel' | 'serial-fallback'
+    mode: str
+    #: pool attempts made (0 for the plain serial path)
+    attempts: int = 0
+    #: str(exception) for each failed pool attempt, in order
+    failures: List[str] = field(default_factory=list)
+
+
+#: Degradation record of the most recent fanout call (diagnostics only).
+LAST_OUTCOME: FanoutOutcome = FanoutOutcome(mode="serial")
 
 
 def resolve_jobs(jobs: Union[int, str, None]) -> int:
@@ -54,22 +85,67 @@ def resolve_jobs(jobs: Union[int, str, None]) -> int:
     return count
 
 
+def _parallel_map(worker: Callable[[_T], _R],
+                  tasks: List[_T],
+                  count: int,
+                  shared: Any,
+                  chunksize: int,
+                  timeout: Optional[float]) -> List[_R]:
+    """One pool attempt.  Raises a ``_POOL_FAILURES`` member on breakage."""
+    context = multiprocessing.get_context()
+    if context.get_start_method() == "fork":
+        pool = ProcessPoolExecutor(max_workers=count, mp_context=context)
+    else:  # pragma: no cover - non-fork platforms
+        pool = ProcessPoolExecutor(max_workers=count, mp_context=context,
+                                   initializer=_set_shared,
+                                   initargs=(shared,))
+    try:
+        results = list(pool.map(worker, tasks, chunksize=chunksize,
+                                timeout=timeout))
+        pool.shutdown(wait=True)
+        return results
+    except BaseException:
+        # Don't wait for wedged/hung workers: cancel pending work and
+        # kill the processes outright so the caller can retry promptly.
+        # (shutdown() clears pool._processes, so snapshot first.)
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5)
+        raise
+
+
 def fanout(worker: Callable[[_T], _R],
            tasks: Sequence[_T],
            jobs: Union[int, str, None],
            shared: Any = None,
-           chunksize: Optional[int] = None) -> List[_R]:
+           chunksize: Optional[int] = None,
+           retries: int = 1,
+           timeout: Optional[float] = None) -> List[_R]:
     """Map ``worker`` over ``tasks`` in order, with ``jobs`` processes.
 
     ``worker`` must be a module-level function (picklable by qualified
     name) and may read ``shared`` through :func:`get_shared` — in the
     serial path and in every worker process alike.
+
+    A broken pool (dead worker process) or a per-map ``timeout`` expiry
+    is retried on a fresh pool up to ``retries`` times; after that the
+    work runs serially in-process.  Exceptions raised *by the worker
+    function itself* are not retried — they propagate, identically in
+    serial and parallel modes.
     """
+    global LAST_OUTCOME
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
     tasks = list(tasks)
     count = resolve_jobs(jobs)
     if tasks:
         count = min(count, len(tasks))
     if count <= 1 or not tasks:
+        LAST_OUTCOME = FanoutOutcome(mode="serial")
         _set_shared(shared)
         try:
             return [worker(task) for task in tasks]
@@ -77,16 +153,22 @@ def fanout(worker: Callable[[_T], _R],
             _set_shared(None)
     if chunksize is None:
         chunksize = max(1, len(tasks) // (count * 4))
-    context = multiprocessing.get_context()
+    outcome = FanoutOutcome(mode="parallel")
     _set_shared(shared)  # fork children inherit this snapshot
     try:
-        if context.get_start_method() == "fork":
-            pool = ProcessPoolExecutor(max_workers=count, mp_context=context)
-        else:  # pragma: no cover - non-fork platforms
-            pool = ProcessPoolExecutor(max_workers=count, mp_context=context,
-                                       initializer=_set_shared,
-                                       initargs=(shared,))
-        with pool:
-            return list(pool.map(worker, tasks, chunksize=chunksize))
+        for _ in range(1 + retries):
+            outcome.attempts += 1
+            try:
+                results = _parallel_map(worker, tasks, count, shared,
+                                        chunksize, timeout)
+            except _POOL_FAILURES as exc:
+                outcome.failures.append(f"{type(exc).__name__}: {exc}")
+                continue
+            LAST_OUTCOME = outcome
+            return results
+        # Every pool attempt broke: the answer must still be computed.
+        outcome.mode = "serial-fallback"
+        LAST_OUTCOME = outcome
+        return [worker(task) for task in tasks]
     finally:
         _set_shared(None)

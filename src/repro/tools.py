@@ -7,6 +7,9 @@ A downstream user's interface to the library without writing Python::
     ssd decompress program.ssd -o program.asm    # back to assembly text
     ssd inspect   program.ssd                    # sections, dictionary, stats
     ssd run       program.ssd [--lazy]           # execute in the VM
+    ssd verify    program.ssd                    # integrity report (CRCs)
+    ssd verify    program.ssd program.asm        # full source comparison
+    ssd fuzz      program.ssd --cases 500        # fault-injection sweep
 
 Inputs are either assembly text files (see ``repro.isa.asm`` for the
 format) or ``bench:<name>[@<scale>]`` references to the synthetic
@@ -19,7 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import compress, decompress, open_container
+from .core import compress, decompress, integrity_report, open_container
 from .core.lazy import LazyProgram
 from .isa import Program, assemble, disassemble, validate_program
 from .perf import PhaseProfile
@@ -120,11 +123,40 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_integrity(data: bytes) -> int:
+    """Standalone integrity check: CRCs + structural walk, no source."""
+    report = integrity_report(data)
+    version = f"v{report.version}" if report.version else "unrecognized"
+    print(f"container: {len(data)} bytes, format {version}")
+    for span in report.spans:
+        if span.crc_ok is None:
+            status = "-" if report.version == 1 else "?"
+        else:
+            status = "ok" if span.crc_ok else "CORRUPT"
+        print(f"  {span.name:>24}: {span.length:>8} B at {span.data_offset:<8}"
+              f" crc {status}")
+    if report.error is not None:
+        print(f"CORRUPT: {report.error}", file=sys.stderr)
+        return 1
+    if report.corrupt_sections:
+        names = ", ".join(span.name for span in report.corrupt_sections)
+        print(f"CORRUPT sections: {names}", file=sys.stderr)
+        return 1
+    if report.version == 1:
+        print("OK (structural only: v1 containers carry no checksums)")
+    else:
+        print("OK: all section and container checksums match")
+    return 0
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
-    """Check that a container faithfully represents a source program."""
-    program = load_program(args.source)
+    """Check container integrity, optionally against a source program."""
     with open(args.container, "rb") as handle:
-        restored = decompress(handle.read())
+        data = handle.read()
+    if args.source is None:
+        return _print_integrity(data)
+    program = load_program(args.source)
+    restored = decompress(data)
     mismatches = []
     if len(restored.functions) != len(program.functions):
         mismatches.append(
@@ -146,6 +178,27 @@ def cmd_verify(args: argparse.Namespace) -> int:
     print(f"OK: {len(program.functions)} functions identical, "
           f"outputs match ({len(baseline.output)} values)")
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Seeded fault-injection sweep against a container's decoder."""
+    from .faults import sweep
+
+    if args.cases <= 0:
+        raise ToolError(f"--cases must be positive, got {args.cases}")
+    if args.input.startswith("bench:") or args.input.endswith(".asm"):
+        data = compress(load_program(args.input)).data
+    else:
+        try:
+            with open(args.input, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            raise ToolError(f"no such file: {args.input}") from None
+        if not data.startswith(b"SSD"):
+            raise ToolError(f"{args.input} is not an SSD container")
+    report = sweep(data, cases=args.cases, seed=args.seed)
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -196,11 +249,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also disassemble this function index")
     p.set_defaults(func=cmd_inspect)
 
-    p = sub.add_parser("verify", help="check a .ssd file against its source")
+    p = sub.add_parser("verify",
+                       help="check container integrity, or compare to source")
     p.add_argument("container")
-    p.add_argument("source", help="asm file or bench:<name>[@scale]")
+    p.add_argument("source", nargs="?", default=None,
+                   help="asm file or bench:<name>[@scale]; omit for a "
+                        "checksum/structure integrity report")
     p.add_argument("--fuel", type=int, default=1_000_000)
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("fuzz",
+                       help="run a seeded fault-injection sweep on a container")
+    p.add_argument("input", help=".ssd file, asm file, or bench:<name>[@scale]")
+    p.add_argument("--cases", type=int, default=500)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("run", help="execute a compressed program")
     p.add_argument("input")

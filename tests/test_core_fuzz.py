@@ -1,12 +1,12 @@
 """Failure-injection tests: corrupt containers must fail cleanly.
 
-The container format carries no checksums (neither did 2000-era program
-loaders), so a flipped bit may decode to a *different valid program* —
-that is acceptable.  What is not acceptable is a crash with an internal
-exception (KeyError/IndexError/UnboundLocalError), an infinite loop, or a
-segfault-style failure.  These tests flip, truncate and extend container
-bytes and assert every outcome is either a clean decode or a library
-error (ValueError subclass / EOFError).
+Version-2 containers carry per-section CRC32s, so any single-site
+corruption must be *detected* — decode raises a ``repro.errors`` type,
+never an internal exception (KeyError/IndexError/UnboundLocalError), an
+infinite loop, or a segfault-style failure.  Legacy version-1 containers
+carry no checksums; there a flipped bit may decode to a *different valid
+program* — that is acceptable, and the semantic-safety tests pin that
+any such program is still structurally checkable and runnable.
 """
 
 import random
@@ -15,7 +15,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import compress, decompress
+from repro.core import compress, decompress, parse, serialize
+from repro.errors import ReproError
 from repro.isa import Program, assemble, validation_issues
 from repro.vm import run_program
 
@@ -45,6 +46,12 @@ def container():
     return compress(assemble(SOURCE)).data
 
 
+@pytest.fixture(scope="module")
+def legacy_container(container):
+    """The same program re-serialized in the checksum-free v1 format."""
+    return serialize(parse(container), version=1)
+
+
 def _attempt(data: bytes):
     """Decode corrupt bytes; return ('ok', program) or ('error', exc)."""
     try:
@@ -62,11 +69,25 @@ class TestSingleByteFlips:
             outcome, value = _attempt(bytes(corrupted))
             if outcome == "ok":
                 assert isinstance(value, Program)
+            else:
+                # Typed taxonomy, not just any acceptable builtin.
+                assert isinstance(value, ReproError), value
 
-    def test_bit_flips_at_random_positions(self, container):
+    def test_v2_flips_always_detected(self, container):
+        # The CRCs make single-byte corruption of a v2 container
+        # *detectable*, not merely survivable.
         rng = random.Random(99)
         for _ in range(200):
             corrupted = bytearray(container)
+            corrupted[rng.randrange(len(corrupted))] ^= 1 << rng.randrange(8)
+            outcome, value = _attempt(bytes(corrupted))
+            assert outcome == "error", "corruption decoded despite CRCs"
+            assert isinstance(value, ReproError)
+
+    def test_legacy_bit_flips_fail_cleanly(self, legacy_container):
+        rng = random.Random(99)
+        for _ in range(200):
+            corrupted = bytearray(legacy_container)
             corrupted[rng.randrange(len(corrupted))] ^= 1 << rng.randrange(8)
             outcome, value = _attempt(bytes(corrupted))
             if outcome == "ok":
@@ -80,6 +101,7 @@ class TestTruncationAndExtension:
             # A strict prefix can never parse: the container checks for
             # trailing bytes and section lengths.
             assert outcome == "error", f"truncation to {length} decoded?!"
+            assert isinstance(value, ReproError)
 
     def test_appended_garbage_rejected(self, container):
         outcome, value = _attempt(container + b"\xAB\xCD")
@@ -91,16 +113,18 @@ class TestTruncationAndExtension:
 
 
 class TestSemanticSafety:
-    def test_surviving_corruptions_produce_runnable_or_invalid_programs(self, container):
-        # When a corruption decodes, the result is a structurally
-        # checkable program: either validation rejects it, or it runs
-        # (possibly to a VM fault or out-of-fuel, both clean errors).
+    def test_surviving_corruptions_produce_runnable_or_invalid_programs(
+            self, legacy_container):
+        # Checksum-free v1 containers may decode after a flip.  When a
+        # corruption decodes, the result is a structurally checkable
+        # program: either validation rejects it, or it runs (possibly to
+        # a VM fault or out-of-fuel, both clean errors).
         from repro.vm import VMError
 
         rng = random.Random(7)
         decoded = 0
         for _ in range(300):
-            corrupted = bytearray(container)
+            corrupted = bytearray(legacy_container)
             corrupted[rng.randrange(len(corrupted))] ^= 0xFF
             outcome, value = _attempt(bytes(corrupted))
             if outcome != "ok":

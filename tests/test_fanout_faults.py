@@ -1,0 +1,71 @@
+"""Fanout degradation: broken pools retry, then fall back to serial."""
+
+import pytest
+
+from repro.faults import crashing_worker, hanging_worker
+from repro.perf import parallel
+from repro.perf.parallel import FanoutOutcome, fanout
+
+
+def _double(task):
+    return task * 2
+
+
+class TestHealthyPaths:
+    def test_serial_path_records_outcome(self):
+        assert fanout(_double, [1, 2, 3], jobs=1) == [2, 4, 6]
+        assert parallel.LAST_OUTCOME.mode == "serial"
+        assert parallel.LAST_OUTCOME.attempts == 0
+
+    def test_parallel_path_records_outcome(self):
+        assert fanout(_double, list(range(8)), jobs=2) == \
+            [v * 2 for v in range(8)]
+        assert parallel.LAST_OUTCOME.mode == "parallel"
+        assert parallel.LAST_OUTCOME.attempts == 1
+        assert parallel.LAST_OUTCOME.failures == []
+
+
+class TestCrashFallback:
+    def test_worker_crash_falls_back_to_serial(self):
+        # crashing_worker hard-exits only inside pool workers, so the
+        # serial fallback in this process computes the real answer.
+        assert fanout(crashing_worker, [1, 2, 3], jobs=2) == [2, 4, 6]
+        outcome = parallel.LAST_OUTCOME
+        assert outcome.mode == "serial-fallback"
+        assert outcome.attempts == 2  # initial + one retry (default)
+        assert all("BrokenProcessPool" in failure
+                   for failure in outcome.failures)
+
+    def test_retries_zero_goes_straight_to_serial(self):
+        assert fanout(crashing_worker, [5, 6], jobs=2, retries=0) == [10, 12]
+        assert parallel.LAST_OUTCOME.attempts == 1
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            fanout(_double, [1], jobs=2, retries=-1)
+
+
+class TestTimeoutFallback:
+    def test_hanging_worker_times_out_to_serial(self):
+        assert fanout(hanging_worker, [1, 2], jobs=2,
+                      timeout=1.0, retries=0) == [2, 4]
+        outcome = parallel.LAST_OUTCOME
+        assert outcome.mode == "serial-fallback"
+        assert any("Timeout" in failure for failure in outcome.failures)
+
+
+class TestWorkerExceptionsPropagate:
+    def test_worker_valueerror_not_swallowed(self):
+        # Application errors are not pool failures: no retry, no
+        # fallback — the exception propagates as in serial mode.
+        def boom(task):
+            raise ValueError(f"bad task {task}")
+
+        with pytest.raises(ValueError, match="bad task"):
+            fanout(boom, [1, 2], jobs=1)
+
+
+class TestOutcomeRecord:
+    def test_outcome_dataclass_defaults(self):
+        outcome = FanoutOutcome(mode="parallel")
+        assert outcome.attempts == 0 and outcome.failures == []

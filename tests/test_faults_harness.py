@@ -1,0 +1,141 @@
+"""Fault-injection harness: determinism, coverage, and the escape sweep.
+
+The acceptance property for the robustness work: a ≥500-case seeded
+corruption sweep over a real container yields zero exceptions outside
+the ``repro.errors`` taxonomy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compress, decompress, parse, serialize
+from repro.errors import FaultInjectionError, ReproError
+from repro.faults import KINDS, ContainerCorruptor, sweep
+from repro.isa import Program, assemble
+
+SOURCE = """
+func main
+    li r2, 9
+    call helper
+loop:
+    addi r2, r2, -1
+    bnez r2, loop
+    trap 1
+    ret
+end
+func helper
+    li r1, 5
+    mul r1, r1, r2
+    ret
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def container():
+    return compress(assemble(SOURCE)).data
+
+
+class TestCorruptor:
+    def test_deterministic_per_seed(self, container):
+        first = ContainerCorruptor(container, seed=42)
+        second = ContainerCorruptor(container, seed=42)
+        for index in range(40):
+            assert first.corruption(index) == second.corruption(index)
+
+    def test_order_independent(self, container):
+        corruptor = ContainerCorruptor(container, seed=7)
+        forward = [corruptor.corruption(i) for i in range(20)]
+        backward = [corruptor.corruption(i) for i in reversed(range(20))]
+        assert forward == list(reversed(backward))
+
+    def test_seeds_differ(self, container):
+        a = ContainerCorruptor(container, seed=1).corruption(0)
+        b = ContainerCorruptor(container, seed=2).corruption(0)
+        assert a.data != b.data
+
+    def test_every_kind_produced(self, container):
+        corruptor = ContainerCorruptor(container, seed=0)
+        kinds = {corruptor.corruption(i).kind for i in range(len(KINDS) * 4)}
+        # blob_swap/length_lie may degrade to bitflip on degenerate draws,
+        # but over 4 rounds every kind should appear at least once.
+        assert kinds == set(KINDS)
+
+    def test_every_case_differs_from_original(self, container):
+        corruptor = ContainerCorruptor(container, seed=3)
+        for index in range(60):
+            assert corruptor.corruption(index).data != container
+
+    def test_tiny_input_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            ContainerCorruptor(b"SSD", seed=0)
+
+    def test_unknown_kind_rejected(self, container):
+        with pytest.raises(FaultInjectionError):
+            ContainerCorruptor(container, kinds=("bitflip", "gamma_ray"))
+
+
+class TestSweep:
+    def test_acceptance_500_cases_no_escapes(self, container):
+        report = sweep(container, cases=500, seed=0)
+        assert report.total == 500
+        assert report.ok, report.format()
+        # v2 CRCs: corruption is always *detected*, never silently decoded.
+        assert report.typed_errors == 500
+
+    def test_legacy_container_sweep_no_escapes(self, container):
+        legacy = serialize(parse(container), version=1)
+        report = sweep(legacy, cases=250, seed=0)
+        assert report.ok, report.format()
+        # v1 has no checksums, so some corruptions may decode; all others
+        # must be typed errors.
+        assert report.typed_errors + report.decoded == 250
+
+    def test_sweep_is_deterministic(self, container):
+        assert sweep(container, cases=50, seed=9).cases == \
+            sweep(container, cases=50, seed=9).cases
+
+    def test_format_summary(self, container):
+        report = sweep(container, cases=30, seed=1)
+        text = report.format()
+        assert "30 cases" in text and "result: OK" in text
+
+    def test_escape_detection(self, container):
+        # A decoder that raises outside the taxonomy must be flagged.
+        def broken_decode(data):
+            raise IndexError("list index out of range")
+
+        report = sweep(container, cases=10, seed=0, decode=broken_decode)
+        assert not report.ok
+        assert len(report.unexpected) == 10
+        assert report.unexpected[0].error_type == "IndexError"
+        assert "FINDING" in report.format()
+
+
+class TestPristine:
+    def test_uncorrupted_round_trip_is_byte_identical(self, container):
+        assert serialize(parse(container)) == container
+
+    def test_uncorrupted_container_decodes(self, container):
+        assert isinstance(decompress(container), Program)
+
+
+@given(position=st.integers(min_value=0), kind=st.sampled_from(KINDS))
+@settings(max_examples=120, deadline=None)
+def test_property_single_site_corruption_is_typed(position, kind):
+    # Any single corruption of a valid container either decodes to a
+    # Program or raises a ReproError subtype — no internal exceptions.
+    container = test_property_single_site_corruption_is_typed.container
+    corruptor = ContainerCorruptor(container, seed=position, kinds=(kind,))
+    case = corruptor.corruption(position % 1000)
+    try:
+        result = decompress(case.data)
+    except ReproError:
+        pass
+    else:
+        assert isinstance(result, Program)
+
+
+test_property_single_site_corruption_is_typed.container = \
+    compress(assemble(SOURCE)).data

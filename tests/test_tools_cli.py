@@ -59,7 +59,7 @@ class TestLoadProgram:
 
 class TestCommands:
     def test_compress_writes_container(self, ssd_file):
-        assert ssd_file.read_bytes()[:4] == b"SSD1"
+        assert ssd_file.read_bytes()[:4] == b"SSD2"
 
     def test_decompress_roundtrip(self, ssd_file, tmp_path, capsys):
         out = tmp_path / "out.asm"
@@ -129,3 +129,35 @@ class TestCommands:
         other.write_text("func main\n    li r1, 1\n    trap 1\n    ret\nend\n")
         assert main(["verify", str(ssd_file), str(other)]) == 1
         assert "MISMATCH" in capsys.readouterr().err
+
+    def test_verify_integrity_clean(self, ssd_file, capsys):
+        assert main(["verify", str(ssd_file)]) == 0
+        out = capsys.readouterr().out
+        assert "checksums match" in out
+        assert "crc ok" in out
+
+    def test_verify_integrity_corrupt_exits_1(self, ssd_file, tmp_path, capsys):
+        data = bytearray(ssd_file.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        bad = tmp_path / "bad.ssd"
+        bad.write_bytes(bytes(data))
+        assert main(["verify", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "CORRUPT" in captured.out + captured.err
+
+    def test_fuzz_clean_container(self, ssd_file, capsys):
+        assert main(["fuzz", str(ssd_file), "--cases", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "40 cases" in out and "result: OK" in out
+
+    def test_fuzz_compresses_asm_input(self, asm_file, capsys):
+        assert main(["fuzz", str(asm_file), "--cases", "20", "--seed", "7"]) == 0
+        assert "seed 7" in capsys.readouterr().out
+
+    def test_fuzz_rejects_non_container(self, tmp_path, capsys):
+        junk = tmp_path / "junk.bin"
+        junk.write_bytes(b"\x00" * 64)
+        assert main(["fuzz", str(junk)]) == 2
+
+    def test_fuzz_rejects_bad_cases(self, ssd_file, capsys):
+        assert main(["fuzz", str(ssd_file), "--cases", "0"]) == 2
