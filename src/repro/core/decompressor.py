@@ -16,8 +16,9 @@ interpretable in the paper's sense.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import List, Optional
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from ..errors import CorruptContainer, ReproError, as_corrupt
 from ..isa import Function, Instruction, Program
@@ -46,6 +47,13 @@ class SSDReader:
     layouts: List[SegmentLayout]
     segment_of_function: List[int]
     container_hash: Optional[str] = None
+    # Memo behind :meth:`function`.  Guarded by ``_fn_lock`` so one reader
+    # can serve many threads/connections (repro.serve) without racing on
+    # the dict; decode itself only reads the immutable layouts.
+    _fn_cache: Dict[int, Function] = field(default_factory=dict, repr=False,
+                                           compare=False)
+    _fn_lock: threading.Lock = field(default_factory=threading.Lock,
+                                     repr=False, compare=False)
 
     @property
     def function_count(self) -> int:
@@ -97,6 +105,34 @@ class SSDReader:
         if item.call_target is None:
             raise DecompressionError("call item without a callee index")
         return insn.replace_target(item.call_target)
+
+    def function(self, findex: int) -> Function:
+        """Decode function ``findex``, memoized and thread-safe.
+
+        Concurrent callers for the same index all receive the *same*
+        :class:`Function` object; the double-checked lock guarantees the
+        memo dict is never mutated concurrently and each function is
+        decoded at most once per reader.
+        """
+        if not 0 <= findex < self.function_count:
+            raise IndexError(f"function index {findex} out of range "
+                             f"(container has {self.function_count})")
+        cached = self._fn_cache.get(findex)
+        if cached is not None:
+            return cached
+        with self._fn_lock:
+            cached = self._fn_cache.get(findex)
+            if cached is None:
+                cached = Function(
+                    name=self.sections.function_names[findex],
+                    insns=self.function_instructions(findex))
+                self._fn_cache[findex] = cached
+        return cached
+
+    @property
+    def cached_function_indices(self) -> List[int]:
+        """Indices decoded (and memoized) so far, in sorted order."""
+        return sorted(self._fn_cache)
 
     def program(self) -> Program:
         """Reconstruct the entire program."""

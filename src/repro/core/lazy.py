@@ -20,7 +20,7 @@ application-startup story).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Set
+from typing import Iterator, Set
 
 from ..isa import Function
 from .decompressor import SSDReader
@@ -30,12 +30,15 @@ class _LazyFunctionList:
     """Sequence facade over the container's functions.
 
     ``__getitem__`` decompresses on first access and caches; ``len`` and
-    iteration behave like a list of Functions.
+    iteration behave like a list of Functions.  Decode and memoization
+    live in :meth:`SSDReader.function` (thread-safe), so several lazy
+    programs — or several threads — can share one reader; this list only
+    tracks which indices *it* has touched.
     """
 
     def __init__(self, reader: SSDReader) -> None:
         self._reader = reader
-        self._cache: Dict[int, Function] = {}
+        self._touched: Set[int] = set()
 
     def __len__(self) -> int:
         return self._reader.function_count
@@ -47,14 +50,9 @@ class _LazyFunctionList:
             findex += len(self)
         if not 0 <= findex < len(self):
             raise IndexError(f"function index {findex} out of range")
-        cached = self._cache.get(findex)
-        if cached is None:
-            cached = Function(
-                name=self._reader.sections.function_names[findex],
-                insns=self._reader.function_instructions(findex),
-            )
-            self._cache[findex] = cached
-        return cached
+        function = self._reader.function(findex)
+        self._touched.add(findex)
+        return function
 
     def __iter__(self) -> Iterator[Function]:
         for findex in range(len(self)):
@@ -62,7 +60,7 @@ class _LazyFunctionList:
 
     @property
     def materialized(self) -> Set[int]:
-        return set(self._cache)
+        return set(self._touched)
 
 
 class LazyProgram:

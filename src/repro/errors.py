@@ -70,6 +70,37 @@ class BufferCapacityError(ReproError, ValueError):
     """A function cannot be placed in the JIT translation buffer."""
 
 
+class ProtocolError(ReproError, ValueError):
+    """A ``repro.serve`` wire frame is malformed (bad magic, CRC, version).
+
+    Raised on both sides of the connection when received bytes cannot be
+    framed or decoded; the connection is unrecoverable past this point
+    because frame boundaries are lost.
+    """
+
+    def __init__(self, message: str, *,
+                 offset: Optional[int] = None) -> None:
+        self.offset = offset
+        detail = message
+        if offset is not None:
+            detail += f" [byte offset {offset}]"
+        super().__init__(detail)
+
+
+class RemoteError(ReproError):
+    """The server answered a ``repro.serve`` request with an ERROR frame.
+
+    ``code`` is the wire error code (see ``repro.serve.protocol`` and
+    docs/PROTOCOL.md); ``code_name`` its symbolic name when known.
+    """
+
+    def __init__(self, message: str, *, code: int,
+                 code_name: str = "") -> None:
+        self.code = code
+        self.code_name = code_name or f"E_{code}"
+        super().__init__(f"[{self.code_name}] {message}")
+
+
 def as_corrupt(exc: BaseException, *, section: Optional[str] = None,
                offset: Optional[int] = None) -> CorruptContainer:
     """Wrap a non-taxonomy exception as :class:`CorruptContainer`.

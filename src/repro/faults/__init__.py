@@ -10,7 +10,10 @@ The robustness layer's attack harness.  Three pieces:
   taxonomy (anything else is a finding);
 * :mod:`repro.faults.runtime` — runtime fault injectors: worker
   crash/hang functions for ``repro.perf.fanout`` and deterministic
-  allocation failures for the JIT translation buffer.
+  allocation failures for the JIT translation buffer;
+* :mod:`repro.faults.transport` — wire-level faults for ``repro.serve``
+  (seeded drop/delay/truncate/corrupt of protocol frames) and a sweep
+  asserting the server always answers or closes cleanly, never hangs.
 
 Everything is seeded and reproducible: the same ``(container, seed,
 case index)`` always produces the same corruption, so a CI failure is
@@ -20,15 +23,29 @@ replayable with ``ssd fuzz --seed``.
 from .injector import KINDS, ContainerCorruptor, Corruption
 from .harness import CaseOutcome, SweepReport, sweep
 from .runtime import AllocationFaults, crashing_worker, hanging_worker
+from .transport import (
+    TRANSPORT_KINDS,
+    FlakyTransport,
+    TransportCaseOutcome,
+    TransportFault,
+    TransportSweepReport,
+    transport_sweep,
+)
 
 __all__ = [
     "AllocationFaults",
     "CaseOutcome",
     "ContainerCorruptor",
     "Corruption",
+    "FlakyTransport",
     "KINDS",
     "SweepReport",
+    "TRANSPORT_KINDS",
+    "TransportCaseOutcome",
+    "TransportFault",
+    "TransportSweepReport",
     "crashing_worker",
     "hanging_worker",
     "sweep",
+    "transport_sweep",
 ]

@@ -1,0 +1,275 @@
+"""Wire-level fault injection for ``repro.serve``: the flaky transport.
+
+The network twin of :mod:`repro.faults.injector`: instead of corrupting
+container bytes at rest, it corrupts *frames in flight*.  A seeded plan
+decides, per case, one of:
+
+* ``deliver`` — the frame arrives intact (control group);
+* ``drop`` — the connection closes before any byte is sent;
+* ``truncate`` — a seeded prefix of the frame is sent, then the
+  connection closes (the server is left waiting mid-frame);
+* ``corrupt`` — one seeded byte of the frame is flipped (the frame CRC
+  must catch it);
+* ``delay`` — the frame arrives intact after a seeded pause;
+* ``garbage`` — seeded random bytes that were never a frame.
+
+The contract under test (:func:`transport_sweep`): for every case the
+server either answers — an ERROR frame or a valid response — or the
+client observes a clean close/timeout.  The server process must never
+hang, crash its event loop, or stop serving well-formed requests; a
+post-sweep health probe verifies the last part.  Same
+``(seed, case index)`` -> same fault, so findings replay exactly like
+``ssd fuzz`` ones.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import FaultInjectionError, ProtocolError, ReproError
+
+#: fault kinds the transport can inject
+TRANSPORT_KINDS = ("deliver", "drop", "truncate", "corrupt", "delay",
+                   "garbage")
+
+
+@dataclass(frozen=True)
+class TransportFault:
+    """One planned wire fault."""
+
+    index: int
+    kind: str
+    position: int = 0      # truncate length / corrupt offset, when relevant
+    delay: float = 0.0     # seconds, for 'delay'
+    detail: str = ""
+
+
+class FlakyTransport:
+    """Seeded per-case wire-fault planner and applier."""
+
+    def __init__(self, seed: int = 0,
+                 kinds: Sequence[str] = TRANSPORT_KINDS,
+                 max_delay: float = 0.05) -> None:
+        unknown = set(kinds) - set(TRANSPORT_KINDS)
+        if unknown:
+            raise FaultInjectionError(
+                f"unknown transport fault kinds: {sorted(unknown)}")
+        if not kinds:
+            raise FaultInjectionError("at least one fault kind required")
+        if max_delay < 0:
+            raise FaultInjectionError(
+                f"max_delay must be non-negative, got {max_delay}")
+        self.seed = seed
+        self.kinds = tuple(kinds)
+        self.max_delay = max_delay
+
+    def fault(self, index: int, frame_length: int) -> TransportFault:
+        """The deterministic fault for case ``index`` of a frame."""
+        rng = random.Random(f"{self.seed}:{index}:{frame_length}")
+        kind = self.kinds[rng.randrange(len(self.kinds))]
+        if kind == "truncate":
+            position = rng.randrange(max(1, frame_length))
+            return TransportFault(index=index, kind=kind, position=position,
+                                  detail=f"send {position}/{frame_length} B")
+        if kind == "corrupt":
+            position = rng.randrange(max(1, frame_length))
+            return TransportFault(index=index, kind=kind, position=position,
+                                  detail=f"flip byte {position}")
+        if kind == "delay":
+            delay = rng.uniform(0.0, self.max_delay)
+            return TransportFault(index=index, kind=kind, delay=delay,
+                                  detail=f"delay {delay * 1e3:.1f} ms")
+        if kind == "garbage":
+            position = rng.randrange(1, 256)
+            return TransportFault(index=index, kind=kind, position=position,
+                                  detail=f"{position} random bytes")
+        return TransportFault(index=index, kind=kind, detail=kind)
+
+    def plan(self, cases: int, frame_length: int) -> List[TransportFault]:
+        return [self.fault(index, frame_length) for index in range(cases)]
+
+    def apply(self, frame: bytes, fault: TransportFault) -> Optional[bytes]:
+        """Bytes to actually send for ``fault`` (None = send nothing).
+
+        ``delay`` sleeps here, modelling latency before the bytes appear.
+        """
+        if fault.kind == "deliver":
+            return frame
+        if fault.kind == "drop":
+            return None
+        if fault.kind == "truncate":
+            return frame[:fault.position]
+        if fault.kind == "corrupt":
+            mutated = bytearray(frame)
+            if mutated:
+                mutated[fault.position % len(mutated)] ^= 0xFF
+            return bytes(mutated)
+        if fault.kind == "delay":
+            time.sleep(fault.delay)
+            return frame
+        if fault.kind == "garbage":
+            rng = random.Random(f"{self.seed}:{fault.index}:garbage")
+            return bytes(rng.randrange(256) for _ in range(fault.position))
+        raise FaultInjectionError(f"unhandled fault kind {fault.kind!r}")
+
+
+@dataclass(frozen=True)
+class TransportCaseOutcome:
+    """Classification of one wire-fault case."""
+
+    index: int
+    kind: str
+    detail: str
+    outcome: str   # 'answered' | 'error-frame' | 'closed' | 'timeout'
+                   # | 'unexpected'
+    note: str = ""
+
+
+@dataclass
+class TransportSweepReport:
+    """Aggregate result of one flaky-transport sweep."""
+
+    seed: int
+    cases: List[TransportCaseOutcome] = field(default_factory=list)
+    #: did the server still answer a well-formed request afterwards?
+    healthy_after: bool = False
+
+    @property
+    def total(self) -> int:
+        return len(self.cases)
+
+    @property
+    def unexpected(self) -> List[TransportCaseOutcome]:
+        return [case for case in self.cases if case.outcome == "unexpected"]
+
+    @property
+    def ok(self) -> bool:
+        """No hangs/crashes escaped classification and the server lived."""
+        return not self.unexpected and self.healthy_after
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for case in self.cases if case.outcome == outcome)
+
+    def format(self) -> str:
+        lines = [f"transport sweep: {self.total} cases, seed {self.seed}"]
+        lines.append("  answered: "
+                     f"{self.count('answered')}  "
+                     f"error frames: {self.count('error-frame')}  "
+                     f"closed: {self.count('closed')}  "
+                     f"timeouts: {self.count('timeout')}  "
+                     f"unexpected: {len(self.unexpected)}")
+        for case in self.unexpected:
+            lines.append(f"  FINDING case {case.index} [{case.kind}] "
+                         f"{case.detail}: {case.note}")
+        lines.append("  server healthy after sweep: "
+                     + ("yes" if self.healthy_after else "NO"))
+        lines.append("result: " + ("OK" if self.ok else "findings"))
+        return "\n".join(lines)
+
+
+def _one_case(host: str, port: int, payload: Optional[bytes],
+              transport: FlakyTransport, fault: TransportFault,
+              timeout: float) -> TransportCaseOutcome:
+    from ..serve import protocol  # late import: faults must not hard-depend
+
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        return TransportCaseOutcome(
+            index=fault.index, kind=fault.kind, detail=fault.detail,
+            outcome="unexpected", note=f"connect failed: {exc}")
+    try:
+        wire = transport.apply(payload, fault) if payload is not None else None
+        if wire:
+            sock.sendall(wire)
+        if fault.kind in ("drop", "truncate"):
+            # The fault is on our side; the server should simply cope
+            # with the half-finished exchange when we hang up.
+            return TransportCaseOutcome(
+                index=fault.index, kind=fault.kind, detail=fault.detail,
+                outcome="closed", note="client abandoned the exchange")
+        stream = sock.makefile("rb")
+        try:
+            response = protocol.read_frame(stream)
+        except ProtocolError as exc:
+            return TransportCaseOutcome(
+                index=fault.index, kind=fault.kind, detail=fault.detail,
+                outcome="closed", note=f"server hung up: {exc}")
+        except socket.timeout:
+            return TransportCaseOutcome(
+                index=fault.index, kind=fault.kind, detail=fault.detail,
+                outcome="timeout", note="no response before client deadline")
+        if response is None:
+            return TransportCaseOutcome(
+                index=fault.index, kind=fault.kind, detail=fault.detail,
+                outcome="closed", note="clean close, no response")
+        if response.type == protocol.ERROR:
+            code, message = protocol.parse_error(response.body)
+            return TransportCaseOutcome(
+                index=fault.index, kind=fault.kind, detail=fault.detail,
+                outcome="error-frame",
+                note=f"{protocol.ERROR_NAMES.get(code, code)}: {message}")
+        return TransportCaseOutcome(
+            index=fault.index, kind=fault.kind, detail=fault.detail,
+            outcome="answered", note=response.type_name)
+    except socket.timeout:
+        return TransportCaseOutcome(
+            index=fault.index, kind=fault.kind, detail=fault.detail,
+            outcome="timeout", note="socket timeout mid-exchange")
+    except (OSError, ReproError) as exc:
+        return TransportCaseOutcome(
+            index=fault.index, kind=fault.kind, detail=fault.detail,
+            outcome="closed", note=f"{type(exc).__name__}: {exc}")
+    except BaseException as exc:  # noqa: BLE001 - classification boundary
+        return TransportCaseOutcome(
+            index=fault.index, kind=fault.kind, detail=fault.detail,
+            outcome="unexpected", note=f"{type(exc).__name__}: {exc}")
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def transport_sweep(host: str, port: int, frame: bytes,
+                    cases: int = 100, seed: int = 0,
+                    timeout: float = 2.0,
+                    kinds: Sequence[str] = TRANSPORT_KINDS,
+                    health_probe: Optional[Callable[[], bool]] = None
+                    ) -> TransportSweepReport:
+    """Throw ``cases`` seeded wire faults of ``frame`` at a live server.
+
+    ``frame`` is a well-formed request frame (it is mutilated per case).
+    After the sweep, ``health_probe`` (default: send ``frame`` intact and
+    require a non-ERROR response) checks the server still serves.
+    """
+    if cases <= 0:
+        raise FaultInjectionError(f"cases must be positive, got {cases}")
+    transport = FlakyTransport(seed=seed, kinds=kinds)
+    report = TransportSweepReport(seed=seed)
+    for fault in transport.plan(cases, len(frame)):
+        report.cases.append(
+            _one_case(host, port, frame, transport, fault, timeout))
+    if health_probe is None:
+        def health_probe() -> bool:
+            outcome = _one_case(
+                host, port, frame, transport,
+                TransportFault(index=-1, kind="deliver", detail="probe"),
+                timeout)
+            return outcome.outcome in ("answered", "error-frame")
+    report.healthy_after = bool(health_probe())
+    return report
+
+
+__all__ = [
+    "FlakyTransport",
+    "TRANSPORT_KINDS",
+    "TransportCaseOutcome",
+    "TransportFault",
+    "TransportSweepReport",
+    "transport_sweep",
+]

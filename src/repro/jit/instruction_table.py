@@ -14,6 +14,7 @@ peephole-optimized baseline (Table 5's code-quality overhead).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List
@@ -78,9 +79,12 @@ class InstructionTables:
 
 #: LRU memo of instruction tables keyed by container hash.  The paper notes
 #: re-translation after buffer eviction must be cheap; memoizing phase one
-#: makes a re-translation skip dictionary decompression entirely.
+#: makes a re-translation skip dictionary decompression entirely.  The
+#: lock makes the memo safe for multi-threaded callers (repro.serve runs
+#: decodes on worker threads); table *construction* happens outside it.
 _TABLE_CACHE: "OrderedDict[str, InstructionTables]" = OrderedDict()
 _TABLE_CACHE_LIMIT = 8
+_TABLE_CACHE_LOCK = threading.Lock()
 
 
 def build_tables(reader: SSDReader, use_cache: bool = True) -> InstructionTables:
@@ -94,14 +98,16 @@ def build_tables(reader: SSDReader, use_cache: bool = True) -> InstructionTables
     """
     key = reader.container_hash if use_cache else None
     if key is not None:
-        cached = _TABLE_CACHE.get(key)
-        if cached is not None:
-            _TABLE_CACHE.move_to_end(key)
-            return cached
+        with _TABLE_CACHE_LOCK:
+            cached = _TABLE_CACHE.get(key)
+            if cached is not None:
+                _TABLE_CACHE.move_to_end(key)
+                return cached
     tables = InstructionTables(tables=[build_table_for_layout(layout)
                                        for layout in reader.layouts])
     if key is not None:
-        _TABLE_CACHE[key] = tables
-        while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
-            _TABLE_CACHE.popitem(last=False)
+        with _TABLE_CACHE_LOCK:
+            _TABLE_CACHE[key] = tables
+            while len(_TABLE_CACHE) > _TABLE_CACHE_LIMIT:
+                _TABLE_CACHE.popitem(last=False)
     return tables

@@ -1,0 +1,67 @@
+"""``repro.serve`` — an async SSD code server and its client.
+
+The paper's systems claim is that SSD containers decode at basic-block
+granularity, so a runtime can demand-fetch only the code it executes.
+This package turns that property into a service: a content-addressed
+store of verified containers, an asyncio server that pages decoded
+functions to many concurrent clients (request coalescing, a shared
+byte-budgeted LRU over dictionary state and hot functions, bounded
+concurrency with backpressure, per-request deadlines), and a client
+whose :class:`RemoteProgram` runs in the local interpreter while
+fetching functions over the wire on first call — the network analogue
+of :class:`repro.core.lazy.LazyProgram`.
+
+Quick start::
+
+    from repro.serve import ContainerStore, ServeClient, RemoteProgram
+    from repro.serve import serve_in_thread
+    from repro.vm import run_program
+
+    with serve_in_thread() as handle:
+        with ServeClient(*handle.address) as client:
+            program = RemoteProgram(client, container_bytes)
+            result = run_program(program)
+
+CLI: ``ssd serve`` / ``ssd client``.  Wire format: docs/PROTOCOL.md.
+"""
+
+from .cache import CacheStats, DEFAULT_CACHE_BYTES, SharedLRUCache
+from .client import (
+    DEFAULT_TIMEOUT,
+    ContainerMeta,
+    RemoteProgram,
+    ServeClient,
+    remote_program,
+)
+from .metrics import ServerMetrics, percentile
+from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, Message
+from .server import (
+    SSDServer,
+    ServerConfig,
+    ServerHandle,
+    serve_in_thread,
+)
+from .store import AdmissionError, ContainerStore, container_id_of
+
+__all__ = [
+    "AdmissionError",
+    "CacheStats",
+    "ContainerMeta",
+    "ContainerStore",
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_TIMEOUT",
+    "MAX_FRAME_BYTES",
+    "Message",
+    "PROTOCOL_VERSION",
+    "RemoteProgram",
+    "SSDServer",
+    "ServeClient",
+    "ServerConfig",
+    "ServerHandle",
+    "ServerMetrics",
+    "SharedLRUCache",
+    "container_id_of",
+    "percentile",
+    "remote_program",
+    "serve_in_thread",
+]

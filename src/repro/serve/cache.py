@@ -1,0 +1,153 @@
+"""A byte-budgeted shared LRU cache for decode products.
+
+The server keeps two kinds of hot state behind one budget: *decoded
+dictionary state* (an :class:`~repro.core.decompressor.SSDReader` per
+container — the generalization of the ``build_tables`` per-hash memo from
+the JIT layer) and *hot functions* (wire-encoded instruction blobs).
+Mixing them in a single LRU means a traffic shift — many containers,
+few hot functions, or the reverse — rebalances the budget automatically,
+the same size-aware eviction pressure `repro.jit.buffer` applies to the
+translation buffer.
+
+Thread-safe: the server decodes on worker threads while the event loop
+reads counters, so every operation takes the cache lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Tuple
+
+#: default byte budget for a server cache (64 MiB)
+DEFAULT_CACHE_BYTES = 64 << 20
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot; returned by :meth:`SharedLRUCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+    oversize_rejects: int = 0
+    current_bytes: int = 0
+    entry_count: int = 0
+    budget_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+            "oversize_rejects": self.oversize_rejects,
+            "current_bytes": self.current_bytes,
+            "entry_count": self.entry_count,
+            "budget_bytes": self.budget_bytes,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class SharedLRUCache:
+    """LRU over ``(key -> value)`` entries with explicit byte sizes.
+
+    ``put`` charges each entry the size its caller declares (wire-blob
+    length for functions, container length as the proxy for a reader's
+    decoded dictionaries) and evicts least-recently-used entries until
+    the total fits the budget.  An entry larger than the whole budget is
+    rejected rather than cycling the entire cache.
+    """
+
+    def __init__(self, budget_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+        if budget_bytes <= 0:
+            raise ValueError(
+                f"cache budget must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._inserts = 0
+        self._oversize = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value (refreshing recency) or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def put(self, key: Hashable, value: Any, size: int) -> bool:
+        """Insert ``value`` charged ``size`` bytes; returns False if rejected."""
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        if size > self.budget_bytes:
+            with self._lock:
+                self._oversize += 1
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, size)
+            self._bytes += size
+            self._inserts += 1
+            while self._bytes > self.budget_bytes:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self._bytes -= evicted_size
+                self._evictions += 1
+            return True
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns True if it was present."""
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry[1]
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def current_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits, misses=self._misses,
+                evictions=self._evictions, inserts=self._inserts,
+                oversize_rejects=self._oversize,
+                current_bytes=self._bytes,
+                entry_count=len(self._entries),
+                budget_bytes=self.budget_bytes)
+
+
+__all__ = ["CacheStats", "DEFAULT_CACHE_BYTES", "SharedLRUCache"]

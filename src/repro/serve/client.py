@@ -1,0 +1,286 @@
+"""Synchronous client for the SSD code server, plus :class:`RemoteProgram`.
+
+:class:`ServeClient` is a one-connection blocking client: each request
+writes one frame and reads one response frame (the server pipelines
+across connections, not within one).  Server-reported failures raise
+:class:`repro.errors.RemoteError` with the wire error code; transport
+and framing failures raise :class:`repro.errors.ProtocolError` or the
+underlying ``OSError``.
+
+:class:`RemoteProgram` is the network analogue of
+:class:`repro.core.lazy.LazyProgram`: it duck-types a
+:class:`~repro.isa.Program` for the interpreter while paging functions
+from the server on first call — run a container you never downloaded::
+
+    with ServeClient(host, port) as client:
+        program = RemoteProgram(client, container_id)
+        result = run_program(program)
+        program.decompressed_count     # functions actually fetched
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+from ..errors import ProtocolError, RemoteError
+from ..isa import Function, Instruction
+from . import protocol
+
+#: default client-side socket timeout (seconds)
+DEFAULT_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class ContainerMeta:
+    """What GET_META returns: enough to build a RemoteProgram."""
+
+    container_id: str
+    program_name: str
+    entry: int
+    function_names: List[str]
+
+    @property
+    def function_count(self) -> int:
+        return len(self.function_names)
+
+
+class ServeClient:
+    """Blocking request/response client over one TCP connection."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = DEFAULT_TIMEOUT,
+                 max_frame: int = protocol.MAX_FRAME_BYTES) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._sock.makefile("rwb")
+        self._next_request_id = 1
+        # One request/response exchange at a time per connection; the
+        # lock lets many threads share a client (RemoteProgram under a
+        # threaded interpreter host, the load tests).
+        self._lock = threading.Lock()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _request(self, mtype: int, body: bytes) -> protocol.Message:
+        with self._lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            frame = protocol.encode_frame(protocol.Message(
+                type=mtype, request_id=request_id, body=body))
+            self._stream.write(frame)
+            self._stream.flush()
+            response = protocol.read_frame(self._stream, self.max_frame)
+        if response is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if response.request_id != request_id:
+            raise ProtocolError(
+                f"response id {response.request_id} does not match "
+                f"request id {request_id}")
+        if response.type == protocol.ERROR:
+            code, message = protocol.parse_error(response.body)
+            raise RemoteError(message, code=code,
+                              code_name=protocol.ERROR_NAMES.get(code, ""))
+        return response
+
+    def _expect(self, mtype: int, body: bytes,
+                expected: int) -> protocol.Message:
+        response = self._request(mtype, body)
+        if response.type != expected:
+            raise ProtocolError(
+                f"expected {protocol.TYPE_NAMES[expected]}, "
+                f"server sent {response.type_name}")
+        return response
+
+    # -- the request surface -------------------------------------------------
+
+    def put(self, container: bytes) -> Tuple[str, int, int]:
+        """Upload a container; returns ``(container_id, function_count, entry)``."""
+        response = self._expect(protocol.PUT_CONTAINER,
+                                protocol.build_put(container),
+                                protocol.OK_PUT)
+        return protocol.parse_ok_put(response.body)
+
+    def meta(self, container_id: str) -> ContainerMeta:
+        response = self._expect(protocol.GET_META,
+                                protocol.build_get_meta(container_id),
+                                protocol.OK_META)
+        name, entry, function_names = protocol.parse_ok_meta(response.body)
+        return ContainerMeta(container_id=container_id, program_name=name,
+                             entry=entry, function_names=function_names)
+
+    def function(self, container_id: str, findex: int) -> Function:
+        """Fetch one fully-decoded function."""
+        response = self._expect(
+            protocol.GET_FUNCTION,
+            protocol.build_get_function(container_id, findex),
+            protocol.OK_FUNCTION)
+        return protocol.parse_ok_function(response.body)
+
+    def block(self, container_id: str, findex: int, start: int,
+              count: int) -> Tuple[int, List[Instruction]]:
+        """Fetch ``count`` instructions of a function starting at ``start``.
+
+        Returns ``(total_instruction_count, instructions)`` — the total
+        lets callers know when a streaming fetch is complete.
+        """
+        response = self._expect(
+            protocol.GET_BLOCK,
+            protocol.build_get_block(container_id, findex, start, count),
+            protocol.OK_BLOCK)
+        _, _, total, insns = protocol.parse_ok_block(response.body)
+        return total, insns
+
+    def iter_blocks(self, container_id: str, findex: int,
+                    block_size: int = 64) -> Iterator[List[Instruction]]:
+        """Stream a function block-by-block (GET_BLOCK until exhausted)."""
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        start = 0
+        while True:
+            total, insns = self.block(container_id, findex, start, block_size)
+            if insns:
+                yield insns
+            start += len(insns)
+            if start >= total or not insns:
+                return
+
+    def stats(self) -> dict:
+        """Fetch the server's metrics snapshot (the STATS request)."""
+        response = self._expect(protocol.STATS, b"", protocol.OK_STATS)
+        try:
+            return json.loads(protocol.parse_ok_stats(response.body))
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"STATS payload is not JSON: {exc}") from exc
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _RemoteFunctionList:
+    """Sequence facade paging functions over the wire on first access."""
+
+    def __init__(self, client: ServeClient, meta: ContainerMeta) -> None:
+        self._client = client
+        self._meta = meta
+        self._cache: dict = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return self._meta.function_count
+
+    def __getitem__(self, findex: int) -> Function:
+        if isinstance(findex, slice):
+            raise TypeError("remote function lists do not support slicing")
+        if findex < 0:
+            findex += len(self)
+        if not 0 <= findex < len(self):
+            raise IndexError(f"function index {findex} out of range")
+        function = self._cache.get(findex)
+        if function is None:
+            fetched = self._client.function(self._meta.container_id, findex)
+            with self._lock:
+                function = self._cache.setdefault(findex, fetched)
+        return function
+
+    def __iter__(self) -> Iterator[Function]:
+        for findex in range(len(self)):
+            yield self[findex]
+
+    @property
+    def materialized(self) -> Set[int]:
+        with self._lock:
+            return set(self._cache)
+
+
+class RemoteProgram:
+    """A Program-shaped view of a container living on a server.
+
+    Duck-types what the interpreter uses (``name``, ``entry``, indexable
+    ``functions``); each function travels over the wire on first call
+    and is cached client-side.  The same measurability surface as
+    :class:`~repro.core.lazy.LazyProgram` (``decompressed_count``,
+    ``decompressed_fraction``, ``prefetch``) applies to *fetched*
+    functions.
+    """
+
+    def __init__(self, client: ServeClient,
+                 container: Union[str, bytes]) -> None:
+        if isinstance(container, bytes):
+            container_id, _, _ = client.put(container)
+        else:
+            container_id = container
+        self._client = client
+        self.container_id = container_id
+        self._meta = client.meta(container_id)
+        self.name = self._meta.program_name
+        self.entry = self._meta.entry
+        self.functions = _RemoteFunctionList(client, self._meta)
+
+    @property
+    def meta(self) -> ContainerMeta:
+        return self._meta
+
+    @property
+    def decompressed_count(self) -> int:
+        """Functions fetched from the server so far."""
+        return len(self.functions.materialized)
+
+    @property
+    def decompressed_functions(self) -> Set[int]:
+        return self.functions.materialized
+
+    @property
+    def decompressed_fraction(self) -> float:
+        total = len(self.functions)
+        return self.decompressed_count / total if total else 0.0
+
+    def prefetch(self, indices) -> None:
+        """Eagerly fetch selected functions (startup sets)."""
+        for findex in indices:
+            self.functions[findex]  # noqa: B018 - fetching side effect
+
+
+def remote_program(host: str, port: int,
+                   container: Union[str, bytes],
+                   timeout: float = DEFAULT_TIMEOUT
+                   ) -> Tuple[RemoteProgram, ServeClient]:
+    """One call: connect and wrap a served container as a RemoteProgram.
+
+    Returns ``(program, client)``; the caller owns closing the client.
+    """
+    client = ServeClient(host, port, timeout=timeout)
+    try:
+        return RemoteProgram(client, container), client
+    except Exception:
+        client.close()
+        raise
+
+
+__all__ = [
+    "ContainerMeta",
+    "DEFAULT_TIMEOUT",
+    "RemoteProgram",
+    "ServeClient",
+    "remote_program",
+]

@@ -1,0 +1,150 @@
+"""Server-side observability: request counts, latencies, decode accounting.
+
+One :class:`ServerMetrics` instance per server, updated from the event
+loop and from decode worker threads (hence the lock).  ``snapshot()``
+produces the stable-keyed dict the ``STATS`` request returns and
+``ssd serve --metrics-interval`` prints — machine-readable first, so CI
+and load tests can assert on it.
+
+Latency percentiles come from a bounded per-request-type reservoir (the
+most recent :data:`RESERVOIR_SIZE` samples), which keeps memory constant
+under unbounded traffic while staying exact for test-sized runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: samples kept per request type for percentile estimation
+RESERVOIR_SIZE = 2048
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample set."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class ServerMetrics:
+    """Thread-safe counters + latency reservoirs for one server."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests: Counter = Counter()          # type name -> count
+        self.errors: Counter = Counter()            # error code name -> count
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.protocol_failures = 0
+        self.timeouts = 0
+        self.coalesced = 0
+        #: decode work actually performed: (container_id, findex) -> count.
+        #: A function served from cache or a coalesced request does NOT
+        #: increment this — the acceptance check "only the functions
+        #: reached were decompressed, exactly once" reads it directly.
+        self.decode_counts: Counter = Counter()
+        self._latency: Dict[str, Deque[float]] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record_connection(self, opened: bool) -> None:
+        with self._lock:
+            if opened:
+                self.connections_opened += 1
+            else:
+                self.connections_closed += 1
+
+    def record_request(self, type_name: str, seconds: float,
+                       bytes_in: int, bytes_out: int) -> None:
+        with self._lock:
+            self.requests[type_name] += 1
+            self.bytes_in += bytes_in
+            self.bytes_out += bytes_out
+            reservoir = self._latency.get(type_name)
+            if reservoir is None:
+                reservoir = deque(maxlen=RESERVOIR_SIZE)
+                self._latency[type_name] = reservoir
+            reservoir.append(seconds)
+
+    def record_error(self, code_name: str) -> None:
+        with self._lock:
+            self.errors[code_name] += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timeouts += 1
+
+    def record_protocol_failure(self) -> None:
+        with self._lock:
+            self.protocol_failures += 1
+
+    def record_coalesced(self) -> None:
+        with self._lock:
+            self.coalesced += 1
+
+    def record_decode(self, container_id: str, findex: int) -> None:
+        with self._lock:
+            self.decode_counts[(container_id, findex)] += 1
+
+    # -- reading ------------------------------------------------------------
+
+    def decodes_for(self, container_id: str) -> Dict[int, int]:
+        """Per-function decode counts for one container."""
+        with self._lock:
+            return {findex: count
+                    for (cid, findex), count in self.decode_counts.items()
+                    if cid == container_id}
+
+    def snapshot(self, cache_stats: Optional[dict] = None,
+                 store_stats: Optional[dict] = None) -> dict:
+        """JSON-safe, stable-keyed metrics snapshot (the STATS payload)."""
+        with self._lock:
+            latency = {}
+            for type_name, reservoir in sorted(self._latency.items()):
+                samples = list(reservoir)
+                latency[type_name] = {
+                    "count": len(samples),
+                    "p50_ms": percentile(samples, 0.50) * 1e3,
+                    "p99_ms": percentile(samples, 0.99) * 1e3,
+                    "max_ms": (max(samples) * 1e3) if samples else 0.0,
+                }
+            decoded: Dict[str, Dict[str, int]] = {}
+            for (cid, _findex), count in self.decode_counts.items():
+                entry = decoded.setdefault(cid, {"functions": 0, "decodes": 0})
+                entry["functions"] += 1
+                entry["decodes"] += count
+            snapshot = {
+                "requests": dict(sorted(self.requests.items())),
+                "requests_total": sum(self.requests.values()),
+                "errors": dict(sorted(self.errors.items())),
+                "errors_total": sum(self.errors.values()),
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+                "connections": {
+                    "opened": self.connections_opened,
+                    "closed": self.connections_closed,
+                    "active": self.connections_opened - self.connections_closed,
+                },
+                "protocol_failures": self.protocol_failures,
+                "timeouts": self.timeouts,
+                "coalesced": self.coalesced,
+                "latency": latency,
+                "decoded": dict(sorted(decoded.items())),
+                "decodes_total": sum(self.decode_counts.values()),
+            }
+        if cache_stats is not None:
+            snapshot["cache"] = cache_stats
+        if store_stats is not None:
+            snapshot["store"] = store_stats
+        return snapshot
+
+
+__all__ = ["RESERVOIR_SIZE", "ServerMetrics", "percentile"]

@@ -1,0 +1,493 @@
+"""The ``repro.serve`` wire protocol: varint-framed, versioned, CRC-carrying.
+
+Every message travels as one *frame*::
+
+    uvarint  payload length (LEB128, repro.lz.varint)
+    payload  (exactly that many bytes)
+    u32      CRC32 over the payload (little-endian)
+
+and every payload starts with the same header::
+
+    u8       protocol version (currently 1)
+    u8       message type
+    uvarint  request id (echoed verbatim in the response)
+    ...      type-specific body
+
+Containers are addressed by the SHA-256 of their bytes (32 raw bytes on
+the wire, lowercase hex in Python APIs) — the same fingerprint
+``SSDReader.container_hash`` uses for the instruction-table memo.
+
+Malformed bytes raise :class:`repro.errors.ProtocolError`; a server
+ERROR frame surfaces client-side as :class:`repro.errors.RemoteError`.
+The full specification lives in docs/PROTOCOL.md.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..isa import Function, Instruction
+from ..isa.encoding import decode_instruction, encode_instruction
+from ..lz.varint import ByteReader, ByteWriter, decode_uvarint
+
+#: protocol version this implementation speaks
+PROTOCOL_VERSION = 1
+
+#: frames larger than this are rejected before allocation (both sides)
+MAX_FRAME_BYTES = 1 << 26
+
+#: SHA-256 container ids travel as raw bytes
+CONTAINER_ID_BYTES = 32
+
+# -- message types ----------------------------------------------------------
+
+PUT_CONTAINER = 0x01
+GET_META = 0x02
+GET_FUNCTION = 0x03
+GET_BLOCK = 0x04
+STATS = 0x05
+
+OK_PUT = 0x81
+OK_META = 0x82
+OK_FUNCTION = 0x83
+OK_BLOCK = 0x84
+OK_STATS = 0x85
+ERROR = 0xFF
+
+TYPE_NAMES = {
+    PUT_CONTAINER: "PUT_CONTAINER",
+    GET_META: "GET_META",
+    GET_FUNCTION: "GET_FUNCTION",
+    GET_BLOCK: "GET_BLOCK",
+    STATS: "STATS",
+    OK_PUT: "OK_PUT",
+    OK_META: "OK_META",
+    OK_FUNCTION: "OK_FUNCTION",
+    OK_BLOCK: "OK_BLOCK",
+    OK_STATS: "OK_STATS",
+    ERROR: "ERROR",
+}
+
+REQUEST_TYPES = (PUT_CONTAINER, GET_META, GET_FUNCTION, GET_BLOCK, STATS)
+
+# -- error codes ------------------------------------------------------------
+
+E_BAD_REQUEST = 1     # unparseable body, unknown type, bad field values
+E_NOT_FOUND = 2       # container id or function index unknown
+E_CORRUPT = 3         # container failed verify-gated admission / decode
+E_LIMIT = 4           # a DecodeLimits or frame-size ceiling was hit
+E_TIMEOUT = 5         # the per-request deadline elapsed server-side
+E_BUSY = 6            # backpressure: server refused to queue the request
+E_INTERNAL = 7        # anything else (a server bug; still a clean answer)
+E_VERSION = 8         # protocol version mismatch
+
+ERROR_NAMES = {
+    E_BAD_REQUEST: "E_BAD_REQUEST",
+    E_NOT_FOUND: "E_NOT_FOUND",
+    E_CORRUPT: "E_CORRUPT",
+    E_LIMIT: "E_LIMIT",
+    E_TIMEOUT: "E_TIMEOUT",
+    E_BUSY: "E_BUSY",
+    E_INTERNAL: "E_INTERNAL",
+    E_VERSION: "E_VERSION",
+}
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded frame payload."""
+
+    type: int
+    request_id: int
+    body: bytes = b""
+    version: int = PROTOCOL_VERSION
+
+    @property
+    def type_name(self) -> str:
+        return TYPE_NAMES.get(self.type, f"0x{self.type:02x}")
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+# -- framing ----------------------------------------------------------------
+
+def encode_frame(message: Message) -> bytes:
+    """Serialize a message into frame bytes ready for the socket."""
+    writer = ByteWriter()
+    writer.write_u8(message.version)
+    writer.write_u8(message.type)
+    writer.write_uvarint(message.request_id)
+    writer.write_bytes(message.body)
+    payload = writer.getvalue()
+    out = ByteWriter()
+    out.write_uvarint(len(payload))
+    out.write_bytes(payload)
+    out.write_u32(_crc(payload))
+    return out.getvalue()
+
+
+def parse_payload(payload: bytes, crc: Optional[int] = None) -> Message:
+    """Decode a frame payload (and check ``crc`` when given)."""
+    if crc is not None and _crc(payload) != crc:
+        raise ProtocolError(
+            f"frame CRC32 mismatch: stored {crc:#010x}, "
+            f"computed {_crc(payload):#010x}")
+    if len(payload) < 2:
+        raise ProtocolError(f"frame payload of {len(payload)} bytes is "
+                            "shorter than the fixed header")
+    version = payload[0]
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version} "
+                            f"(this side speaks {PROTOCOL_VERSION})")
+    mtype = payload[1]
+    try:
+        request_id, offset = decode_uvarint(payload, 2)
+    except ValueError as exc:
+        raise ProtocolError(f"bad request id varint: {exc}") from exc
+    return Message(type=mtype, request_id=request_id,
+                   body=payload[offset:], version=version)
+
+
+def read_frame(stream: BinaryIO,
+               max_frame: int = MAX_FRAME_BYTES) -> Optional[Message]:
+    """Read one frame from a blocking binary stream.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on truncation mid-frame, oversized frames, or
+    CRC/version mismatch.  This is the synchronous (client-side) reader;
+    the asyncio server has its own equivalent.
+    """
+    length_bytes = bytearray()
+    while True:
+        chunk = stream.read(1)
+        if not chunk:
+            if not length_bytes:
+                return None
+            raise ProtocolError("connection closed mid frame-length varint")
+        length_bytes += chunk
+        if not chunk[0] & 0x80:
+            break
+        if len(length_bytes) > 10:
+            raise ProtocolError("frame-length varint too long")
+    length, _ = decode_uvarint(bytes(length_bytes))
+    if length > max_frame:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{max_frame}-byte limit")
+    payload = _read_exact(stream, length, "frame payload")
+    crc_bytes = _read_exact(stream, 4, "frame CRC")
+    crc = int.from_bytes(crc_bytes, "little")
+    return parse_payload(payload, crc)
+
+
+def _read_exact(stream: BinaryIO, count: int, what: str) -> bytes:
+    data = b""
+    while len(data) < count:
+        chunk = stream.read(count - len(data))
+        if not chunk:
+            raise ProtocolError(f"connection closed mid {what} "
+                                f"({len(data)}/{count} bytes)")
+        data += chunk
+    return data
+
+
+# -- container ids ----------------------------------------------------------
+
+def write_container_id(writer: ByteWriter, container_id: str) -> None:
+    try:
+        raw = bytes.fromhex(container_id)
+    except ValueError as exc:
+        raise ProtocolError(f"container id is not hex: {container_id!r}") from exc
+    if len(raw) != CONTAINER_ID_BYTES:
+        raise ProtocolError(f"container id must be {CONTAINER_ID_BYTES} bytes, "
+                            f"got {len(raw)}")
+    writer.write_bytes(raw)
+
+
+def read_container_id(reader: ByteReader) -> str:
+    return reader.read_bytes(CONTAINER_ID_BYTES).hex()
+
+
+# -- request bodies ---------------------------------------------------------
+
+def build_put(container: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.write_uvarint(len(container))
+    writer.write_bytes(container)
+    return writer.getvalue()
+
+
+def parse_put(body: bytes) -> bytes:
+    reader = ByteReader(body)
+    data = reader.read_bytes(reader.read_uvarint())
+    _expect_end(reader, "PUT_CONTAINER")
+    return data
+
+
+def build_get_meta(container_id: str) -> bytes:
+    writer = ByteWriter()
+    write_container_id(writer, container_id)
+    return writer.getvalue()
+
+
+def parse_get_meta(body: bytes) -> str:
+    reader = ByteReader(body)
+    container_id = read_container_id(reader)
+    _expect_end(reader, "GET_META")
+    return container_id
+
+
+def build_get_function(container_id: str, findex: int) -> bytes:
+    writer = ByteWriter()
+    write_container_id(writer, container_id)
+    writer.write_uvarint(findex)
+    return writer.getvalue()
+
+
+def parse_get_function(body: bytes) -> Tuple[str, int]:
+    reader = ByteReader(body)
+    container_id = read_container_id(reader)
+    findex = reader.read_uvarint()
+    _expect_end(reader, "GET_FUNCTION")
+    return container_id, findex
+
+
+def build_get_block(container_id: str, findex: int,
+                    start: int, count: int) -> bytes:
+    writer = ByteWriter()
+    write_container_id(writer, container_id)
+    writer.write_uvarint(findex)
+    writer.write_uvarint(start)
+    writer.write_uvarint(count)
+    return writer.getvalue()
+
+
+def parse_get_block(body: bytes) -> Tuple[str, int, int, int]:
+    reader = ByteReader(body)
+    container_id = read_container_id(reader)
+    findex = reader.read_uvarint()
+    start = reader.read_uvarint()
+    count = reader.read_uvarint()
+    _expect_end(reader, "GET_BLOCK")
+    return container_id, findex, start, count
+
+
+# -- response bodies --------------------------------------------------------
+
+def build_ok_put(container_id: str, function_count: int, entry: int) -> bytes:
+    writer = ByteWriter()
+    write_container_id(writer, container_id)
+    writer.write_uvarint(function_count)
+    writer.write_uvarint(entry)
+    return writer.getvalue()
+
+
+def parse_ok_put(body: bytes) -> Tuple[str, int, int]:
+    reader = ByteReader(body)
+    container_id = read_container_id(reader)
+    function_count = reader.read_uvarint()
+    entry = reader.read_uvarint()
+    _expect_end(reader, "OK_PUT")
+    return container_id, function_count, entry
+
+
+def build_ok_meta(program_name: str, entry: int,
+                  function_names: List[str]) -> bytes:
+    writer = ByteWriter()
+    name = program_name.encode("utf-8")
+    writer.write_uvarint(len(name))
+    writer.write_bytes(name)
+    writer.write_uvarint(entry)
+    joined = "\n".join(function_names).encode("utf-8")
+    writer.write_uvarint(len(function_names))
+    writer.write_uvarint(len(joined))
+    writer.write_bytes(joined)
+    return writer.getvalue()
+
+
+def parse_ok_meta(body: bytes) -> Tuple[str, int, List[str]]:
+    reader = ByteReader(body)
+    try:
+        program_name = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
+        entry = reader.read_uvarint()
+        count = reader.read_uvarint()
+        joined = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"OK_META strings are not UTF-8: {exc}") from exc
+    names = joined.split("\n") if joined else []
+    if len(names) != count:
+        raise ProtocolError(f"OK_META declares {count} function names, "
+                            f"carries {len(names)}")
+    _expect_end(reader, "OK_META")
+    return program_name, entry, names
+
+
+def encode_instruction_slice(insns: List[Instruction], start: int) -> bytes:
+    """Encode ``insns`` as VM bytecode, indexed from ``start``.
+
+    Instruction encoding is position-dependent (branch displacements are
+    pc-relative), so a block slice must be encoded with its true indices
+    within the function; the receiver passes the same ``start`` back to
+    :func:`decode_instruction_slice`.
+    """
+    writer = ByteWriter()
+    writer.write_uvarint(len(insns))
+    for offset, insn in enumerate(insns):
+        encode_instruction(insn, start + offset, writer)
+    return writer.getvalue()
+
+
+def decode_instruction_slice(data: bytes, start: int) -> List[Instruction]:
+    reader = ByteReader(data)
+    count = reader.read_uvarint()
+    insns = [decode_instruction(reader, start + offset)
+             for offset in range(count)]
+    _expect_end(reader, "instruction slice")
+    return insns
+
+
+def build_ok_function(findex: int, name: str,
+                      insns: List[Instruction]) -> bytes:
+    writer = ByteWriter()
+    writer.write_uvarint(findex)
+    encoded_name = name.encode("utf-8")
+    writer.write_uvarint(len(encoded_name))
+    writer.write_bytes(encoded_name)
+    blob = encode_instruction_slice(insns, 0)
+    writer.write_uvarint(len(blob))
+    writer.write_bytes(blob)
+    return writer.getvalue()
+
+
+def parse_ok_function(body: bytes) -> Function:
+    reader = ByteReader(body)
+    reader.read_uvarint()  # findex (informational; the client asked for it)
+    try:
+        name = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"OK_FUNCTION name is not UTF-8: {exc}") from exc
+    blob = reader.read_bytes(reader.read_uvarint())
+    _expect_end(reader, "OK_FUNCTION")
+    return Function(name=name, insns=decode_instruction_slice(blob, 0))
+
+
+def build_ok_block(findex: int, start: int, total: int,
+                   insns: List[Instruction]) -> bytes:
+    writer = ByteWriter()
+    writer.write_uvarint(findex)
+    writer.write_uvarint(start)
+    writer.write_uvarint(total)
+    blob = encode_instruction_slice(insns, start)
+    writer.write_uvarint(len(blob))
+    writer.write_bytes(blob)
+    return writer.getvalue()
+
+
+def parse_ok_block(body: bytes) -> Tuple[int, int, int, List[Instruction]]:
+    """Returns ``(findex, start, total_instructions, instructions)``."""
+    reader = ByteReader(body)
+    findex = reader.read_uvarint()
+    start = reader.read_uvarint()
+    total = reader.read_uvarint()
+    blob = reader.read_bytes(reader.read_uvarint())
+    _expect_end(reader, "OK_BLOCK")
+    return findex, start, total, decode_instruction_slice(blob, start)
+
+
+def build_ok_stats(stats_json: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.write_uvarint(len(stats_json))
+    writer.write_bytes(stats_json)
+    return writer.getvalue()
+
+
+def parse_ok_stats(body: bytes) -> bytes:
+    reader = ByteReader(body)
+    blob = reader.read_bytes(reader.read_uvarint())
+    _expect_end(reader, "OK_STATS")
+    return blob
+
+
+def build_error(code: int, message: str) -> bytes:
+    writer = ByteWriter()
+    writer.write_u8(code)
+    encoded = message.encode("utf-8")
+    writer.write_uvarint(len(encoded))
+    writer.write_bytes(encoded)
+    return writer.getvalue()
+
+
+def parse_error(body: bytes) -> Tuple[int, str]:
+    reader = ByteReader(body)
+    code = reader.read_u8()
+    try:
+        message = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"ERROR message is not UTF-8: {exc}") from exc
+    _expect_end(reader, "ERROR")
+    return code, message
+
+
+def _expect_end(reader: ByteReader, what: str) -> None:
+    if not reader.at_end():
+        raise ProtocolError(f"{reader.remaining} trailing bytes "
+                            f"in {what} body")
+
+
+__all__ = [
+    "CONTAINER_ID_BYTES",
+    "ERROR",
+    "ERROR_NAMES",
+    "E_BAD_REQUEST",
+    "E_BUSY",
+    "E_CORRUPT",
+    "E_INTERNAL",
+    "E_LIMIT",
+    "E_NOT_FOUND",
+    "E_TIMEOUT",
+    "E_VERSION",
+    "GET_BLOCK",
+    "GET_FUNCTION",
+    "GET_META",
+    "MAX_FRAME_BYTES",
+    "Message",
+    "OK_BLOCK",
+    "OK_FUNCTION",
+    "OK_META",
+    "OK_PUT",
+    "OK_STATS",
+    "PROTOCOL_VERSION",
+    "PUT_CONTAINER",
+    "REQUEST_TYPES",
+    "STATS",
+    "TYPE_NAMES",
+    "build_error",
+    "build_get_block",
+    "build_get_function",
+    "build_get_meta",
+    "build_ok_block",
+    "build_ok_function",
+    "build_ok_meta",
+    "build_ok_put",
+    "build_ok_stats",
+    "build_put",
+    "decode_instruction_slice",
+    "encode_frame",
+    "encode_instruction_slice",
+    "parse_error",
+    "parse_get_block",
+    "parse_get_function",
+    "parse_get_meta",
+    "parse_ok_block",
+    "parse_ok_function",
+    "parse_ok_meta",
+    "parse_ok_put",
+    "parse_ok_stats",
+    "parse_payload",
+    "parse_put",
+    "read_frame",
+]

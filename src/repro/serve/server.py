@@ -1,0 +1,470 @@
+"""The async SSD code server.
+
+One asyncio event loop multiplexes many client connections; CPU-bound
+decode work (verify-gated admission, phase-one dictionary decompression,
+per-function item expansion) runs on worker threads via
+``asyncio.to_thread`` so the loop keeps serving frames.  Three mechanisms
+keep it healthy under load:
+
+* **Request coalescing** — concurrent misses for the same
+  ``(container, function)`` share one in-flight decode future; a
+  container's functions are decoded at most once while hot (the
+  ``STATS`` decode counters prove it).
+* **Bounded concurrency with backpressure** — an asyncio semaphore caps
+  simultaneous decode threads; requests beyond ``max_queue_depth``
+  waiters are refused with ``E_BUSY`` instead of queueing unboundedly.
+* **Per-request deadlines** — a request that exceeds
+  ``request_timeout`` answers with ``E_TIMEOUT``; the connection (and
+  the event loop) survive.
+
+Every failure mode maps onto a protocol ERROR frame via the
+``repro.errors`` taxonomy; only a lost frame boundary (bad CRC,
+oversized frame) closes the connection, since framing cannot be
+recovered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.decompressor import SSDReader
+from ..errors import (
+    ChecksumMismatch,
+    CorruptContainer,
+    LimitExceeded,
+    ProtocolError,
+    ReproError,
+    TruncatedStream,
+)
+from ..lz.varint import decode_uvarint
+from . import protocol
+from .cache import DEFAULT_CACHE_BYTES, SharedLRUCache
+from .metrics import ServerMetrics
+from .store import AdmissionError, ContainerStore, container_id_of
+
+#: default ceiling on simultaneous decode threads
+DEFAULT_MAX_CONCURRENCY = 8
+#: default ceiling on decode requests waiting for a thread slot
+DEFAULT_MAX_QUEUE_DEPTH = 64
+#: default per-request deadline (seconds)
+DEFAULT_REQUEST_TIMEOUT = 30.0
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`SSDServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = ephemeral; read .port after start
+    max_concurrency: int = DEFAULT_MAX_CONCURRENCY
+    max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH
+    request_timeout: float = DEFAULT_REQUEST_TIMEOUT
+    max_frame: int = protocol.MAX_FRAME_BYTES
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+
+
+def _error_code_for(exc: ReproError) -> int:
+    """Map a taxonomy exception onto a wire error code."""
+    if isinstance(exc, AdmissionError):
+        return protocol.E_CORRUPT
+    if isinstance(exc, LimitExceeded):
+        return protocol.E_LIMIT
+    if isinstance(exc, (ChecksumMismatch, TruncatedStream, CorruptContainer)):
+        return protocol.E_CORRUPT
+    if isinstance(exc, ProtocolError):
+        return protocol.E_BAD_REQUEST
+    return protocol.E_INTERNAL
+
+
+class SSDServer:
+    """Asyncio server paging compressed functions out of a container store."""
+
+    def __init__(self, store: Optional[ContainerStore] = None,
+                 config: Optional[ServerConfig] = None,
+                 cache: Optional[SharedLRUCache] = None,
+                 metrics: Optional[ServerMetrics] = None) -> None:
+        self.config = config or ServerConfig()
+        self.store = store if store is not None else ContainerStore()
+        self.cache = cache or SharedLRUCache(self.config.cache_bytes)
+        self.metrics = metrics or ServerMetrics()
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        # In-flight decode futures, keyed by cache key.  Only ever touched
+        # from the event loop, so no lock is needed.
+        self._inflight: Dict[Tuple, asyncio.Future] = {}
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._waiting = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> asyncio.AbstractServer:
+        self._semaphore = asyncio.Semaphore(self.config.max_concurrency)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self._server
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling -------------------------------------------------
+
+    async def _read_frame(self, reader: asyncio.StreamReader
+                          ) -> Optional[protocol.Message]:
+        """Async twin of :func:`protocol.read_frame`; None on clean EOF."""
+        length_bytes = bytearray()
+        while True:
+            try:
+                chunk = await reader.readexactly(1)
+            except asyncio.IncompleteReadError:
+                if not length_bytes:
+                    return None
+                raise ProtocolError("connection closed mid frame-length varint")
+            length_bytes += chunk
+            if not chunk[0] & 0x80:
+                break
+            if len(length_bytes) > 10:
+                raise ProtocolError("frame-length varint too long")
+        length, _ = decode_uvarint(bytes(length_bytes))
+        if length > self.config.max_frame:
+            raise ProtocolError(f"frame of {length} bytes exceeds the "
+                                f"{self.config.max_frame}-byte limit")
+        try:
+            payload = await reader.readexactly(length)
+            crc = int.from_bytes(await reader.readexactly(4), "little")
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                f"connection closed mid frame ({len(exc.partial)} of "
+                f"{length} payload bytes)") from exc
+        return protocol.parse_payload(payload, crc)
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.metrics.record_connection(opened=True)
+        try:
+            while True:
+                try:
+                    message = await self._read_frame(reader)
+                except (ProtocolError, ReproError) as exc:
+                    # Framing is gone; answer once (best effort) and hang up.
+                    self.metrics.record_protocol_failure()
+                    await self._send_error(writer, 0, protocol.E_BAD_REQUEST,
+                                           str(exc))
+                    return
+                if message is None:
+                    return
+                started = time.perf_counter()
+                response = await self._dispatch(message)
+                frame = protocol.encode_frame(response)
+                writer.write(frame)
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    return
+                self.metrics.record_request(
+                    message.type_name, time.perf_counter() - started,
+                    bytes_in=len(message.body), bytes_out=len(frame))
+                if response.type == protocol.ERROR:
+                    code = response.body[0] if response.body else 0
+                    self.metrics.record_error(
+                        protocol.ERROR_NAMES.get(code, f"E_{code}"))
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this connection's handler; end it
+            # quietly so teardown doesn't log spurious task errors.
+            pass
+        finally:
+            self.metrics.record_connection(opened=False)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _send_error(self, writer: asyncio.StreamWriter,
+                          request_id: int, code: int, message: str) -> None:
+        self.metrics.record_error(protocol.ERROR_NAMES.get(code, f"E_{code}"))
+        try:
+            writer.write(protocol.encode_frame(protocol.Message(
+                type=protocol.ERROR, request_id=request_id,
+                body=protocol.build_error(code, message))))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch(self, message: protocol.Message) -> protocol.Message:
+        """Turn one request into one response; never raises."""
+        def error(code: int, text: str) -> protocol.Message:
+            return protocol.Message(type=protocol.ERROR,
+                                    request_id=message.request_id,
+                                    body=protocol.build_error(code, text))
+
+        handler = {
+            protocol.PUT_CONTAINER: self._handle_put,
+            protocol.GET_META: self._handle_get_meta,
+            protocol.GET_FUNCTION: self._handle_get_function,
+            protocol.GET_BLOCK: self._handle_get_block,
+            protocol.STATS: self._handle_stats,
+        }.get(message.type)
+        if handler is None:
+            return error(protocol.E_BAD_REQUEST,
+                         f"unknown request type 0x{message.type:02x}")
+        try:
+            body_type, body = await asyncio.wait_for(
+                handler(message.body), timeout=self.config.request_timeout)
+        except asyncio.TimeoutError:
+            self.metrics.record_timeout()
+            return error(protocol.E_TIMEOUT,
+                         f"request exceeded the "
+                         f"{self.config.request_timeout:g}s deadline")
+        except KeyError as exc:
+            return error(protocol.E_NOT_FOUND, str(exc.args[0]) if exc.args
+                         else "not found")
+        except IndexError as exc:
+            return error(protocol.E_NOT_FOUND, str(exc))
+        except _Busy:
+            return error(protocol.E_BUSY,
+                         "server is saturated; retry with backoff")
+        except ReproError as exc:
+            return error(_error_code_for(exc), str(exc))
+        except Exception as exc:  # noqa: BLE001 - must answer, not crash
+            return error(protocol.E_INTERNAL,
+                         f"{type(exc).__name__}: {exc}")
+        return protocol.Message(type=body_type,
+                                request_id=message.request_id, body=body)
+
+    # -- decode plumbing -----------------------------------------------------
+
+    async def _run_decode(self, fn, *args):
+        """Run CPU-bound work on a thread, under the concurrency cap."""
+        if self._waiting >= self.config.max_queue_depth:
+            raise _Busy()
+        self._waiting += 1
+        try:
+            async with self._semaphore:
+                return await asyncio.to_thread(fn, *args)
+        finally:
+            self._waiting -= 1
+
+    async def _coalesced(self, key: Tuple, fn, *args):
+        """Share one in-flight decode among concurrent identical requests.
+
+        The decode runs as its *own* task, so a requester hitting its
+        per-request deadline cancels only its own wait (``shield``), not
+        the shared work — late followers still get the result, and a
+        timed-out decode is never re-queued by its own followers.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            task = asyncio.get_running_loop().create_task(
+                self._run_decode(fn, *args))
+
+            def _finished(done: "asyncio.Task") -> None:
+                self._inflight.pop(key, None)
+                if not done.cancelled():
+                    done.exception()  # consume, so no unretrieved warning
+
+            task.add_done_callback(_finished)
+            self._inflight[key] = task
+        else:
+            self.metrics.record_coalesced()
+        return await asyncio.shield(task)
+
+    def _reader_for(self, container_id: str) -> SSDReader:
+        """Synchronous (thread-side) reader lookup/decode, LRU-cached."""
+        key = ("reader", container_id)
+        reader = self.cache.get(key)
+        if reader is None:
+            data = self.store.get(container_id)   # KeyError -> E_NOT_FOUND
+            from ..core import open_container
+            reader = open_container(data, limits=self.store.limits)
+            # Charge the container's size as the proxy for its decoded
+            # dictionary state (layouts scale with the dictionary blobs).
+            self.cache.put(key, reader, size=len(data))
+        return reader
+
+    def _decode_function(self, container_id: str, findex: int) -> bytes:
+        """Thread-side: decode one function to its OK_FUNCTION body.
+
+        Caches its own result so the work lands in the LRU even when
+        every requester has already timed out.
+        """
+        reader = self._reader_for(container_id)
+        if not 0 <= findex < reader.function_count:
+            raise IndexError(f"function index {findex} out of range "
+                             f"(container has {reader.function_count})")
+        function = reader.function(findex)
+        self.metrics.record_decode(container_id, findex)
+        body = protocol.build_ok_function(findex, function.name,
+                                          function.insns)
+        self.cache.put(("func", container_id, findex), body, size=len(body))
+        return body
+
+    async def _function_body(self, container_id: str, findex: int) -> bytes:
+        """Cache -> coalesce -> decode; returns the OK_FUNCTION body."""
+        key = ("func", container_id, findex)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        return await self._coalesced(key, self._decode_function,
+                                     container_id, findex)
+
+    # -- request handlers ----------------------------------------------------
+
+    async def _handle_put(self, body: bytes) -> Tuple[int, bytes]:
+        data = protocol.parse_put(body)
+        container_id, reader = await self._coalesced(
+            ("put", container_id_of(data)), self.store.put, data)
+        self.cache.put(("reader", container_id), reader, size=len(data))
+        return protocol.OK_PUT, protocol.build_ok_put(
+            container_id, reader.function_count, reader.entry)
+
+    async def _handle_get_meta(self, body: bytes) -> Tuple[int, bytes]:
+        container_id = protocol.parse_get_meta(body)
+        reader = await self._coalesced(("reader", container_id),
+                                       self._reader_for, container_id)
+        return protocol.OK_META, protocol.build_ok_meta(
+            reader.sections.program_name, reader.entry,
+            list(reader.sections.function_names))
+
+    async def _handle_get_function(self, body: bytes) -> Tuple[int, bytes]:
+        container_id, findex = protocol.parse_get_function(body)
+        return protocol.OK_FUNCTION, await self._function_body(
+            container_id, findex)
+
+    async def _handle_get_block(self, body: bytes) -> Tuple[int, bytes]:
+        container_id, findex, start, count = protocol.parse_get_block(body)
+        if count == 0:
+            raise ProtocolError("GET_BLOCK count must be positive")
+        function_body = await self._function_body(container_id, findex)
+        function = protocol.parse_ok_function(function_body)
+        total = len(function.insns)
+        if start >= total:
+            raise IndexError(f"block start {start} out of range "
+                             f"(function has {total} instructions)")
+        insns = function.insns[start:start + count]
+        return protocol.OK_BLOCK, protocol.build_ok_block(
+            findex, start, total, insns)
+
+    async def _handle_stats(self, body: bytes) -> Tuple[int, bytes]:
+        if body:
+            raise ProtocolError("STATS carries no body")
+        snapshot = self.metrics.snapshot(
+            cache_stats=self.cache.stats().as_dict(),
+            store_stats=self.store.stats())
+        return protocol.OK_STATS, protocol.build_ok_stats(
+            json.dumps(snapshot, sort_keys=True).encode("utf-8"))
+
+
+class _Busy(Exception):
+    """Internal: queue depth exceeded; mapped to E_BUSY."""
+
+
+# -- running a server from synchronous code ---------------------------------
+
+class ServerHandle:
+    """A server running on a daemon thread; for tests, benches, clients."""
+
+    def __init__(self, server: SSDServer, loop: asyncio.AbstractEventLoop,
+                 stop_event: asyncio.Event, thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._stop_event = stop_event
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.server.config.host, self.server.port)
+
+    @property
+    def metrics(self) -> ServerMetrics:
+        return self.server.metrics
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(store: Optional[ContainerStore] = None,
+                    config: Optional[ServerConfig] = None,
+                    server: Optional[SSDServer] = None,
+                    startup_timeout: float = 10.0) -> ServerHandle:
+    """Start an :class:`SSDServer` on a background thread and wait for it.
+
+    Returns a :class:`ServerHandle` whose ``.port`` is bound (config port
+    0 picks an ephemeral one).  ``stop()`` shuts the loop down cleanly.
+    """
+    ssd_server = server or SSDServer(store=store, config=config)
+    ready = threading.Event()
+    startup_error: list = []
+    boxes: dict = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            stop_event = asyncio.Event()
+            try:
+                await ssd_server.start()
+            except Exception as exc:  # noqa: BLE001 - reported to caller
+                startup_error.append(exc)
+                ready.set()
+                return
+            boxes["loop"] = asyncio.get_running_loop()
+            boxes["stop"] = stop_event
+            ready.set()
+            try:
+                await stop_event.wait()
+            finally:
+                await ssd_server.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, name="ssd-serve", daemon=True)
+    thread.start()
+    if not ready.wait(startup_timeout):
+        raise RuntimeError("server failed to start within "
+                           f"{startup_timeout}s")
+    if startup_error:
+        raise startup_error[0]
+    return ServerHandle(ssd_server, boxes["loop"], boxes["stop"], thread)
+
+
+__all__ = [
+    "DEFAULT_MAX_CONCURRENCY",
+    "DEFAULT_MAX_QUEUE_DEPTH",
+    "DEFAULT_REQUEST_TIMEOUT",
+    "SSDServer",
+    "ServerConfig",
+    "ServerHandle",
+    "serve_in_thread",
+]

@@ -1,0 +1,140 @@
+"""Content-addressed container store with verify-gated admission.
+
+Containers are keyed by the SHA-256 of their bytes (the same fingerprint
+``SSDReader.container_hash`` carries), so a PUT of bytes already present
+is a no-op and clients can cache ids forever.  Admission runs the same
+checks as ``ssd verify``: the structural + checksum walk
+(:func:`repro.core.integrity_report`) must come back clean *and* phase-one
+decompression must succeed, so nothing undecodable ever becomes
+servable.  Version-1 containers (no CRCs) pass on structure alone, same
+as the CLI.
+
+With a ``root`` directory the store persists admitted containers as
+``<id>.ssd`` and loads whatever ``*.ssd`` files it finds at startup
+(corrupt files are skipped, not fatal — an operator can drop containers
+into the spool directly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core import DEFAULT_LIMITS, DecodeLimits, integrity_report, open_container
+from ..core.decompressor import SSDReader
+from ..errors import CorruptContainer
+
+
+class AdmissionError(CorruptContainer):
+    """Container bytes failed the store's verify gate."""
+
+
+def container_id_of(data: bytes) -> str:
+    """The store's content address: lowercase hex SHA-256."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class ContainerStore:
+    """In-memory (optionally disk-backed) map of id -> container bytes."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 limits: DecodeLimits = DEFAULT_LIMITS) -> None:
+        self.root = Path(root) if root is not None else None
+        self.limits = limits
+        self._lock = threading.Lock()
+        self._containers: Dict[str, bytes] = {}
+        self.admitted = 0
+        self.rejected = 0
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._load_root()
+
+    def _load_root(self) -> None:
+        for path in sorted(self.root.glob("*.ssd")):
+            try:
+                self.put(path.read_bytes(), persist=False)
+            except CorruptContainer:
+                continue  # operator-dropped junk must not kill startup
+
+    # -- admission ----------------------------------------------------------
+
+    def verify(self, data: bytes) -> SSDReader:
+        """The admission gate: integrity walk + phase-one decode.
+
+        Returns the opened reader (callers typically cache it) or raises
+        :class:`AdmissionError`.
+        """
+        report = integrity_report(data, limits=self.limits)
+        if report.error is not None:
+            raise AdmissionError(f"integrity walk failed: {report.error}")
+        if report.corrupt_sections:
+            names = ", ".join(span.name for span in report.corrupt_sections)
+            raise AdmissionError(f"checksum-corrupt sections: {names}")
+        try:
+            return open_container(data, limits=self.limits)
+        except CorruptContainer as exc:
+            raise AdmissionError(f"phase-one decode failed: {exc}") from exc
+
+    def put(self, data: bytes, persist: bool = True) -> Tuple[str, SSDReader]:
+        """Admit container bytes; returns ``(container_id, reader)``.
+
+        Idempotent: re-putting stored bytes re-verifies nothing and
+        returns a fresh reader for the stored copy.
+        """
+        container_id = container_id_of(data)
+        with self._lock:
+            known = container_id in self._containers
+        if known:
+            return container_id, open_container(data, limits=self.limits)
+        try:
+            reader = self.verify(data)
+        except AdmissionError:
+            with self._lock:
+                self.rejected += 1
+            raise
+        with self._lock:
+            self._containers[container_id] = data
+            self.admitted += 1
+        if persist and self.root is not None:
+            (self.root / f"{container_id}.ssd").write_bytes(data)
+        return container_id, reader
+
+    # -- lookups ------------------------------------------------------------
+
+    def get(self, container_id: str) -> bytes:
+        with self._lock:
+            try:
+                return self._containers[container_id]
+            except KeyError:
+                raise KeyError(f"unknown container {container_id}") from None
+
+    def __contains__(self, container_id: str) -> bool:
+        with self._lock:
+            return container_id in self._containers
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._containers)
+
+    def ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._containers)
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(len(data) for data in self._containers.values())
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "containers": len(self._containers),
+                "total_bytes": sum(len(d) for d in self._containers.values()),
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+            }
+
+
+__all__ = ["AdmissionError", "ContainerStore", "container_id_of"]

@@ -5,24 +5,36 @@ A downstream user's interface to the library without writing Python::
     ssd compress  program.asm -o program.ssd     # assemble + compress
     ssd compress  bench:xlisp@0.25 -o xlisp.ssd  # synthetic benchmark
     ssd decompress program.ssd -o program.asm    # back to assembly text
-    ssd inspect   program.ssd                    # sections, dictionary, stats
+    ssd inspect   program.ssd [--json]           # sections, dictionary, stats
     ssd run       program.ssd [--lazy]           # execute in the VM
-    ssd verify    program.ssd                    # integrity report (CRCs)
+    ssd verify    program.ssd [--json]           # integrity report (CRCs)
     ssd verify    program.ssd program.asm        # full source comparison
     ssd fuzz      program.ssd --cases 500        # fault-injection sweep
+    ssd serve     --port 7777 --preload a.ssd    # async code server
+    ssd client    HOST:PORT run a.ssd            # execute via the server
+    ssd client    HOST:PORT stats                # server metrics snapshot
 
 Inputs are either assembly text files (see ``repro.isa.asm`` for the
 format) or ``bench:<name>[@<scale>]`` references to the synthetic
-benchmark suite.
+benchmark suite.  ``--json`` on ``inspect``/``verify`` emits one
+stable-keyed JSON object to stdout for machine consumers (the server's
+admission path, CI).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from .core import compress, decompress, integrity_report, open_container
+from .core import (
+    compress,
+    container_version,
+    decompress,
+    integrity_report,
+    open_container,
+)
 from .core.lazy import LazyProgram
 from .isa import Program, assemble, disassemble, validate_program
 from .perf import PhaseProfile
@@ -95,11 +107,51 @@ def cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _inspect_json(data: bytes, reader, function: Optional[int]) -> dict:
+    """Stable-keyed machine-readable form of ``ssd inspect``."""
+    sections = reader.sections
+    payload = {
+        "program": sections.program_name,
+        "container_bytes": len(data),
+        "format_version": container_version(data),
+        "container_id": reader.container_hash,
+        "entry": sections.entry,
+        "entry_name": (sections.function_names[sections.entry]
+                       if sections.function_names else None),
+        "functions": len(sections.function_names),
+        "function_names": list(sections.function_names),
+        "segments": [
+            {
+                "index": sindex,
+                "base_entries": len(layout.addr_bases),
+                "sequence_nodes": sum(
+                    1 for path in layout.paths_of.values() if len(path) > 1),
+            }
+            for sindex, layout in enumerate(reader.layouts)
+        ],
+        "sections": dict(sorted(sections.section_sizes().items())),
+    }
+    if function is not None:
+        if not 0 <= function < reader.function_count:
+            raise ToolError(f"function index {function} out of range")
+        payload["function"] = {
+            "index": function,
+            "name": sections.function_names[function],
+            "instructions": [insn.render() for insn
+                             in reader.function_instructions(function)],
+        }
+    return payload
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as handle:
         data = handle.read()
     reader = open_container(data)
     sections = reader.sections
+    if args.json:
+        print(json.dumps(_inspect_json(data, reader, args.function),
+                         sort_keys=True))
+        return 0
     print(f"program:   {sections.program_name}")
     print(f"functions: {len(sections.function_names)} "
           f"(entry: {sections.function_names[sections.entry]})")
@@ -121,6 +173,28 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         for insn in reader.function_instructions(findex):
             print(f"    {insn.render()}")
     return 0
+
+
+def _integrity_json(data: bytes) -> Tuple[dict, int]:
+    """Stable-keyed machine-readable form of ``ssd verify`` (no source)."""
+    report = integrity_report(data)
+    payload = {
+        "container_bytes": len(data),
+        "format_version": report.version,
+        "ok": report.ok,
+        "error": report.error,
+        "sections": [
+            {
+                "name": span.name,
+                "offset": span.data_offset,
+                "length": span.length,
+                "crc_ok": span.crc_ok,
+            }
+            for span in report.spans
+        ],
+        "corrupt_sections": [span.name for span in report.corrupt_sections],
+    }
+    return payload, 0 if report.ok else 1
 
 
 def _print_integrity(data: bytes) -> int:
@@ -154,6 +228,10 @@ def cmd_verify(args: argparse.Namespace) -> int:
     with open(args.container, "rb") as handle:
         data = handle.read()
     if args.source is None:
+        if args.json:
+            payload, status = _integrity_json(data)
+            print(json.dumps(payload, sort_keys=True))
+            return status
         return _print_integrity(data)
     program = load_program(args.source)
     restored = decompress(data)
@@ -166,14 +244,27 @@ def cmd_verify(args: argparse.Namespace) -> int:
             first_bad = next(i for i, (x, y) in enumerate(zip(a.insns, b.insns))
                              if x != y) if len(a.insns) == len(b.insns) else "length"
             mismatches.append(f"function {findex} ({a.name}): differs at {first_bad}")
+    outputs_match = None
+    if not mismatches:
+        baseline = run_program(program, fuel=args.fuel)
+        candidate = run_program(restored, fuel=args.fuel)
+        outputs_match = baseline.output == candidate.output
+        if not outputs_match:
+            mismatches.append("program outputs differ")
+    if args.json:
+        print(json.dumps({
+            "container_bytes": len(data),
+            "ok": not mismatches,
+            "functions": len(program.functions),
+            "mismatches": mismatches,
+            "outputs_match": outputs_match,
+            "output_values": (len(baseline.output)
+                              if outputs_match else None),
+        }, sort_keys=True))
+        return 0 if not mismatches else 1
     if mismatches:
         for line in mismatches:
             print(f"MISMATCH: {line}", file=sys.stderr)
-        return 1
-    baseline = run_program(program, fuel=args.fuel)
-    candidate = run_program(restored, fuel=args.fuel)
-    if baseline.output != candidate.output:
-        print("MISMATCH: program outputs differ", file=sys.stderr)
         return 1
     print(f"OK: {len(program.functions)} functions identical, "
           f"outputs match ({len(baseline.output)} values)")
@@ -219,6 +310,138 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async code server in the foreground (Ctrl-C stops it)."""
+    import asyncio
+
+    from .serve import ContainerStore, ServerConfig, SSDServer
+
+    if args.metrics_interval is not None and args.metrics_interval <= 0:
+        raise ToolError("--metrics-interval must be positive")
+    store = ContainerStore(root=args.store_dir)
+    for path in args.preload or []:
+        try:
+            with open(path, "rb") as handle:
+                container_id, _ = store.put(handle.read())
+        except FileNotFoundError:
+            raise ToolError(f"no such file: {path}") from None
+        except ValueError as exc:
+            raise ToolError(f"{path} rejected: {exc}") from None
+        print(f"preloaded {path} as {container_id}", file=sys.stderr)
+    config = ServerConfig(host=args.host, port=args.port,
+                          max_concurrency=args.max_concurrency,
+                          request_timeout=args.timeout,
+                          cache_bytes=args.cache_bytes)
+    server = SSDServer(store=store, config=config)
+
+    async def main() -> None:
+        await server.start()
+        print(f"ssd serve: listening on {args.host}:{server.port} "
+              f"({len(store)} containers)", file=sys.stderr, flush=True)
+
+        async def report_metrics() -> None:
+            while True:
+                await asyncio.sleep(args.metrics_interval)
+                snapshot = server.metrics.snapshot(
+                    cache_stats=server.cache.stats().as_dict(),
+                    store_stats=store.stats())
+                print(json.dumps(snapshot, sort_keys=True),
+                      file=sys.stderr, flush=True)
+
+        if args.metrics_interval is not None:
+            asyncio.create_task(report_metrics())
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("ssd serve: stopped", file=sys.stderr)
+    return 0
+
+
+def _parse_address(text: str) -> Tuple[str, int]:
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ToolError(f"server address must be HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ToolError(f"bad port in {text!r}") from None
+    return host, port
+
+
+def _resolve_container(client, spec: str) -> str:
+    """A client-side container reference: hex id or a .ssd file to upload."""
+    if len(spec) == 64 and all(c in "0123456789abcdef" for c in spec.lower()):
+        return spec.lower()
+    try:
+        with open(spec, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        raise ToolError(f"{spec!r} is neither a container id nor a file") \
+            from None
+    container_id, _, _ = client.put(data)
+    return container_id
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running ``ssd serve`` instance."""
+    from .errors import RemoteError
+    from .serve import RemoteProgram, ServeClient
+
+    host, port = _parse_address(args.server)
+    try:
+        client = ServeClient(host, port, timeout=args.timeout)
+    except OSError as exc:
+        raise ToolError(f"cannot connect to {args.server}: {exc}") from None
+    try:
+        if args.action == "stats":
+            print(json.dumps(client.stats(), sort_keys=True))
+            return 0
+        if args.target is None:
+            raise ToolError(f"client {args.action} requires a container "
+                            "id or .ssd file")
+        if args.action == "put":
+            with open(args.target, "rb") as handle:
+                container_id, count, entry = client.put(handle.read())
+            print(container_id)
+            print(f"{count} functions, entry {entry}", file=sys.stderr)
+            return 0
+        container_id = _resolve_container(client, args.target)
+        if args.action == "get":
+            meta = client.meta(container_id)
+            if args.function is not None:
+                function = client.function(container_id, args.function)
+                print(f"func {function.name}")
+                for insn in function.insns:
+                    print(f"    {insn.render()}")
+            else:
+                print(f"program:   {meta.program_name}")
+                print(f"functions: {meta.function_count} "
+                      f"(entry: {meta.function_names[meta.entry]})")
+                for findex, name in enumerate(meta.function_names):
+                    print(f"  {findex:>4}: {name}")
+            return 0
+        if args.action == "run":
+            program = RemoteProgram(client, container_id)
+            inputs = [int(v) for v in args.read] if args.read else None
+            result = run_program(program, inputs=inputs, fuel=args.fuel)
+            for value in result.output:
+                print(value)
+            print(f"[halted after {result.steps} steps]", file=sys.stderr)
+            print(f"[remotely fetched {program.decompressed_count}/"
+                  f"{len(program.functions)} functions]", file=sys.stderr)
+            return 0
+        raise ToolError(f"unknown client action {args.action!r}")
+    except RemoteError as exc:
+        print(f"server error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        raise ToolError(str(exc)) from None
+    finally:
+        client.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ssd", description="SSD program compression tools")
@@ -247,6 +470,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("--function", type=int, default=None,
                    help="also disassemble this function index")
+    p.add_argument("--json", action="store_true",
+                   help="emit one stable-keyed JSON object to stdout")
     p.set_defaults(func=cmd_inspect)
 
     p = sub.add_parser("verify",
@@ -256,6 +481,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="asm file or bench:<name>[@scale]; omit for a "
                         "checksum/structure integrity report")
     p.add_argument("--fuel", type=int, default=1_000_000)
+    p.add_argument("--json", action="store_true",
+                   help="emit one stable-keyed JSON object to stdout")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("fuzz",
@@ -273,6 +500,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--read", nargs="*", default=None,
                    help="values consumed by `trap 2`")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("serve", help="run the async SSD code server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7878,
+                   help="TCP port (0 = ephemeral)")
+    p.add_argument("--preload", nargs="*", default=None, metavar="FILE",
+                   help=".ssd containers admitted at startup")
+    p.add_argument("--store-dir", default=None,
+                   help="directory to persist/load admitted containers")
+    p.add_argument("--cache-bytes", type=int, default=64 << 20,
+                   help="shared LRU budget over readers + hot functions")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request deadline in seconds")
+    p.add_argument("--max-concurrency", type=int, default=8,
+                   help="simultaneous decode threads")
+    p.add_argument("--metrics-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="print a JSON metrics snapshot to stderr "
+                        "every SECONDS")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client", help="talk to a running ssd serve")
+    p.add_argument("server", help="HOST:PORT of the server")
+    p.add_argument("action", choices=("put", "get", "run", "stats"))
+    p.add_argument("target", nargs="?", default=None,
+                   help="container id (64-char hex) or .ssd file")
+    p.add_argument("--function", type=int, default=None,
+                   help="for get: fetch and disassemble one function")
+    p.add_argument("--fuel", type=int, default=5_000_000)
+    p.add_argument("--read", nargs="*", default=None,
+                   help="values consumed by `trap 2`")
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.set_defaults(func=cmd_client)
     return parser
 
 

@@ -90,6 +90,59 @@ class TestLazyProgram:
         assert lazy.reader.function_count == 4
 
 
+class TestPrefetch:
+    def test_prefetch_already_materialized_is_idempotent(self, lazy):
+        lazy.prefetch([1])
+        first = lazy.functions[1]
+        lazy.prefetch([1, 1])
+        assert lazy.functions[1] is first
+        assert lazy.decompressed_functions == {1}
+        assert lazy.decompressed_count == 1
+
+    def test_prefetch_out_of_range_raises(self, lazy):
+        with pytest.raises(IndexError):
+            lazy.prefetch([99])
+        with pytest.raises(IndexError):
+            lazy.prefetch([-5])
+
+    def test_prefetch_partial_failure_keeps_earlier_fetches(self, lazy):
+        # Indices are fetched in order; the bad one raises after the
+        # good one has already landed.
+        with pytest.raises(IndexError):
+            lazy.prefetch([2, 99])
+        assert lazy.decompressed_functions == {2}
+
+    def test_prefetch_everything(self, lazy):
+        lazy.prefetch(range(len(lazy.functions)))
+        assert lazy.decompressed_fraction == 1.0
+
+    def test_prefetch_empty_is_a_noop(self, lazy):
+        lazy.prefetch([])
+        assert lazy.decompressed_count == 0
+
+
+class TestDecompressedFraction:
+    def test_fraction_starts_at_zero(self, lazy):
+        assert lazy.decompressed_fraction == 0.0
+
+    def test_fraction_tracks_each_materialization(self, lazy):
+        lazy.functions[0]
+        assert lazy.decompressed_fraction == pytest.approx(0.25)
+        lazy.functions[3]
+        assert lazy.decompressed_fraction == pytest.approx(0.5)
+        # Re-touching an already materialized function changes nothing.
+        lazy.functions[0]
+        assert lazy.decompressed_fraction == pytest.approx(0.5)
+
+    def test_two_lazy_views_track_independently(self):
+        data = compress(assemble(SOURCE)).data
+        first = lazy_program(data)
+        second = lazy_program(data)
+        first.functions[0]
+        assert first.decompressed_count == 1
+        assert second.decompressed_count == 0
+
+
 class TestLazyBenchmark:
     def test_benchmark_program_runs_lazily(self):
         from repro.workloads import benchmark_program, clear_cache

@@ -105,3 +105,33 @@ class TestPaperConstantsTranscription:
         assert ssd == pytest.approx(PAPER_AVERAGE_SSD_RATIO, abs=0.01)
         assert brisc == pytest.approx(PAPER_AVERAGE_BRISC_RATIO, abs=0.01)
         assert overhead == pytest.approx(PAPER_AVERAGE_EXEC_OVERHEAD_PCT, abs=0.1)
+
+
+class TestProtocolDoc:
+    def test_protocol_doc_exists_and_is_linked(self):
+        doc = _read("docs/PROTOCOL.md")
+        assert "repro.serve" in doc
+        assert "docs/PROTOCOL.md" in _read("README.md")
+        assert "docs/PROTOCOL.md" in _read("DESIGN.md")
+
+    def test_protocol_doc_matches_message_types(self):
+        from repro.serve import protocol
+
+        doc = _read("docs/PROTOCOL.md")
+        for value, name in protocol.TYPE_NAMES.items():
+            assert f"`{name}`" in doc, name
+            assert f"0x{value:02X}" in doc or f"0x{value:02x}" in doc, name
+
+    def test_protocol_doc_matches_error_codes(self):
+        from repro.serve import protocol
+
+        doc = _read("docs/PROTOCOL.md")
+        for value, name in protocol.ERROR_NAMES.items():
+            assert f"`{name}`" in doc, name
+
+    def test_protocol_doc_matches_constants(self):
+        from repro.serve import protocol
+
+        doc = _read("docs/PROTOCOL.md")
+        assert f"version {protocol.PROTOCOL_VERSION}" in doc
+        assert "SHA-256" in doc

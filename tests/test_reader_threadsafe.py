@@ -1,0 +1,120 @@
+"""Thread-safety regression tests for SSDReader's function cache.
+
+Satellite 1: the decode memo inside :class:`SSDReader` is shared by the
+server's worker threads; this suite decodes one reader from 8 threads
+concurrently and asserts byte-identical results and single-decode
+memoisation.
+"""
+
+import threading
+
+from repro.core import compress, open_container
+from repro.isa import assemble
+from repro.isa.encoding import encode_function
+
+ASM = """
+func main
+    li r2, 6
+    call double
+    call triple
+    trap 1
+    ret
+end
+func double
+    add r1, r2, r2
+    ret
+end
+func triple
+    add r1, r2, r2
+    add r1, r1, r2
+    ret
+end
+func fib
+    li r3, 10
+    li r1, 0
+    li r2, 1
+loop:
+    add r4, r1, r2
+    add r1, r2, r0
+    add r2, r4, r0
+    addi r3, r3, -1
+    bnez r3, loop
+    ret
+end
+"""
+
+
+def function_bytes(function) -> bytes:
+    return encode_function(function)
+
+
+def test_eight_threads_decode_byte_identical():
+    program = assemble(ASM)
+    container = compress(program).data
+    reader = open_container(container)
+    findices = list(range(reader.function_count))
+    barrier = threading.Barrier(8)
+    results = [None] * 8
+    errors = []
+
+    def worker(tid: int) -> None:
+        try:
+            barrier.wait(timeout=10)
+            # Each thread walks the functions in a different order so the
+            # racing first-decodes land on different indices.
+            order = findices[tid % len(findices):] + \
+                findices[:tid % len(findices)]
+            decoded = {}
+            for _ in range(20):
+                for findex in order:
+                    decoded[findex] = function_bytes(reader.function(findex))
+            results[tid] = decoded
+        except Exception as exc:  # noqa: BLE001
+            errors.append(f"thread {tid}: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=worker, args=(tid,))
+               for tid in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not errors
+
+    # Byte-identical across all threads, and identical to a fresh
+    # single-threaded decode of the same container.
+    fresh = open_container(container)
+    expected = {findex: function_bytes(fresh.function(findex))
+                for findex in findices}
+    for tid, decoded in enumerate(results):
+        assert decoded == expected, f"thread {tid} diverged"
+
+
+def test_memo_returns_the_same_object_to_all_threads():
+    program = assemble(ASM)
+    reader = open_container(compress(program).data)
+    barrier = threading.Barrier(8)
+    seen = [None] * 8
+
+    def worker(tid: int) -> None:
+        barrier.wait(timeout=10)
+        seen[tid] = reader.function(0)
+
+    threads = [threading.Thread(target=worker, args=(tid,))
+               for tid in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    first = seen[0]
+    assert first is not None
+    assert all(function is first for function in seen)
+    assert reader.cached_function_indices == [0]
+
+
+def test_function_decode_matches_source_program():
+    program = assemble(ASM)
+    reader = open_container(compress(program).data)
+    for findex, function in enumerate(program.functions):
+        decoded = reader.function(findex)
+        assert decoded.name == function.name
+        assert decoded.insns == function.insns

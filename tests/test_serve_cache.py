@@ -1,0 +1,114 @@
+"""Tests for the byte-budgeted shared LRU cache (repro.serve.cache)."""
+
+import threading
+
+import pytest
+
+from repro.serve import SharedLRUCache
+
+
+class TestBudget:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            SharedLRUCache(0)
+
+    def test_put_get(self):
+        cache = SharedLRUCache(100)
+        assert cache.put("a", "va", 10)
+        assert cache.get("a") == "va"
+
+    def test_miss_returns_none(self):
+        assert SharedLRUCache(100).get("nope") is None
+
+    def test_evicts_lru_first(self):
+        cache = SharedLRUCache(100)
+        cache.put("a", 1, 40)
+        cache.put("b", 2, 40)
+        cache.get("a")          # refresh a; b is now LRU
+        cache.put("c", 3, 40)   # over budget -> evict b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_eviction_respects_sizes(self):
+        cache = SharedLRUCache(100)
+        cache.put("a", 1, 60)
+        cache.put("b", 2, 60)   # evicts a
+        assert cache.get("a") is None
+        assert cache.current_bytes == 60
+
+    def test_oversize_entry_rejected_not_cycled(self):
+        cache = SharedLRUCache(100)
+        cache.put("a", 1, 50)
+        assert not cache.put("big", 2, 101)
+        assert cache.get("a") == 1          # nothing was evicted for it
+        assert cache.stats().oversize_rejects == 1
+
+    def test_replacing_entry_releases_old_bytes(self):
+        cache = SharedLRUCache(100)
+        cache.put("a", 1, 80)
+        cache.put("a", 2, 10)
+        assert cache.current_bytes == 10
+        assert cache.get("a") == 2
+
+    def test_invalidate(self):
+        cache = SharedLRUCache(100)
+        cache.put("a", 1, 10)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.get("a") is None
+        assert cache.current_bytes == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            SharedLRUCache(100).put("a", 1, -1)
+
+
+class TestStats:
+    def test_counters(self):
+        cache = SharedLRUCache(100)
+        cache.put("a", 1, 60)
+        cache.put("b", 2, 60)       # evicts a
+        cache.get("b")
+        cache.get("a")              # miss
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.evictions == 1
+        assert stats.inserts == 2
+        assert stats.entry_count == 1
+        assert stats.current_bytes == 60
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_as_dict_is_json_shaped(self):
+        d = SharedLRUCache(64).stats().as_dict()
+        assert set(d) == {"hits", "misses", "evictions", "inserts",
+                          "oversize_rejects", "current_bytes", "entry_count",
+                          "budget_bytes", "hit_rate"}
+
+
+class TestThreadSafety:
+    def test_hammer_from_many_threads(self):
+        cache = SharedLRUCache(10_000)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(300):
+                    key = (tid, i % 7)
+                    cache.put(key, i, 100)
+                    cache.get(key)
+                    cache.get((tid + 1, i % 7))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.current_bytes <= 10_000
+        assert stats.current_bytes == stats.entry_count * 100

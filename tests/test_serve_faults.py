@@ -1,0 +1,138 @@
+"""Flaky-transport fault injection against a live server (satellite 3).
+
+The contract: under seeded dropped/delayed/truncated/corrupted frames the
+server always answers with a protocol error or the client times out
+cleanly — it never hangs, never crashes its event loop, and keeps
+serving well-formed requests afterwards.
+"""
+
+import pytest
+
+from repro.core import compress
+from repro.errors import FaultInjectionError
+from repro.faults import (
+    TRANSPORT_KINDS,
+    FlakyTransport,
+    TransportFault,
+    transport_sweep,
+)
+from repro.isa import assemble
+from repro.serve import ServeClient, ServerConfig, protocol, serve_in_thread
+
+ASM = """
+func main
+    li r2, 6
+    call double
+    trap 1
+    ret
+end
+func double
+    add r1, r2, r2
+    ret
+end
+"""
+
+
+def stats_frame() -> bytes:
+    return protocol.encode_frame(
+        protocol.Message(type=protocol.STATS, request_id=1))
+
+
+class TestFlakyTransport:
+    def test_same_seed_same_plan(self):
+        first = FlakyTransport(seed=7).plan(50, 33)
+        second = FlakyTransport(seed=7).plan(50, 33)
+        assert first == second
+
+    def test_different_seed_different_plan(self):
+        assert FlakyTransport(seed=1).plan(50, 33) != \
+            FlakyTransport(seed=2).plan(50, 33)
+
+    def test_plan_covers_all_kinds(self):
+        kinds = {fault.kind for fault in FlakyTransport(seed=0).plan(200, 64)}
+        assert kinds == set(TRANSPORT_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FlakyTransport(kinds=("deliver", "mangle"))
+
+    def test_empty_kinds_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FlakyTransport(kinds=())
+
+    def test_apply_deliver_is_identity(self):
+        transport = FlakyTransport()
+        fault = TransportFault(index=0, kind="deliver")
+        assert transport.apply(b"abc", fault) == b"abc"
+
+    def test_apply_drop_sends_nothing(self):
+        fault = TransportFault(index=0, kind="drop")
+        assert FlakyTransport().apply(b"abc", fault) is None
+
+    def test_apply_truncate_is_a_prefix(self):
+        fault = TransportFault(index=0, kind="truncate", position=2)
+        assert FlakyTransport().apply(b"abcdef", fault) == b"ab"
+
+    def test_apply_corrupt_flips_exactly_one_byte(self):
+        frame = b"abcdef"
+        fault = TransportFault(index=0, kind="corrupt", position=3)
+        mutated = FlakyTransport().apply(frame, fault)
+        assert len(mutated) == len(frame)
+        diffs = [i for i, (a, b) in enumerate(zip(frame, mutated)) if a != b]
+        assert diffs == [3]
+
+    def test_apply_garbage_is_deterministic(self):
+        fault = TransportFault(index=5, kind="garbage", position=16)
+        assert FlakyTransport(seed=3).apply(b"x", fault) == \
+            FlakyTransport(seed=3).apply(b"x", fault)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def server(self):
+        config = ServerConfig(request_timeout=5.0)
+        with serve_in_thread(config=config) as handle:
+            yield handle
+
+    def test_sweep_never_hangs_or_crashes(self, server):
+        """The acceptance sweep: zero unexpected outcomes, healthy after."""
+        report = transport_sweep(*server.address, stats_frame(),
+                                 cases=120, seed=1234, timeout=2.0)
+        assert report.total == 120
+        assert report.ok, report.format()
+        assert report.unexpected == []
+        # The sweep exercised more than the happy path.
+        assert report.count("answered") > 0
+        assert report.count("closed") > 0
+
+    def test_corrupt_frames_are_refused_not_served(self, server):
+        report = transport_sweep(*server.address, stats_frame(),
+                                 cases=60, seed=9, timeout=2.0,
+                                 kinds=("corrupt",))
+        assert report.ok, report.format()
+        # A flipped byte must never be accepted as a valid request:
+        # every case is either an ERROR frame (CRC/version/parse reject)
+        # or a close — the CRC canary at work on the wire.
+        assert report.count("answered") == 0
+
+    def test_server_still_serves_real_requests_after_sweep(self, server):
+        transport_sweep(*server.address, stats_frame(),
+                        cases=40, seed=7, timeout=2.0)
+        container = compress(assemble(ASM)).data
+        with ServeClient(*server.address) as client:
+            container_id, count, _ = client.put(container)
+            assert count == 2
+            function = client.function(container_id, 1)
+            assert function.name == "double"
+        assert server.is_alive()
+
+    def test_report_format_is_printable(self, server):
+        report = transport_sweep(*server.address, stats_frame(),
+                                 cases=10, seed=0, timeout=2.0)
+        text = report.format()
+        assert "transport sweep: 10 cases" in text
+        assert "server healthy after sweep: yes" in text
+
+    def test_sweep_rejects_non_positive_cases(self, server):
+        with pytest.raises(FaultInjectionError):
+            transport_sweep(*server.address, stats_frame(), cases=0)

@@ -161,3 +161,132 @@ class TestCommands:
 
     def test_fuzz_rejects_bad_cases(self, ssd_file, capsys):
         assert main(["fuzz", str(ssd_file), "--cases", "0"]) == 2
+
+
+class TestJsonOutput:
+    def test_inspect_json(self, ssd_file, capsys):
+        import json
+
+        assert main(["inspect", str(ssd_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "asm"
+        assert payload["functions"] == 2
+        assert payload["function_names"] == ["main", "double"]
+        assert payload["entry"] == 0
+        assert payload["entry_name"] == "main"
+        assert payload["format_version"] == 2
+        assert len(payload["container_id"]) == 64
+        assert payload["container_bytes"] > 0
+        assert payload["segments"] and "base_entries" in payload["segments"][0]
+        assert isinstance(payload["sections"], dict)
+        assert "function" not in payload
+
+    def test_inspect_json_with_function(self, ssd_file, capsys):
+        import json
+
+        assert main(["inspect", str(ssd_file), "--json",
+                     "--function", "1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["function"]["index"] == 1
+        assert payload["function"]["name"] == "double"
+        assert any("add" in text
+                   for text in payload["function"]["instructions"])
+
+    def test_verify_json_clean(self, ssd_file, capsys):
+        import json
+
+        assert main(["verify", str(ssd_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["error"] is None
+        assert payload["corrupt_sections"] == []
+        assert all(span["crc_ok"] for span in payload["sections"])
+
+    def test_verify_json_corrupt(self, ssd_file, tmp_path, capsys):
+        import json
+
+        data = bytearray(ssd_file.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        bad = tmp_path / "bad.ssd"
+        bad.write_bytes(bytes(data))
+        assert main(["verify", str(bad), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+
+    def test_verify_json_against_source(self, ssd_file, asm_file, capsys):
+        import json
+
+        assert main(["verify", str(ssd_file), str(asm_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["outputs_match"] is True
+        assert payload["mismatches"] == []
+        assert payload["functions"] == 2
+
+    def test_verify_json_source_mismatch(self, ssd_file, tmp_path, capsys):
+        import json
+
+        other = tmp_path / "other.asm"
+        other.write_text("func main\n    li r1, 1\n    trap 1\n    ret\nend\n")
+        assert main(["verify", str(ssd_file), str(other), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["mismatches"]
+
+
+class TestServeClientCLI:
+    @pytest.fixture(scope="class")
+    def server(self):
+        from repro.serve import serve_in_thread
+
+        with serve_in_thread() as handle:
+            yield handle
+
+    @pytest.fixture(scope="class")
+    def address(self, server):
+        return f"{server.address[0]}:{server.port}"
+
+    def test_client_put_then_get(self, server, address, ssd_file, capsys):
+        assert main(["client", address, "put", str(ssd_file)]) == 0
+        container_id = capsys.readouterr().out.strip()
+        assert len(container_id) == 64
+        assert main(["client", address, "get", container_id]) == 0
+        out = capsys.readouterr().out
+        assert "program:   asm" in out
+        assert "functions: 2" in out
+
+    def test_client_get_function_disassembly(self, address, ssd_file, capsys):
+        assert main(["client", address, "get", str(ssd_file),
+                     "--function", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "func double" in out
+        assert "add r1, r2, r2" in out
+
+    def test_client_run_matches_local(self, address, ssd_file, capsys):
+        assert main(["run", str(ssd_file)]) == 0
+        local = capsys.readouterr().out
+        assert main(["client", address, "run", str(ssd_file)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == local
+        assert "remotely fetched 2/2 functions" in captured.err
+
+    def test_client_stats(self, address, ssd_file, capsys):
+        import json
+
+        assert main(["client", address, "stats"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "requests" in payload
+        assert payload["decodes_total"] >= 2
+
+    def test_client_remote_error_exits_1(self, address, capsys):
+        assert main(["client", address, "get", "ee" * 32]) == 1
+        assert "server error" in capsys.readouterr().err
+
+    def test_client_bad_address(self, ssd_file, capsys):
+        assert main(["client", "nonsense", "stats"]) == 2
+
+    def test_client_connection_refused(self, ssd_file, capsys):
+        assert main(["client", "127.0.0.1:1", "stats"]) == 2
+
+    def test_client_missing_target(self, address, capsys):
+        assert main(["client", address, "run"]) == 2
