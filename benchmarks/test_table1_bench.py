@@ -2,7 +2,6 @@
 
 from repro.analysis import measure_redundancy
 from repro.experiments import table1
-from repro.workloads import profile
 
 
 def test_table1_full_exhibit(benchmark, context):

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Tuple
 
 from ..isa import Program
 from ..vm import native_size

@@ -20,10 +20,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..isa import Program
+from ..obs import REGISTRY, TRACER
 from ..perf.parallel import fanout, get_shared, resolve_jobs
 from ..perf.profile import PhaseProfile, ensure
 from . import container
-from .base_entries import order_base_entries
 from .dictionary import (
     MAX_SEQUENCE_LENGTH,
     EntryRef,
@@ -34,6 +34,15 @@ from .dictionary import (
 from .items import encode_items
 from .layout import build_layouts
 from .partition import DEFAULT_COMMON_BUDGET, plan_partition, partition_statistics
+
+
+_COMPRESS_RUNS = REGISTRY.counter(
+    "compress_programs_total", "Programs compressed end to end.")
+_COMPRESS_OUTPUT = REGISTRY.counter(
+    "compress_output_bytes_total", "Container bytes produced by compress().")
+_COMPRESS_INPUT = REGISTRY.counter(
+    "compress_input_instructions_total",
+    "VM instructions fed into compress().")
 
 
 @dataclass
@@ -124,30 +133,34 @@ def compress(program: Program,
     if branch_targets not in ("relative", "absolute"):
         raise ValueError(f"branch_targets must be relative/absolute, got {branch_targets!r}")
     prof = ensure(profile)
-    dictionary = build_dictionary(program, max_len=max_len,
-                                  absolute_targets=branch_targets == "absolute",
-                                  match_mode=match_mode, jobs=jobs,
-                                  profile=profile)
-    with prof.phase("partition"):
-        plan = plan_partition(dictionary, common_budget=common_budget)
-    with prof.phase("layout"):
-        layouts, common_base_blob, common_tree_blob, segment_sections = build_layouts(
-            dictionary, plan, codec=codec)
+    with TRACER.span("compress", program=program.name):
+        dictionary = build_dictionary(program, max_len=max_len,
+                                      absolute_targets=branch_targets == "absolute",
+                                      match_mode=match_mode, jobs=jobs,
+                                      profile=profile)
+        with prof.phase("partition"):
+            plan = plan_partition(dictionary, common_budget=common_budget)
+        with prof.phase("layout"):
+            layouts, common_base_blob, common_tree_blob, segment_sections = build_layouts(
+                dictionary, plan, codec=codec)
 
-    with prof.phase("items"):
-        item_streams = _encode_item_streams(dictionary, plan, layouts, jobs)
+        with prof.phase("items"):
+            item_streams = _encode_item_streams(dictionary, plan, layouts, jobs)
 
-    with prof.phase("serialize"):
-        sections = container.ContainerSections(
-            program_name=program.name,
-            entry=program.entry,
-            function_names=[fn.name for fn in program.functions],
-            common_base_blob=common_base_blob,
-            common_tree_blob=common_tree_blob,
-            segments=segment_sections,
-            item_streams=item_streams,
-        )
-        data = container.serialize(sections)
+        with prof.phase("serialize"):
+            sections = container.ContainerSections(
+                program_name=program.name,
+                entry=program.entry,
+                function_names=[fn.name for fn in program.functions],
+                common_base_blob=common_base_blob,
+                common_tree_blob=common_tree_blob,
+                segments=segment_sections,
+                item_streams=item_streams,
+            )
+            data = container.serialize(sections)
+    _COMPRESS_RUNS.inc()
+    _COMPRESS_OUTPUT.inc(len(data))
+    _COMPRESS_INPUT.inc(program.instruction_count)
     return CompressedProgram(
         data=data,
         dictionary_stats=dictionary_statistics(dictionary),

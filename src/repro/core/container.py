@@ -47,6 +47,7 @@ from typing import List, Optional
 from ..errors import ChecksumMismatch, CorruptContainer, LimitExceeded
 from ..lz import lz77
 from ..lz.varint import ByteReader, ByteWriter
+from ..obs import REGISTRY
 
 #: legacy (version 1) magic — still readable, no longer written by default
 MAGIC = b"SSD1"
@@ -129,6 +130,12 @@ def _crc(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFFFFFF
 
 
+_SERIALIZE_BYTES = REGISTRY.counter(
+    "container_serialize_bytes_total", "Container bytes written by serialize().")
+_PARSE_BYTES = REGISTRY.counter(
+    "container_parse_bytes_total", "Container bytes presented to parse().")
+
+
 def serialize(sections: ContainerSections, version: int = FORMAT_VERSION) -> bytes:
     """Pack sections into container bytes.
 
@@ -171,6 +178,7 @@ def serialize(sections: ContainerSections, version: int = FORMAT_VERSION) -> byt
         write_blob(stream)
     if with_crc:
         writer.write_u32(_crc(writer.getvalue()[body_start:]))
+    _SERIALIZE_BYTES.inc(len(writer.getvalue()))
     return writer.getvalue()
 
 
@@ -211,6 +219,7 @@ def parse(data: bytes,
     instead of raising, so a report can keep walking past a corrupt
     section (structural errors still raise).
     """
+    _PARSE_BYTES.inc(len(data))
     reader = ByteReader(data)
     magic = reader.read_bytes(4)
     if magic == MAGIC:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 from ..errors import CorruptContainer, ReproError, as_corrupt
 from ..isa import Function, Instruction, Program
+from ..obs import REGISTRY, TRACER
 from ..perf.profile import PhaseProfile, ensure
 from . import container
 from .container import DEFAULT_LIMITS, DecodeLimits
@@ -32,6 +33,12 @@ from .layout import SegmentLayout, layouts_from_sections
 
 class DecompressionError(CorruptContainer):
     """Raised when a container cannot be decoded consistently."""
+
+
+_OPEN_RUNS = REGISTRY.counter(
+    "container_open_total", "Containers parsed + phase-one decompressed.")
+_DECOMPRESS_RUNS = REGISTRY.counter(
+    "decompress_programs_total", "Full program reconstructions.")
 
 
 @dataclass
@@ -161,19 +168,21 @@ def open_container(data: bytes,
     """
     prof = ensure(profile)
     try:
-        with prof.phase("parse"):
-            sections = container.parse(data, limits=limits)
-        with prof.phase("dictionary_phase"):
-            layouts = layouts_from_sections(sections.common_base_blob,
-                                            sections.common_tree_blob,
-                                            sections.segments,
-                                            limits=limits)
+        with TRACER.span("container.open", container_bytes=len(data)):
+            with prof.phase("parse"):
+                sections = container.parse(data, limits=limits)
+            with prof.phase("dictionary_phase"):
+                layouts = layouts_from_sections(sections.common_base_blob,
+                                                sections.common_tree_blob,
+                                                sections.segments,
+                                                limits=limits)
     except ReproError:
         raise
     except (ValueError, EOFError) as exc:
         # Legacy decoders below this boundary may still raise bare
         # builtins; normalize so callers see exactly one taxonomy.
         raise as_corrupt(exc) from exc
+    _OPEN_RUNS.inc()
     if sections.function_names and not layouts:
         raise DecompressionError(
             f"container has {len(sections.function_names)} functions "
@@ -201,11 +210,14 @@ def decompress(data: bytes,
     plus ``copy_phase`` — the per-function item expansion (the paper's
     Algorithm 3 analogue on the VM-instruction side).
     """
-    reader = open_container(data, profile=profile, limits=limits)
-    with ensure(profile).phase("copy_phase"):
-        try:
-            return reader.program()
-        except ReproError:
-            raise
-        except (ValueError, EOFError) as exc:
-            raise as_corrupt(exc) from exc
+    with TRACER.span("decompress", container_bytes=len(data)):
+        reader = open_container(data, profile=profile, limits=limits)
+        with ensure(profile).phase("copy_phase"):
+            try:
+                program = reader.program()
+            except ReproError:
+                raise
+            except (ValueError, EOFError) as exc:
+                raise as_corrupt(exc) from exc
+    _DECOMPRESS_RUNS.inc()
+    return program

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict
 
 from ..analysis import render_table
 from ..brisc import decompress as brisc_decompress

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import List
 
-from .opcodes import Op
 from .program import Program
 
 

@@ -24,9 +24,23 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from ..errors import BufferCapacityError
+from ..obs import REGISTRY
 
 #: functions below this size are always placed in the permanent area
 PERMANENT_SIZE_THRESHOLD = 512
+
+_BUFFER_TRANSLATIONS = REGISTRY.counter(
+    "jit_buffer_translations_total",
+    "Buffer-triggered translations (misses), across every buffer.")
+_BUFFER_RETRANSLATIONS = REGISTRY.counter(
+    "jit_buffer_retranslations_total",
+    "Translations of a function already translated before (eviction churn).")
+_BUFFER_EVICTIONS = REGISTRY.counter(
+    "jit_buffer_evictions_total",
+    "Functions evicted or demoted out of translation buffers.")
+_BUFFER_EVICTED_BYTES = REGISTRY.counter(
+    "jit_buffer_evicted_bytes_total",
+    "Native bytes evicted or demoted out of translation buffers.")
 
 #: Backwards-compatible alias for the pre-taxonomy name; new code should
 #: catch :class:`repro.errors.BufferCapacityError`.
@@ -104,6 +118,9 @@ class TranslationBuffer:
         self.stats.translated_bytes += size
         count = self.translation_counts.get(findex, 0) + 1
         self.translation_counts[findex] = count
+        _BUFFER_TRANSLATIONS.inc()
+        if count > 1:
+            _BUFFER_RETRANSLATIONS.inc()
         if self._belongs_in_permanent(findex, size, count):
             self._place_permanent(findex, size)
         else:
@@ -140,6 +157,8 @@ class TranslationBuffer:
                 del self.permanent[demoted_findex]
                 self.permanent_bytes -= demoted_size
                 self.stats.evicted_bytes += demoted_size
+                _BUFFER_EVICTIONS.inc()
+                _BUFFER_EVICTED_BYTES.inc(demoted_size)
             else:  # pragma: no cover - size > capacity is caught earlier
                 raise BufferCapacityError(
                     f"function {findex} ({size} bytes) cannot fit in an "
@@ -151,6 +170,8 @@ class TranslationBuffer:
         evicted, size = self.round_robin.popitem(last=False)
         self.rr_bytes -= size
         self.stats.evicted_bytes += size
+        _BUFFER_EVICTIONS.inc()
+        _BUFFER_EVICTED_BYTES.inc(size)
 
 
 class PureRoundRobinBuffer(TranslationBuffer):

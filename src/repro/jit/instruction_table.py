@@ -23,7 +23,12 @@ from ..core.copy_phase import TableEntry
 from ..core.decompressor import SSDReader
 from ..core.layout import SegmentLayout
 from ..errors import CorruptContainer, ReproError
+from ..obs import REGISTRY, TRACER
 from ..vm.native import lower_instruction
+
+_BUILD_TABLES = REGISTRY.counter(
+    "jit_build_tables_total",
+    "Phase-one instruction-table builds, by memo outcome (cache=hit|miss).")
 
 
 def build_table_for_layout(layout: SegmentLayout) -> Dict[int, TableEntry]:
@@ -102,9 +107,12 @@ def build_tables(reader: SSDReader, use_cache: bool = True) -> InstructionTables
             cached = _TABLE_CACHE.get(key)
             if cached is not None:
                 _TABLE_CACHE.move_to_end(key)
+                _BUILD_TABLES.inc(cache="hit")
                 return cached
-    tables = InstructionTables(tables=[build_table_for_layout(layout)
-                                       for layout in reader.layouts])
+    _BUILD_TABLES.inc(cache="miss")
+    with TRACER.span("jit.build_tables", segments=len(reader.layouts)):
+        tables = InstructionTables(tables=[build_table_for_layout(layout)
+                                           for layout in reader.layouts])
     if key is not None:
         with _TABLE_CACHE_LOCK:
             _TABLE_CACHE[key] = tables

@@ -30,8 +30,14 @@ from typing import Dict, Iterable, List, Optional, Union
 from ..core.decompressor import SSDReader, open_container
 from ..core.lazy import LazyProgram
 from ..errors import BufferCapacityError, ReproError
+from ..obs import REGISTRY
 from .buffer import TranslationBuffer
 from .translator import TranslationResult, Translator
+
+_QUARANTINES = REGISTRY.counter(
+    "jit_quarantine_total",
+    "Functions quarantined to the interpreter, by failure stage "
+    "(stage=dictionary|translate|buffer).")
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,7 @@ class ResilientRuntime:
             for findex in range(self.reader.function_count):
                 self.quarantine[findex] = QuarantineRecord(
                     findex=findex, stage="dictionary", error=str(exc))
+                _QUARANTINES.inc(stage="dictionary")
 
     # -- translation --------------------------------------------------------
 
@@ -88,6 +95,7 @@ class ResilientRuntime:
         except ReproError as exc:
             self.quarantine[findex] = QuarantineRecord(
                 findex=findex, stage="translate", error=str(exc))
+            _QUARANTINES.inc(stage="translate")
             return None
         if self.buffer is not None:
             try:
@@ -95,6 +103,7 @@ class ResilientRuntime:
             except BufferCapacityError as exc:
                 self.quarantine[findex] = QuarantineRecord(
                     findex=findex, stage="buffer", error=str(exc))
+                _QUARANTINES.inc(stage="buffer")
                 return None
         self._translations[findex] = result
         return result

@@ -14,7 +14,13 @@ from typing import List
 
 from ..core.copy_phase import TranslatedFunction, copy_translate
 from ..core.decompressor import SSDReader
+from ..obs import REGISTRY, TRACER
 from .instruction_table import InstructionTables, build_tables
+
+_TRANSLATIONS = REGISTRY.counter(
+    "jit_translate_total", "Per-function phase-two translations performed.")
+_TRANSLATED_BYTES = REGISTRY.counter(
+    "jit_translate_bytes_total", "Native bytes produced by translation.")
 
 
 @dataclass
@@ -38,10 +44,14 @@ class Translator:
         self.tables = tables if tables is not None else build_tables(reader)
 
     def translate_function(self, findex: int) -> TranslationResult:
-        items = self.reader.decoded_items(findex)
-        table = self.tables.for_function(self.reader, findex)
-        return TranslationResult(findex=findex,
-                                 translated=copy_translate(items, table))
+        with TRACER.span("jit.translate", findex=findex):
+            items = self.reader.decoded_items(findex)
+            table = self.tables.for_function(self.reader, findex)
+            result = TranslationResult(findex=findex,
+                                       translated=copy_translate(items, table))
+        _TRANSLATIONS.inc()
+        _TRANSLATED_BYTES.inc(result.size)
+        return result
 
     def translate_program(self) -> List[TranslationResult]:
         return [self.translate_function(findex)

@@ -18,7 +18,15 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from ..obs import REGISTRY
 from .varint import ByteReader, ByteWriter
+
+_ENCODE_BYTES = REGISTRY.counter(
+    "arith_encode_bytes_total",
+    "Raw bytes fed into the arithmetic encoder.")
+_DECODE_BYTES = REGISTRY.counter(
+    "arith_decode_bytes_total",
+    "Bytes reconstructed by the arithmetic decoder.")
 
 _TOP = 1 << 24
 _BOTTOM = 1 << 16
@@ -146,6 +154,7 @@ def compress(data: bytes) -> bytes:
     writer = ByteWriter()
     writer.write_uvarint(len(data))
     writer.write_bytes(bytes(out))
+    _ENCODE_BYTES.inc(len(data))
     return writer.getvalue()
 
 
@@ -200,4 +209,5 @@ def decompress(blob: bytes) -> bytes:
     if len(out) != expected:
         raise ValueError(
             f"corrupt arithmetic stream: expected {expected} bytes, got {len(out)}")
+    _DECODE_BYTES.inc(len(out))
     return bytes(out)

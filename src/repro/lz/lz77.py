@@ -22,7 +22,13 @@ the original LZ77 family.
 from __future__ import annotations
 
 from ..errors import CorruptContainer, LimitExceeded
+from ..obs import REGISTRY
 from .varint import ByteReader, ByteWriter
+
+_ENCODE_BYTES = REGISTRY.counter(
+    "lz_encode_bytes_total", "Raw bytes fed into the LZ77 encoder.")
+_DECODE_BYTES = REGISTRY.counter(
+    "lz_decode_bytes_total", "Bytes reconstructed by the LZ77 decoder.")
 
 #: default cap on the declared decompressed size — corrupt or hostile
 #: streams cannot make :func:`decompress` allocate beyond this.
@@ -131,6 +137,7 @@ def compress(data: bytes) -> bytes:
                 del chain[:-_MAX_CHAIN]
             pos += 1
     flush_literals(n)
+    _ENCODE_BYTES.inc(n)
     return writer.getvalue()
 
 
@@ -184,4 +191,5 @@ def decompress(data: bytes, max_output: int = MAX_OUTPUT_BYTES) -> bytes:
                 while len(chunk) < length:
                     chunk += chunk
                 out += chunk[:length]
+    _DECODE_BYTES.inc(len(out))
     return bytes(out)

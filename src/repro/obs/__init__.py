@@ -1,0 +1,61 @@
+"""Unified observability: one metrics registry + one tracing API.
+
+Telemetry used to be fragmented — ``repro.perf`` had a phase-timing dict
+for the compressor, ``repro.serve.metrics`` kept its own counters, and
+the JIT/interpreter/fault paths emitted nothing.  This package is the
+single substrate they all share now:
+
+* :mod:`repro.obs.registry` — a process-wide, thread-safe
+  :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+  histograms, with a Prometheus-style text exposition
+  (:func:`expose_text`).  Subsystems register their families at import
+  time into the shared :data:`REGISTRY`.
+* :mod:`repro.obs.trace` — ``span("compress.ngram")`` context managers
+  producing a parent-linked span tree with monotonic durations,
+  exportable as JSON and as a pretty text tree.  The shared
+  :data:`TRACER` propagates parents across asyncio tasks and worker
+  threads via :mod:`contextvars`.
+
+Naming scheme (enforced by ``docs/OBSERVABILITY.md`` and its
+consistency test): metric families are ``<subsystem>_<what>[_total]``
+snake_case with Prometheus label sets; span names are dotted
+``<subsystem>.<operation>`` lowercase paths.
+"""
+
+from .registry import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    expose_text,
+)
+from .trace import (
+    TRACER,
+    Span,
+    Tracer,
+    current_span,
+    format_tree,
+    span,
+    span_from_dict,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "current_span",
+    "expose_text",
+    "format_tree",
+    "span",
+    "span_from_dict",
+]

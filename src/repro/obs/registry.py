@@ -1,0 +1,348 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds every metric family the process
+creates; :data:`REGISTRY` is the shared default that the instrumented
+subsystems (``repro.core``, ``repro.lz``, ``repro.jit``, ``repro.serve``)
+register into at import time, so an exposition always lists the full
+schema even before traffic arrives.
+
+Design constraints, in order:
+
+* **Thread-safe.**  Decode worker threads, the asyncio event loop, and
+  test hammers all update metrics concurrently; every mutation happens
+  under a per-family lock and snapshots are taken under it too.
+* **Deterministic.**  Histogram bucket boundaries are fixed at creation
+  time (no wall-clock or randomized bucketing); expositions are sorted
+  by family name and label value, so two snapshots of the same state
+  are byte-identical.
+* **Cheap.**  An increment is one lock acquisition and one integer add;
+  hot paths (the JIT buffer, the LZ codecs) pay nanoseconds, not
+  allocations.
+
+The exposition format (:meth:`MetricsRegistry.expose_text`) follows the
+Prometheus text format closely enough for standard scrapers::
+
+    # HELP serve_requests_total Requests handled, by wire type.
+    # TYPE serve_requests_total counter
+    serve_requests_total{type="GET_FUNCTION"} 42
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: default histogram buckets for second-scale durations (powers-of-ten
+#: with 2.5x subdivisions; fixed so expositions never depend on traffic)
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: default histogram buckets for byte sizes (1 KiB .. 64 MiB)
+DEFAULT_SIZE_BUCKETS: Tuple[float, ...] = (
+    1024.0, 4096.0, 16384.0, 65536.0, 262144.0,
+    1048576.0, 4194304.0, 16777216.0, 67108864.0,
+)
+
+LabelValues = Tuple[Tuple[str, str], ...]
+
+
+def _format_number(value: Number) -> str:
+    """Render a sample value the way the Prometheus text format expects."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_suffix(labels: LabelValues) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+def _normalize_labels(labels: Mapping[str, object]) -> LabelValues:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing counter family, optionally labeled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._values: Dict[LabelValues, Number] = {}
+
+    def inc(self, amount: Number = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease "
+                             f"(inc by {amount})")
+        key = _normalize_labels(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> Number:
+        key = _normalize_labels(labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def total(self) -> Number:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def collect(self) -> Dict[LabelValues, Number]:
+        with self._lock:
+            return dict(self._values)
+
+    def expose(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help_text}",
+                 f"# TYPE {self.name} {self.kind}"]
+        samples = self.collect()
+        if not samples:
+            lines.append(f"{self.name} 0")
+            return lines
+        for labels in sorted(samples):
+            lines.append(f"{self.name}{_label_suffix(labels)} "
+                         f"{_format_number(samples[labels])}")
+        return lines
+
+
+class Gauge(Counter):
+    """A settable value family (current cache bytes, active connections)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: Number = 1, **labels: object) -> None:
+        key = _normalize_labels(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: Number = 1, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def set(self, value: Number, **labels: object) -> None:
+        key = _normalize_labels(labels)
+        with self._lock:
+            self._values[key] = value
+
+
+class _HistogramSeries:
+    """One label combination's bucket counts, sum, and count."""
+
+    __slots__ = ("bucket_counts", "total_sum", "count")
+
+    def __init__(self, bucket_len: int) -> None:
+        self.bucket_counts = [0] * bucket_len
+        self.total_sum: float = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """A histogram family with fixed, sorted bucket upper bounds.
+
+    ``observe(value)`` increments the first bucket whose upper bound is
+    ``>= value`` (values beyond the last bound land in the implicit
+    ``+Inf`` bucket).  The exposition reports *cumulative* bucket counts,
+    matching Prometheus semantics.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        if not buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        ordered = tuple(float(bound) for bound in buckets)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"histogram {name} buckets must be strictly "
+                             f"increasing, got {buckets!r}")
+        self.name = name
+        self.help_text = help_text
+        self.buckets = ordered
+        self._lock = threading.Lock()
+        self._series: Dict[LabelValues, _HistogramSeries] = {}
+
+    def observe(self, value: Number, **labels: object) -> None:
+        key = _normalize_labels(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = _HistogramSeries(len(self.buckets))
+                self._series[key] = series
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[index] += 1
+                    break
+            series.total_sum += value
+            series.count += 1
+
+    def count(self, **labels: object) -> int:
+        key = _normalize_labels(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series is not None else 0
+
+    def total_count(self) -> int:
+        with self._lock:
+            return sum(series.count for series in self._series.values())
+
+    def collect(self) -> Dict[LabelValues, Dict[str, object]]:
+        """Per-series snapshot: cumulative buckets, sum, count."""
+        with self._lock:
+            out: Dict[LabelValues, Dict[str, object]] = {}
+            for key, series in self._series.items():
+                cumulative = []
+                running = 0
+                for bucket_count in series.bucket_counts:
+                    running += bucket_count
+                    cumulative.append(running)
+                out[key] = {
+                    "buckets": list(zip(self.buckets, cumulative)),
+                    "sum": series.total_sum,
+                    "count": series.count,
+                }
+            return out
+
+    def expose(self) -> List[str]:
+        lines = [f"# HELP {self.name} {self.help_text}",
+                 f"# TYPE {self.name} {self.kind}"]
+        for labels, series in sorted(self.collect().items()):
+            base = dict(labels)
+            for bound, cumulative in series["buckets"]:  # type: ignore[union-attr]
+                bucket_labels = _normalize_labels({**base, "le": _format_number(bound)})
+                lines.append(f"{self.name}_bucket{_label_suffix(bucket_labels)} "
+                             f"{cumulative}")
+            inf_labels = _normalize_labels({**base, "le": "+Inf"})
+            lines.append(f"{self.name}_bucket{_label_suffix(inf_labels)} "
+                         f"{series['count']}")
+            suffix = _label_suffix(labels)
+            lines.append(f"{self.name}_sum{suffix} "
+                         f"{_format_number(series['sum'])}")  # type: ignore[arg-type]
+            lines.append(f"{self.name}_count{suffix} {series['count']}")
+        if not self._series:
+            lines.append(f"{self.name}_count 0")
+        return lines
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of metric families with get-or-create semantics.
+
+    Asking for an existing name returns the existing family (so modules
+    can re-import safely); asking for it with a *different* kind raises,
+    which catches naming collisions at import time.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, factory, kind: type) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}")
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        metric = self._get_or_create(
+            name, lambda: Counter(name, help_text), Counter)
+        return metric  # type: ignore[return-value]
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        metric = self._get_or_create(
+            name, lambda: Gauge(name, help_text), Gauge)
+        return metric  # type: ignore[return-value]
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: Sequence[float] = DEFAULT_TIME_BUCKETS) -> Histogram:
+        metric = self._get_or_create(
+            name, lambda: Histogram(name, help_text, buckets), Histogram)
+        return metric  # type: ignore[return-value]
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe dump of every family's current samples."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        out: Dict[str, object] = {}
+        for name, metric in sorted(metrics):
+            if isinstance(metric, Histogram):
+                series = {}
+                for labels, data in sorted(metric.collect().items()):
+                    key = _label_suffix(labels) or "_"
+                    series[key] = {
+                        "count": data["count"],
+                        "sum": data["sum"],
+                        "buckets": [[bound, cumulative] for bound, cumulative
+                                    in data["buckets"]],  # type: ignore[union-attr]
+                    }
+                out[name] = {"kind": metric.kind, "series": series}
+            else:
+                out[name] = {
+                    "kind": metric.kind,
+                    "series": {(_label_suffix(labels) or "_"): value
+                               for labels, value
+                               in sorted(metric.collect().items())},
+                }
+        return out
+
+    def expose_text(self) -> str:
+        """Prometheus-style text exposition of every family, sorted."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: List[str] = []
+        for metric in metrics:
+            lines.extend(metric.expose())
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+#: the process-wide default registry
+REGISTRY = MetricsRegistry()
+
+
+def expose_text() -> str:
+    """Exposition of the process-wide default registry."""
+    return REGISTRY.expose_text()
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_SIZE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "expose_text",
+]

@@ -1,0 +1,220 @@
+"""Lightweight tracing: parent-linked span trees with monotonic durations.
+
+A *span* is one timed operation.  Opening a span inside another makes it
+a child, so one request that crosses compress -> container -> serve ->
+JIT yields a single tree whose nodes are the per-layer operations::
+
+    with TRACER.span("serve.request", type="GET_FUNCTION"):
+        ...
+        with TRACER.span("serve.decode", findex=3):
+            ...
+
+The current span is tracked in a :mod:`contextvars` context variable, so
+nesting works across ``async`` task boundaries and into
+``asyncio.to_thread`` workers (both copy the ambient context).  Durations
+come from :func:`time.perf_counter` — monotonic, never wall-clock — and
+trace ids from a process-global monotonic counter, so captures are
+deterministic enough to diff.
+
+Finished *root* spans (spans opened with no parent) are kept in a
+bounded ring buffer per tracer; exporters read them as JSON
+(:meth:`Span.to_dict`) or a pretty text tree (:func:`format_tree`).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Deque, Dict, Iterator, List, Optional
+
+#: how many finished root spans a tracer retains by default
+DEFAULT_MAX_ROOTS = 256
+
+_SPAN_IDS = itertools.count(1)
+_TRACE_IDS = itertools.count(1)
+
+
+class Span:
+    """One timed operation; a node in a trace tree."""
+
+    __slots__ = ("name", "span_id", "trace_id", "parent_id", "attrs",
+                 "children", "duration", "_started", "_lock")
+
+    def __init__(self, name: str, trace_id: int,
+                 parent_id: Optional[int] = None,
+                 attrs: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.span_id = next(_SPAN_IDS)
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.attrs: Dict[str, object] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self.duration: Optional[float] = None
+        self._started = time.perf_counter()
+        self._lock = threading.Lock()
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def add_child(self, child: "Span") -> None:
+        with self._lock:
+            self.children.append(child)
+
+    def finish(self) -> None:
+        self.duration = time.perf_counter() - self._started
+
+    @property
+    def finished(self) -> bool:
+        return self.duration is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe tree rooted at this span (children recursively)."""
+        with self._lock:
+            children = list(self.children)
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "duration_s": self.duration,
+        }
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if children:
+            payload["children"] = [child.to_dict() for child in children]
+        return payload
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        with self._lock:
+            children = list(self.children)
+        for child in children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """Every span named ``name`` in this subtree."""
+        return [span for span in self.walk() if span.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1e3:.2f}ms" if self.finished else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+def span_from_dict(payload: Dict[str, object]) -> Span:
+    """Rebuild a span tree from :meth:`Span.to_dict` output."""
+    span = Span(name=str(payload["name"]),
+                trace_id=int(payload["trace_id"]),  # type: ignore[arg-type]
+                parent_id=payload.get("parent_id"),  # type: ignore[arg-type]
+                attrs=payload.get("attrs"))  # type: ignore[arg-type]
+    duration = payload.get("duration_s")
+    if duration is not None:
+        span.duration = float(duration)  # type: ignore[arg-type]
+    for child in payload.get("children", []):  # type: ignore[union-attr]
+        span.children.append(span_from_dict(child))
+    return span
+
+
+def format_tree(span: Span, indent: str = "") -> str:
+    """Pretty one-span-per-line tree with millisecond durations."""
+    duration = (f"{span.duration * 1e3:9.2f} ms" if span.duration is not None
+                else "     open  ")
+    attrs = ""
+    if span.attrs:
+        attrs = "  " + " ".join(f"{key}={value}" for key, value
+                                in sorted(span.attrs.items()))
+    lines = [f"{indent}{span.name:<{max(1, 40 - len(indent))}} {duration}{attrs}"]
+    for child in span.children:
+        lines.append(format_tree(child, indent + "  "))
+    return "\n".join(lines)
+
+
+class Tracer:
+    """Creates spans, links them to the ambient parent, keeps roots."""
+
+    def __init__(self, max_roots: int = DEFAULT_MAX_ROOTS) -> None:
+        self._current: contextvars.ContextVar[Optional[Span]] = \
+            contextvars.ContextVar(f"obs_span_{id(self):x}", default=None)
+        self._lock = threading.Lock()
+        self._roots: Deque[Span] = deque(maxlen=max_roots)
+
+    # -- span lifecycle ------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a span; nested calls produce children of this one."""
+        parent = self._current.get()
+        if parent is None:
+            trace_id = next(_TRACE_IDS)
+            node = Span(name, trace_id=trace_id, attrs=attrs)
+        else:
+            node = Span(name, trace_id=parent.trace_id,
+                        parent_id=parent.span_id, attrs=attrs)
+        token = self._current.set(node)
+        try:
+            yield node
+        finally:
+            self._current.reset(token)
+            node.finish()
+            if parent is None:
+                with self._lock:
+                    self._roots.append(node)
+            else:
+                parent.add_child(node)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span in this context, if any."""
+        return self._current.get()
+
+    # -- export --------------------------------------------------------------
+
+    def roots(self) -> List[Span]:
+        """Finished root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def find_roots(self, name: str) -> List[Span]:
+        return [root for root in self.roots() if root.name == name]
+
+    def export(self) -> List[Dict[str, object]]:
+        """JSON-safe list of every retained root span tree."""
+        return [root.to_dict() for root in self.roots()]
+
+    def format_roots(self) -> str:
+        """Pretty text forest of every retained root span."""
+        return "\n".join(format_tree(root) for root in self.roots())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+#: the process-wide default tracer; ``repro.obs.span`` opens spans on it
+TRACER = Tracer()
+
+
+def span(name: str, **attrs: object):
+    """Open a span on the process-wide default tracer."""
+    return TRACER.span(name, **attrs)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on the default tracer, if any."""
+    return TRACER.current()
+
+
+__all__ = [
+    "DEFAULT_MAX_ROOTS",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "current_span",
+    "format_tree",
+    "span",
+    "span_from_dict",
+]

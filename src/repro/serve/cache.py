@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional, Tuple
+from typing import Any, Hashable, Optional
 
 #: default byte budget for a server cache (64 MiB)
 DEFAULT_CACHE_BYTES = 64 << 20

@@ -24,7 +24,7 @@ import json
 import socket
 import threading
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Set, Tuple, Union
+from typing import Iterator, List, Set, Tuple, Union
 
 from ..errors import ProtocolError, RemoteError
 from ..isa import Function, Instruction
@@ -157,6 +157,12 @@ class ServeClient:
             return json.loads(protocol.parse_ok_stats(response.body))
         except json.JSONDecodeError as exc:
             raise ProtocolError(f"STATS payload is not JSON: {exc}") from exc
+
+    def metrics_text(self) -> str:
+        """Fetch the server's Prometheus text exposition (GET_METRICS)."""
+        response = self._expect(protocol.GET_METRICS, b"",
+                                protocol.OK_METRICS)
+        return protocol.parse_ok_metrics(response.body).decode("utf-8")
 
     # -- lifecycle ----------------------------------------------------------
 

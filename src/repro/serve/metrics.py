@@ -1,21 +1,47 @@
 """Server-side observability: request counts, latencies, decode accounting.
 
 One :class:`ServerMetrics` instance per server, updated from the event
-loop and from decode worker threads (hence the lock).  ``snapshot()``
-produces the stable-keyed dict the ``STATS`` request returns and
-``ssd serve --metrics-interval`` prints — machine-readable first, so CI
-and load tests can assert on it.
+loop and from decode worker threads.  Since the observability layer
+landed, the counters themselves live in a :class:`~repro.obs.MetricsRegistry`
+(per-server by default, so tests don't cross-pollute; pass
+``registry=REGISTRY`` to publish into the process-wide one) — the
+``STATS`` payload built by :meth:`ServerMetrics.snapshot` is a *view*
+over those registry families, and :meth:`ServerMetrics.expose_text`
+serves the same numbers in Prometheus text format for ``GET_METRICS``.
 
-Latency percentiles come from a bounded per-request-type reservoir (the
-most recent :data:`RESERVOIR_SIZE` samples), which keeps memory constant
-under unbounded traffic while staying exact for test-sized runs.
+Registry families, all prefixed ``serve_``:
+
+* ``serve_requests_total{type=...}``     — requests answered, by wire type
+* ``serve_errors_total{code=...}``       — ERROR frames sent, by code name
+* ``serve_bytes_in_total`` / ``serve_bytes_out_total``
+* ``serve_connections_total{event=opened|closed}``
+* ``serve_connections_active``           — gauge, opened minus closed
+* ``serve_protocol_failures_total``      — lost frame boundaries
+* ``serve_timeouts_total``               — requests past the deadline
+* ``serve_coalesced_total``              — requests that joined an
+  in-flight decode instead of starting one
+* ``serve_decodes_total``                — decode work actually performed
+* ``serve_request_seconds{type=...}``    — request latency histogram
+
+Latency *percentiles* (p50/p99/max in the STATS payload) still come from
+a bounded per-request-type reservoir (the most recent
+:data:`RESERVOIR_SIZE` samples) — exact for test-sized runs, constant
+memory under unbounded traffic — while the registry histogram gives
+scrapers fixed-bucket cumulative counts.
+
+Per-function decode attribution (``decodes_for``, the acceptance check
+"only the functions reached were decompressed, exactly once") keeps its
+own exact ``(container_id, findex)`` table; the registry family carries
+the total, not the per-function cardinality.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import Counter, deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional
+
+from ..obs import DEFAULT_TIME_BUCKETS, MetricsRegistry
 
 #: samples kept per request type for percentile estimation
 RESERVOIR_SIZE = 2048
@@ -33,19 +59,37 @@ def percentile(samples: List[float], fraction: float) -> float:
 
 
 class ServerMetrics:
-    """Thread-safe counters + latency reservoirs for one server."""
+    """Thread-safe server counters backed by a metrics registry."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self.requests: Counter = Counter()          # type name -> count
-        self.errors: Counter = Counter()            # error code name -> count
-        self.bytes_in = 0
-        self.bytes_out = 0
-        self.connections_opened = 0
-        self.connections_closed = 0
-        self.protocol_failures = 0
-        self.timeouts = 0
-        self.coalesced = 0
+        self._requests = self.registry.counter(
+            "serve_requests_total", "Requests answered, by wire type.")
+        self._errors = self.registry.counter(
+            "serve_errors_total", "ERROR frames sent, by error code name.")
+        self._bytes_in = self.registry.counter(
+            "serve_bytes_in_total", "Request body bytes received.")
+        self._bytes_out = self.registry.counter(
+            "serve_bytes_out_total", "Response frame bytes sent.")
+        self._connections = self.registry.counter(
+            "serve_connections_total",
+            "Connection lifecycle events (event=opened|closed).")
+        self._active = self.registry.gauge(
+            "serve_connections_active", "Connections currently open.")
+        self._protocol_failures = self.registry.counter(
+            "serve_protocol_failures_total",
+            "Connections dropped after a lost frame boundary.")
+        self._timeouts = self.registry.counter(
+            "serve_timeouts_total", "Requests past the per-request deadline.")
+        self._coalesced = self.registry.counter(
+            "serve_coalesced_total",
+            "Requests that joined an in-flight decode.")
+        self._decodes = self.registry.counter(
+            "serve_decodes_total", "Decode work actually performed.")
+        self._latency_hist = self.registry.histogram(
+            "serve_request_seconds", "Request latency, by wire type.",
+            buckets=DEFAULT_TIME_BUCKETS)
         #: decode work actually performed: (container_id, findex) -> count.
         #: A function served from cache or a coalesced request does NOT
         #: increment this — the acceptance check "only the functions
@@ -56,18 +100,20 @@ class ServerMetrics:
     # -- recording ----------------------------------------------------------
 
     def record_connection(self, opened: bool) -> None:
-        with self._lock:
-            if opened:
-                self.connections_opened += 1
-            else:
-                self.connections_closed += 1
+        if opened:
+            self._connections.inc(event="opened")
+            self._active.inc()
+        else:
+            self._connections.inc(event="closed")
+            self._active.dec()
 
     def record_request(self, type_name: str, seconds: float,
                        bytes_in: int, bytes_out: int) -> None:
+        self._requests.inc(type=type_name)
+        self._bytes_in.inc(bytes_in)
+        self._bytes_out.inc(bytes_out)
+        self._latency_hist.observe(seconds, type=type_name)
         with self._lock:
-            self.requests[type_name] += 1
-            self.bytes_in += bytes_in
-            self.bytes_out += bytes_out
             reservoir = self._latency.get(type_name)
             if reservoir is None:
                 reservoir = deque(maxlen=RESERVOIR_SIZE)
@@ -75,24 +121,61 @@ class ServerMetrics:
             reservoir.append(seconds)
 
     def record_error(self, code_name: str) -> None:
-        with self._lock:
-            self.errors[code_name] += 1
+        self._errors.inc(code=code_name)
 
     def record_timeout(self) -> None:
-        with self._lock:
-            self.timeouts += 1
+        self._timeouts.inc()
 
     def record_protocol_failure(self) -> None:
-        with self._lock:
-            self.protocol_failures += 1
+        self._protocol_failures.inc()
 
     def record_coalesced(self) -> None:
-        with self._lock:
-            self.coalesced += 1
+        self._coalesced.inc()
 
     def record_decode(self, container_id: str, findex: int) -> None:
+        self._decodes.inc()
         with self._lock:
             self.decode_counts[(container_id, findex)] += 1
+
+    # -- registry-backed views (back-compat attribute surface) ---------------
+
+    @property
+    def requests(self) -> Counter:
+        return Counter({dict(labels).get("type", ""): count
+                        for labels, count in self._requests.collect().items()})
+
+    @property
+    def errors(self) -> Counter:
+        return Counter({dict(labels).get("code", ""): count
+                        for labels, count in self._errors.collect().items()})
+
+    @property
+    def bytes_in(self) -> int:
+        return int(self._bytes_in.value())
+
+    @property
+    def bytes_out(self) -> int:
+        return int(self._bytes_out.value())
+
+    @property
+    def connections_opened(self) -> int:
+        return int(self._connections.value(event="opened"))
+
+    @property
+    def connections_closed(self) -> int:
+        return int(self._connections.value(event="closed"))
+
+    @property
+    def protocol_failures(self) -> int:
+        return int(self._protocol_failures.value())
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._timeouts.value())
+
+    @property
+    def coalesced(self) -> int:
+        return int(self._coalesced.value())
 
     # -- reading ------------------------------------------------------------
 
@@ -102,6 +185,10 @@ class ServerMetrics:
             return {findex: count
                     for (cid, findex), count in self.decode_counts.items()
                     if cid == container_id}
+
+    def expose_text(self) -> str:
+        """Prometheus text exposition of this server's registry."""
+        return self.registry.expose_text()
 
     def snapshot(self, cache_stats: Optional[dict] = None,
                  store_stats: Optional[dict] = None) -> dict:
@@ -121,25 +208,28 @@ class ServerMetrics:
                 entry = decoded.setdefault(cid, {"functions": 0, "decodes": 0})
                 entry["functions"] += 1
                 entry["decodes"] += count
-            snapshot = {
-                "requests": dict(sorted(self.requests.items())),
-                "requests_total": sum(self.requests.values()),
-                "errors": dict(sorted(self.errors.items())),
-                "errors_total": sum(self.errors.values()),
-                "bytes_in": self.bytes_in,
-                "bytes_out": self.bytes_out,
-                "connections": {
-                    "opened": self.connections_opened,
-                    "closed": self.connections_closed,
-                    "active": self.connections_opened - self.connections_closed,
-                },
-                "protocol_failures": self.protocol_failures,
-                "timeouts": self.timeouts,
-                "coalesced": self.coalesced,
-                "latency": latency,
-                "decoded": dict(sorted(decoded.items())),
-                "decodes_total": sum(self.decode_counts.values()),
-            }
+            decodes_total = sum(self.decode_counts.values())
+        requests = self.requests
+        errors = self.errors
+        snapshot = {
+            "requests": dict(sorted(requests.items())),
+            "requests_total": sum(requests.values()),
+            "errors": dict(sorted(errors.items())),
+            "errors_total": sum(errors.values()),
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "connections": {
+                "opened": self.connections_opened,
+                "closed": self.connections_closed,
+                "active": self.connections_opened - self.connections_closed,
+            },
+            "protocol_failures": self.protocol_failures,
+            "timeouts": self.timeouts,
+            "coalesced": self.coalesced,
+            "latency": latency,
+            "decoded": dict(sorted(decoded.items())),
+            "decodes_total": decodes_total,
+        }
         if cache_stats is not None:
             snapshot["cache"] = cache_stats
         if store_stats is not None:

@@ -49,12 +49,14 @@ GET_META = 0x02
 GET_FUNCTION = 0x03
 GET_BLOCK = 0x04
 STATS = 0x05
+GET_METRICS = 0x06
 
 OK_PUT = 0x81
 OK_META = 0x82
 OK_FUNCTION = 0x83
 OK_BLOCK = 0x84
 OK_STATS = 0x85
+OK_METRICS = 0x86
 ERROR = 0xFF
 
 TYPE_NAMES = {
@@ -63,15 +65,18 @@ TYPE_NAMES = {
     GET_FUNCTION: "GET_FUNCTION",
     GET_BLOCK: "GET_BLOCK",
     STATS: "STATS",
+    GET_METRICS: "GET_METRICS",
     OK_PUT: "OK_PUT",
     OK_META: "OK_META",
     OK_FUNCTION: "OK_FUNCTION",
     OK_BLOCK: "OK_BLOCK",
     OK_STATS: "OK_STATS",
+    OK_METRICS: "OK_METRICS",
     ERROR: "ERROR",
 }
 
-REQUEST_TYPES = (PUT_CONTAINER, GET_META, GET_FUNCTION, GET_BLOCK, STATS)
+REQUEST_TYPES = (PUT_CONTAINER, GET_META, GET_FUNCTION, GET_BLOCK, STATS,
+                 GET_METRICS)
 
 # -- error codes ------------------------------------------------------------
 
@@ -412,6 +417,21 @@ def parse_ok_stats(body: bytes) -> bytes:
     return blob
 
 
+def build_ok_metrics(exposition: bytes) -> bytes:
+    """OK_METRICS carries the Prometheus text exposition as UTF-8 bytes."""
+    writer = ByteWriter()
+    writer.write_uvarint(len(exposition))
+    writer.write_bytes(exposition)
+    return writer.getvalue()
+
+
+def parse_ok_metrics(body: bytes) -> bytes:
+    reader = ByteReader(body)
+    blob = reader.read_bytes(reader.read_uvarint())
+    _expect_end(reader, "OK_METRICS")
+    return blob
+
+
 def build_error(code: int, message: str) -> bytes:
     writer = ByteWriter()
     writer.write_u8(code)
@@ -453,11 +473,13 @@ __all__ = [
     "GET_BLOCK",
     "GET_FUNCTION",
     "GET_META",
+    "GET_METRICS",
     "MAX_FRAME_BYTES",
     "Message",
     "OK_BLOCK",
     "OK_FUNCTION",
     "OK_META",
+    "OK_METRICS",
     "OK_PUT",
     "OK_STATS",
     "PROTOCOL_VERSION",
@@ -472,6 +494,7 @@ __all__ = [
     "build_ok_block",
     "build_ok_function",
     "build_ok_meta",
+    "build_ok_metrics",
     "build_ok_put",
     "build_ok_stats",
     "build_put",
@@ -485,6 +508,7 @@ __all__ = [
     "parse_ok_block",
     "parse_ok_function",
     "parse_ok_meta",
+    "parse_ok_metrics",
     "parse_ok_put",
     "parse_ok_stats",
     "parse_payload",

@@ -42,6 +42,7 @@ from ..errors import (
     TruncatedStream,
 )
 from ..lz.varint import decode_uvarint
+from ..obs import TRACER
 from . import protocol
 from .cache import DEFAULT_CACHE_BYTES, SharedLRUCache
 from .metrics import ServerMetrics
@@ -168,7 +169,11 @@ class SSDServer:
                 if message is None:
                     return
                 started = time.perf_counter()
-                response = await self._dispatch(message)
+                with TRACER.span("serve.request", type=message.type_name,
+                                 request_id=message.request_id) as span:
+                    response = await self._dispatch(message)
+                    span.set_attr("response", response.type_name)
+                    span.set_attr("bytes_in", len(message.body))
                 frame = protocol.encode_frame(response)
                 writer.write(frame)
                 try:
@@ -222,6 +227,7 @@ class SSDServer:
             protocol.GET_FUNCTION: self._handle_get_function,
             protocol.GET_BLOCK: self._handle_get_block,
             protocol.STATS: self._handle_stats,
+            protocol.GET_METRICS: self._handle_get_metrics,
         }.get(message.type)
         if handler is None:
             return error(protocol.E_BAD_REQUEST,
@@ -285,6 +291,9 @@ class SSDServer:
             self._inflight[key] = task
         else:
             self.metrics.record_coalesced()
+            follower = TRACER.current()
+            if follower is not None:
+                follower.set_attr("coalesced", True)
         return await asyncio.shield(task)
 
     def _reader_for(self, container_id: str) -> SSDReader:
@@ -306,15 +315,18 @@ class SSDServer:
         Caches its own result so the work lands in the LRU even when
         every requester has already timed out.
         """
-        reader = self._reader_for(container_id)
-        if not 0 <= findex < reader.function_count:
-            raise IndexError(f"function index {findex} out of range "
-                             f"(container has {reader.function_count})")
-        function = reader.function(findex)
-        self.metrics.record_decode(container_id, findex)
-        body = protocol.build_ok_function(findex, function.name,
-                                          function.insns)
-        self.cache.put(("func", container_id, findex), body, size=len(body))
+        with TRACER.span("serve.decode", container=container_id,
+                         findex=findex):
+            reader = self._reader_for(container_id)
+            if not 0 <= findex < reader.function_count:
+                raise IndexError(f"function index {findex} out of range "
+                                 f"(container has {reader.function_count})")
+            function = reader.function(findex)
+            self.metrics.record_decode(container_id, findex)
+            body = protocol.build_ok_function(findex, function.name,
+                                              function.insns)
+            self.cache.put(("func", container_id, findex), body,
+                           size=len(body))
         return body
 
     async def _function_body(self, container_id: str, findex: int) -> bytes:
@@ -371,6 +383,13 @@ class SSDServer:
             store_stats=self.store.stats())
         return protocol.OK_STATS, protocol.build_ok_stats(
             json.dumps(snapshot, sort_keys=True).encode("utf-8"))
+
+    async def _handle_get_metrics(self, body: bytes) -> Tuple[int, bytes]:
+        if body:
+            raise ProtocolError("GET_METRICS carries no body")
+        exposition = self.metrics.expose_text()
+        return protocol.OK_METRICS, protocol.build_ok_metrics(
+            exposition.encode("utf-8"))
 
 
 class _Busy(Exception):

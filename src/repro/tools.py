@@ -13,6 +13,7 @@ A downstream user's interface to the library without writing Python::
     ssd serve     --port 7777 --preload a.ssd    # async code server
     ssd client    HOST:PORT run a.ssd            # execute via the server
     ssd client    HOST:PORT stats                # server metrics snapshot
+    ssd stats     HOST:PORT [--json]             # Prometheus text / JSON
 
 Inputs are either assembly text files (see ``repro.isa.asm`` for the
 format) or ``bench:<name>[@<scale>]`` references to the synthetic
@@ -45,6 +46,14 @@ class ToolError(ValueError):
     """User-facing CLI errors (bad inputs, bad files)."""
 
 
+def _write_trace(path: str, root) -> None:
+    """Write one finished root span tree as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(root.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote trace to {path}", file=sys.stderr)
+
+
 def load_program(spec: str) -> Program:
     """Load a program from an asm file path or a ``bench:`` reference."""
     if spec.startswith("bench:"):
@@ -73,21 +82,32 @@ def load_program(spec: str) -> Program:
 
 
 def cmd_compress(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
+    from .obs import TRACER
+
     if args.jobs < 0:
         raise ToolError(f"--jobs must be >= 0, got {args.jobs}")
     program = load_program(args.input)
     validate_program(program)
-    profile = PhaseProfile() if args.profile else None
-    compressed = compress(program, codec=args.codec, max_len=args.max_len,
-                          jobs=args.jobs, profile=profile)
+    profile = PhaseProfile() if args.profile or args.trace else None
+    with ExitStack() as stack:
+        root = None
+        if args.trace:
+            root = stack.enter_context(
+                TRACER.span("cli.compress", input=args.input))
+        compressed = compress(program, codec=args.codec, max_len=args.max_len,
+                              jobs=args.jobs, profile=profile)
     with open(args.output, "wb") as handle:
         handle.write(compressed.data)
     x86 = native_size(program)
     print(f"{program.name}: {program.instruction_count} instructions, "
           f"native {x86} B -> {compressed.size} B "
           f"({compressed.size / x86:.1%} of native)")
-    if profile is not None:
+    if args.profile:
         print(profile.format(title="compress phases"), file=sys.stderr)
+    if args.trace:
+        _write_trace(args.trace, root)
     return 0
 
 
@@ -293,21 +313,42 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
+    from .obs import TRACER
+
     with open(args.input, "rb") as handle:
         data = handle.read()
-    if args.lazy:
-        program = LazyProgram(open_container(data))
-    else:
-        program = decompress(data)
-    inputs = [int(v) for v in args.read] if args.read else None
-    result = run_program(program, inputs=inputs, fuel=args.fuel)
+    with ExitStack() as stack:
+        root = None
+        if args.trace:
+            root = stack.enter_context(
+                TRACER.span("cli.run", input=args.input, lazy=args.lazy))
+        if args.lazy:
+            program = LazyProgram(open_container(data))
+        else:
+            program = decompress(data)
+        inputs = [int(v) for v in args.read] if args.read else None
+        result = run_program(program, inputs=inputs, fuel=args.fuel)
     for value in result.output:
         print(value)
     print(f"[halted after {result.steps} steps]", file=sys.stderr)
     if args.lazy:
         print(f"[lazily decompressed {program.decompressed_count}/"
               f"{len(program.functions)} functions]", file=sys.stderr)
+    if args.trace:
+        _write_trace(args.trace, root)
     return 0
+
+
+def _write_port_file(path: str, port: int) -> None:
+    """Atomically publish the bound port (write temp file, then rename)."""
+    import os
+
+    temp_path = f"{path}.tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        handle.write(f"{port}\n")
+    os.replace(temp_path, path)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -336,6 +377,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     async def main() -> None:
         await server.start()
+        if args.port_file:
+            _write_port_file(args.port_file, server.port)
         print(f"ssd serve: listening on {args.host}:{server.port} "
               f"({len(store)} containers)", file=sys.stderr, flush=True)
 
@@ -442,6 +485,25 @@ def cmd_client(args: argparse.Namespace) -> int:
         client.close()
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Fetch a server's metrics: Prometheus text, or the JSON snapshot."""
+    from .serve import ServeClient
+
+    host, port = _parse_address(args.server)
+    try:
+        client = ServeClient(host, port, timeout=args.timeout)
+    except OSError as exc:
+        raise ToolError(f"cannot connect to {args.server}: {exc}") from None
+    try:
+        if args.json:
+            print(json.dumps(client.stats(), sort_keys=True))
+        else:
+            sys.stdout.write(client.metrics_text())
+    finally:
+        client.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ssd", description="SSD program compression tools")
@@ -457,6 +519,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = all cores; output is identical to --jobs 1)")
     p.add_argument("--profile", action="store_true",
                    help="print per-phase timings to stderr")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write the span tree of this run as JSON to FILE")
     p.set_defaults(func=cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a .ssd file to assembly")
@@ -499,6 +563,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="decompress functions on first call")
     p.add_argument("--read", nargs="*", default=None,
                    help="values consumed by `trap 2`")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write the span tree of this run as JSON to FILE")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("serve", help="run the async SSD code server")
@@ -519,6 +585,9 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="print a JSON metrics snapshot to stderr "
                         "every SECONDS")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="atomically write the bound port to PATH once "
+                        "listening (for scripts using --port 0)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("client", help="talk to a running ssd serve")
@@ -533,6 +602,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="values consumed by `trap 2`")
     p.add_argument("--timeout", type=float, default=30.0)
     p.set_defaults(func=cmd_client)
+
+    p = sub.add_parser("stats", help="fetch metrics from a running ssd serve")
+    p.add_argument("server", help="HOST:PORT of the server")
+    p.add_argument("--json", action="store_true",
+                   help="print the STATS JSON snapshot instead of the "
+                        "Prometheus text exposition")
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.set_defaults(func=cmd_stats)
     return parser
 
 

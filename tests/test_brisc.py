@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from repro.brisc import (
     BriscError,
     Pattern,
-    PatternDictionary,
     compress,
     decompress,
     train,

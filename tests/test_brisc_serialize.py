@@ -5,7 +5,6 @@ from hypothesis import given, settings
 
 from repro.brisc import (
     BriscDictionaryError,
-    PatternDictionary,
     compress,
     decompress,
     deserialize_dictionary,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa import Instruction, Op, assemble
+from repro.isa import Op, assemble
 from repro.core import build_dictionary, dictionary_statistics
 from repro.core.dictionary import MAX_SEQUENCE_LENGTH
 

@@ -7,7 +7,6 @@ and compare them, entry by entry, against the compressor's layouts — for
 random programs and for both partitioned and unpartitioned dictionaries.
 """
 
-import pytest
 from hypothesis import given, settings
 
 from repro.core import build_dictionary, plan_partition

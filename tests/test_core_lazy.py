@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import compress
-from repro.core.lazy import LazyProgram, lazy_program
+from repro.core.lazy import lazy_program
 from repro.isa import assemble
 from repro.vm import run_program
 

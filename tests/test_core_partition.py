@@ -12,7 +12,6 @@ from repro.core import (
 from repro.core import partition as partition_module
 from repro.core.partition import PartitionError, _tree_node_count
 from repro.isa import assemble
-from repro.workloads import benchmark_program, clear_cache
 
 
 def _diverse_program(functions=12, insns_per_fn=40):

@@ -53,7 +53,7 @@ class TestContainerErrors:
     def test_name_count_mismatch_rejected(self, container_bytes):
         # Rewrite the name blob to hold a different number of names.
         from repro.lz import lz77
-        from repro.lz.varint import ByteReader, ByteWriter
+        from repro.lz.varint import ByteWriter
 
         sections = parse(container_bytes)
         sections.function_names.append("ghost")

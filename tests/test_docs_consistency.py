@@ -135,3 +135,74 @@ class TestProtocolDoc:
         doc = _read("docs/PROTOCOL.md")
         assert f"version {protocol.PROTOCOL_VERSION}" in doc
         assert "SHA-256" in doc
+
+
+class TestObservabilityDoc:
+    def _doc(self):
+        return _read("docs/OBSERVABILITY.md")
+
+    def test_doc_exists_and_is_linked(self):
+        doc = self._doc()
+        assert "repro.obs" in doc
+        assert "docs/OBSERVABILITY.md" in _read("README.md")
+        assert "docs/OBSERVABILITY.md" in _read("DESIGN.md")
+
+    def _documented_families(self):
+        # Metric families appear as the first cell of table rows:
+        # "| `name_total` | counter | ... |".
+        return re.findall(r"^\| `([a-z_]+)` \|", self._doc(), re.MULTILINE)
+
+    def test_documented_metrics_exist(self):
+        # Import every instrumented subsystem so registration runs.
+        import repro.core.compressor  # noqa: F401
+        import repro.core.decompressor  # noqa: F401
+        import repro.jit.buffer  # noqa: F401
+        import repro.jit.instruction_table  # noqa: F401
+        import repro.jit.resilience  # noqa: F401
+        import repro.jit.translator  # noqa: F401
+        import repro.lz.arith  # noqa: F401
+        import repro.lz.lz77  # noqa: F401
+        from repro.obs import REGISTRY
+        from repro.serve.metrics import ServerMetrics
+
+        families = self._documented_families()
+        assert len(families) >= 25, "metric tables went missing"
+        serve_registry = ServerMetrics().registry
+        for name in families:
+            registry = serve_registry if name.startswith("serve_") else REGISTRY
+            assert name in registry, f"documented family {name} not registered"
+
+    def test_registered_metrics_are_documented(self):
+        # The reverse direction: nothing registers a family the doc
+        # does not list.
+        import repro.core.compressor  # noqa: F401
+        import repro.core.decompressor  # noqa: F401
+        import repro.jit.buffer  # noqa: F401
+        import repro.jit.resilience  # noqa: F401
+        from repro.obs import REGISTRY
+        from repro.serve.metrics import ServerMetrics
+
+        documented = set(self._documented_families())
+        live = set(REGISTRY.names()) | set(ServerMetrics().registry.names())
+        assert live <= documented, sorted(live - documented)
+
+    def test_documented_spans_exist_in_source(self):
+        doc = self._doc()
+        spans = set(re.findall(r"`((?:[a-z_]+\.)+[a-z_]+)`", doc))
+        spans = {name for name in spans if not name.startswith("repro.")}
+        spans -= {"time.perf_counter", "asyncio.to_thread", "trace.json",
+                  "PhaseProfile.phase", "Span.to_dict", "ServerMetrics.registry",
+                  "ServerMetrics.expose_text", "REGISTRY.expose_text",
+                  "MetricsRegistry.expose_text", "TRACER.find_roots",
+                  "Span.find", "threading.Thread", "contextvars.copy_context"}
+        assert "serve.decode" in spans and "jit.translate" in spans
+        src = ROOT / "src" / "repro"
+        source_text = "\n".join(path.read_text(encoding="utf-8")
+                                for path in src.rglob("*.py"))
+        for name in sorted(spans):
+            # Spans open either directly (TRACER.span("x")) or through
+            # the profile adapter (profile.phase("x") -> a span).
+            opened = (f'span("{name}"' in source_text
+                      or f'phase("{name}"' in source_text)
+            assert opened, (
+                f"documented span {name!r} not opened anywhere in src/repro")

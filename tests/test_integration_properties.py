@@ -18,7 +18,7 @@ from .strategies import programs
 
 
 def _outputs(program, fuel=60_000):
-    from repro.vm import OutOfFuel, VMError
+    from repro.vm import VMError
 
     try:
         result = run_program(program, fuel=fuel)

@@ -5,10 +5,8 @@ from hypothesis import given, settings
 
 from repro.isa import (
     AsmError,
-    Function,
     Instruction,
     Op,
-    Program,
     assemble,
     decode_program,
     disassemble,

@@ -5,7 +5,6 @@ from hypothesis import given
 
 from repro.isa import (
     Instruction,
-    Kind,
     NUM_REGISTERS,
     OP_BY_CODE,
     OP_BY_MNEMONIC,

@@ -5,7 +5,6 @@ import pytest
 from repro.core import CopyPhaseError, compress, open_container
 from repro.core.copy_phase import copy_translate
 from repro.isa import assemble
-from repro.jit import build_tables
 from repro.jit.block_translator import BlockTranslator, copy_translate_range
 
 SOURCE = """

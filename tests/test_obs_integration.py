@@ -1,0 +1,148 @@
+"""End-to-end observability tests.
+
+The acceptance test drives the full stack — compress a program, serve
+it, execute it remotely (decoding server-side), then JIT-translate the
+container locally — and asserts the shared tracer captured every leg
+with stable span names and nonzero monotonic durations.  A second test
+pins the ``ssd compress --profile`` report so the perf->obs adapter
+cannot silently change the CLI contract.
+"""
+
+import re
+
+from repro.core import compress
+from repro.core.decompressor import open_container
+from repro.isa import assemble
+from repro.jit import Translator
+from repro.obs import REGISTRY, TRACER
+from repro.perf.profile import PhaseProfile
+from repro.serve import RemoteProgram, ServeClient, serve_in_thread
+from repro.tools import main
+from repro.vm import run_program
+
+ASM = """
+func main
+    li r2, 6
+    call double
+    trap 1
+    ret
+end
+func double
+    add r1, r2, r2
+    ret
+end
+"""
+
+COMPRESS_PHASES = [
+    "dictionary.base_entries",
+    "dictionary.ngrams",
+    "dictionary.segmentation",
+    "dictionary.rewrite",
+    "partition",
+    "layout",
+    "items",
+    "serialize",
+]
+
+
+class TestEndToEndTrace:
+    def test_trace_spans_compress_serve_and_jit(self):
+        TRACER.clear()
+        program = assemble(ASM)
+        compressed = compress(program, profile=PhaseProfile())
+        container = compressed.data
+
+        with serve_in_thread() as handle:
+            with ServeClient(*handle.address) as client:
+                remote = RemoteProgram(client, container)
+                result = run_program(remote)
+                stats = client.stats()
+        assert result.output == run_program(program).output
+        assert stats["decodes_total"] >= 1
+
+        reader = open_container(container)
+        Translator(reader).translate_function(0)
+
+        # Compressor leg: one "compress" root whose children are the
+        # documented phase spans, each with a real duration.
+        (compress_root,) = TRACER.find_roots("compress")
+        phase_names = [child.name for child in compress_root.children]
+        assert phase_names == COMPRESS_PHASES
+        for child in compress_root.children:
+            assert child.duration is not None and child.duration > 0
+        assert compress_root.duration > 0
+
+        # Server leg: GET_FUNCTION requests carry a serve.decode child
+        # that inherits the request's trace id (context propagation
+        # across asyncio.to_thread).
+        fetches = [
+            root
+            for root in TRACER.find_roots("serve.request")
+            if root.attrs.get("type") == "GET_FUNCTION"
+        ]
+        assert fetches, "remote run produced no GET_FUNCTION spans"
+        decodes = [
+            (root, decode)
+            for root in fetches
+            for decode in root.find("serve.decode")
+        ]
+        assert decodes, "no serve.decode span under any request"
+        for root, decode in decodes:
+            assert decode.trace_id == root.trace_id
+            assert decode.parent_id is not None
+            assert decode.duration is not None and decode.duration > 0
+
+        # JIT leg: translate_function opens its own jit.translate span.
+        (jit_root,) = TRACER.find_roots("jit.translate")
+        assert jit_root.attrs == {"findex": 0}
+        assert jit_root.duration is not None and jit_root.duration > 0
+
+        # The shared registry saw all three subsystems.
+        assert REGISTRY.get("compress_programs_total").total() >= 1
+        assert REGISTRY.get("jit_translate_total").total() >= 1
+
+    def test_request_ids_distinguish_requests(self):
+        TRACER.clear()
+        container = compress(assemble(ASM)).data
+        with serve_in_thread() as handle:
+            with ServeClient(*handle.address) as client:
+                RemoteProgram(client, container)
+        roots = TRACER.find_roots("serve.request")
+        request_ids = [root.attrs.get("request_id") for root in roots]
+        assert len(request_ids) >= 2
+        assert len(set(request_ids)) == len(request_ids)
+
+
+PHASE_LINE = re.compile(r"^  (?P<name>\S+) +(?P<ms>\d+\.\d{2}) ms +\d+\.\d%$")
+TOTAL_LINE = re.compile(r"^  total +\d+\.\d{2} ms$")
+
+
+class TestProfileOutputRegression:
+    """``ssd compress --profile`` must keep its exact report shape."""
+
+    def test_profile_keys_and_layout_unchanged(self, tmp_path, capsys):
+        out = tmp_path / "bench.ssd"
+        rc = main(
+            [
+                "compress",
+                "bench:compress@0.2",
+                "-o",
+                str(out),
+                "--profile",
+            ]
+        )
+        assert rc == 0
+        err = capsys.readouterr().err
+        report = [
+            line
+            for line in err.splitlines()
+            if line.startswith(("compress phases", "  "))
+        ]
+        assert report[0] == "compress phases:"
+        assert TOTAL_LINE.match(report[-1]), report[-1]
+        names = []
+        for line in report[1:-1]:
+            match = PHASE_LINE.match(line)
+            assert match, f"malformed profile line: {line!r}"
+            names.append(match.group("name"))
+        assert names == COMPRESS_PHASES

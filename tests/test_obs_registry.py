@@ -1,0 +1,251 @@
+"""Tests for the metrics registry (repro.obs.registry)."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SIZE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        counter = Counter("c_total", "help")
+        assert counter.value() == 0
+        assert counter.total() == 0
+
+    def test_inc_default_and_amount(self):
+        counter = Counter("c_total", "help")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value() == 42
+
+    def test_labels_are_independent_series(self):
+        counter = Counter("c_total", "help")
+        counter.inc(kind="a")
+        counter.inc(2, kind="b")
+        assert counter.value(kind="a") == 1
+        assert counter.value(kind="b") == 2
+        assert counter.total() == 3
+
+    def test_label_order_does_not_matter(self):
+        counter = Counter("c_total", "help")
+        counter.inc(a="1", b="2")
+        assert counter.value(b="2", a="1") == 1
+
+    def test_rejects_negative_increment(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_expose_unlabeled_zero(self):
+        lines = Counter("c_total", "things").expose()
+        assert lines == [
+            "# HELP c_total things",
+            "# TYPE c_total counter",
+            "c_total 0",
+        ]
+
+    def test_expose_sorted_labels(self):
+        counter = Counter("c_total", "things")
+        counter.inc(kind="b")
+        counter.inc(kind="a")
+        lines = counter.expose()
+        assert lines[2] == 'c_total{kind="a"} 1'
+        assert lines[3] == 'c_total{kind="b"} 1'
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g", "help")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value() == 12
+
+    def test_can_go_negative(self):
+        gauge = Gauge("g", "help")
+        gauge.dec(2)
+        assert gauge.value() == -2
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_boundary_lands_in_that_bucket(self):
+        hist = Histogram("h", "help", buckets=(1.0, 2.0, 4.0))
+        hist.observe(2.0)
+        (series,) = hist.collect().values()
+        # Cumulative counts: <=1.0 none, <=2.0 one, <=4.0 one.
+        assert series["buckets"] == [(1.0, 0), (2.0, 1), (4.0, 1)]
+
+    def test_value_above_last_bound_is_inf_only(self):
+        hist = Histogram("h", "help", buckets=(1.0, 2.0))
+        hist.observe(100.0)
+        (series,) = hist.collect().values()
+        assert series["buckets"] == [(1.0, 0), (2.0, 0)]
+        assert series["count"] == 1
+        assert series["sum"] == 100.0
+
+    def test_zero_lands_in_first_bucket(self):
+        hist = Histogram("h", "help", buckets=(1.0, 2.0))
+        hist.observe(0.0)
+        (series,) = hist.collect().values()
+        assert series["buckets"] == [(1.0, 1), (2.0, 1)]
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ValueError, match="strictly"):
+            Histogram("h", "help", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="strictly"):
+            Histogram("h", "help", buckets=(2.0, 1.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", "help", buckets=())
+
+    def test_default_bucket_tables_are_sorted(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+        assert list(DEFAULT_SIZE_BUCKETS) == sorted(DEFAULT_SIZE_BUCKETS)
+
+    def test_exposition_is_cumulative_with_inf(self):
+        hist = Histogram("h", "help", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        hist.observe(9.0)
+        lines = hist.expose()
+        assert 'h_bucket{le="1"} 1' in lines
+        assert 'h_bucket{le="2"} 2' in lines
+        assert 'h_bucket{le="+Inf"} 3' in lines
+        assert "h_sum 11" in lines
+        assert "h_count 3" in lines
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help")
+        second = registry.counter("x_total", "ignored")
+        assert first is second
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "help")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total", "help")
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total")
+        registry.gauge("a")
+        assert "a" in registry
+        assert "missing" not in registry
+        assert registry.names() == ["a", "b_total"]
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(kind="x")
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        payload = json.loads(json.dumps(registry.snapshot()))
+        assert payload["c_total"]["kind"] == "counter"
+        assert payload["c_total"]["series"]['{kind="x"}'] == 1
+        assert payload["h"]["series"]["_"]["count"] == 1
+
+    def test_expose_text_sorted_and_deterministic(self):
+        registry = MetricsRegistry()
+        registry.counter("z_total", "last").inc()
+        registry.counter("a_total", "first").inc(2)
+        text = registry.expose_text()
+        assert text.index("a_total") < text.index("z_total")
+        assert text == registry.expose_text()
+        assert text.endswith("\n")
+
+    def test_process_registry_has_instrumented_families(self):
+        # Importing the instrumented subsystems registers their schema.
+        import repro.core.compressor  # noqa: F401
+        import repro.jit.buffer  # noqa: F401
+
+        assert "compress_programs_total" in REGISTRY
+        assert "jit_buffer_evictions_total" in REGISTRY
+
+
+class TestThreadSafety:
+    THREADS = 8
+    ROUNDS = 2500
+
+    def test_counter_hammer(self):
+        counter = Counter("c_total", "help")
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(tid):
+            barrier.wait()
+            for _ in range(self.ROUNDS):
+                counter.inc()
+                counter.inc(2, worker=tid % 2)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == self.THREADS * self.ROUNDS
+        assert counter.total() == 3 * self.THREADS * self.ROUNDS
+
+    def test_histogram_hammer(self):
+        hist = Histogram("h", "help", buckets=(0.5, 1.5))
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(tid):
+            barrier.wait()
+            for index in range(self.ROUNDS):
+                hist.observe(index % 3, worker=tid % 2)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = self.THREADS * self.ROUNDS
+        assert hist.total_count() == total
+        combined = sum(series["count"] for series in hist.collect().values())
+        assert combined == total
+
+    def test_registry_get_or_create_hammer(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS)
+        families = []
+        lock = threading.Lock()
+
+        def hammer():
+            barrier.wait()
+            for index in range(200):
+                family = registry.counter(f"m{index % 10}_total")
+                family.inc()
+                with lock:
+                    families.append(family)
+
+        threads = [threading.Thread(target=hammer) for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(registry.names()) == 10
+        # Every thread got the same family object per name.
+        by_name = {}
+        for family in families:
+            by_name.setdefault(family.name, family)
+            assert by_name[family.name] is family
+        total = sum(registry.get(name).total() for name in registry.names())
+        assert total == self.THREADS * 200

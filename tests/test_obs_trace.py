@@ -1,0 +1,206 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import json
+import threading
+
+from repro.obs import Tracer, format_tree, span_from_dict
+
+
+class TestNesting:
+    def test_child_links_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert inner.trace_id == outer.trace_id
+        assert outer.children == [inner]
+        assert tracer.roots() == [outer]
+
+    def test_three_levels_deep(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        (root,) = tracer.roots()
+        names = [node.name for node in root.walk()]
+        assert names == ["a", "b", "c"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        assert [child.name for child in parent.children] == [
+            "first",
+            "second",
+        ]
+
+    def test_separate_roots_get_separate_traces(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        one, two = tracer.roots()
+        assert one.trace_id != two.trace_id
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_durations_monotonic_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration is not None and inner.duration >= 0
+        assert outer.duration >= inner.duration
+
+    def test_span_finishes_on_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom") as node:
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert node.finished
+        assert tracer.roots() == [node]
+
+    def test_root_ring_is_bounded(self):
+        tracer = Tracer(max_roots=4)
+        for index in range(10):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [root.name for root in tracer.roots()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.roots() == []
+
+    def test_find_and_find_roots(self):
+        tracer = Tracer()
+        with tracer.span("req"):
+            with tracer.span("decode"):
+                pass
+            with tracer.span("decode"):
+                pass
+        (root,) = tracer.find_roots("req")
+        assert len(root.find("decode")) == 2
+        assert tracer.find_roots("missing") == []
+
+
+class TestJsonRoundTrip:
+    def test_to_dict_and_back(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test") as outer:
+            outer.set_attr("extra", 7)
+            with tracer.span("inner", findex=3):
+                pass
+        payload = json.loads(json.dumps(outer.to_dict()))
+        rebuilt = span_from_dict(payload)
+        assert rebuilt.name == "outer"
+        assert rebuilt.attrs == {"kind": "test", "extra": 7}
+        assert rebuilt.trace_id == outer.trace_id
+        assert rebuilt.duration == outer.duration
+        (child,) = rebuilt.children
+        assert child.name == "inner"
+        assert child.attrs == {"findex": 3}
+        assert child.parent_id == outer.span_id
+
+    def test_export_returns_all_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        exported = tracer.export()
+        assert [tree["name"] for tree in exported] == ["a", "b"]
+
+    def test_format_tree_shows_nesting_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="x"):
+            with tracer.span("inner"):
+                pass
+        (root,) = tracer.roots()
+        text = format_tree(root)
+        lines = text.splitlines()
+        assert lines[0].startswith("outer")
+        assert "kind=x" in lines[0]
+        assert lines[1].startswith("  inner")
+        assert "ms" in lines[0]
+
+
+class TestThreads:
+    def test_threads_do_not_share_ambient_parent(self):
+        # A plain thread does not inherit the spawning context, so spans
+        # opened there become their own roots rather than children.
+        tracer = Tracer()
+        results = []
+
+        def worker():
+            with tracer.span("thread-root") as node:
+                results.append(node)
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        (worker_span,) = results
+        assert worker_span.parent_id is None
+        names = sorted(root.name for root in tracer.roots())
+        assert names == ["main-root", "thread-root"]
+
+    def test_copied_context_parents_across_threads(self):
+        # Copying the context (what asyncio.to_thread does) carries the
+        # ambient span into the worker, parenting its spans correctly.
+        import contextvars
+
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("child"):
+                pass
+
+        with tracer.span("parent") as parent:
+            context = contextvars.copy_context()
+            thread = threading.Thread(target=context.run, args=(worker,))
+            thread.start()
+            thread.join()
+        (child,) = parent.children
+        assert child.name == "child"
+        assert child.trace_id == parent.trace_id
+
+    def test_concurrent_children_all_attach(self):
+        tracer = Tracer()
+        import contextvars
+
+        threads = []
+        with tracer.span("parent") as parent:
+            for _ in range(8):
+                context = contextvars.copy_context()
+
+                def worker():
+                    with tracer.span("child"):
+                        pass
+
+                threads.append(threading.Thread(target=context.run, args=(worker,)))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(parent.children) == 8
+        assert {child.name for child in parent.children} == {"child"}

@@ -290,3 +290,91 @@ class TestServeClientCLI:
 
     def test_client_missing_target(self, address, capsys):
         assert main(["client", address, "run"]) == 2
+
+    def test_stats_text_exposition(self, address, ssd_file, capsys):
+        assert main(["client", address, "put", str(ssd_file)]) == 0
+        capsys.readouterr()
+        assert main(["stats", address]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE serve_requests_total counter" in out
+        assert "# TYPE serve_request_seconds histogram" in out
+        assert 'serve_requests_total{type="PUT_CONTAINER"}' in out
+
+    def test_stats_json(self, address, capsys):
+        import json
+
+        assert main(["stats", address, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests_total"] >= 1
+        assert "latency" in payload
+
+    def test_stats_connection_refused(self, capsys):
+        assert main(["stats", "127.0.0.1:1"]) == 2
+
+
+class TestTraceOutput:
+    def test_compress_trace_tree(self, asm_file, tmp_path, capsys):
+        import json
+
+        ssd = tmp_path / "t.ssd"
+        trace = tmp_path / "trace.json"
+        assert main(["compress", str(asm_file), "-o", str(ssd),
+                     "--trace", str(trace)]) == 0
+        tree = json.loads(trace.read_text())
+        assert tree["name"] == "cli.compress"
+        assert tree["duration_s"] > 0
+        children = {child["name"] for child in tree["children"]}
+        assert "compress" in children
+        (compress_span,) = [child for child in tree["children"]
+                            if child["name"] == "compress"]
+        phases = [child["name"] for child in compress_span["children"]]
+        assert "dictionary.base_entries" in phases
+        assert "serialize" in phases
+        assert all(child["duration_s"] is not None
+                   for child in compress_span["children"])
+
+    def test_run_trace_tree(self, ssd_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "runtrace.json"
+        assert main(["run", str(ssd_file), "--lazy",
+                     "--trace", str(trace)]) == 0
+        tree = json.loads(trace.read_text())
+        assert tree["name"] == "cli.run"
+        names = {child["name"] for child in tree.get("children", [])}
+        assert "container.open" in names
+
+
+class TestServePortFile:
+    def test_port_file_written_atomically(self, ssd_file, tmp_path):
+        import os
+        import subprocess
+        import sys
+        import time
+
+        from repro.serve import ServeClient
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+        port_file = tmp_path / "ssd.port"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.tools", "serve", "--port", "0",
+             "--port-file", str(port_file), "--preload", str(ssd_file)],
+            env={**os.environ, "PYTHONPATH": src_dir},
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        try:
+            deadline = time.monotonic() + 30.0
+            while not port_file.exists():
+                assert proc.poll() is None, "server exited before binding"
+                assert time.monotonic() < deadline, "port file never appeared"
+                time.sleep(0.05)
+            port = int(port_file.read_text().strip())
+            assert port > 0
+            # No .tmp remnant: the write is temp-file + rename.
+            assert not (tmp_path / "ssd.port.tmp").exists()
+            with ServeClient("127.0.0.1", port, timeout=10.0) as client:
+                assert client.stats()["requests_total"] >= 0
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa import Instruction, Op, assemble
+from repro.isa import assemble
 from repro.vm import (
     ControlFault,
     Interpreter,
