@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..errors import BriscError
 from ..isa import Function, Instruction, Program, basic_blocks, info
 from ..isa.encoding import decode_instruction, encode_instruction
 from ..lz.varint import ByteReader, ByteWriter
@@ -30,9 +31,12 @@ _TWO_BYTE_PREFIX = 0xF0
 _ESCAPE = 0xFF
 _RANK_ESCAPE = 15
 
-
-class BriscError(ValueError):
-    """Raised for unencodable programs or corrupt streams."""
+# ``BriscError`` now lives in :mod:`repro.errors` (it subclasses
+# ``CorruptContainer``, which is still a ``ValueError``, so historical
+# ``except ValueError`` callers keep working); re-exported here because
+# this module has always been its import site.
+__all__ = ["BriscError", "BriscCompressed", "compress", "compress_function",
+           "decompress", "decompress_function"]
 
 
 def _write_code(writer: ByteWriter, code: int) -> None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..errors import BriscError
 from ..isa import NUM_REGISTERS
 from ..isa.opcodes import OP_BY_CODE, OP_TABLE
 from ..lz.varint import ByteReader, ByteWriter
@@ -32,8 +33,13 @@ MAGIC = b"BRD1"
 _FIELD_TAGS = ("rd", "rs1", "rs2", "imm")
 
 
-class BriscDictionaryError(ValueError):
-    """Raised for malformed serialized dictionaries."""
+class BriscDictionaryError(BriscError):
+    """Raised for malformed serialized dictionaries.
+
+    A :class:`repro.errors.BriscError` (hence ``CorruptContainer`` and
+    ``ValueError``), so dictionary corruption classifies like any other
+    decode failure in fault sweeps.
+    """
 
 
 def serialize_dictionary(dictionary: PatternDictionary) -> bytes:

@@ -1,0 +1,66 @@
+"""Pluggable program codecs: one interface, many compression schemes.
+
+SSD is one point in a design space (split-stream dictionaries vs. pattern
+dictionaries vs. plain LZ); this package is the seam that lets the rest
+of the stack — CLI, code server, JIT, experiments — treat them uniformly:
+
+* :class:`Codec` / :class:`CodecReader` / :class:`CompressedProgram` —
+  the interface contract (``repro.codecs.base``);
+* the registry (``repro.codecs.registry``) — string codec ids, lazy
+  entry-point-style registration; built-ins are ``ssd``, ``brisc``,
+  ``lz77-raw`` and the profile-guided ``auto`` selector;
+* the v3 container envelope (``repro.codecs.container``) — a codec-id
+  byte plus a checksummed opaque payload, so non-SSD codecs get durable
+  containers without touching the SSD layout;
+* dispatch (``repro.codecs.dispatch``) — :func:`open_any` and friends,
+  which route v1/v2 bytes to ``ssd`` and v3 bytes to whichever codec the
+  envelope names.
+
+See docs/CODECS.md for the contract and how to register a new codec.
+"""
+
+from .auto import AutoSelection, FunctionChoice, select
+from .base import (
+    Codec,
+    CodecReader,
+    CompressedProgram,
+    FunctionBlobReader,
+    SimpleCompressed,
+)
+from .dispatch import (
+    codec_of,
+    compress_with,
+    decompress_any,
+    integrity_report_any,
+    open_any,
+)
+from .registry import (
+    UnknownCodec,
+    by_wire_id,
+    codec_ids,
+    get_codec,
+    register,
+    register_lazy,
+)
+
+__all__ = [
+    "AutoSelection",
+    "Codec",
+    "CodecReader",
+    "CompressedProgram",
+    "FunctionBlobReader",
+    "FunctionChoice",
+    "SimpleCompressed",
+    "UnknownCodec",
+    "by_wire_id",
+    "codec_ids",
+    "codec_of",
+    "compress_with",
+    "decompress_any",
+    "get_codec",
+    "integrity_report_any",
+    "open_any",
+    "register",
+    "register_lazy",
+    "select",
+]

@@ -1,0 +1,166 @@
+"""The ``auto`` codec: profile-guided codec selection.
+
+The first consumer the codec seam exists for (the Access-Pattern-Based
+Code Compression idea: pick the scheme per code region from profile
+data).  ``auto`` compresses the program with every concrete candidate
+codec, weighs per-function byte costs by call hotness (a Zipf call trace
+from ``repro.workloads`` — the same popularity model the buffer
+experiments replay), and emits the candidate whose *container* is
+smallest.  Ties go to ``ssd``, so ``auto`` never produces a larger
+container than plain SSD.
+
+``auto`` is a selector, not a wire format: its output is some concrete
+codec's container (a v2 SSD container or a v3 envelope), so it has no
+wire id and can never appear in an envelope's codec-id byte.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.container import ContainerError, DecodeLimits, DEFAULT_LIMITS
+from ..isa import Program
+from .base import Codec, CodecReader, CompressedProgram
+
+#: concrete codecs ``auto`` chooses between, in tie-break preference order
+CANDIDATE_IDS: Tuple[str, ...] = ("ssd", "brisc", "lz77-raw")
+
+
+@dataclass(frozen=True)
+class FunctionChoice:
+    """Per-function outcome: byte cost under each codec, and the winner."""
+
+    findex: int
+    name: str
+    hotness: float
+    sizes: Dict[str, int]
+    best: str
+
+
+@dataclass(frozen=True)
+class AutoSelection:
+    """Everything :func:`select` measured before picking the winner."""
+
+    program_name: str
+    #: total container bytes per candidate codec id
+    totals: Dict[str, int]
+    #: hotness-weighted mean per-function byte cost per candidate
+    weighted_costs: Dict[str, float]
+    #: the candidate whose container ``auto`` emits
+    chosen: str
+    per_function: List[FunctionChoice]
+    outputs: Dict[str, CompressedProgram]
+
+    @property
+    def output(self) -> CompressedProgram:
+        return self.outputs[self.chosen]
+
+
+def _hotness(program: Program, seed: int) -> List[float]:
+    """Normalized call-count weights from a Zipf trace over the program.
+
+    Uses the same phased-Zipf generator as the RAM-buffer experiments, so
+    "hot" means what it means everywhere else in the repo.  Programs too
+    small for a trace get uniform weights.
+    """
+    count = len(program.functions)
+    if count < 2:
+        return [1.0] * count
+    from ..workloads.traces import TraceSpec, generate_trace
+    trace = generate_trace(TraceSpec(function_count=count,
+                                     calls_per_phase=2000, seed=seed))
+    counts = Counter(trace)
+    total = float(len(trace)) or 1.0
+    return [counts.get(findex, 0) / total for findex in range(count)]
+
+
+def _function_sizes(program: Program,
+                    outputs: Dict[str, CompressedProgram]) -> Dict[str, List[int]]:
+    """Per-function byte cost under each candidate codec.
+
+    For the blob-per-function codecs this is exact (the blob length);
+    for SSD the shared dictionaries are amortized over functions in
+    proportion to their item-stream bytes.
+    """
+    from ..brisc.codec import compress_function as brisc_compress_function
+    from ..brisc.patterns import train
+    from ..core.container import parse
+    from ..isa.encoding import encode_function
+    from ..lz import lz77
+
+    sizes: Dict[str, List[int]] = {}
+    if "ssd" in outputs:
+        sections = parse(outputs["ssd"].data)
+        items = [len(stream) for stream in sections.item_streams]
+        shared = outputs["ssd"].size - sum(items)
+        total_items = sum(items) or 1
+        sizes["ssd"] = [stream + (shared * stream) // total_items
+                        for stream in items]
+    if "brisc" in outputs:
+        dictionary = train([program])
+        sizes["brisc"] = [len(brisc_compress_function(fn, dictionary))
+                          for fn in program.functions]
+    if "lz77-raw" in outputs:
+        sizes["lz77-raw"] = [len(lz77.compress(encode_function(fn)))
+                             for fn in program.functions]
+    return sizes
+
+
+def select(program: Program, *,
+           candidates: Tuple[str, ...] = CANDIDATE_IDS,
+           trace_seed: int = 1234,
+           **options: Any) -> AutoSelection:
+    """Measure every candidate codec on ``program`` and pick a winner.
+
+    The winner minimizes total container bytes; ties resolve in
+    ``candidates`` order (``ssd`` first), so the selection is never worse
+    than plain SSD.  ``options`` are forwarded to each candidate's
+    ``compress`` (candidates ignore options they don't understand).
+    """
+    from .registry import get_codec
+
+    outputs: Dict[str, CompressedProgram] = {}
+    for codec_id in candidates:
+        outputs[codec_id] = get_codec(codec_id).compress(program, **options)
+    totals = {codec_id: output.size for codec_id, output in outputs.items()}
+    chosen = min(candidates, key=lambda codec_id: (totals[codec_id],
+                                                   candidates.index(codec_id)))
+
+    hotness = _hotness(program, trace_seed)
+    per_codec = _function_sizes(program, outputs)
+    per_function: List[FunctionChoice] = []
+    weighted: Dict[str, float] = {codec_id: 0.0 for codec_id in per_codec}
+    for findex, fn in enumerate(program.functions):
+        fn_sizes = {codec_id: column[findex]
+                    for codec_id, column in per_codec.items()}
+        best = min(fn_sizes, key=lambda codec_id: (fn_sizes[codec_id],
+                                                   candidates.index(codec_id)))
+        for codec_id, cost in fn_sizes.items():
+            weighted[codec_id] += hotness[findex] * cost
+        per_function.append(FunctionChoice(
+            findex=findex, name=fn.name, hotness=hotness[findex],
+            sizes=fn_sizes, best=best))
+    return AutoSelection(program_name=program.name, totals=totals,
+                         weighted_costs=weighted, chosen=chosen,
+                         per_function=per_function, outputs=outputs)
+
+
+class AutoCodec(Codec):
+    """Profile-guided selector over the concrete registered codecs."""
+
+    codec_id = "auto"
+    wire_id = 0  # never on the wire: emits the winning codec's container
+    description = ("profile-guided selector: compresses with every "
+                   "concrete codec and emits the smallest container "
+                   "(ties prefer ssd)")
+
+    def compress(self, program: Program, **options: Any) -> CompressedProgram:
+        return select(program, **options).output
+
+    def open_payload(self, payload: bytes,
+                     limits: DecodeLimits = DEFAULT_LIMITS) -> CodecReader:
+        raise ContainerError(
+            "'auto' is a selector, not a wire codec; its output is a "
+            "concrete codec's container — open it with repro.codecs.open_any")

@@ -1,0 +1,148 @@
+"""The ``brisc`` codec: pattern-dictionary compression as a container.
+
+``repro.brisc`` historically produced only in-memory
+:class:`~repro.brisc.codec.BriscCompressed` objects — no container, no
+server path, no CLI reach.  This module gives it real bytes: the trained
+external dictionary is *embedded* in the payload (trained on the program
+itself when none is supplied), so a BRISC container is self-contained
+exactly like an SSD one, and the dictionary bytes are charged to the
+compressed size.
+
+Payload layout inside the v3 envelope (varints unless stated)::
+
+    program name    (uvarint length + utf-8)
+    entry function index
+    function count
+    per function:   name (uvarint length + utf-8)
+    dictionary      (uvarint length + serialized PatternDictionary, b"BRD1")
+    per function:   code blob (uvarint length + bytes)
+
+Functions decode independently (BRISC is interpretable), so the reader
+serves per-function requests without touching other blobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, List, Optional
+
+from ..brisc.codec import compress_function, decompress_function
+from ..brisc.patterns import DEFAULT_BUDGET, PatternDictionary, train
+from ..brisc.serialize import deserialize_dictionary, serialize_dictionary
+from ..core.container import DEFAULT_LIMITS, DecodeLimits
+from ..errors import LimitExceeded, ReproError, as_corrupt
+from ..isa import Function, Program
+from ..lz.varint import ByteReader, ByteWriter
+from .base import Codec, CodecReader, CompressedProgram, FunctionBlobReader, SimpleCompressed
+from .container import wrap
+
+
+class BriscReader(FunctionBlobReader):
+    """Per-function decode over an embedded-dictionary BRISC payload."""
+
+    codec_id = "brisc"
+
+    def __init__(self, *, program_name: str, entry: int,
+                 function_names: List[str], blobs: List[bytes],
+                 dictionary: PatternDictionary,
+                 container_hash: Optional[str] = None) -> None:
+        super().__init__(program_name=program_name, entry=entry,
+                         function_names=function_names,
+                         container_hash=container_hash)
+        self._blobs = blobs
+        self._dictionary = dictionary
+
+    def _decode_function(self, findex: int) -> Function:
+        return decompress_function(self._blobs[findex],
+                                   self._function_names[findex],
+                                   self._dictionary)
+
+
+def _read_name(reader: ByteReader, what: str, limit: int = 1 << 16) -> str:
+    length = reader.read_uvarint()
+    if length > limit:
+        raise LimitExceeded(f"{what} of {length} bytes", section="header",
+                            offset=reader.position)
+    return reader.read_bytes(length).decode("utf-8")
+
+
+class BriscCodec(Codec):
+    """The paper's prior system (PLDI'97), containerized."""
+
+    codec_id = "brisc"
+    wire_id = 2
+    description = ("byte-coded pattern-dictionary compression (BRISC, the "
+                   "paper's prior system); dictionary embedded in the "
+                   "container")
+
+    def compress(self, program: Program, *,
+                 dictionary: Optional[PatternDictionary] = None,
+                 budget: int = DEFAULT_BUDGET,
+                 **options: Any) -> CompressedProgram:
+        """Compress against ``dictionary`` (trained on ``program`` itself
+        when omitted — the self-contained-container default).  Other
+        ``options`` are accepted for interface uniformity and ignored."""
+        if dictionary is None:
+            dictionary = train([program], budget=budget)
+        dict_blob = serialize_dictionary(dictionary)
+        blobs = [compress_function(fn, dictionary)
+                 for fn in program.functions]
+        writer = ByteWriter()
+        name = program.name.encode("utf-8")
+        writer.write_uvarint(len(name))
+        writer.write_bytes(name)
+        writer.write_uvarint(program.entry)
+        writer.write_uvarint(len(program.functions))
+        names_start = len(writer)
+        for fn in program.functions:
+            fn_name = fn.name.encode("utf-8")
+            writer.write_uvarint(len(fn_name))
+            writer.write_bytes(fn_name)
+        names_bytes = len(writer) - names_start
+        writer.write_uvarint(len(dict_blob))
+        writer.write_bytes(dict_blob)
+        for blob in blobs:
+            writer.write_uvarint(len(blob))
+            writer.write_bytes(blob)
+        data = wrap(self.wire_id, writer.getvalue())
+        return SimpleCompressed(self.codec_id, data, {
+            "names": names_bytes,
+            "dictionary": len(dict_blob),
+            "code": sum(len(blob) for blob in blobs),
+            "envelope": len(data) - len(writer.getvalue()),
+        })
+
+    def open_payload(self, payload: bytes,
+                     limits: DecodeLimits = DEFAULT_LIMITS) -> CodecReader:
+        try:
+            reader = ByteReader(payload)
+            program_name = _read_name(reader, "program name")
+            entry = reader.read_uvarint()
+            function_count = reader.read_uvarint()
+            if function_count > limits.max_functions:
+                raise LimitExceeded(
+                    f"container declares {function_count} functions "
+                    f"(limit {limits.max_functions})",
+                    section="header", offset=reader.position)
+            function_names = [_read_name(reader, f"function name {findex}")
+                              for findex in range(function_count)]
+            dict_length = reader.read_uvarint()
+            if dict_length > limits.max_blob_output:
+                raise LimitExceeded(
+                    f"dictionary of {dict_length} bytes",
+                    section="dictionary", offset=reader.position)
+            dictionary = deserialize_dictionary(reader.read_bytes(dict_length))
+            blobs = [reader.read_bytes(reader.read_uvarint())
+                     for _ in range(function_count)]
+            if not reader.at_end():
+                raise as_corrupt(
+                    ValueError(f"{reader.remaining} trailing payload bytes"))
+        except ReproError:
+            raise
+        except (ValueError, EOFError) as exc:
+            raise as_corrupt(exc) from exc
+        return BriscReader(
+            program_name=program_name, entry=entry,
+            function_names=function_names, blobs=blobs,
+            dictionary=dictionary,
+            container_hash=hashlib.sha256(payload).hexdigest())

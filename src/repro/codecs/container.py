@@ -1,0 +1,153 @@
+"""Container format v3: the multi-codec envelope.
+
+Version 3 decouples the archive container from the decoder (the VXA
+argument): instead of extending the SSD section layout per codec, v3 is a
+thin checksummed envelope around an opaque codec payload, tagged with the
+codec's wire id so readers dispatch without decoding anything.
+
+Byte layout (varints unless stated)::
+
+    magic         b"SSD3"
+    version       u8 (= 3)
+    codec wire id u8 (1 = ssd, 2 = brisc, 3 = lz77-raw; 0 reserved)
+    payload       uvarint length + bytes + u32 CRC32 (over the payload)
+    container CRC u32 CRC32 over everything after the magic and before
+                  this field
+
+The ``ssd`` codec keeps writing its native v2 layout — v3 exists for the
+*other* codecs, so every pre-v3 container on disk stays byte-identical
+and loads unchanged.  ``repro.core.container`` recognizes the v3 magic
+only enough to refuse it with a pointer here; decoding the payload is the
+registered codec's job (:func:`repro.codecs.open_any`).
+
+Like the core parser, this is a hostile-input boundary: failures raise
+``repro.errors`` types and :class:`~repro.core.container.DecodeLimits`
+bounds allocation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional, Tuple
+
+from ..core.container import (
+    DEFAULT_LIMITS,
+    MAGIC_V3,
+    ContainerError,
+    DecodeLimits,
+    IntegrityReport,
+    SectionSpan,
+)
+from ..errors import ChecksumMismatch, CorruptContainer, LimitExceeded
+from ..lz.varint import ByteReader, ByteWriter
+
+#: the version byte v3 envelopes carry
+ENVELOPE_VERSION = 3
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def wrap(wire_id: int, payload: bytes) -> bytes:
+    """Wrap a codec payload in a v3 envelope."""
+    if not 1 <= wire_id <= 0xFF:
+        raise ValueError(f"codec wire id must be in 1..255, got {wire_id}")
+    writer = ByteWriter()
+    writer.write_bytes(MAGIC_V3)
+    writer.write_u8(ENVELOPE_VERSION)
+    writer.write_u8(wire_id)
+    writer.write_uvarint(len(payload))
+    writer.write_bytes(payload)
+    writer.write_u32(_crc(payload))
+    writer.write_u32(_crc(writer.getvalue()[len(MAGIC_V3):]))
+    return writer.getvalue()
+
+
+def unwrap(data: bytes,
+           limits: DecodeLimits = DEFAULT_LIMITS,
+           trace: Optional[List[SectionSpan]] = None,
+           strict: bool = True) -> Tuple[int, bytes]:
+    """Inverse of :func:`wrap`: ``(codec wire id, payload)``.
+
+    ``trace``/``strict`` mirror :func:`repro.core.container.parse`: with
+    ``strict=False`` CRC mismatches are recorded in the trace instead of
+    raising, so :func:`integrity_report` can keep walking.
+    """
+    reader = ByteReader(data)
+    if reader.read_bytes(4) != MAGIC_V3:
+        raise ContainerError("bad magic; not a v3 container",
+                             section="header", offset=0)
+    version = reader.read_u8()
+    if version != ENVELOPE_VERSION:
+        raise ContainerError(f"unsupported envelope version {version}",
+                             section="header", offset=4)
+    wire_id = reader.read_u8()
+    if wire_id == 0:
+        raise ContainerError("codec wire id 0 is reserved",
+                             section="header", offset=5)
+    length_offset = reader.position
+    length = reader.read_uvarint()
+    if length > limits.max_blob_output:
+        raise LimitExceeded(
+            f"payload of {length} bytes (limit {limits.max_blob_output})",
+            section="payload", offset=length_offset)
+    data_offset = reader.position
+    payload = reader.read_bytes(length)
+    crc_offset = reader.position
+    stored = reader.read_u32()
+    crc_ok = _crc(payload) == stored
+    if trace is not None:
+        trace.append(SectionSpan(name="payload", length_offset=length_offset,
+                                 data_offset=data_offset, length=length,
+                                 crc_offset=crc_offset, crc_ok=crc_ok))
+    if strict and not crc_ok:
+        raise ChecksumMismatch(
+            f"payload CRC32 mismatch: stored {stored:#010x}, "
+            f"computed {_crc(payload):#010x}",
+            section="payload", offset=data_offset)
+    container_crc_offset = reader.position
+    body = data[len(MAGIC_V3):container_crc_offset]
+    stored_container = reader.read_u32()
+    container_ok = _crc(body) == stored_container
+    if trace is not None:
+        trace.append(SectionSpan(name="container", length_offset=-1,
+                                 data_offset=len(MAGIC_V3), length=len(body),
+                                 crc_offset=container_crc_offset,
+                                 crc_ok=container_ok))
+    if strict and not container_ok:
+        raise ChecksumMismatch(
+            f"container CRC32 mismatch: stored {stored_container:#010x}, "
+            f"computed {_crc(body):#010x}",
+            section="container", offset=container_crc_offset)
+    if not reader.at_end():
+        raise ContainerError(f"{reader.remaining} trailing bytes in container",
+                             offset=reader.position)
+    return wire_id, payload
+
+
+def peek_wire_id(data: bytes) -> int:
+    """The codec wire id of a v3 container, without decoding anything."""
+    if data[:4] != MAGIC_V3:
+        raise ContainerError("bad magic; not a v3 container",
+                             section="header", offset=0)
+    if len(data) < 6:
+        raise ContainerError("truncated v3 header", section="header",
+                             offset=len(data))
+    return data[5]
+
+
+def integrity_report(data: bytes,
+                     limits: DecodeLimits = DEFAULT_LIMITS) -> IntegrityReport:
+    """Structural + checksum walk over a v3 envelope (never raises).
+
+    Covers the envelope only — the payload CRC validates the codec bytes
+    as a unit; payload-internal structure is the codec's own concern.
+    """
+    spans: List[SectionSpan] = []
+    report = IntegrityReport(version=3, spans=spans)
+    try:
+        unwrap(data, limits=limits, trace=spans, strict=False)
+    except CorruptContainer as exc:
+        report.error = str(exc)
+    return report

@@ -1,0 +1,69 @@
+"""Codec-dispatching entry points: open any container, whatever wrote it.
+
+The one place container bytes meet the registry:
+
+* v1/v2 bytes (magic ``SSD1``/``SSD2``) are the native SSD layout and
+  open under the ``ssd`` codec — every pre-seam container loads
+  unchanged;
+* v3 bytes (magic ``SSD3``) carry a codec wire id in the envelope, which
+  picks the registered codec; an id nothing claims is a typed
+  :class:`~repro.codecs.registry.UnknownCodec` (``CorruptContainer``) —
+  never a hang or a wrong decode.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.container import (
+    DEFAULT_LIMITS,
+    DecodeLimits,
+    IntegrityReport,
+    container_version,
+)
+from ..core.container import integrity_report as core_integrity_report
+from ..errors import CorruptContainer
+from ..isa import Program
+from . import container as envelope
+from .base import CodecReader, CompressedProgram
+from .registry import by_wire_id, get_codec
+
+
+def codec_of(data: bytes) -> str:
+    """The codec id that decodes ``data``, without decoding anything."""
+    if container_version(data) in (1, 2):
+        return "ssd"
+    return by_wire_id(envelope.peek_wire_id(data)).codec_id
+
+
+def open_any(data: bytes,
+             limits: DecodeLimits = DEFAULT_LIMITS) -> CodecReader:
+    """Open container bytes under whichever codec wrote them."""
+    if container_version(data) in (1, 2):
+        return get_codec("ssd").open_payload(data, limits=limits)
+    wire_id, payload = envelope.unwrap(data, limits=limits)
+    return by_wire_id(wire_id).open_payload(payload, limits=limits)
+
+
+def decompress_any(data: bytes,
+                   limits: DecodeLimits = DEFAULT_LIMITS) -> Program:
+    """One-call convenience: any container bytes -> program."""
+    return open_any(data, limits=limits).program()
+
+
+def compress_with(codec_id: str, program: Program,
+                  **options: Any) -> CompressedProgram:
+    """Compress ``program`` with the registered codec ``codec_id``."""
+    return get_codec(codec_id).compress(program, **options)
+
+
+def integrity_report_any(data: bytes,
+                         limits: DecodeLimits = DEFAULT_LIMITS) -> IntegrityReport:
+    """Structural + checksum walk for any container version (never raises)."""
+    try:
+        version = container_version(data)
+    except CorruptContainer as exc:
+        return IntegrityReport(version=0, error=str(exc))
+    if version == 3:
+        return envelope.integrity_report(data, limits=limits)
+    return core_integrity_report(data, limits=limits)

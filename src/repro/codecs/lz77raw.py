@@ -1,0 +1,137 @@
+"""The ``lz77-raw`` codec: byte-oriented LZ77 over plain VM bytecode.
+
+The paper's canonical *non*-interpretable baseline is stream-oriented LZ
+over the raw instruction encoding (section 2).  Containerizing it per
+function — each function's dense VM bytecode is LZ77-compressed
+independently — keeps the per-function decode property the serve/JIT
+layers need, at the cost of the cross-function matches a whole-program
+stream would find.  That makes it the honest floor codec: any
+interpretable scheme (SSD, BRISC) should beat it on ratio, and the
+``auto`` selector measures by how much.
+
+Payload layout inside the v3 envelope (varints unless stated)::
+
+    program name    (uvarint length + utf-8)
+    entry function index
+    function count
+    per function:   name (uvarint length + utf-8)
+    per function:   LZ77 blob (uvarint length + bytes) of the function's
+                    VM bytecode (repro.isa.encoding.encode_function)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, List, Optional
+
+from ..core.container import DEFAULT_LIMITS, DecodeLimits
+from ..errors import LimitExceeded, ReproError, as_corrupt
+from ..isa import Function, Program
+from ..isa.encoding import decode_function, encode_function
+from ..lz import lz77
+from ..lz.varint import ByteReader, ByteWriter
+from .base import Codec, CodecReader, CompressedProgram, FunctionBlobReader, SimpleCompressed
+from .container import wrap
+
+
+class Lz77RawReader(FunctionBlobReader):
+    """Per-function decode over LZ77-compressed VM bytecode."""
+
+    codec_id = "lz77-raw"
+
+    def __init__(self, *, program_name: str, entry: int,
+                 function_names: List[str], blobs: List[bytes],
+                 max_blob_output: int,
+                 container_hash: Optional[str] = None) -> None:
+        super().__init__(program_name=program_name, entry=entry,
+                         function_names=function_names,
+                         container_hash=container_hash)
+        self._blobs = blobs
+        self._max_blob_output = max_blob_output
+
+    def _decode_function(self, findex: int) -> Function:
+        raw = lz77.decompress(self._blobs[findex],
+                              max_output=self._max_blob_output)
+        reader = ByteReader(raw)
+        function = decode_function(reader, self._function_names[findex])
+        if not reader.at_end():
+            raise as_corrupt(
+                ValueError(f"{reader.remaining} trailing bytecode bytes"),
+                section=f"items[{findex}]")
+        return function
+
+
+class Lz77RawCodec(Codec):
+    """Byte-oriented LZ77 over dense VM bytecode (the baseline floor)."""
+
+    codec_id = "lz77-raw"
+    wire_id = 3
+    description = ("byte-oriented LZ77 over plain VM bytecode, compressed "
+                   "per function (non-interpretable baseline)")
+
+    def compress(self, program: Program, **options: Any) -> CompressedProgram:
+        """Compress each function's VM bytecode with LZ77.  ``options``
+        are accepted for interface uniformity and ignored."""
+        blobs = [lz77.compress(encode_function(fn))
+                 for fn in program.functions]
+        writer = ByteWriter()
+        name = program.name.encode("utf-8")
+        writer.write_uvarint(len(name))
+        writer.write_bytes(name)
+        writer.write_uvarint(program.entry)
+        writer.write_uvarint(len(program.functions))
+        names_start = len(writer)
+        for fn in program.functions:
+            fn_name = fn.name.encode("utf-8")
+            writer.write_uvarint(len(fn_name))
+            writer.write_bytes(fn_name)
+        names_bytes = len(writer) - names_start
+        for blob in blobs:
+            writer.write_uvarint(len(blob))
+            writer.write_bytes(blob)
+        data = wrap(self.wire_id, writer.getvalue())
+        return SimpleCompressed(self.codec_id, data, {
+            "names": names_bytes,
+            "code": sum(len(blob) for blob in blobs),
+            "envelope": len(data) - len(writer.getvalue()),
+        })
+
+    def open_payload(self, payload: bytes,
+                     limits: DecodeLimits = DEFAULT_LIMITS) -> CodecReader:
+        try:
+            reader = ByteReader(payload)
+            name_length = reader.read_uvarint()
+            if name_length > 1 << 16:
+                raise LimitExceeded(f"program name of {name_length} bytes",
+                                    section="header", offset=reader.position)
+            program_name = reader.read_bytes(name_length).decode("utf-8")
+            entry = reader.read_uvarint()
+            function_count = reader.read_uvarint()
+            if function_count > limits.max_functions:
+                raise LimitExceeded(
+                    f"container declares {function_count} functions "
+                    f"(limit {limits.max_functions})",
+                    section="header", offset=reader.position)
+            function_names: List[str] = []
+            for findex in range(function_count):
+                fn_length = reader.read_uvarint()
+                if fn_length > 1 << 16:
+                    raise LimitExceeded(
+                        f"function name of {fn_length} bytes",
+                        section="header", offset=reader.position)
+                function_names.append(
+                    reader.read_bytes(fn_length).decode("utf-8"))
+            blobs = [reader.read_bytes(reader.read_uvarint())
+                     for _ in range(function_count)]
+            if not reader.at_end():
+                raise as_corrupt(
+                    ValueError(f"{reader.remaining} trailing payload bytes"))
+        except ReproError:
+            raise
+        except (ValueError, EOFError) as exc:
+            raise as_corrupt(exc) from exc
+        return Lz77RawReader(
+            program_name=program_name, entry=entry,
+            function_names=function_names, blobs=blobs,
+            max_blob_output=limits.max_blob_output,
+            container_hash=hashlib.sha256(payload).hexdigest())

@@ -1,0 +1,120 @@
+"""The process-wide codec registry.
+
+Codecs are addressed two ways: by *string id* (``"ssd"``, ``"brisc"``,
+``"lz77-raw"``) everywhere humans and protocols name them, and by *wire
+id* (the byte in a v3 envelope) when dispatching container bytes.
+
+Built-in codecs register lazily, entry-point style: the table maps a
+codec id to a ``"module:attr"`` target that is imported only on first
+use, so ``import repro.codecs`` stays cheap and a new codec is one module
+plus one :func:`register_lazy` call — no central edits.  Third-party
+codecs call :func:`register` (an instance) or :func:`register_lazy` (a
+target string) at import time.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+from typing import Dict, List
+
+from ..core.container import ContainerError
+from .base import Codec
+
+
+class UnknownCodec(ContainerError):
+    """No registered codec matches the requested id.
+
+    A :class:`~repro.core.container.ContainerError` (hence
+    ``CorruptContainer``), because the common way to hit it is a v3
+    container whose codec-id byte names nothing we can decode.
+    """
+
+
+_LOCK = threading.Lock()
+#: instantiated codecs, by id
+_CODECS: Dict[str, Codec] = {}
+#: lazy "module:attr" registration targets, by id
+_LAZY: Dict[str, str] = {
+    "ssd": "repro.codecs.ssd:SsdCodec",
+    "brisc": "repro.codecs.brisc:BriscCodec",
+    "lz77-raw": "repro.codecs.lz77raw:Lz77RawCodec",
+    "auto": "repro.codecs.auto:AutoCodec",
+}
+
+
+def register(codec: Codec, replace: bool = False) -> None:
+    """Register a codec instance under its ``codec_id``."""
+    if not codec.codec_id:
+        raise ValueError("codec has no codec_id")
+    with _LOCK:
+        if not replace and (codec.codec_id in _CODECS
+                            or codec.codec_id in _LAZY):
+            raise ValueError(f"codec {codec.codec_id!r} already registered")
+        _LAZY.pop(codec.codec_id, None)
+        _CODECS[codec.codec_id] = codec
+
+
+def register_lazy(codec_id: str, target: str, replace: bool = False) -> None:
+    """Register a codec by entry-point target (``"module:ClassName"``).
+
+    The module is imported (and the class instantiated) on first
+    :func:`get_codec` lookup.
+    """
+    if ":" not in target:
+        raise ValueError(f"target must be 'module:attr', got {target!r}")
+    with _LOCK:
+        if not replace and (codec_id in _CODECS or codec_id in _LAZY):
+            raise ValueError(f"codec {codec_id!r} already registered")
+        _CODECS.pop(codec_id, None)
+        _LAZY[codec_id] = target
+
+
+def _load(codec_id: str, target: str) -> Codec:
+    module_name, _, attr = target.partition(":")
+    module = importlib.import_module(module_name)
+    codec = getattr(module, attr)()
+    if not isinstance(codec, Codec):
+        raise TypeError(f"{target} is not a repro.codecs.Codec")
+    if codec.codec_id != codec_id:
+        raise ValueError(f"{target} has codec_id {codec.codec_id!r}, "
+                         f"registered as {codec_id!r}")
+    return codec
+
+
+def get_codec(codec_id: str) -> Codec:
+    """Look up (instantiating lazily if needed) the codec for ``codec_id``."""
+    with _LOCK:
+        codec = _CODECS.get(codec_id)
+        if codec is not None:
+            return codec
+        target = _LAZY.get(codec_id)
+    if target is None:
+        raise UnknownCodec(f"unknown codec id {codec_id!r} "
+                           f"(registered: {', '.join(codec_ids())})")
+    loaded = _load(codec_id, target)
+    with _LOCK:
+        # Another thread may have won the race; first registration sticks.
+        codec = _CODECS.setdefault(codec_id, loaded)
+    return codec
+
+
+def codec_ids() -> List[str]:
+    """All registered codec ids, sorted."""
+    with _LOCK:
+        return sorted(set(_CODECS) | set(_LAZY))
+
+
+def by_wire_id(wire_id: int) -> Codec:
+    """The codec whose v3 envelope byte is ``wire_id``.
+
+    Raises :class:`UnknownCodec` (a ``CorruptContainer``) when no codec
+    claims the byte — the typed failure a hostile codec-id byte must
+    produce.
+    """
+    for codec_id in codec_ids():
+        codec = get_codec(codec_id)
+        if codec.wire_id and codec.wire_id == wire_id:
+            return codec
+    raise UnknownCodec(f"no registered codec has wire id {wire_id}",
+                       section="header", offset=5)

@@ -53,6 +53,8 @@ from ..obs import REGISTRY
 MAGIC = b"SSD1"
 #: current magic
 MAGIC_V2 = b"SSD2"
+#: version-3 magic — the multi-codec envelope, decoded by ``repro.codecs``
+MAGIC_V3 = b"SSD3"
 #: the format version :func:`serialize` emits by default
 FORMAT_VERSION = 2
 
@@ -230,6 +232,13 @@ def parse(data: bytes,
         if version != FORMAT_VERSION:
             raise ContainerError(f"unsupported container version {version}",
                                  section="header", offset=4)
+    elif magic == MAGIC_V3:
+        # v3 is a codec envelope, not an SSD section layout; this layer
+        # cannot know which payload decoder applies.
+        raise ContainerError(
+            "version-3 container: open it through repro.codecs "
+            "(open_any/decompress_any), which dispatches on the codec id",
+            section="header", offset=0)
     else:
         raise ContainerError("bad magic; not an SSD container",
                              section="header", offset=0)
@@ -319,11 +328,17 @@ def parse(data: bytes,
 
 
 def container_version(data: bytes) -> int:
-    """The format version of ``data`` (1 or 2); raises on bad magic."""
+    """The format version of ``data`` (1, 2 or 3); raises on bad magic.
+
+    Version 3 is the multi-codec envelope; its payload is decoded by the
+    registered codec (``repro.codecs``), not by :func:`parse`.
+    """
     if data[:4] == MAGIC:
         return 1
     if data[:4] == MAGIC_V2:
         return 2
+    if data[:4] == MAGIC_V3:
+        return 3
     raise ContainerError("bad magic; not an SSD container",
                          section="header", offset=0)
 

@@ -62,6 +62,12 @@ class SSDReader:
     _fn_lock: threading.Lock = field(default_factory=threading.Lock,
                                      repr=False, compare=False)
 
+    #: uniform reader surface (see ``repro.codecs.CodecReader``)
+    codec_id: str = "ssd"
+    #: SSD decodes at basic-block granularity, so the JIT can translate
+    #: straight from decoded items without materializing whole functions
+    supports_block_decode: bool = True
+
     @property
     def function_count(self) -> int:
         return len(self.sections.function_names)
@@ -69,6 +75,14 @@ class SSDReader:
     @property
     def entry(self) -> int:
         return self.sections.entry
+
+    @property
+    def program_name(self) -> str:
+        return self.sections.program_name
+
+    @property
+    def function_names(self) -> List[str]:
+        return self.sections.function_names
 
     def layout_for_function(self, findex: int) -> SegmentLayout:
         return self.layouts[self.segment_of_function[findex]]

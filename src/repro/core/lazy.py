@@ -20,10 +20,12 @@ application-startup story).
 
 from __future__ import annotations
 
-from typing import Iterator, Set
+from typing import TYPE_CHECKING, Iterator, Set
 
 from ..isa import Function
-from .decompressor import SSDReader
+
+if TYPE_CHECKING:  # circular at runtime: repro.codecs builds on repro.core
+    from ..codecs.base import CodecReader
 
 
 class _LazyFunctionList:
@@ -31,12 +33,12 @@ class _LazyFunctionList:
 
     ``__getitem__`` decompresses on first access and caches; ``len`` and
     iteration behave like a list of Functions.  Decode and memoization
-    live in :meth:`SSDReader.function` (thread-safe), so several lazy
+    live in the reader's ``function()`` (thread-safe), so several lazy
     programs — or several threads — can share one reader; this list only
     tracks which indices *it* has touched.
     """
 
-    def __init__(self, reader: SSDReader) -> None:
+    def __init__(self, reader: "CodecReader") -> None:
         self._reader = reader
         self._touched: Set[int] = set()
 
@@ -68,17 +70,19 @@ class LazyProgram:
 
     Duck-types the pieces the interpreter (and most analyses) use:
     ``name``, ``entry``, ``functions`` (indexable, measurable).  Functions
-    decompress on first access.
+    decompress on first access.  Works over any codec's reader — anything
+    with the ``repro.codecs.CodecReader`` surface (``program_name``,
+    ``entry``, ``function_count``, ``function(findex)``).
     """
 
-    def __init__(self, reader: SSDReader) -> None:
+    def __init__(self, reader: "CodecReader") -> None:
         self._reader = reader
-        self.name = reader.sections.program_name
+        self.name = reader.program_name
         self.entry = reader.entry
         self.functions = _LazyFunctionList(reader)
 
     @property
-    def reader(self) -> SSDReader:
+    def reader(self) -> "CodecReader":
         return self._reader
 
     @property
@@ -102,7 +106,7 @@ class LazyProgram:
 
 
 def lazy_program(container_bytes: bytes) -> LazyProgram:
-    """One call: container bytes -> lazily-decompressed program."""
-    from .decompressor import open_container
+    """One call: container bytes (any codec) -> lazily-decompressed program."""
+    from ..codecs import open_any  # late: repro.codecs builds on repro.core
 
-    return LazyProgram(open_container(container_bytes))
+    return LazyProgram(open_any(container_bytes))

@@ -12,6 +12,8 @@ from the builtin exceptions historical callers caught (``ValueError``,
 * :class:`TruncatedStream` — input ended mid-field (also an ``EOFError``);
 * :class:`LimitExceeded` — input is well-formed so far but would exceed a
   decode resource limit (expansion size, entry counts, varint width);
+* :class:`BriscError` — a BRISC pattern stream or external dictionary is
+  undecodable (a ``CorruptContainer`` so sweeps classify it with SSD's);
 * :class:`BufferCapacityError` — a function cannot be placed in the JIT
   translation buffer (allocation failure, capacity exceeded).
 
@@ -64,6 +66,16 @@ class TruncatedStream(CorruptContainer, EOFError):
 
 class LimitExceeded(CorruptContainer):
     """Decoding would exceed a resource limit (size, count, expansion)."""
+
+
+class BriscError(CorruptContainer):
+    """A BRISC stream or pattern dictionary cannot be decoded.
+
+    Promoted from ``repro.brisc.codec`` (where it was a bare
+    ``ValueError``) so fault-sweep classification treats BRISC decode
+    failures exactly like SSD container corruption; the original name
+    remains importable from ``repro.brisc`` as an alias of this class.
+    """
 
 
 class BufferCapacityError(ReproError, ValueError):

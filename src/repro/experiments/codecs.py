@@ -1,0 +1,53 @@
+"""Experiment: the codec registry dimension of the size story.
+
+The paper compares SSD against BRISC and stream-oriented LZ (section 2,
+Table 5).  With the pluggable codec registry those comparisons stop
+being bespoke code paths: every registered codec compresses the same
+benchmark through the same ``repro.codecs`` interface, envelope bytes
+included, and the profile-guided ``auto`` selector shows which codec a
+deployment would actually pick per program.  The invariant the selector
+must keep — ``auto`` is never larger than plain ``ssd`` — is asserted
+here, so regenerating the exhibit doubles as a regression check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..analysis import render_table
+from ..codecs import codec_ids, get_codec, select
+from .common import ALL_BENCHMARKS, ExperimentContext
+
+
+def concrete_codec_ids() -> List[str]:
+    """Registered codecs that can land on disk (selectors excluded)."""
+    return [codec_id for codec_id in codec_ids()
+            if get_codec(codec_id).wire_id]
+
+
+def run(context: ExperimentContext,
+        names: Optional[Sequence[str]] = None) -> str:
+    """Per-benchmark container bytes for every registered codec."""
+    names = list(names) if names is not None else ALL_BENCHMARKS
+    candidates = concrete_codec_ids()
+    headers = (["benchmark", "x86 B"]
+               + [f"{codec_id} B" for codec_id in candidates]
+               + ["auto pick", "auto B"])
+    rows: List[List[object]] = []
+    for name in names:
+        program = context.program(name)
+        x86 = context.x86_size(name)
+        selection = select(program, candidates=tuple(candidates))
+        auto_bytes = selection.output.size
+        ssd_bytes = selection.totals.get("ssd")
+        if ssd_bytes is not None and auto_bytes > ssd_bytes:
+            raise AssertionError(
+                f"{name}: auto produced {auto_bytes} B, larger than "
+                f"plain ssd ({ssd_bytes} B)")
+        rows.append([name, x86]
+                    + [selection.totals[codec_id] for codec_id in candidates]
+                    + [selection.chosen, auto_bytes])
+    return render_table(
+        headers, rows,
+        title="Codec registry: container bytes per benchmark "
+              f"(scale={context.scale})")

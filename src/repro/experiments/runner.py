@@ -8,6 +8,7 @@ Usage::
     ssd-repro figure3
     ssd-repro throughput
     ssd-repro ablations
+    ssd-repro codecs
     ssd-repro all [--scale 0.25] [--out results.txt]
 
 ``--scale 1.0`` reproduces the paper's program sizes (word97 = 1.4M
@@ -21,7 +22,16 @@ import sys
 import time
 from typing import List, Optional
 
-from . import ablations, figure3, startup, table1, table5, table6, throughput
+from . import (
+    ablations,
+    codecs,
+    figure3,
+    startup,
+    table1,
+    table5,
+    table6,
+    throughput,
+)
 from .common import ExperimentContext
 
 EXHIBITS = {
@@ -33,6 +43,7 @@ EXHIBITS = {
     "throughput": lambda ctx, args: throughput.run(ctx),
     "startup": lambda ctx, args: startup.run(ctx),
     "ablations": lambda ctx, args: ablations.run(ctx),
+    "codecs": lambda ctx, args: codecs.run(ctx),
 }
 
 

@@ -9,7 +9,6 @@ holds the single auditable cycle model.
 
 from ..errors import BufferCapacityError
 from .buffer import (
-    BufferError_,
     BufferStats,
     PERMANENT_SIZE_THRESHOLD,
     PureLRUBuffer,
@@ -32,6 +31,7 @@ from .block_translator import (
     TranslatedFragment,
     copy_translate_range,
 )
+from .fallback import FallbackTranslator
 from .instruction_table import InstructionTables, build_table_for_layout, build_tables
 from .resilience import QuarantineRecord, ResilientRuntime, run_lazy
 from .runtime import (
@@ -52,10 +52,10 @@ __all__ = [
     "TranslatedFragment",
     "copy_translate_range",
     "BufferCapacityError",
-    "BufferError_",
     "BufferStats",
     "CLOCK_HZ",
     "EXEC_CYCLES_PER_BYTE",
+    "FallbackTranslator",
     "InstructionTables",
     "PERMANENT_SIZE_THRESHOLD",
     "PureLRUBuffer",
@@ -79,3 +79,17 @@ __all__ = [
     "simulate",
     "sweep_buffer_sizes",
 ]
+
+
+def __getattr__(name: str):
+    if name == "BufferError_":
+        # Deprecated pre-taxonomy alias; kept importable so historical
+        # ``from repro.jit import BufferError_`` keeps working, but loudly.
+        import warnings
+
+        warnings.warn(
+            "repro.jit.BufferError_ is deprecated; catch "
+            "repro.errors.BufferCapacityError instead",
+            DeprecationWarning, stacklevel=2)
+        return BufferCapacityError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -42,11 +42,6 @@ _BUFFER_EVICTED_BYTES = REGISTRY.counter(
     "jit_buffer_evicted_bytes_total",
     "Native bytes evicted or demoted out of translation buffers.")
 
-#: Backwards-compatible alias for the pre-taxonomy name; new code should
-#: catch :class:`repro.errors.BufferCapacityError`.
-BufferError_ = BufferCapacityError
-
-
 @dataclass
 class BufferStats:
     """Counters every policy maintains."""

@@ -1,0 +1,101 @@
+"""Whole-function JIT translation for codecs without block decode.
+
+SSD's phase two is a block copy because phase one already produced native
+chunks per dictionary entry (``repro.jit.translator``).  Codecs that only
+expose per-function decode (BRISC, raw LZ77 — ``supports_block_decode``
+is False on their readers) cannot take that path; instead the runtime
+decodes the whole function back to VM instructions and lowers each one
+(``repro.vm.native.lower_instruction``), patching branch holes and
+reporting call relocations exactly like the copy phase does.  Same
+:class:`~repro.jit.translator.TranslationResult` out, so the buffer and
+resilience machinery cannot tell which path produced a translation —
+only the cost model can (BRISC pays decode-per-pattern, the paper's
+point).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.copy_phase import CallRelocation, CopyPhaseError, TranslatedFunction
+from ..obs import REGISTRY, TRACER
+from ..vm.native import lower_function
+from .translator import TranslationResult
+
+_FALLBACK_TRANSLATIONS = REGISTRY.counter(
+    "jit_fallback_translate_total",
+    "Whole-function (non-block-copy) translations performed.")
+
+
+class FallbackTranslator:
+    """Translator over any codec reader: decode function, lower, patch.
+
+    Drop-in for :class:`~repro.jit.translator.Translator` where the
+    reader lacks the SSD item/instruction-table surface.
+    """
+
+    def __init__(self, reader) -> None:
+        self.reader = reader
+
+    def translate_function(self, findex: int) -> TranslationResult:
+        with TRACER.span("jit.translate_fallback", findex=findex):
+            function = self.reader.function(findex)
+            lowered = lower_function(function, optimize=False)
+            code = bytearray()
+            offsets: List[int] = []
+            relocations: List[CallRelocation] = []
+            pending: List[Tuple[int, int, int]] = []
+            for index, (insn, chunk) in enumerate(
+                    zip(function.insns, lowered.chunks)):
+                start = len(code)
+                offsets.append(start)
+                code += chunk.data
+                if chunk.hole_size == 0:
+                    continue
+                hole_at = start + chunk.hole_offset
+                if chunk.is_call:
+                    if insn.target is None:
+                        raise CopyPhaseError(
+                            f"instruction {index}: call chunk without a callee")
+                    relocations.append(CallRelocation(
+                        hole_offset=hole_at, hole_size=chunk.hole_size,
+                        callee=insn.target))
+                    continue
+                target = insn.target
+                if target is None:
+                    raise CopyPhaseError(
+                        f"instruction {index}: branch chunk without a target")
+                if not 0 <= target <= len(function.insns):
+                    raise CopyPhaseError(
+                        f"instruction {index}: branch target {target} "
+                        f"out of range")
+                if target <= index:
+                    _patch(code, hole_at, chunk.hole_size,
+                           offsets[target] - (hole_at + chunk.hole_size))
+                else:
+                    pending.append((hole_at, chunk.hole_size, target))
+            end_offset = len(code)
+            for hole_at, hole_size, target in pending:
+                where = offsets[target] if target < len(offsets) else end_offset
+                _patch(code, hole_at, hole_size,
+                       where - (hole_at + hole_size))
+        _FALLBACK_TRANSLATIONS.inc()
+        return TranslationResult(
+            findex=findex,
+            translated=TranslatedFunction(code=code,
+                                          call_relocations=relocations,
+                                          item_offsets=offsets))
+
+    def translate_program(self) -> List[TranslationResult]:
+        return [self.translate_function(findex)
+                for findex in range(self.reader.function_count)]
+
+
+def _patch(code: bytearray, offset: int, size: int, value: int) -> None:
+    lo = -(1 << (8 * size - 1))
+    hi = (1 << (8 * size - 1)) - 1
+    if not lo <= value <= hi:
+        raise CopyPhaseError(
+            f"native displacement {value} does not fit in {size} bytes")
+    code[offset:offset + size] = (value & ((1 << (8 * size)) - 1)
+                                  ).to_bytes(size, "little")

@@ -42,6 +42,8 @@ class ContainerMeta:
     program_name: str
     entry: int
     function_names: List[str]
+    #: registry id of the codec that decodes this container server-side
+    codec_id: str = "ssd"
 
     @property
     def function_count(self) -> int:
@@ -110,9 +112,11 @@ class ServeClient:
         response = self._expect(protocol.GET_META,
                                 protocol.build_get_meta(container_id),
                                 protocol.OK_META)
-        name, entry, function_names = protocol.parse_ok_meta(response.body)
+        name, entry, function_names, codec_id = protocol.parse_ok_meta(
+            response.body)
         return ContainerMeta(container_id=container_id, program_name=name,
-                             entry=entry, function_names=function_names)
+                             entry=entry, function_names=function_names,
+                             codec_id=codec_id)
 
     def function(self, container_id: str, findex: int) -> Function:
         """Fetch one fully-decoded function."""

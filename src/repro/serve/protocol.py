@@ -33,8 +33,10 @@ from ..isa import Function, Instruction
 from ..isa.encoding import decode_instruction, encode_instruction
 from ..lz.varint import ByteReader, ByteWriter, decode_uvarint
 
-#: protocol version this implementation speaks
-PROTOCOL_VERSION = 1
+#: protocol version this implementation speaks.  Version 2 added the
+#: codec id to OK_META (the server names which registered codec decodes
+#: the container); everything else is unchanged from version 1.
+PROTOCOL_VERSION = 2
 
 #: frames larger than this are rejected before allocation (both sides)
 MAX_FRAME_BYTES = 1 << 26
@@ -301,7 +303,8 @@ def parse_ok_put(body: bytes) -> Tuple[str, int, int]:
 
 
 def build_ok_meta(program_name: str, entry: int,
-                  function_names: List[str]) -> bytes:
+                  function_names: List[str],
+                  codec_id: str = "ssd") -> bytes:
     writer = ByteWriter()
     name = program_name.encode("utf-8")
     writer.write_uvarint(len(name))
@@ -311,24 +314,30 @@ def build_ok_meta(program_name: str, entry: int,
     writer.write_uvarint(len(function_names))
     writer.write_uvarint(len(joined))
     writer.write_bytes(joined)
+    codec = codec_id.encode("utf-8")
+    writer.write_uvarint(len(codec))
+    writer.write_bytes(codec)
     return writer.getvalue()
 
 
-def parse_ok_meta(body: bytes) -> Tuple[str, int, List[str]]:
+def parse_ok_meta(body: bytes) -> Tuple[str, int, List[str], str]:
     reader = ByteReader(body)
     try:
         program_name = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
         entry = reader.read_uvarint()
         count = reader.read_uvarint()
         joined = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
+        codec_id = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
     except UnicodeDecodeError as exc:
         raise ProtocolError(f"OK_META strings are not UTF-8: {exc}") from exc
     names = joined.split("\n") if joined else []
     if len(names) != count:
         raise ProtocolError(f"OK_META declares {count} function names, "
                             f"carries {len(names)}")
+    if not codec_id:
+        raise ProtocolError("OK_META carries an empty codec id")
     _expect_end(reader, "OK_META")
-    return program_name, entry, names
+    return program_name, entry, names, codec_id
 
 
 def encode_instruction_slice(insns: List[Instruction], start: int) -> bytes:

@@ -32,7 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from ..core.decompressor import SSDReader
+from ..codecs import CodecReader, open_any
 from ..errors import (
     ChecksumMismatch,
     CorruptContainer,
@@ -296,14 +296,20 @@ class SSDServer:
                 follower.set_attr("coalesced", True)
         return await asyncio.shield(task)
 
-    def _reader_for(self, container_id: str) -> SSDReader:
+    def _reader_key(self, container_id: str) -> Tuple:
+        """Reader cache key; includes the codec id, so containers that
+        decode under different codecs can never collide (and an eviction
+        audit can attribute bytes per codec)."""
+        # KeyError for unknown ids -> E_NOT_FOUND, same as store.get.
+        return ("reader", self.store.codec_of(container_id), container_id)
+
+    def _reader_for(self, container_id: str) -> CodecReader:
         """Synchronous (thread-side) reader lookup/decode, LRU-cached."""
-        key = ("reader", container_id)
+        key = self._reader_key(container_id)
         reader = self.cache.get(key)
         if reader is None:
             data = self.store.get(container_id)   # KeyError -> E_NOT_FOUND
-            from ..core import open_container
-            reader = open_container(data, limits=self.store.limits)
+            reader = open_any(data, limits=self.store.limits)
             # Charge the container's size as the proxy for its decoded
             # dictionary state (layouts scale with the dictionary blobs).
             self.cache.put(key, reader, size=len(data))
@@ -325,13 +331,14 @@ class SSDServer:
             self.metrics.record_decode(container_id, findex)
             body = protocol.build_ok_function(findex, function.name,
                                               function.insns)
-            self.cache.put(("func", container_id, findex), body,
-                           size=len(body))
+            self.cache.put(("func", reader.codec_id, container_id, findex),
+                           body, size=len(body))
         return body
 
     async def _function_body(self, container_id: str, findex: int) -> bytes:
         """Cache -> coalesce -> decode; returns the OK_FUNCTION body."""
-        key = ("func", container_id, findex)
+        key = ("func", self.store.codec_of(container_id), container_id,
+               findex)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
@@ -344,17 +351,18 @@ class SSDServer:
         data = protocol.parse_put(body)
         container_id, reader = await self._coalesced(
             ("put", container_id_of(data)), self.store.put, data)
-        self.cache.put(("reader", container_id), reader, size=len(data))
+        self.cache.put(("reader", reader.codec_id, container_id), reader,
+                       size=len(data))
         return protocol.OK_PUT, protocol.build_ok_put(
             container_id, reader.function_count, reader.entry)
 
     async def _handle_get_meta(self, body: bytes) -> Tuple[int, bytes]:
         container_id = protocol.parse_get_meta(body)
-        reader = await self._coalesced(("reader", container_id),
+        reader = await self._coalesced(self._reader_key(container_id),
                                        self._reader_for, container_id)
         return protocol.OK_META, protocol.build_ok_meta(
-            reader.sections.program_name, reader.entry,
-            list(reader.sections.function_names))
+            reader.program_name, reader.entry,
+            list(reader.function_names), reader.codec_id)
 
     async def _handle_get_function(self, body: bytes) -> Tuple[int, bytes]:
         container_id, findex = protocol.parse_get_function(body)

@@ -22,8 +22,8 @@ import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from ..core import DEFAULT_LIMITS, DecodeLimits, integrity_report, open_container
-from ..core.decompressor import SSDReader
+from ..codecs import CodecReader, codec_of, integrity_report_any, open_any
+from ..core import DEFAULT_LIMITS, DecodeLimits
 from ..errors import CorruptContainer
 
 
@@ -45,6 +45,8 @@ class ContainerStore:
         self.limits = limits
         self._lock = threading.Lock()
         self._containers: Dict[str, bytes] = {}
+        #: codec id per admitted container (set at verify time)
+        self._codecs: Dict[str, str] = {}
         self.admitted = 0
         self.rejected = 0
         if self.root is not None:
@@ -60,24 +62,27 @@ class ContainerStore:
 
     # -- admission ----------------------------------------------------------
 
-    def verify(self, data: bytes) -> SSDReader:
-        """The admission gate: integrity walk + phase-one decode.
+    def verify(self, data: bytes) -> CodecReader:
+        """The admission gate: integrity walk + open under the right codec.
 
-        Returns the opened reader (callers typically cache it) or raises
+        Codec dispatch happens here — v1/v2 bytes open as ``ssd``, v3
+        envelopes under whatever codec their id byte names (an unknown
+        id is an admission failure like any other corruption).  Returns
+        the opened reader (callers typically cache it) or raises
         :class:`AdmissionError`.
         """
-        report = integrity_report(data, limits=self.limits)
+        report = integrity_report_any(data, limits=self.limits)
         if report.error is not None:
             raise AdmissionError(f"integrity walk failed: {report.error}")
         if report.corrupt_sections:
             names = ", ".join(span.name for span in report.corrupt_sections)
             raise AdmissionError(f"checksum-corrupt sections: {names}")
         try:
-            return open_container(data, limits=self.limits)
+            return open_any(data, limits=self.limits)
         except CorruptContainer as exc:
-            raise AdmissionError(f"phase-one decode failed: {exc}") from exc
+            raise AdmissionError(f"decode failed: {exc}") from exc
 
-    def put(self, data: bytes, persist: bool = True) -> Tuple[str, SSDReader]:
+    def put(self, data: bytes, persist: bool = True) -> Tuple[str, CodecReader]:
         """Admit container bytes; returns ``(container_id, reader)``.
 
         Idempotent: re-putting stored bytes re-verifies nothing and
@@ -87,7 +92,7 @@ class ContainerStore:
         with self._lock:
             known = container_id in self._containers
         if known:
-            return container_id, open_container(data, limits=self.limits)
+            return container_id, open_any(data, limits=self.limits)
         try:
             reader = self.verify(data)
         except AdmissionError:
@@ -96,12 +101,27 @@ class ContainerStore:
             raise
         with self._lock:
             self._containers[container_id] = data
+            self._codecs[container_id] = reader.codec_id
             self.admitted += 1
         if persist and self.root is not None:
             (self.root / f"{container_id}.ssd").write_bytes(data)
         return container_id, reader
 
     # -- lookups ------------------------------------------------------------
+
+    def codec_of(self, container_id: str) -> str:
+        """Codec id of an admitted container (cheap; recorded at put)."""
+        with self._lock:
+            cached = self._codecs.get(container_id)
+            if cached is not None:
+                return cached
+            data = self._containers.get(container_id)
+        if data is None:
+            raise KeyError(f"unknown container {container_id}")
+        codec_id = codec_of(data)
+        with self._lock:
+            self._codecs[container_id] = codec_id
+        return codec_id
 
     def get(self, container_id: str) -> bytes:
         with self._lock:

@@ -4,6 +4,8 @@ A downstream user's interface to the library without writing Python::
 
     ssd compress  program.asm -o program.ssd     # assemble + compress
     ssd compress  bench:xlisp@0.25 -o xlisp.ssd  # synthetic benchmark
+    ssd compress  a.asm -o a.ssd --codec brisc   # any registered codec
+    ssd codecs    [--json]                       # list registered codecs
     ssd decompress program.ssd -o program.asm    # back to assembly text
     ssd inspect   program.ssd [--json]           # sections, dictionary, stats
     ssd run       program.ssd [--lazy]           # execute in the VM
@@ -29,13 +31,17 @@ import json
 import sys
 from typing import List, Optional, Tuple
 
-from .core import (
-    compress,
-    container_version,
-    decompress,
-    integrity_report,
-    open_container,
+from .codecs import (
+    UnknownCodec,
+    codec_ids,
+    codec_of,
+    compress_with,
+    decompress_any,
+    get_codec,
+    integrity_report_any,
+    open_any,
 )
+from .core import compress, container_version, decompress, open_container
 from .core.lazy import LazyProgram
 from .isa import Program, assemble, disassemble, validate_program
 from .perf import PhaseProfile
@@ -88,6 +94,10 @@ def cmd_compress(args: argparse.Namespace) -> int:
 
     if args.jobs < 0:
         raise ToolError(f"--jobs must be >= 0, got {args.jobs}")
+    try:
+        get_codec(args.codec)
+    except UnknownCodec as exc:
+        raise ToolError(str(exc)) from None
     program = load_program(args.input)
     validate_program(program)
     profile = PhaseProfile() if args.profile or args.trace else None
@@ -96,13 +106,17 @@ def cmd_compress(args: argparse.Namespace) -> int:
         if args.trace:
             root = stack.enter_context(
                 TRACER.span("cli.compress", input=args.input))
-        compressed = compress(program, codec=args.codec, max_len=args.max_len,
-                              jobs=args.jobs, profile=profile)
+        if args.codec == "ssd":
+            compressed = compress(program, codec=args.base_codec,
+                                  max_len=args.max_len, jobs=args.jobs,
+                                  profile=profile)
+        else:
+            compressed = compress_with(args.codec, program)
     with open(args.output, "wb") as handle:
         handle.write(compressed.data)
     x86 = native_size(program)
     print(f"{program.name}: {program.instruction_count} instructions, "
-          f"native {x86} B -> {compressed.size} B "
+          f"native {x86} B -> {compressed.size} B via {compressed.codec_id} "
           f"({compressed.size / x86:.1%} of native)")
     if args.profile:
         print(profile.format(title="compress phases"), file=sys.stderr)
@@ -114,7 +128,12 @@ def cmd_compress(args: argparse.Namespace) -> int:
 def cmd_decompress(args: argparse.Namespace) -> int:
     profile = PhaseProfile() if args.profile else None
     with open(args.input, "rb") as handle:
-        program = decompress(handle.read(), profile=profile)
+        data = handle.read()
+    if codec_of(data) == "ssd":
+        program = decompress(data, profile=profile)
+    else:
+        # Non-SSD codecs have no phase structure to profile.
+        program = decompress_any(data)
     if profile is not None:
         print(profile.format(title="decompress phases"), file=sys.stderr)
     text = disassemble(program)
@@ -132,6 +151,7 @@ def _inspect_json(data: bytes, reader, function: Optional[int]) -> dict:
     sections = reader.sections
     payload = {
         "program": sections.program_name,
+        "codec": reader.codec_id,
         "container_bytes": len(data),
         "format_version": container_version(data),
         "container_id": reader.container_hash,
@@ -163,9 +183,59 @@ def _inspect_json(data: bytes, reader, function: Optional[int]) -> dict:
     return payload
 
 
+def _inspect_generic_json(data: bytes, reader, function: Optional[int]) -> dict:
+    """``ssd inspect --json`` for codecs without SSD's section surface."""
+    names = list(reader.function_names)
+    payload = {
+        "program": reader.program_name,
+        "codec": reader.codec_id,
+        "container_bytes": len(data),
+        "format_version": container_version(data),
+        "container_id": reader.container_hash,
+        "entry": reader.entry,
+        "entry_name": names[reader.entry] if names else None,
+        "functions": reader.function_count,
+        "function_names": names,
+    }
+    if function is not None:
+        if not 0 <= function < reader.function_count:
+            raise ToolError(f"function index {function} out of range")
+        payload["function"] = {
+            "index": function,
+            "name": names[function],
+            "instructions": [insn.render() for insn
+                             in reader.function(function).insns],
+        }
+    return payload
+
+
+def _inspect_generic(data: bytes, reader, args: argparse.Namespace) -> int:
+    """Human-readable inspect for non-SSD codec containers."""
+    if args.json:
+        print(json.dumps(_inspect_generic_json(data, reader, args.function),
+                         sort_keys=True))
+        return 0
+    names = list(reader.function_names)
+    print(f"program:   {reader.program_name}")
+    print(f"codec:     {reader.codec_id}")
+    print(f"functions: {reader.function_count} "
+          f"(entry: {names[reader.entry]})")
+    print(f"container: {len(data)} bytes")
+    if args.function is not None:
+        findex = args.function
+        if not 0 <= findex < reader.function_count:
+            raise ToolError(f"function index {findex} out of range")
+        print(f"\nfunction {findex} ({names[findex]}):")
+        for insn in reader.function(findex).insns:
+            print(f"    {insn.render()}")
+    return 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     with open(args.input, "rb") as handle:
         data = handle.read()
+    if codec_of(data) != "ssd":
+        return _inspect_generic(data, open_any(data), args)
     reader = open_container(data)
     sections = reader.sections
     if args.json:
@@ -197,7 +267,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 
 def _integrity_json(data: bytes) -> Tuple[dict, int]:
     """Stable-keyed machine-readable form of ``ssd verify`` (no source)."""
-    report = integrity_report(data)
+    report = integrity_report_any(data)
     payload = {
         "container_bytes": len(data),
         "format_version": report.version,
@@ -219,7 +289,7 @@ def _integrity_json(data: bytes) -> Tuple[dict, int]:
 
 def _print_integrity(data: bytes) -> int:
     """Standalone integrity check: CRCs + structural walk, no source."""
-    report = integrity_report(data)
+    report = integrity_report_any(data)
     version = f"v{report.version}" if report.version else "unrecognized"
     print(f"container: {len(data)} bytes, format {version}")
     for span in report.spans:
@@ -254,7 +324,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             return status
         return _print_integrity(data)
     program = load_program(args.source)
-    restored = decompress(data)
+    restored = decompress_any(data)
     mismatches = []
     if len(restored.functions) != len(program.functions):
         mismatches.append(
@@ -297,8 +367,12 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     if args.cases <= 0:
         raise ToolError(f"--cases must be positive, got {args.cases}")
+    try:
+        get_codec(args.codec)
+    except UnknownCodec as exc:
+        raise ToolError(str(exc)) from None
     if args.input.startswith("bench:") or args.input.endswith(".asm"):
-        data = compress(load_program(args.input)).data
+        data = compress_with(args.codec, load_program(args.input)).data
     else:
         try:
             with open(args.input, "rb") as handle:
@@ -307,9 +381,27 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             raise ToolError(f"no such file: {args.input}") from None
         if not data.startswith(b"SSD"):
             raise ToolError(f"{args.input} is not an SSD container")
-    report = sweep(data, cases=args.cases, seed=args.seed)
+    report = sweep(data, cases=args.cases, seed=args.seed,
+                   decode=decompress_any)
     print(report.format())
     return 0 if report.ok else 1
+
+
+def cmd_codecs(args: argparse.Namespace) -> int:
+    """List every registered codec (the ``repro.codecs`` registry)."""
+    rows = []
+    for codec_id in codec_ids():
+        codec = get_codec(codec_id)
+        rows.append({"id": codec.codec_id,
+                     "wire_id": codec.wire_id,
+                     "description": codec.description})
+    if args.json:
+        print(json.dumps({"codecs": rows}, sort_keys=True))
+        return 0
+    for row in rows:
+        wire = str(row["wire_id"]) if row["wire_id"] else "-"
+        print(f"{row['id']:>10}  wire {wire:>2}  {row['description']}")
+    return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -325,9 +417,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             root = stack.enter_context(
                 TRACER.span("cli.run", input=args.input, lazy=args.lazy))
         if args.lazy:
-            program = LazyProgram(open_container(data))
+            program = LazyProgram(open_any(data))
         else:
-            program = decompress(data)
+            program = decompress_any(data)
         inputs = [int(v) for v in args.read] if args.read else None
         result = run_program(program, inputs=inputs, fuel=args.fuel)
     for value in result.output:
@@ -512,7 +604,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compress", help="assemble + compress to a .ssd file")
     p.add_argument("input", help="asm file or bench:<name>[@scale]")
     p.add_argument("-o", "--output", required=True)
-    p.add_argument("--codec", choices=("lz", "delta"), default="lz")
+    p.add_argument("--codec", default="ssd", metavar="ID",
+                   help="registered codec id (see `ssd codecs`); "
+                        "default: ssd")
+    p.add_argument("--base-codec", choices=("lz", "delta"), default="lz",
+                   help="SSD base-entry codec (ssd codec only)")
     p.add_argument("--max-len", type=int, default=4)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the parallel pipeline "
@@ -554,7 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input", help=".ssd file, asm file, or bench:<name>[@scale]")
     p.add_argument("--cases", type=int, default=500)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--codec", default="ssd", metavar="ID",
+                   help="codec used to compress asm/bench inputs")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser("codecs", help="list registered compression codecs")
+    p.add_argument("--json", action="store_true",
+                   help="emit one stable-keyed JSON object to stdout")
+    p.set_defaults(func=cmd_codecs)
 
     p = sub.add_parser("run", help="execute a compressed program")
     p.add_argument("input")

@@ -1,0 +1,311 @@
+"""Tests for the pluggable codec layer (repro.codecs).
+
+Covers the registry, the v3 codec-id envelope, cross-codec round-trip
+properties, the profile-guided ``auto`` selector, and the integration
+seams (lazy execution, JIT fallback, serve admission) that must work for
+*every* registered codec, not just SSD.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.codecs import (
+    Codec,
+    UnknownCodec,
+    by_wire_id,
+    codec_ids,
+    codec_of,
+    compress_with,
+    decompress_any,
+    get_codec,
+    integrity_report_any,
+    open_any,
+    register_lazy,
+    select,
+)
+from repro.codecs.container import peek_wire_id, unwrap, wrap
+from repro.core import compress as ssd_compress
+from repro.core.container import ContainerError
+from repro.core.lazy import LazyProgram, lazy_program
+from repro.errors import CorruptContainer
+from repro.isa import assemble
+from repro.vm import run_program
+from repro.workloads import benchmark_program
+
+from .strategies import programs
+
+CONCRETE = [cid for cid in codec_ids() if get_codec(cid).wire_id]
+
+SOURCE = """
+func main
+    li r2, 6
+    call double
+    trap 1
+    ret
+end
+func double
+    add r1, r2, r2
+    li r3, 9
+    mul r1, r1, r3
+    trap 1
+    ret
+end
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(SOURCE)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return benchmark_program("compress", scale=0.1)
+
+
+class TestRegistry:
+    def test_builtin_codecs_registered(self):
+        assert {"ssd", "brisc", "lz77-raw", "auto"} <= set(codec_ids())
+
+    def test_get_codec_returns_singleton(self):
+        assert get_codec("ssd") is get_codec("ssd")
+
+    def test_unknown_codec_is_corrupt_container(self):
+        with pytest.raises(UnknownCodec):
+            get_codec("definitely-not-a-codec")
+        assert issubclass(UnknownCodec, CorruptContainer)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_lazy("ssd", "repro.codecs.ssd:SsdCodec")
+
+    def test_by_wire_id_round_trips(self):
+        for cid in CONCRETE:
+            codec = get_codec(cid)
+            assert by_wire_id(codec.wire_id) is codec
+
+    def test_wire_id_zero_never_resolves(self):
+        with pytest.raises(UnknownCodec):
+            by_wire_id(0)
+
+    def test_codec_metadata_complete(self):
+        for cid in codec_ids():
+            codec = get_codec(cid)
+            assert isinstance(codec, Codec)
+            assert codec.codec_id == cid
+            assert codec.description
+
+    def test_wire_ids_unique(self):
+        wire_ids = [get_codec(cid).wire_id for cid in CONCRETE]
+        assert len(wire_ids) == len(set(wire_ids))
+
+
+class TestEnvelope:
+    def test_wrap_unwrap_round_trip(self):
+        payload = b"some codec payload"
+        data = wrap(7, payload)
+        assert data[:4] == b"SSD3"
+        assert peek_wire_id(data) == 7
+        assert unwrap(data) == (7, payload)
+
+    def test_wire_id_zero_rejected_on_wrap(self):
+        with pytest.raises(ValueError):
+            wrap(0, b"x")
+
+    def test_wire_id_zero_rejected_on_unwrap(self):
+        data = bytearray(wrap(1, b"payload"))
+        data[5] = 0
+        with pytest.raises(ContainerError):
+            unwrap(bytes(data))
+
+    def test_payload_corruption_detected(self):
+        data = bytearray(wrap(3, b"payload bytes here"))
+        data[10] ^= 0xFF
+        with pytest.raises(CorruptContainer):
+            unwrap(bytes(data))
+
+    def test_truncation_detected(self):
+        data = wrap(3, b"payload bytes here")
+        for cut in (3, 5, 8, len(data) - 2):
+            with pytest.raises((CorruptContainer, EOFError)):
+                unwrap(data[:cut])
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ContainerError):
+            unwrap(wrap(2, b"p") + b"extra")
+
+    def test_integrity_report_any_versions(self, program):
+        v2 = ssd_compress(program).data
+        v3 = compress_with("brisc", program).data
+        assert integrity_report_any(v2).version == 2
+        report = integrity_report_any(v3)
+        assert report.version == 3 and report.ok
+        assert not integrity_report_any(b"JUNKJUNKJUNK").ok
+
+
+class TestCrossCodecRoundTrip:
+    @pytest.mark.parametrize("codec_id", CONCRETE)
+    def test_bench_round_trip(self, bench, codec_id):
+        compressed = compress_with(codec_id, bench)
+        assert decompress_any(compressed.data) == bench
+
+    @pytest.mark.parametrize("codec_id", CONCRETE)
+    def test_codec_of_and_reader_surface(self, program, codec_id):
+        data = compress_with(codec_id, program).data
+        assert codec_of(data) == codec_id
+        reader = open_any(data)
+        assert reader.codec_id == codec_id
+        assert reader.program_name == program.name
+        assert reader.entry == program.entry
+        assert reader.function_count == len(program.functions)
+        assert list(reader.function_names) == [f.name for f in program.functions]
+        for findex, function in enumerate(program.functions):
+            assert reader.function(findex) == function
+
+    @pytest.mark.parametrize("codec_id", CONCRETE)
+    def test_size_report_accounts_all_bytes(self, program, codec_id):
+        compressed = compress_with(codec_id, program)
+        report = compressed.size_report()
+        assert all(size >= 0 for size in report.values())
+        # Sections never claim more than the container holds (SSD's
+        # report excludes framing, so strict equality is codec-specific).
+        assert 0 < sum(report.values()) <= compressed.size
+
+    @given(programs(max_functions=3, max_function_size=15))
+    @settings(max_examples=10, deadline=None)
+    def test_every_codec_round_trips_random_programs(self, program):
+        for codec_id in CONCRETE:
+            compressed = compress_with(codec_id, program)
+            assert decompress_any(compressed.data) == program, codec_id
+
+
+class TestCodecIdByteFaults:
+    """The v3 codec-id byte under fire: typed errors, never wrong decode."""
+
+    def test_unknown_wire_id_is_corrupt_container(self, program):
+        data = bytearray(compress_with("brisc", program).data)
+        for bogus in (0, 77, 255):
+            data[5] = bogus
+            with pytest.raises(CorruptContainer):
+                decompress_any(bytes(data))
+
+    def test_swapped_wire_id_never_misdecodes(self, program):
+        # Flip a brisc container's id to lz77-raw: the payload no longer
+        # parses under that codec, and the payload CRC already catches
+        # the tamper — either way a typed error, never a wrong program.
+        data = bytearray(compress_with("brisc", program).data)
+        data[5] = get_codec("lz77-raw").wire_id
+        with pytest.raises(CorruptContainer):
+            decompress_any(bytes(data))
+
+    @pytest.mark.parametrize("codec_id", ["brisc", "lz77-raw"])
+    def test_fault_sweep_over_v3_container(self, program, codec_id):
+        from repro.faults import sweep
+
+        data = compress_with(codec_id, program).data
+        report = sweep(data, cases=60, seed=3, decode=decompress_any)
+        assert report.ok, report.format()
+
+
+class TestAutoSelector:
+    def test_auto_never_larger_than_ssd(self):
+        for name in ("compress", "go", "xlisp"):
+            program = benchmark_program(name, scale=0.05)
+            selection = select(program)
+            assert selection.output.size <= selection.totals["ssd"], name
+
+    def test_auto_emits_winning_codec_container(self, bench):
+        selection = select(bench)
+        compressed = compress_with("auto", bench)
+        assert codec_of(compressed.data) == selection.chosen
+        assert decompress_any(compressed.data) == bench
+
+    def test_auto_reports_per_function_choices(self, bench):
+        selection = select(bench)
+        assert len(selection.per_function) == len(bench.functions)
+        hotness = sum(choice.hotness for choice in selection.per_function)
+        assert hotness == pytest.approx(1.0)
+        for choice in selection.per_function:
+            assert set(choice.sizes) == set(selection.totals)
+
+    def test_auto_is_not_a_wire_codec(self, program):
+        payload = b"anything"
+        with pytest.raises(ContainerError):
+            get_codec("auto").open_payload(payload)
+
+
+class TestLegacyContainers:
+    def test_v2_loads_as_ssd(self, program):
+        data = ssd_compress(program).data
+        assert data[:4] == b"SSD2"
+        assert codec_of(data) == "ssd"
+        assert decompress_any(data) == program
+        assert open_any(data).codec_id == "ssd"
+
+    def test_v1_loads_as_ssd(self, program):
+        from repro.core import container
+
+        sections = container.parse(ssd_compress(program).data)
+        v1 = container.serialize(sections, version=1)
+        assert v1[:4] == b"SSD1"
+        assert codec_of(v1) == "ssd"
+        assert decompress_any(v1) == program
+
+
+class TestExecutionSeams:
+    @pytest.mark.parametrize("codec_id", CONCRETE)
+    def test_lazy_program_over_any_codec(self, program, codec_id):
+        data = compress_with(codec_id, program).data
+        lazy = lazy_program(data)
+        assert isinstance(lazy, LazyProgram)
+        baseline = run_program(program)
+        result = run_program(lazy)
+        assert result.output == baseline.output
+        assert lazy.decompressed_count >= 1
+
+    @pytest.mark.parametrize("codec_id", CONCRETE)
+    def test_resilient_runtime_over_any_codec(self, program, codec_id):
+        from repro.jit import FallbackTranslator, ResilientRuntime, Translator
+
+        data = compress_with(codec_id, program).data
+        runtime = ResilientRuntime(data)
+        if runtime.reader.supports_block_decode:
+            assert isinstance(runtime.translator, Translator)
+        else:
+            assert isinstance(runtime.translator, FallbackTranslator)
+        runtime.prepare()
+        assert not runtime.degraded, runtime.report()
+        result = runtime.run()
+        assert result.output == run_program(program).output
+
+    def test_fallback_translation_matches_block_copy(self, bench):
+        """Same native bytes out of both translators, per the contract."""
+        from repro.jit import FallbackTranslator, Translator
+
+        reader = open_any(ssd_compress(bench).data)
+        block = Translator(reader)
+        fallback = FallbackTranslator(reader)
+        for findex in range(reader.function_count):
+            a = block.translate_function(findex)
+            b = fallback.translate_function(findex)
+            assert bytes(a.translated.code) == bytes(b.translated.code)
+            assert a.translated.call_relocations == b.translated.call_relocations
+
+    @pytest.mark.parametrize("codec_id", CONCRETE)
+    def test_store_admits_and_records_codec(self, program, codec_id, tmp_path):
+        from repro.serve import ContainerStore
+
+        store = ContainerStore(root=str(tmp_path))
+        data = compress_with(codec_id, program).data
+        container_id, reader = store.put(data)
+        assert reader.codec_id == codec_id
+        assert store.codec_of(container_id) == codec_id
+
+    def test_store_rejects_unknown_codec_id(self, program, tmp_path):
+        from repro.serve import ContainerStore
+
+        store = ContainerStore(root=str(tmp_path))
+        data = bytearray(compress_with("brisc", program).data)
+        data[5] = 99
+        with pytest.raises(ValueError):
+            store.put(bytes(data))

@@ -62,6 +62,39 @@ class TestDeliverableDocs:
                 pytest.fail(f"dangling reference {reference!r}")
 
 
+class TestCodecDocs:
+    """docs/CODECS.md stays in lock-step with the codec registry."""
+
+    def test_codecs_doc_lists_every_registered_codec(self):
+        from repro.codecs import codec_ids
+
+        doc = _read("docs/CODECS.md")
+        for codec_id in codec_ids():
+            assert f"`{codec_id}`" in doc, codec_id
+
+    def test_codecs_doc_wire_ids_match_registry(self):
+        from repro.codecs import codec_ids, get_codec
+
+        doc = _read("docs/CODECS.md")
+        table_rows = re.findall(r"^\| `([a-z0-9-]+)` \| (\d+) \|", doc,
+                                flags=re.MULTILINE)
+        assert table_rows, "built-in codec table missing"
+        assert {row[0] for row in table_rows} == set(codec_ids())
+        for codec_id, wire_id in table_rows:
+            assert get_codec(codec_id).wire_id == int(wire_id), codec_id
+
+    def test_format_doc_covers_v3_envelope(self):
+        from repro.codecs.container import MAGIC_V3
+
+        doc = _read("docs/FORMAT.md")
+        assert MAGIC_V3.decode() in doc
+        assert "codec wire id" in doc
+
+    def test_readme_and_design_link_codecs_doc(self):
+        assert "docs/CODECS.md" in _read("README.md")
+        assert "repro.codecs" in _read("DESIGN.md")
+
+
 class TestRecordedResults:
     def test_full_scale_results_exist(self):
         results = _read("results/full_scale.txt")

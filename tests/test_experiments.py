@@ -3,7 +3,15 @@
 import pytest
 
 from repro.experiments import ExperimentContext
-from repro.experiments import ablations, figure3, table1, table5, table6, throughput
+from repro.experiments import (
+    ablations,
+    codecs,
+    figure3,
+    table1,
+    table5,
+    table6,
+    throughput,
+)
 from repro.experiments.runner import build_parser, main
 
 SCALE = 0.05  # tiny: these tests check plumbing and shape, not calibration
@@ -103,6 +111,22 @@ class TestAblations:
     def test_buffer_policy_ablation(self, context):
         out = ablations.buffer_policy_ablation(context, ratios=(0.3,))
         assert "pure LRU" in out
+
+
+class TestCodecsExhibit:
+    def test_covers_every_concrete_codec(self, context):
+        out = codecs.run(context, names=["compress", "xlisp"])
+        for column in ("ssd B", "brisc B", "lz77-raw B", "auto pick"):
+            assert column in out, column
+        assert "compress" in out and "xlisp" in out
+
+    def test_concrete_codec_ids_exclude_selectors(self):
+        ids = codecs.concrete_codec_ids()
+        assert "auto" not in ids
+        assert {"ssd", "brisc", "lz77-raw"} <= set(ids)
+
+    def test_parser_accepts_codecs_exhibit(self):
+        assert build_parser().parse_args(["codecs"]).exhibit == "codecs"
 
 
 class TestRunnerCLI:

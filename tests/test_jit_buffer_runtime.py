@@ -2,8 +2,8 @@
 
 import pytest
 
+from repro.errors import BufferCapacityError
 from repro.jit import (
-    BufferError_,
     PERMANENT_SIZE_THRESHOLD,
     PureLRUBuffer,
     PureRoundRobinBuffer,
@@ -62,7 +62,7 @@ class TestBufferPolicy:
 
     def test_function_larger_than_buffer_rejected(self):
         buf = TranslationBuffer(capacity=1000)
-        with pytest.raises(BufferError_):
+        with pytest.raises(BufferCapacityError):
             buf.call(0, 2000)
 
     def test_zero_capacity_rejected(self):
@@ -135,7 +135,7 @@ class TestRuntime:
         assert with_dict.translated_bytes >= without.translated_bytes
 
     def test_buffer_smaller_than_dictionary_rejected(self):
-        with pytest.raises(BufferError_):
+        with pytest.raises(BufferCapacityError):
             simulate(self.SIZES, self._trace(),
                      RuntimeConfig(buffer_bytes=1000, dictionary_bytes=2000,
                                    costs=SSD_COSTS))
@@ -172,3 +172,18 @@ class TestSweep:
         assert hit_rates == sorted(hit_rates)
         assert translated == sorted(translated, reverse=True)
         assert overheads == sorted(overheads, reverse=True)
+
+
+class TestDeprecatedAlias:
+    def test_buffer_error_alias_warns_and_resolves(self):
+        import repro.jit
+
+        with pytest.warns(DeprecationWarning, match="BufferCapacityError"):
+            alias = repro.jit.BufferError_
+        assert alias is BufferCapacityError
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.jit
+
+        with pytest.raises(AttributeError):
+            repro.jit.NoSuchThing_

@@ -112,12 +112,17 @@ class TestBodies:
         assert protocol.parse_ok_put(body) == (CID, 9, 2)
 
     def test_ok_meta_roundtrip(self):
-        body = protocol.build_ok_meta("prog", 1, ["main", "helper"])
-        assert protocol.parse_ok_meta(body) == ("prog", 1, ["main", "helper"])
+        body = protocol.build_ok_meta("prog", 1, ["main", "helper"], "brisc")
+        assert protocol.parse_ok_meta(body) == \
+            ("prog", 1, ["main", "helper"], "brisc")
+
+    def test_ok_meta_default_codec_is_ssd(self):
+        body = protocol.build_ok_meta("prog", 1, ["main"])
+        assert protocol.parse_ok_meta(body)[3] == "ssd"
 
     def test_ok_meta_no_functions(self):
         assert protocol.parse_ok_meta(protocol.build_ok_meta("p", 0, [])) == \
-            ("p", 0, [])
+            ("p", 0, [], "ssd")
 
     def test_error_roundtrip(self):
         body = protocol.build_error(protocol.E_NOT_FOUND, "no such container")

@@ -162,6 +162,69 @@ class TestCommands:
     def test_fuzz_rejects_bad_cases(self, ssd_file, capsys):
         assert main(["fuzz", str(ssd_file), "--cases", "0"]) == 2
 
+    def test_fuzz_non_ssd_codec(self, asm_file, capsys):
+        assert main(["fuzz", str(asm_file), "--cases", "20",
+                     "--codec", "brisc"]) == 0
+        assert "result: OK" in capsys.readouterr().out
+
+
+class TestCodecsCommand:
+    def test_codecs_lists_registry(self, capsys):
+        assert main(["codecs"]) == 0
+        out = capsys.readouterr().out
+        for codec_id in ("ssd", "brisc", "lz77-raw", "auto"):
+            assert codec_id in out
+
+    def test_codecs_json(self, capsys):
+        import json
+
+        assert main(["codecs", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ids = [row["id"] for row in payload["codecs"]]
+        assert {"ssd", "brisc", "lz77-raw", "auto"} <= set(ids)
+        for row in payload["codecs"]:
+            assert row["description"]
+
+    @pytest.mark.parametrize("codec", ["brisc", "lz77-raw", "auto"])
+    def test_compress_with_codec_round_trips(self, asm_file, tmp_path,
+                                             capsys, codec):
+        ssd = tmp_path / f"{codec}.ssd"
+        assert main(["compress", str(asm_file), "-o", str(ssd),
+                     "--codec", codec]) == 0
+        assert ssd.read_bytes()[:3] == b"SSD"
+        assert main(["verify", str(ssd), str(asm_file)]) == 0
+        assert main(["run", str(ssd), "--lazy"]) == 0
+        assert "12" in capsys.readouterr().out
+
+    def test_inspect_non_ssd_container(self, asm_file, tmp_path, capsys):
+        import json
+
+        ssd = tmp_path / "brisc.ssd"
+        assert main(["compress", str(asm_file), "-o", str(ssd),
+                     "--codec", "brisc"]) == 0
+        assert main(["inspect", str(ssd), "--json", "--function", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        payload = json.loads(lines[-1])
+        assert payload["codec"] == "brisc"
+        assert payload["format_version"] == 3
+        assert payload["function_names"] == ["main", "double"]
+        assert payload["function"]["name"] == "double"
+
+    def test_verify_integrity_non_ssd_container(self, asm_file, tmp_path,
+                                                capsys):
+        ssd = tmp_path / "lz.ssd"
+        assert main(["compress", str(asm_file), "-o", str(ssd),
+                     "--codec", "lz77-raw"]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(ssd)]) == 0
+        assert "format v3" in capsys.readouterr().out
+
+    def test_compress_unknown_codec_exits_2(self, asm_file, tmp_path, capsys):
+        out = tmp_path / "x.ssd"
+        assert main(["compress", str(asm_file), "-o", str(out),
+                     "--codec", "nope"]) == 2
+        assert "unknown codec" in capsys.readouterr().err
+
 
 class TestJsonOutput:
     def test_inspect_json(self, ssd_file, capsys):
