@@ -1,18 +1,19 @@
 #!/usr/bin/env python
-"""Compression-throughput regression guard.
+"""Pipeline-throughput regression guard.
 
-Measures full-pipeline ``repro.core.compress`` (and ``decompress``)
+Measures full-pipeline ``repro.core.compress`` and ``decompress``
 wall-clock on the largest corpus program, writes the numbers to
-``benchmarks/BENCH_pipeline.json``, and exits non-zero if compress
-throughput regressed more than ``--tolerance`` (default 20%) against the
-recorded baseline in ``benchmarks/BENCH_baseline.json``.
+``benchmarks/BENCH_pipeline.json``, and exits non-zero if either
+direction's throughput regressed more than ``--tolerance`` (default 20%)
+against the recorded baseline in ``benchmarks/BENCH_baseline.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py            # guard
     PYTHONPATH=src python benchmarks/check_regression.py --record   # re-baseline
 
-Run it alongside the tier-1 suite when touching the compress path.
+Run it alongside the tier-1 suite when touching the compress or
+decompress path.
 """
 
 from __future__ import annotations
@@ -73,28 +74,48 @@ def main(argv=None) -> int:
     result = measure(program, scale, args.rounds)
     throughput = result["instructions"] / result["compress_s"]
     result["compress_insns_per_s"] = round(throughput, 1)
+    decode_throughput = result["instructions"] / result["decompress_s"]
+    result["decompress_insns_per_s"] = round(decode_throughput, 1)
 
     if args.record:
         recorded = dict(result)
         recorded["note"] = "Recorded by check_regression.py --record; best of %d runs." % args.rounds
         BASELINE_PATH.write_text(json.dumps(recorded, indent=2) + "\n")
         print(f"recorded baseline: compress {result['compress_s']:.3f}s "
-              f"({throughput:,.0f} insns/s) -> {BASELINE_PATH.name}")
+              f"({throughput:,.0f} insns/s), decompress "
+              f"{result['decompress_s']:.3f}s ({decode_throughput:,.0f} "
+              f"insns/s) -> {BASELINE_PATH.name}")
 
-    verdict = "no-baseline"
-    if baseline.get("compress_s") and baseline.get("program") == program \
-            and baseline.get("scale") == scale:
-        base_throughput = baseline["instructions"] / baseline["compress_s"]
-        ratio = throughput / base_throughput
-        result["baseline_compress_s"] = baseline["compress_s"]
-        result["throughput_vs_baseline"] = round(ratio, 3)
-        verdict = "pass" if ratio >= 1.0 - args.tolerance else "regression"
-        print(f"compress: {result['compress_s']:.3f}s vs baseline "
-              f"{baseline['compress_s']:.3f}s ({ratio:.2f}x throughput, "
-              f"tolerance {1.0 - args.tolerance:.2f}x) -> {verdict}")
+    comparable = (baseline.get("program") == program
+                  and baseline.get("scale") == scale)
+    floor = 1.0 - args.tolerance
+    verdicts = []
+    for direction, measured in (("compress", throughput),
+                                ("decompress", decode_throughput)):
+        key = f"{direction}_s"
+        if not (comparable and baseline.get(key)):
+            print(f"{direction}: {result[key]:.3f}s "
+                  f"({measured:,.0f} insns/s); no comparable baseline")
+            continue
+        base_throughput = baseline["instructions"] / baseline[key]
+        ratio = measured / base_throughput
+        result[f"baseline_{key}"] = baseline[key]
+        result[f"{direction}_throughput_vs_baseline"] = round(ratio, 3)
+        verdicts.append(ratio >= floor)
+        print(f"{direction}: {result[key]:.3f}s vs baseline "
+              f"{baseline[key]:.3f}s ({ratio:.2f}x throughput, "
+              f"tolerance {floor:.2f}x) -> "
+              f"{'pass' if verdicts[-1] else 'regression'}")
+    if not verdicts:
+        verdict = "no-baseline"
     else:
-        print(f"compress: {result['compress_s']:.3f}s "
-              f"({throughput:,.0f} insns/s); no comparable baseline")
+        verdict = "pass" if all(verdicts) else "regression"
+
+    # Back-compat alias: earlier consumers read the compress-only ratio
+    # under this name.
+    if "compress_throughput_vs_baseline" in result:
+        result["throughput_vs_baseline"] = \
+            result["compress_throughput_vs_baseline"]
 
     result["verdict"] = verdict
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")

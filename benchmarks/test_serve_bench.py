@@ -102,6 +102,42 @@ def test_get_function_throughput(benchmark):
     clear_cache()
 
 
+def test_cache_miss_decode_latency(benchmark):
+    """Cold-path decode cost: every function requested exactly once, so
+    each request is a cache miss and the server-side ``serve.decode``
+    span (the ``serve_decode_seconds`` family + STATS ``decode_latency``
+    reservoir) measures pure decompression latency, excluding wire and
+    cache-hit time."""
+    program = benchmark_program("compress", scale=0.3)
+    container = compress(program).data
+    function_count = len(program.functions)
+
+    def measure():
+        with serve_in_thread() as handle:
+            with ServeClient(*handle.address) as client:
+                container_id, _, _ = client.put(container)
+                for findex in range(function_count):
+                    client.function(container_id, findex)
+                stats = client.stats()
+        return stats
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+    decode = stats["decode_latency"]
+    _record({
+        "benchmark": "serve_cache_miss_decode",
+        "functions": function_count,
+        "decodes": decode["count"],
+        "decode_p50_ms": round(decode["p50_ms"], 3),
+        "decode_p99_ms": round(decode["p99_ms"], 3),
+        "decode_max_ms": round(decode["max_ms"], 3),
+    })
+    # Every request was a miss: one timed decode per function.
+    assert decode["count"] == function_count
+    assert stats["decodes_total"] == function_count
+    assert 0 < decode["p50_ms"] <= decode["p99_ms"] <= decode["max_ms"]
+    clear_cache()
+
+
 def test_remote_run_end_to_end(benchmark):
     """Cold-path: serve a container and run it remotely, timing the
     full page-in (meta + every reached function over the wire)."""

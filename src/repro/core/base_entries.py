@@ -110,15 +110,15 @@ def _decode_groups(data: bytes, use_delta: bool) -> List[BaseEntry]:
                 blob = reader.read_bytes(reader.read_uvarint())
                 imms = list(delta_codec.decode_deltas(blob))
             else:
-                imms = [reader.read_svarint() for _ in range(count)]
+                imms = reader.read_svarint_run(count)
         stored_targets: List[Optional[int]] = [None] * count
         if meta.uses_target:
-            target_sizes = [reader.read_u8() or None for _ in range(count)]
+            target_sizes = [size or None for size in reader.read_u8_run(count)]
             if reader.read_u8():
-                stored_targets = [reader.read_svarint() for _ in range(count)]
+                stored_targets = reader.read_svarint_run(count)
         for field in ("rd", "rs1", "rs2"):
             if getattr(meta, f"uses_{field}"):
-                regs[field] = [reader.read_u8() for _ in range(count)]
+                regs[field] = reader.read_u8_run(count)
         for position in range(count):
             insn = Instruction(
                 op=meta.op,

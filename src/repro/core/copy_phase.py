@@ -20,10 +20,12 @@ fully patched here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Dict, List, Sequence, Tuple
 
 from ..errors import CorruptContainer
-from .items import DecodedItem
+from ..kernels import KIND_BRANCH, KIND_CALL, ItemPlanes
+from .items import DecodedItem, planes_to_items
 
 
 class CopyPhaseError(CorruptContainer):
@@ -141,6 +143,77 @@ def copy_translate(items: Sequence[DecodedItem],
         _patch(code, hole_at, hole_size,
                item_offsets[target_item] - (hole_at + hole_size))
 
+    return TranslatedFunction(code=code, call_relocations=relocations,
+                              item_offsets=item_offsets)
+
+
+def copy_translate_planes(planes: ItemPlanes,
+                          table: Dict[int, TableEntry]) -> TranslatedFunction:
+    """Algorithm 3 over split planes: whole-function copy, then patches.
+
+    The control plane drives one bulk gather-and-join of table rows (the
+    forwarding table falls out of a single prefix sum), and only items
+    with targets are touched individually afterwards — no per-item
+    branching during the copy itself.  Any inconsistency re-runs the
+    item-at-a-time :func:`copy_translate`, which owns the error taxonomy,
+    so corrupt streams fail identically on every path.
+    """
+    try:
+        return _copy_translate_planes(planes, table)
+    except CopyPhaseError:
+        # Re-run the item-at-a-time reference so the raised error (its
+        # first-failure order can differ on multi-fault streams) is
+        # exactly the scalar one.
+        return copy_translate(planes_to_items(planes), table)
+
+
+def _copy_translate_planes(planes: ItemPlanes,
+                           table: Dict[int, TableEntry]) -> TranslatedFunction:
+    entries = []
+    entries_append = entries.append
+    table_get = table.get
+    for index in planes.indices:
+        entry = table_get(index)
+        if entry is None:
+            raise CopyPhaseError(f"no instruction-table entry for index {index}")
+        entries_append(entry)
+
+    # Bulk copy: one join for the code, one prefix sum for the forwarding
+    # table (item index -> output byte offset).
+    offsets = list(accumulate((entry.size for entry in entries), initial=0))
+    total = offsets.pop()
+    code = bytearray(b"".join([entry.data for entry in entries]))
+    assert len(code) == total
+    item_offsets = offsets
+
+    relocations: List[CallRelocation] = []
+    item_count = planes.count
+    for item_index, kind in enumerate(planes.kinds):
+        if kind == KIND_BRANCH:
+            entry = entries[item_index]
+            if entry.hole_size == 0 or entry.is_call:
+                raise CopyPhaseError(
+                    f"item {item_index} supplies a branch target but entry "
+                    f"{planes.indices[item_index]} has no branch hole")
+            target_item = item_index + 1 + planes.values[item_index]
+            if not 0 <= target_item < item_count:
+                raise CopyPhaseError(
+                    f"item {item_index}: branch target item {target_item} "
+                    f"out of range")
+            hole_at = item_offsets[item_index] + entry.hole_offset
+            _patch(code, hole_at, entry.hole_size,
+                   item_offsets[target_item] - (hole_at + entry.hole_size))
+        elif kind == KIND_CALL:
+            entry = entries[item_index]
+            if entry.hole_size == 0 or not entry.is_call:
+                raise CopyPhaseError(
+                    f"item {item_index} supplies a call target but entry "
+                    f"{planes.indices[item_index]} has no call hole")
+            relocations.append(CallRelocation(
+                hole_offset=item_offsets[item_index] + entry.hole_offset,
+                hole_size=entry.hole_size,
+                callee=planes.values[item_index],
+            ))
     return TranslatedFunction(code=code, call_relocations=relocations,
                               item_offsets=item_offsets)
 

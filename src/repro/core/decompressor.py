@@ -26,8 +26,13 @@ from ..obs import REGISTRY, TRACER
 from ..perf.profile import PhaseProfile, ensure
 from . import container
 from .container import DEFAULT_LIMITS, DecodeLimits
-from .dictionary import BaseEntry
-from .items import DecodedItem, decode_items, resolve_branch_targets
+from ..kernels import KIND_CALL, ItemPlanes
+from .items import (
+    DecodedItem,
+    decode_item_planes,
+    planes_to_items,
+    resolve_plane_targets,
+)
 from .layout import SegmentLayout, layouts_from_sections
 
 
@@ -87,45 +92,67 @@ class SSDReader:
     def layout_for_function(self, findex: int) -> SegmentLayout:
         return self.layouts[self.segment_of_function[findex]]
 
-    def decoded_items(self, findex: int) -> List[DecodedItem]:
+    def item_planes(self, findex: int) -> ItemPlanes:
+        """Decode one function's item stream into split planes."""
         layout = self.layout_for_function(findex)
-        return decode_items(self.sections.item_streams[findex], layout.info_of)
+        return decode_item_planes(self.sections.item_streams[findex],
+                                  layout.info_of, cache=layout)
+
+    def decoded_items(self, findex: int) -> List[DecodedItem]:
+        return planes_to_items(self.item_planes(findex))
 
     def function_instructions(self, findex: int) -> List[Instruction]:
-        """Incrementally decompress one function back to VM instructions."""
-        layout = self.layout_for_function(findex)
-        items = self.decoded_items(findex)
-        targets = resolve_branch_targets(items)
-        instructions: List[Instruction] = []
-        for item, target in zip(items, targets):
-            path = layout.paths_of[item.dict_index]
-            start = len(instructions)
-            for offset, addr in enumerate(path):
-                base = layout.addr_bases[addr]
-                insn = base.instruction
-                if base.has_target:
-                    if offset != len(path) - 1:
-                        raise DecompressionError(
-                            "control transfer inside a sequence entry")
-                    insn = self._resolve_target(base, item, target,
-                                                position=start + offset)
-                instructions.append(insn)
-        return instructions
+        """Incrementally decompress one function back to VM instructions.
 
-    @staticmethod
-    def _resolve_target(base: BaseEntry, item: DecodedItem,
-                        target: Optional[int], position: int) -> Instruction:
-        insn = base.instruction
-        if base.target_in_entry:
-            # Absolute-targets ablation: the target is stored in the entry.
-            return insn.replace_target(base.stored_target)
-        if insn.is_branch:
-            if target is None:
-                raise DecompressionError("branch item without a resolved target")
-            return insn.replace_target(target)
-        if item.call_target is None:
-            raise DecompressionError("call item without a callee index")
-        return insn.replace_target(item.call_target)
+        Runs over split planes: each dictionary index expands from a
+        cached instruction list (constant for every item of that index),
+        and only the trailing target-carrying instruction — if any — is
+        materialized per item.
+        """
+        layout = self.layout_for_function(findex)
+        planes = self.item_planes(findex)
+        targets = resolve_plane_targets(planes)
+        local = layout.expansions
+        shared = layout.shared_expansions
+        common_limit = layout.common_limit if shared is not None else 0
+        common_bases = layout.common_base_count
+        instructions: List[Instruction] = []
+        extend = instructions.extend
+        append = instructions.append
+        for index, kind, value, target in zip(planes.indices, planes.kinds,
+                                              planes.values, targets):
+            if index < common_limit:
+                expansion = shared.get(index)
+                if expansion is None:
+                    expansion = _build_expansion(layout, index)
+                    # A (corrupt) common path may reach into this
+                    # segment's local bases; only container-wide
+                    # expansions go in the shared cache.
+                    path = layout.paths_of[index]
+                    if all(addr < common_bases for addr in path):
+                        shared[index] = expansion
+                    else:
+                        local[index] = expansion
+            else:
+                expansion = local.get(index)
+                if expansion is None:
+                    expansion = _build_expansion(layout, index)
+                    local[index] = expansion
+            prefix, last_insn, last_is_branch = expansion
+            extend(prefix)
+            if last_insn is None:
+                continue
+            if last_is_branch:
+                if target is None:
+                    raise DecompressionError(
+                        "branch item without a resolved target")
+                append(last_insn.replace_target(target))
+            else:
+                if kind != KIND_CALL:
+                    raise DecompressionError(
+                        "call item without a callee index")
+                append(last_insn.replace_target(value))
+        return instructions
 
     def function(self, findex: int) -> Function:
         """Decode function ``findex``, memoized and thread-safe.
@@ -156,14 +183,64 @@ class SSDReader:
         return sorted(self._fn_cache)
 
     def program(self) -> Program:
-        """Reconstruct the entire program."""
-        functions = [
-            Function(name=self.sections.function_names[findex],
-                     insns=self.function_instructions(findex))
-            for findex in range(self.function_count)
-        ]
+        """Reconstruct the entire program.
+
+        Goes through :meth:`function` so the ``_fn_cache`` memo is both
+        consulted and populated: a full reconstruction after lazy paging
+        (or vice versa) never decodes a function twice.
+        """
+        functions = [self.function(findex)
+                     for findex in range(self.function_count)]
         return Program(name=self.sections.program_name, functions=functions,
                        entry=self.sections.entry)
+
+
+def _build_expansion(layout: SegmentLayout, index: int):
+    """Expansion cache entry for one dictionary index.
+
+    Returns ``(prefix, last_insn, last_is_branch)``: the instructions the
+    index always expands to, plus — when the path ends in an entry that
+    carries its target in the item — the trailing instruction awaiting a
+    target and whether it takes a branch target (else a callee index).
+    Target-in-entry bases (absolute-targets ablation) resolve here, so
+    their items cost nothing per occurrence either.
+    """
+    path = layout.paths_of[index]
+    last_offset = len(path) - 1
+    base_flags = layout.base_flags
+    if len(base_flags) != len(layout.addr_bases):
+        # Hand-built layouts (tests) skip _populate; derive flags once.
+        base_flags[:] = [(b.has_target, b.target_in_entry)
+                         for b in layout.addr_bases]
+    if last_offset == 0:
+        # Base-entry reference (the common case): no prefix to assemble.
+        addr = path[0]
+        has_target, target_in_entry = base_flags[addr]
+        base = layout.addr_bases[addr]
+        if not has_target:
+            return [base.instruction], None, False
+        if target_in_entry:
+            return ([base.instruction.replace_target(base.stored_target)],
+                    None, False)
+        return [], base.instruction, base.instruction.is_branch
+    prefix: List[Instruction] = []
+    for offset, addr in enumerate(path):
+        base = layout.addr_bases[addr]
+        has_target, target_in_entry = base_flags[addr]
+        if has_target:
+            if offset != last_offset:
+                raise DecompressionError(
+                    "control transfer inside a sequence entry")
+            if target_in_entry:
+                # Absolute-targets ablation: the target is stored in the
+                # entry.
+                prefix.append(base.instruction.replace_target(
+                    base.stored_target))
+            else:
+                return prefix, base.instruction, base.instruction.is_branch
+        else:
+            prefix.append(base.instruction)
+    return prefix, None, False
 
 
 def open_container(data: bytes,

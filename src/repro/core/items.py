@@ -22,7 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import kernels as _kernels
 from ..errors import CorruptContainer
+from ..kernels import KIND_BRANCH, KIND_CALL, KIND_PLAIN, ItemPlanes
+from ..kernels import items as _kernel_items
 from ..lz.varint import ByteReader, ByteWriter
 from .dictionary import EntryRef
 
@@ -39,6 +42,11 @@ class EntryInfo:
 
 class ItemStreamError(CorruptContainer):
     """Raised for malformed item streams or unresolvable targets."""
+
+
+#: below this stream size the vectorized item kernel's fixed setup cost
+#: (a dozen array ops) exceeds the scalar loop (measured break-even ~230B)
+_ITEM_KERNEL_MIN_BYTES = 224
 
 
 def _write_signed(writer: ByteWriter, value: int, size: int) -> None:
@@ -110,26 +118,91 @@ class DecodedItem:
     call_target: Optional[int] = None
 
 
-def decode_items(blob: bytes, info_of: Dict[int, EntryInfo]) -> List[DecodedItem]:
-    """Parse an item stream into :class:`DecodedItem` values."""
+def _decode_planes_scalar(blob: bytes,
+                          info_of: Dict[int, EntryInfo]) -> ItemPlanes:
+    """Reference plane decoder — owns the error semantics.
+
+    Walks the stream exactly like the historical per-item decoder (via
+    :class:`ByteReader`), so truncation and unknown-index errors keep
+    their documented types, messages, and offsets on every backend.
+    """
     reader = ByteReader(blob)
-    items: List[DecodedItem] = []
+    indices: List[int] = []
+    kinds: List[int] = []
+    values: List[int] = []
+    lengths: List[int] = []
+    starts: List[int] = []
+    position = 0
+    get = info_of.get
     while not reader.at_end():
         dict_index = reader.read_u16()
-        entry = info_of.get(dict_index)
+        entry = get(dict_index)
         if entry is None:
             raise ItemStreamError(f"item references unknown index {dict_index}")
-        displacement = None
-        call_target = None
         if entry.is_branch:
-            displacement = _read_signed(reader, entry.target_size)
+            kind = KIND_BRANCH
+            value = _read_signed(reader, entry.target_size)
         elif entry.is_call:
-            call_target = int.from_bytes(reader.read_bytes(entry.target_size),
-                                         "little")
-        items.append(DecodedItem(dict_index=dict_index, length=entry.length,
-                                 branch_displacement=displacement,
-                                 call_target=call_target))
-    return items
+            kind = KIND_CALL
+            value = int.from_bytes(reader.read_bytes(entry.target_size),
+                                   "little")
+        else:
+            kind = KIND_PLAIN
+            value = 0
+        indices.append(dict_index)
+        kinds.append(kind)
+        values.append(value)
+        lengths.append(entry.length)
+        starts.append(position)
+        position += entry.length
+    return ItemPlanes(indices=indices, kinds=kinds, values=values,
+                      lengths=lengths, starts=starts)
+
+
+def decode_item_planes(blob: bytes, info_of: Dict[int, EntryInfo],
+                       cache: Optional[object] = None) -> ItemPlanes:
+    """Decode one item stream into split planes (Stream VByte style).
+
+    The numpy backend decodes the whole stream at once and bails to the
+    scalar reference decoder on any anomaly, so corrupt streams raise
+    identical errors regardless of backend.  ``cache`` is any object with
+    a ``kernel_table`` slot (a :class:`SegmentLayout`) used to memoize the
+    per-layout :class:`~repro.kernels.items.ItemDecodeTable`.
+    """
+    if _kernels.backend() == "numpy" and len(blob) >= _ITEM_KERNEL_MIN_BYTES:
+        table = getattr(cache, "kernel_table", None)
+        if table is None:
+            table = _kernel_items.ItemDecodeTable(info_of)
+            if cache is not None:
+                cache.kernel_table = table
+        planes = _kernel_items.try_decode_planes(blob, table)
+        if planes is not None:
+            _kernels.record_batch("items", planes.count)
+            return planes
+        _kernels.record_fallback("items")
+        planes = _decode_planes_scalar(blob, info_of)
+        _kernels.record_batch("items", planes.count, backend_name="python")
+        return planes
+    planes = _decode_planes_scalar(blob, info_of)
+    _kernels.record_batch("items", planes.count)
+    return planes
+
+
+def planes_to_items(planes: ItemPlanes) -> List[DecodedItem]:
+    """Materialize :class:`DecodedItem` values from split planes."""
+    return [
+        DecodedItem(
+            dict_index=index, length=length,
+            branch_displacement=value if kind == KIND_BRANCH else None,
+            call_target=value if kind == KIND_CALL else None)
+        for index, kind, value, length in zip(
+            planes.indices, planes.kinds, planes.values, planes.lengths)
+    ]
+
+
+def decode_items(blob: bytes, info_of: Dict[int, EntryInfo]) -> List[DecodedItem]:
+    """Parse an item stream into :class:`DecodedItem` values."""
+    return planes_to_items(decode_item_planes(blob, info_of))
 
 
 def resolve_branch_targets(items: Sequence[DecodedItem]) -> List[Optional[int]]:
@@ -153,5 +226,34 @@ def resolve_branch_targets(items: Sequence[DecodedItem]) -> List[Optional[int]]:
             raise ItemStreamError(
                 f"item {item_index}: branch displacement {item.branch_displacement} "
                 f"leaves the function ({len(items)} items)")
+        targets.append(starts[target_item])
+    return targets
+
+
+def resolve_plane_targets(planes: ItemPlanes) -> List[Optional[int]]:
+    """Plane-based forwarding pass: branch targets in instruction units.
+
+    Equivalent to :func:`resolve_branch_targets` over the materialized
+    items — same error type and message when a displacement leaves the
+    function — but runs vectorized on the numpy backend.
+    """
+    if _kernels.backend() == "numpy":
+        resolved = _kernel_items.try_resolve_targets(planes)
+        if resolved is not None:
+            return resolved
+        _kernels.record_fallback("resolve")
+    count = planes.count
+    starts = planes.starts
+    targets: List[Optional[int]] = []
+    for item_index, (kind, value) in enumerate(zip(planes.kinds,
+                                                   planes.values)):
+        if kind != KIND_BRANCH:
+            targets.append(None)
+            continue
+        target_item = item_index + 1 + value
+        if not 0 <= target_item < count:
+            raise ItemStreamError(
+                f"item {item_index}: branch displacement {value} "
+                f"leaves the function ({count} items)")
         targets.append(starts[target_item])
     return targets

@@ -19,9 +19,10 @@ See ``repro.core.partition`` for the index-space diagram.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import CorruptContainer, LimitExceeded
+from ..isa import info as _op_info
 from .base_entries import decode_base_entries, encode_base_entries, order_base_entries
 from .container import DEFAULT_LIMITS, DecodeLimits, SegmentSections
 from .dictionary import BaseEntry, SSDDictionary
@@ -51,20 +52,67 @@ class SegmentLayout:
     info_of: Dict[int, EntryInfo] = field(default_factory=dict)
     paths_of: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
     index_of: Dict[Tuple[int, ...], int] = field(default_factory=dict)
+    #: lazily built numpy :class:`~repro.kernels.items.ItemDecodeTable`
+    #: (decode-side cache; excluded from equality so rebuilt layouts still
+    #: compare equal to freshly built ones)
+    kernel_table: object = field(default=None, compare=False, repr=False)
+    #: lazily built per-index instruction expansions (see
+    #: ``SSDReader.function_instructions``)
+    expansions: Dict[int, tuple] = field(default_factory=dict, compare=False,
+                                         repr=False)
+    #: per-base ``(has_target, target_in_entry)`` computed once during
+    #: :func:`_populate` — the decode hot path reads these instead of the
+    #: ``BaseEntry`` property chain
+    base_flags: List[Tuple[bool, bool]] = field(default_factory=list,
+                                                compare=False, repr=False)
+    #: expansions for indices below ``common_limit``, shared by every
+    #: layout of the container (the common dictionary is identical across
+    #: segments, so each entry expands once per container, not per segment)
+    shared_expansions: Optional[Dict[int, tuple]] = field(
+        default=None, compare=False, repr=False)
+    #: first dictionary index that is segment-local (``cb + cs``)
+    common_limit: int = field(default=0, compare=False, repr=False)
+    #: number of common bases (addressing ids below this are shared)
+    common_base_count: int = field(default=0, compare=False, repr=False)
 
 
-def _entry_info(layout_bases: List[BaseEntry], path: Tuple[int, ...]) -> EntryInfo:
-    last = layout_bases[path[-1]]
-    # When the target is stored in the dictionary entry (absolute-targets
-    # ablation), items carry no target bytes: the item codec sees a plain
-    # entry.
-    carries_target = last.has_target and not last.target_in_entry
-    return EntryInfo(
-        length=len(path),
-        is_branch=last.is_branch and carries_target,
-        is_call=last.is_call and carries_target,
-        target_size=(last.target_size or 0) if carries_target else 0,
-    )
+#: Interned EntryInfo values — the (length, flags) space is tiny, and one
+#: container decodes tens of thousands of dictionary paths to it.
+_INFO_INTERN: Dict[Tuple[int, bool, bool, int], EntryInfo] = {}
+
+
+def _interned_info(length: int, is_branch: bool, is_call: bool,
+                   target_size: int) -> EntryInfo:
+    key = (length, is_branch, is_call, target_size)
+    cached = _INFO_INTERN.get(key)
+    if cached is None:
+        cached = EntryInfo(length=length, is_branch=is_branch,
+                           is_call=is_call, target_size=target_size)
+        _INFO_INTERN[key] = cached
+    return cached
+
+
+def _entry_flags(layout: SegmentLayout) -> List[Tuple[bool, bool, int]]:
+    """Per-base ``(is_branch, is_call, target_size)`` after the
+    target-in-entry rule, computed once so :func:`_populate` does not walk
+    the ``BaseEntry`` property chain for every dictionary path.  Fills
+    ``layout.base_flags`` as a side effect for the decode hot path."""
+    flags: List[Tuple[bool, bool, int]] = []
+    base_flags = layout.base_flags
+    for base in layout.addr_bases:
+        meta = _op_info(base.instruction.op)
+        is_branch = meta.is_branch
+        is_call = meta.is_call
+        has_target = is_branch or is_call
+        target_in_entry = base.stored_target is not None
+        base_flags.append((has_target, target_in_entry))
+        carries = has_target and not target_in_entry
+        flags.append((
+            is_branch and carries,
+            is_call and carries,
+            (base.target_size or 0) if carries else 0,
+        ))
+    return flags
 
 
 def _populate(layout: SegmentLayout,
@@ -76,26 +124,36 @@ def _populate(layout: SegmentLayout,
     cb = common_base_count
     cs = len(common_ranks)
     lb = local_base_count
+    flags = _entry_flags(layout)
+    info_of = layout.info_of
+    paths_of = layout.paths_of
+
+    def entry_info(path: Tuple[int, ...]) -> EntryInfo:
+        is_branch, is_call, target_size = flags[path[-1]]
+        return _interned_info(len(path), is_branch, is_call, target_size)
+
     # Common bases: [0, cb)
     for addr in range(cb):
-        layout.info_of[addr] = _entry_info(layout.addr_bases, (addr,))
-        layout.paths_of[addr] = (addr,)
+        info_of[addr] = entry_info((addr,))
+        paths_of[addr] = (addr,)
     # Common tree nodes: [cb, cb+cs)
     for path, rank in common_ranks.items():
         index = cb + rank
-        layout.info_of[index] = _entry_info(layout.addr_bases, path)
-        layout.paths_of[index] = path
+        info_of[index] = entry_info(path)
+        paths_of[index] = path
     # Local bases: [cb+cs, cb+cs+lb), addressing ids [cb, cb+lb)
     for position in range(lb):
         addr = cb + position
         index = cb + cs + position
-        layout.info_of[index] = _entry_info(layout.addr_bases, (addr,))
-        layout.paths_of[index] = (addr,)
+        info_of[index] = entry_info((addr,))
+        paths_of[index] = (addr,)
     # Local tree nodes: [cb+cs+lb, ...)
     for path, rank in local_ranks.items():
         index = cb + cs + lb + rank
-        layout.info_of[index] = _entry_info(layout.addr_bases, path)
-        layout.paths_of[index] = path
+        info_of[index] = entry_info(path)
+        paths_of[index] = path
+    layout.common_limit = cb + cs
+    layout.common_base_count = cb
     return cs, cb + cs
 
 
@@ -200,12 +258,17 @@ def layouts_from_sections(common_base_blob: bytes, common_tree_blob: bytes,
     common_ranks = decode_sequence_tree(common_tree_blob) if common_tree_blob else {}
     cb = len(common_bases)
     layouts: List[SegmentLayout] = []
+    # Every layout shares the container's common dictionary, so share one
+    # expansion cache (and one kernel table slot would not work: local
+    # indices differ per segment, but common indices are identical).
+    common_expansions: Dict[int, tuple] = {}
     for sindex, segment in enumerate(segments):
         local_bases = decode_base_entries(segment.base_blob) if segment.base_blob else []
         local_ranks = decode_sequence_tree(segment.tree_blob) if segment.tree_blob else {}
         _check_decoded_segment(sindex, cb + len(local_bases),
                                common_ranks, local_ranks, limits)
-        layout = SegmentLayout(addr_bases=common_bases + local_bases)
+        layout = SegmentLayout(addr_bases=common_bases + local_bases,
+                               shared_expansions=common_expansions)
         _populate(layout, cb, common_ranks, len(local_bases), local_ranks)
         layouts.append(layout)
     return layouts

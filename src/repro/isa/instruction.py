@@ -80,7 +80,21 @@ class Instruction:
     target: Optional[int] = None
 
     def __post_init__(self) -> None:
+        # Branch-free field checks: this constructor runs once per decoded
+        # base entry on the hostile-input boundary, so it stays cheap but
+        # never skips validation.
         meta = info(self.op)
+        if ((self.rd is not None) is not meta.uses_rd
+                or (self.rs1 is not None) is not meta.uses_rs1
+                or (self.rs2 is not None) is not meta.uses_rs2
+                or (self.imm is not None) is not meta.uses_imm
+                or (self.target is not None) is not meta.uses_target):
+            self._raise_field_mismatch(meta)
+        for name, value in (("rd", self.rd), ("rs1", self.rs1), ("rs2", self.rs2)):
+            if value is not None and not 0 <= value < NUM_REGISTERS:
+                raise ValueError(f"{self.op.value}: register {name}={value} out of range")
+
+    def _raise_field_mismatch(self, meta: OpInfo) -> None:
         for name, used, value in (
             ("rd", meta.uses_rd, self.rd),
             ("rs1", meta.uses_rs1, self.rs1),
@@ -92,9 +106,7 @@ class Instruction:
                 raise ValueError(f"{self.op.value}: missing required field {name}")
             if not used and value is not None:
                 raise ValueError(f"{self.op.value}: unexpected field {name}={value}")
-        for name, value in (("rd", self.rd), ("rs1", self.rs1), ("rs2", self.rs2)):
-            if value is not None and not 0 <= value < NUM_REGISTERS:
-                raise ValueError(f"{self.op.value}: register {name}={value} out of range")
+        raise AssertionError("field mismatch flagged but not found")
 
     @property
     def meta(self) -> OpInfo:
@@ -136,13 +148,26 @@ class Instruction:
         return (self.op, self.rd, self.rs1, self.rs2, self.imm, None, None)
 
     def replace_target(self, new_target: int) -> "Instruction":
-        """Return a copy with a different branch/call target."""
-        if not (self.is_branch or self.is_call):
+        """Return a copy with a different branch/call target.
+
+        Every field but the target is taken from an already-validated
+        instruction, so the copy skips ``__post_init__`` — this runs once
+        per branch/call item in the decompress hot path.
+        """
+        meta = info(self.op)
+        if not (meta.is_branch or meta.is_call):
             raise ValueError(f"{self.op.value}: has no target to replace")
-        return Instruction(
-            op=self.op, rd=self.rd, rs1=self.rs1, rs2=self.rs2,
-            imm=self.imm, target=new_target,
-        )
+        if new_target is None:
+            raise ValueError(f"{self.op.value}: missing required field target")
+        clone = object.__new__(Instruction)
+        set_field = object.__setattr__
+        set_field(clone, "op", self.op)
+        set_field(clone, "rd", self.rd)
+        set_field(clone, "rs1", self.rs1)
+        set_field(clone, "rs2", self.rs2)
+        set_field(clone, "imm", self.imm)
+        set_field(clone, "target", new_target)
+        return clone
 
     def render(self) -> str:
         """Human-readable assembly-like rendering (no label resolution)."""

@@ -227,6 +227,13 @@ for _info in OP_TABLE.values():
      _info.falls_through)
 del _info
 
+# Pin each member's OpInfo onto the member itself: `info()` is the hottest
+# call in decompression, and an attribute hop skips the enum's custom
+# __hash__ that a dict lookup would pay per call.
+for _op, _opinfo in OP_TABLE.items():
+    _op._op_info = _opinfo
+del _op, _opinfo
+
 #: Reverse lookup: numeric code -> OpInfo.
 OP_BY_CODE: Dict[int, OpInfo] = {info.code: info for info in OP_TABLE.values()}
 
@@ -241,4 +248,9 @@ BRANCH_OPS: FrozenSet[Op] = frozenset(
 
 def info(op: Op) -> OpInfo:
     """Return the :class:`OpInfo` for ``op``."""
-    return OP_TABLE[op]
+    try:
+        return op._op_info
+    except AttributeError:
+        # Anything that is not an Op member keeps the dict lookup's
+        # KeyError behavior.
+        return OP_TABLE[op]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..core.copy_phase import TranslatedFunction, copy_translate
+from ..core.copy_phase import TranslatedFunction, copy_translate_planes
 from ..core.decompressor import SSDReader
 from ..obs import REGISTRY, TRACER
 from .instruction_table import InstructionTables, build_tables
@@ -45,10 +45,11 @@ class Translator:
 
     def translate_function(self, findex: int) -> TranslationResult:
         with TRACER.span("jit.translate", findex=findex):
-            items = self.reader.decoded_items(findex)
+            planes = self.reader.item_planes(findex)
             table = self.tables.for_function(self.reader, findex)
-            result = TranslationResult(findex=findex,
-                                       translated=copy_translate(items, table))
+            result = TranslationResult(
+                findex=findex,
+                translated=copy_translate_planes(planes, table))
         _TRANSLATIONS.inc()
         _TRANSLATED_BYTES.inc(result.size)
         return result

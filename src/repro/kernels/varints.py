@@ -1,0 +1,116 @@
+"""Bulk LEB128 kernels (numpy backend).
+
+Two shapes of varint work show up in the decompress hot path:
+
+* **Runs** — ``count`` back-to-back varints (base-entry immediate and
+  stored-target streams).  A run splits cleanly into planes: the
+  continuation bits form the control plane (termination byte positions
+  fall out of one ``flatnonzero``), the low 7 bits form the data plane,
+  and at most nine masked shift-adds reassemble every value at once.
+* **Tables** — token streams (LZ77) where varints interleave with raw
+  literal bytes, so run boundaries are data-dependent.  There the kernel
+  precomputes, for *every* byte offset, the value and end of the varint
+  starting there (five shifted prefix-AND arrays); the consuming loop
+  then walks tokens with plain list indexing and zero per-token bit work.
+
+Both kernels are speculative — ``None`` / per-offset ``-1`` markers send
+the caller back to the scalar decoder, which owns error semantics
+(``TruncatedStream``/``LimitExceeded`` with exact offsets).  Values wider
+than 9 LEB128 bytes are also delegated: they cannot overflow the scalar
+decoder's arbitrary-precision ints but would overflow int64 lanes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: longest varint the vectorized run kernel handles (int64-safe: 9 payload
+#: groups of 7 bits reach bit 62)
+_MAX_RUN_VARINT = 9
+#: longest varint the per-offset table handles (covers every length and
+#: distance the in-tree formats emit; longer ones hit the scalar path)
+_TABLE_VARINT = 5
+
+#: size cap for :func:`uvarint_table` — the table materializes two Python
+#: int lists of len(data), so very large blobs stay on the scalar path
+TABLE_MAX_BYTES = 1 << 20
+#: below this the two-array setup costs more than the scalar loop saves
+TABLE_MIN_BYTES = 64
+
+
+def try_decode_uvarint_run(data: bytes, offset: int,
+                           count: int) -> Optional[Tuple[List[int], int]]:
+    """Decode ``count`` consecutive uvarints starting at ``offset``.
+
+    Returns ``(values, end_offset)`` or ``None`` when the run is
+    truncated or contains a varint longer than nine bytes (scalar path
+    decides whether that is an error).
+    """
+    if count == 0:
+        return [], offset
+    buf = _np.frombuffer(data, dtype=_np.uint8)[offset:].astype(_np.int64)
+    ends = _np.flatnonzero((buf & 0x80) == 0)
+    if len(ends) < count:
+        return None  # truncated run
+    ends = ends[:count]
+    starts = _np.empty(count, dtype=_np.int64)
+    starts[0] = 0
+    starts[1:] = ends[:-1] + 1
+    lengths = ends - starts + 1
+    longest = int(lengths.max())
+    if longest > _MAX_RUN_VARINT:
+        return None
+    payload = buf & 0x7F
+    values = payload[starts].copy()
+    for k in range(1, longest):
+        lane = lengths > k
+        values[lane] |= payload[starts[lane] + k] << (7 * k)
+    return values.tolist(), offset + int(ends[-1]) + 1
+
+
+def try_decode_svarint_run(data: bytes, offset: int,
+                           count: int) -> Optional[Tuple[List[int], int]]:
+    """Zig-zag variant of :func:`try_decode_uvarint_run`."""
+    if count == 0:
+        return [], offset
+    decoded = try_decode_uvarint_run(data, offset, count)
+    if decoded is None:
+        return None
+    raw, end = decoded
+    values = _np.asarray(raw, dtype=_np.int64)
+    values = (values >> 1) ^ -(values & 1)
+    return values.tolist(), end
+
+
+def uvarint_table(data: bytes) -> Tuple[List[int], List[int]]:
+    """Per-offset varint plane: ``(value[o], next_offset[o])`` lists.
+
+    ``next_offset[o]`` is ``-1`` where no table-decodable varint starts
+    at ``o`` (runs past the buffer, or longer than five bytes); consumers
+    must detour to the scalar decoder there.
+    """
+    n = len(data)
+    buf = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int64)
+    payload = _np.concatenate([buf & 0x7F, _np.zeros(4, dtype=_np.int64)])
+    cont = _np.concatenate([(buf & 0x80) != 0,
+                            _np.ones(4, dtype=_np.bool_)])
+    # prefix[k][o]: bytes o..o+k all carry the continuation bit.
+    p1 = cont[0:n]
+    p2 = p1 & cont[1:n + 1]
+    p3 = p2 & cont[2:n + 2]
+    p4 = p3 & cont[3:n + 3]
+    p5 = p4 & cont[4:n + 4]
+    values = (payload[0:n]
+              | _np.where(p1, payload[1:n + 1] << 7, 0)
+              | _np.where(p2, payload[2:n + 2] << 14, 0)
+              | _np.where(p3, payload[3:n + 3] << 21, 0)
+              | _np.where(p4, payload[4:n + 4] << 28, 0))
+    lengths = 1 + p1 + p2 + p3 + p4
+    nexts = _np.arange(n, dtype=_np.int64) + lengths
+    nexts[p5 | (nexts > n)] = -1
+    return values.tolist(), nexts.tolist()

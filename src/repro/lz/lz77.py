@@ -21,7 +21,11 @@ the original LZ77 family.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from .. import kernels as _kernels
 from ..errors import CorruptContainer, LimitExceeded
+from ..kernels.varints import TABLE_MAX_BYTES, TABLE_MIN_BYTES, uvarint_table
 from ..obs import REGISTRY
 from .varint import ByteReader, ByteWriter
 
@@ -149,7 +153,72 @@ def decompress(data: bytes, max_output: int = MAX_OUTPUT_BYTES) -> bytes:
     length field raises :class:`~repro.errors.CorruptContainer` (or
     :class:`~repro.errors.LimitExceeded` for the declared size itself)
     instead of over-allocating or silently producing short output.
+
+    On the numpy backend, mid-size streams take a split-plane fast path:
+    all varints are pre-decoded into a per-offset table (one vectorized
+    pass) and the token walk does only list indexing.  The fast path is
+    speculative — any anomaly re-runs this scalar decoder, which owns the
+    error semantics.
     """
+    if (_kernels.backend() == "numpy"
+            and TABLE_MIN_BYTES <= len(data) <= TABLE_MAX_BYTES):
+        result = _decompress_table(data, max_output)
+        if result is not None:
+            _DECODE_BYTES.inc(len(result))
+            _kernels.record_batch("lz77")
+            return result
+        _kernels.record_fallback("lz77")
+    return _decompress_scalar(data, max_output)
+
+
+def _decompress_table(data: bytes, max_output: int) -> Optional[bytes]:
+    """Token walk over the pre-decoded varint plane; ``None`` on anomaly."""
+    values, nexts = uvarint_table(data)
+    n = len(data)
+    if n == 0:
+        return None
+    expected = values[0]
+    pos = nexts[0]
+    if pos < 0 or expected > max_output:
+        return None
+    out = bytearray()
+    data_mv = memoryview(data)
+    while len(out) < expected:
+        if not 0 <= pos < n:
+            return None  # truncated token stream
+        tag = values[pos]
+        pos = nexts[pos]
+        # Every token carries a second varint; a cursor at/past the end
+        # here means the stream was cut mid-token.
+        if not 0 <= pos < n:
+            return None
+        if tag == 0:
+            length = values[pos]
+            run_at = nexts[pos]
+            if run_at < 0 or length > expected - len(out) or run_at + length > n:
+                return None
+            out += data_mv[run_at:run_at + length]
+            pos = run_at + length
+        else:
+            length = tag + _MIN_MATCH - 1
+            dist = values[pos]
+            pos = nexts[pos]
+            if pos < 0 or length > expected - len(out):
+                return None
+            if dist == 0 or dist > len(out):
+                return None
+            start = len(out) - dist
+            if dist >= length:
+                out += out[start:start + length]
+            else:
+                chunk = bytes(out[start:])
+                while len(chunk) < length:
+                    chunk += chunk
+                out += chunk[:length]
+    return bytes(out)
+
+
+def _decompress_scalar(data: bytes, max_output: int) -> bytes:
     reader = ByteReader(data)
     expected = reader.read_uvarint()
     if expected > max_output:

@@ -8,7 +8,13 @@ important for the delta coder, whose deltas hover around zero.
 
 from __future__ import annotations
 
+from .. import kernels as _kernels
 from ..errors import LimitExceeded, TruncatedStream
+from ..kernels import varints as _kernel_varints
+
+#: below this run length the vectorized varint kernel's setup costs more
+#: than the scalar loop
+_RUN_KERNEL_MIN = 8
 
 
 def encode_uvarint(value: int) -> bytes:
@@ -97,6 +103,59 @@ class ByteReader:
     def read_svarint(self) -> int:
         value, self._pos = decode_svarint(self._data, self._pos)
         return value
+
+    def read_uvarint_run(self, count: int) -> "list[int]":
+        """Read ``count`` consecutive uvarints, bulk-decoded when possible.
+
+        The numpy kernel is speculative: truncated or overlong runs fall
+        back to the scalar loop, which raises the documented errors at
+        the exact failing offset.
+        """
+        if count <= 0:
+            return []
+        if _kernels.backend() == "numpy" and count >= _RUN_KERNEL_MIN:
+            decoded = _kernel_varints.try_decode_uvarint_run(
+                self._data, self._pos, count)
+            if decoded is not None:
+                values, self._pos = decoded
+                _kernels.record_batch("varint_run")
+                return values
+            _kernels.record_fallback("varint_run")
+        read = self.read_uvarint
+        return [read() for _ in range(count)]
+
+    def read_svarint_run(self, count: int) -> "list[int]":
+        """Zig-zag variant of :meth:`read_uvarint_run`."""
+        if count <= 0:
+            return []
+        if _kernels.backend() == "numpy" and count >= _RUN_KERNEL_MIN:
+            decoded = _kernel_varints.try_decode_svarint_run(
+                self._data, self._pos, count)
+            if decoded is not None:
+                values, self._pos = decoded
+                _kernels.record_batch("varint_run")
+                return values
+            _kernels.record_fallback("varint_run")
+        read = self.read_svarint
+        return [read() for _ in range(count)]
+
+    def read_u8_run(self, count: int) -> "list[int]":
+        """Read ``count`` bytes as a list of ints (one slab slice).
+
+        Truncation raises exactly what the ``count``-th scalar
+        :meth:`read_u8` would: the cursor stops at the end of the buffer
+        and the error reports the single missing byte there.
+        """
+        if count <= 0:
+            return []
+        if self.remaining < count:
+            self._pos = len(self._data)
+            raise TruncatedStream(
+                "truncated byte block: need 1 bytes, 0 remain",
+                offset=self._pos)
+        chunk = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return list(chunk)
 
     def read_bytes(self, count: int) -> bytes:
         if count < 0:

@@ -22,6 +22,9 @@ Registry families, all prefixed ``serve_``:
   in-flight decode instead of starting one
 * ``serve_decodes_total``                — decode work actually performed
 * ``serve_request_seconds{type=...}``    — request latency histogram
+* ``serve_decode_seconds``               — cache-miss decode latency
+  (the ``serve.decode`` span only; cache hits and coalesced joins are
+  excluded)
 
 Latency *percentiles* (p50/p99/max in the STATS payload) still come from
 a bounded per-request-type reservoir (the most recent
@@ -90,12 +93,19 @@ class ServerMetrics:
         self._latency_hist = self.registry.histogram(
             "serve_request_seconds", "Request latency, by wire type.",
             buckets=DEFAULT_TIME_BUCKETS)
+        self._decode_hist = self.registry.histogram(
+            "serve_decode_seconds",
+            "Cache-miss decode latency (the serve.decode span).",
+            buckets=DEFAULT_TIME_BUCKETS)
         #: decode work actually performed: (container_id, findex) -> count.
         #: A function served from cache or a coalesced request does NOT
         #: increment this — the acceptance check "only the functions
         #: reached were decompressed, exactly once" reads it directly.
         self.decode_counts: Counter = Counter()
         self._latency: Dict[str, Deque[float]] = {}
+        #: cache-miss decode latency reservoir (mirrors the per-type
+        #: request reservoirs: exact percentiles for test-sized runs).
+        self._decode_latency: Deque[float] = deque(maxlen=RESERVOIR_SIZE)
 
     # -- recording ----------------------------------------------------------
 
@@ -132,10 +142,15 @@ class ServerMetrics:
     def record_coalesced(self) -> None:
         self._coalesced.inc()
 
-    def record_decode(self, container_id: str, findex: int) -> None:
+    def record_decode(self, container_id: str, findex: int,
+                      seconds: Optional[float] = None) -> None:
         self._decodes.inc()
+        if seconds is not None:
+            self._decode_hist.observe(seconds)
         with self._lock:
             self.decode_counts[(container_id, findex)] += 1
+            if seconds is not None:
+                self._decode_latency.append(seconds)
 
     # -- registry-backed views (back-compat attribute surface) ---------------
 
@@ -203,6 +218,14 @@ class ServerMetrics:
                     "p99_ms": percentile(samples, 0.99) * 1e3,
                     "max_ms": (max(samples) * 1e3) if samples else 0.0,
                 }
+            decode_samples = list(self._decode_latency)
+            decode_latency = {
+                "count": len(decode_samples),
+                "p50_ms": percentile(decode_samples, 0.50) * 1e3,
+                "p99_ms": percentile(decode_samples, 0.99) * 1e3,
+                "max_ms": (max(decode_samples) * 1e3) if decode_samples
+                          else 0.0,
+            }
             decoded: Dict[str, Dict[str, int]] = {}
             for (cid, _findex), count in self.decode_counts.items():
                 entry = decoded.setdefault(cid, {"functions": 0, "decodes": 0})
@@ -227,6 +250,7 @@ class ServerMetrics:
             "timeouts": self.timeouts,
             "coalesced": self.coalesced,
             "latency": latency,
+            "decode_latency": decode_latency,
             "decoded": dict(sorted(decoded.items())),
             "decodes_total": decodes_total,
         }

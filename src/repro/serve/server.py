@@ -321,6 +321,7 @@ class SSDServer:
         Caches its own result so the work lands in the LRU even when
         every requester has already timed out.
         """
+        started = time.perf_counter()
         with TRACER.span("serve.decode", container=container_id,
                          findex=findex):
             reader = self._reader_for(container_id)
@@ -328,7 +329,8 @@ class SSDServer:
                 raise IndexError(f"function index {findex} out of range "
                                  f"(container has {reader.function_count})")
             function = reader.function(findex)
-            self.metrics.record_decode(container_id, findex)
+            self.metrics.record_decode(container_id, findex,
+                                       seconds=time.perf_counter() - started)
             body = protocol.build_ok_function(findex, function.name,
                                               function.insns)
             self.cache.put(("func", reader.codec_id, container_id, findex),

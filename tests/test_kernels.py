@@ -1,0 +1,124 @@
+"""Unit tests for ``repro.kernels``: backend selection and plumbing.
+
+The differential properties (scalar vs vectorized equivalence) live in
+``test_kernels_differential.py``; this file covers the selection
+machinery itself — ``REPRO_KERNELS`` parsing, ``set_backend``, the
+metrics hooks, and the :class:`ItemPlanes` container.
+"""
+
+import sys
+
+import pytest
+
+from repro import kernels
+from repro.kernels import (
+    BATCH_DECODES,
+    FALLBACKS,
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_PLAIN,
+    ItemPlanes,
+)
+
+
+class TestBackendDetection:
+    def test_auto_prefers_numpy_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        expected = "numpy" if kernels.has_numpy() else "python"
+        assert kernels._detect_backend() == expected
+
+    def test_explicit_auto_is_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "auto")
+        monkeypatch.delenv("REPRO_KERNELS")
+        default = kernels._detect_backend()
+        monkeypatch.setenv("REPRO_KERNELS", "auto")
+        assert kernels._detect_backend() == default
+
+    def test_python_can_be_forced(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "python")
+        assert kernels._detect_backend() == "python"
+
+    def test_value_is_normalized(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "  PYTHON ")
+        assert kernels._detect_backend() == "python"
+
+    def test_unknown_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "fortran")
+        with pytest.raises(ValueError, match="REPRO_KERNELS"):
+            kernels._detect_backend()
+
+    def test_auto_without_numpy_falls_back(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        assert kernels._detect_backend() == "python"
+
+    def test_numpy_forced_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "numpy")
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        with pytest.raises(ImportError, match="REPRO_KERNELS=numpy"):
+            kernels._detect_backend()
+
+    def test_module_backend_is_valid(self):
+        assert kernels.BACKEND in ("numpy", "python")
+        assert kernels.backend() in ("numpy", "python")
+
+
+class TestSetBackend:
+    def test_returns_previous_and_switches(self):
+        previous = kernels.set_backend("python")
+        try:
+            assert kernels.backend() == "python"
+        finally:
+            assert kernels.set_backend(previous) == "python"
+        assert kernels.backend() == previous
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("fortran")
+
+    def test_numpy_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        assert not kernels.has_numpy()
+        before = kernels.backend()
+        with pytest.raises(ImportError):
+            kernels.set_backend("numpy")
+        assert kernels.backend() == before  # failed switch changes nothing
+
+
+class TestMetricsHooks:
+    def test_record_batch_counts_by_kind_and_backend(self):
+        backend = kernels.backend()
+        before = BATCH_DECODES.value(kind="test_kind", backend=backend)
+        kernels.record_batch("test_kind")
+        kernels.record_batch("test_kind", count=17)
+        after = BATCH_DECODES.value(kind="test_kind", backend=backend)
+        assert after == before + 2
+
+    def test_record_batch_backend_override(self):
+        before = BATCH_DECODES.value(kind="test_kind", backend="python")
+        kernels.record_batch("test_kind", backend_name="python")
+        after = BATCH_DECODES.value(kind="test_kind", backend="python")
+        assert after == before + 1
+
+    def test_record_fallback_counts_by_kind(self):
+        before = FALLBACKS.value(kind="test_kind")
+        kernels.record_fallback("test_kind")
+        assert FALLBACKS.value(kind="test_kind") == before + 1
+
+
+class TestItemPlanes:
+    def test_kind_codes_are_distinct(self):
+        assert len({KIND_PLAIN, KIND_BRANCH, KIND_CALL}) == 3
+
+    def test_empty(self):
+        planes = ItemPlanes(indices=[], kinds=[], values=[], lengths=[],
+                            starts=[])
+        assert planes.count == 0
+        assert planes.instruction_count == 0
+
+    def test_counts(self):
+        planes = ItemPlanes(indices=[3, 1, 4], kinds=[0, 1, 2],
+                            values=[0, -1, 2], lengths=[2, 1, 3],
+                            starts=[0, 2, 3])
+        assert planes.count == 3
+        assert planes.instruction_count == 6
