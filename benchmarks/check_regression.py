@@ -11,6 +11,14 @@ Usage::
 
     PYTHONPATH=src python benchmarks/check_regression.py            # guard
     PYTHONPATH=src python benchmarks/check_regression.py --record   # re-baseline
+    PYTHONPATH=src python benchmarks/check_regression.py --serve    # cluster gate
+
+``--serve`` gates the cluster failover benchmark instead: it reads the
+latest ``serve_cluster_failover`` entry from ``BENCH_serve.json``
+(written by ``benchmarks/test_serve_bench.py``) and fails if losing one
+shard cost more than ``--serve-degradation`` of healthy throughput —
+the degraded/healthy ratio is machine-relative, so it gates graceful
+degradation without a wall-clock baseline.
 
 Run it alongside the tier-1 suite when touching the compress or
 decompress path.
@@ -27,6 +35,38 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 BASELINE_PATH = HERE / "BENCH_baseline.json"
 RESULT_PATH = HERE / "BENCH_pipeline.json"
+SERVE_RESULTS_PATH = HERE / "BENCH_serve.json"
+
+
+def check_serve_cluster(max_degradation: float) -> int:
+    """Gate the cluster failover benchmark's degraded/healthy ratio.
+
+    Returns 0 when losing one shard kept at least
+    ``1 - max_degradation`` of healthy requests/s; 1 on a regression or
+    when the benchmark has not been run yet.
+    """
+    if not SERVE_RESULTS_PATH.exists():
+        print(f"{SERVE_RESULTS_PATH.name} missing; "
+              "run benchmarks/test_serve_bench.py first")
+        return 1
+    entries = [entry for entry
+               in json.loads(SERVE_RESULTS_PATH.read_text())
+               if entry.get("benchmark") == "serve_cluster_failover"]
+    if not entries:
+        print("no serve_cluster_failover entry recorded; "
+              "run benchmarks/test_serve_bench.py first")
+        return 1
+    latest = entries[-1]
+    healthy = latest["healthy_requests_per_s"]
+    degraded = latest["one_shard_dead_requests_per_s"]
+    ratio = degraded / healthy if healthy else 0.0
+    floor = 1.0 - max_degradation
+    verdict = "pass" if ratio >= floor else "regression"
+    print(f"cluster failover: healthy {healthy:,.0f} req/s "
+          f"(p99 {latest['healthy_p99_ms']}ms), one shard dead "
+          f"{degraded:,.0f} req/s (p99 {latest['one_shard_dead_p99_ms']}ms)"
+          f" -> {ratio:.2f}x retained, floor {floor:.2f}x -> {verdict}")
+    return 0 if verdict == "pass" else 1
 
 
 def measure(program_name: str, scale: float, rounds: int) -> dict:
@@ -65,7 +105,16 @@ def main(argv=None) -> int:
                         help="allowed fractional throughput loss (default 0.20)")
     parser.add_argument("--record", action="store_true",
                         help="rewrite BENCH_baseline.json from this run")
+    parser.add_argument("--serve", action="store_true",
+                        help="gate the cluster failover benchmark "
+                             "(BENCH_serve.json) instead of the pipeline")
+    parser.add_argument("--serve-degradation", type=float, default=0.6,
+                        help="allowed fractional req/s loss with one "
+                             "shard dead (default 0.6)")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        return check_serve_cluster(args.serve_degradation)
 
     baseline = json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
     program = args.program or baseline.get("program", "word97")

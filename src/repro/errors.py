@@ -99,6 +99,26 @@ class ProtocolError(ReproError, ValueError):
         super().__init__(detail)
 
 
+class UnavailableError(ReproError):
+    """The service cannot answer right now and says so cleanly.
+
+    Raised by the cluster router when no live replica of a key remains
+    (the cluster is below quorum for that key), by a draining server
+    refusing new work, and by the retrying client when every attempt
+    exhausted its backoff budget without reaching a live peer.  On the
+    wire it travels as ``E_UNAVAILABLE``.  Unlike :class:`RemoteError`
+    it signals *capacity/topology*, never a bad request: the same
+    request can succeed verbatim once a replica returns.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        self.attempts = attempts
+        detail = message
+        if attempts:
+            detail += f" [after {attempts} attempts]"
+        super().__init__(detail)
+
+
 class RemoteError(ReproError):
     """The server answered a ``repro.serve`` request with an ERROR frame.
 

@@ -13,13 +13,19 @@ The robustness layer's attack harness.  Three pieces:
   allocation failures for the JIT translation buffer;
 * :mod:`repro.faults.transport` — wire-level faults for ``repro.serve``
   (seeded drop/delay/truncate/corrupt of protocol frames) and a sweep
-  asserting the server always answers or closes cleanly, never hangs.
+  asserting the server always answers or closes cleanly, never hangs;
+* :mod:`repro.faults.chaos` — cluster chaos: seeded shard
+  kill/hang/drain and wire flakes against a live
+  ``repro.serve.cluster`` under concurrent client load, asserting zero
+  client-visible failures above quorum and a clean ``E_UNAVAILABLE``
+  below it.
 
 Everything is seeded and reproducible: the same ``(container, seed,
 case index)`` always produces the same corruption, so a CI failure is
 replayable with ``ssd fuzz --seed``.
 """
 
+from .chaos import CHAOS_KINDS, ChaosEvent, ChaosReport, chaos_sweep
 from .injector import KINDS, ContainerCorruptor, Corruption
 from .harness import CaseOutcome, SweepReport, sweep
 from .runtime import AllocationFaults, crashing_worker, hanging_worker
@@ -34,7 +40,11 @@ from .transport import (
 
 __all__ = [
     "AllocationFaults",
+    "CHAOS_KINDS",
     "CaseOutcome",
+    "ChaosEvent",
+    "ChaosReport",
+    "chaos_sweep",
     "ContainerCorruptor",
     "Corruption",
     "FlakyTransport",

@@ -1,4 +1,4 @@
-"""``repro.serve`` — an async SSD code server and its client.
+"""``repro.serve`` — an async SSD code server, cluster, and client.
 
 The paper's systems claim is that SSD containers decode at basic-block
 granularity, so a runtime can demand-fetch only the code it executes.
@@ -11,6 +11,14 @@ whose :class:`RemoteProgram` runs in the local interpreter while
 fetching functions over the wire on first call — the network analogue
 of :class:`repro.core.lazy.LazyProgram`.
 
+For deployments bigger than one process, ``repro.serve.cluster`` runs N
+shard servers behind a :class:`ClusterRouter` front-end that speaks the
+same wire protocol: container hashes are consistent-hash-placed with
+R-way replication, shard health is probed with the ``HEALTH`` op, and
+requests fail over between replicas with backoff — a dead shard costs
+retries, not answers, until the cluster drops below quorum (then
+clients get a clean ``E_UNAVAILABLE``).
+
 Quick start::
 
     from repro.serve import ContainerStore, ServeClient, RemoteProgram
@@ -22,23 +30,56 @@ Quick start::
             program = RemoteProgram(client, container_bytes)
             result = run_program(program)
 
-CLI: ``ssd serve`` / ``ssd client``.  Wire format: docs/PROTOCOL.md.
+Cluster::
+
+    from repro.serve import start_cluster_in_thread
+
+    with start_cluster_in_thread(shards=3, replication=2) as cluster:
+        with cluster.client(retries=4) as client:
+            container_id = client.put(container_bytes)
+
+CLI: ``ssd serve`` / ``ssd client`` / ``ssd cluster``.  Wire format:
+docs/PROTOCOL.md; topology and failover: docs/CLUSTER.md.
 """
 
 from .cache import CacheStats, DEFAULT_CACHE_BYTES, SharedLRUCache
 from .client import (
     DEFAULT_TIMEOUT,
+    NO_RETRY,
     ContainerMeta,
+    OpDeadlines,
     RemoteProgram,
+    RetryPolicy,
     ServeClient,
     remote_program,
 )
-from .metrics import ServerMetrics, percentile
-from .protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, Message
+from .cluster import (
+    ClusterConfig,
+    LocalCluster,
+    ShardSpec,
+    start_cluster_in_thread,
+)
+from .health import CircuitBreaker, ShardHealth
+from .metrics import RouterMetrics, ServerMetrics, percentile
+from .protocol import (
+    HealthStatus,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    Message,
+)
+from .ring import HashRing
+from .router import (
+    ClusterRouter,
+    RouterConfig,
+    RouterHandle,
+    router_in_thread,
+)
 from .server import (
+    DEFAULT_DRAIN_TIMEOUT,
     SSDServer,
     ServerConfig,
     ServerHandle,
+    read_frame_async,
     serve_in_thread,
 )
 from .store import AdmissionError, ContainerStore, container_id_of
@@ -46,22 +87,40 @@ from .store import AdmissionError, ContainerStore, container_id_of
 __all__ = [
     "AdmissionError",
     "CacheStats",
+    "CircuitBreaker",
+    "ClusterConfig",
+    "ClusterRouter",
     "ContainerMeta",
     "ContainerStore",
     "DEFAULT_CACHE_BYTES",
+    "DEFAULT_DRAIN_TIMEOUT",
     "DEFAULT_TIMEOUT",
+    "HashRing",
+    "HealthStatus",
+    "LocalCluster",
     "MAX_FRAME_BYTES",
     "Message",
+    "NO_RETRY",
+    "OpDeadlines",
     "PROTOCOL_VERSION",
     "RemoteProgram",
+    "RetryPolicy",
+    "RouterConfig",
+    "RouterHandle",
+    "RouterMetrics",
     "SSDServer",
     "ServeClient",
     "ServerConfig",
     "ServerHandle",
     "ServerMetrics",
+    "ShardHealth",
+    "ShardSpec",
     "SharedLRUCache",
     "container_id_of",
     "percentile",
+    "read_frame_async",
     "remote_program",
+    "router_in_thread",
     "serve_in_thread",
+    "start_cluster_in_thread",
 ]

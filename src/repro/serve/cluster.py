@@ -1,0 +1,236 @@
+"""In-process cluster topology: N shard servers behind one router.
+
+:class:`LocalCluster` runs every shard as an :class:`SSDServer` on its
+own daemon thread (``serve_in_thread``) plus one :class:`ClusterRouter`
+front-end, all inside the current process — the shape tests, the chaos
+harness, and benchmarks drive.  Each shard keeps its *own*
+:class:`ContainerStore` instance that survives the shard's process
+(thread) dying: the store models the shard's disk, so
+``restart_shard`` brings the same data back on a new port, exactly like
+a crashed machine rejoining.
+
+Fault verbs mirror what production infrastructure does to you:
+
+* :meth:`kill_shard`    — SIGKILL: connections reset mid-frame, no drain
+* :meth:`drain_shard`   — SIGTERM: finish in-flight work, refuse new
+  frames, router routes around (the graceful path)
+* :meth:`restart_shard` — the machine comes back; the router learns the
+  new address and the ring placement is unchanged (same shard id)
+
+The multi-process deployment (``ssd cluster start``) wires the same
+router around real subprocess shards; see ``repro.tools``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .client import RetryPolicy, ServeClient
+from .router import RouterConfig, RouterHandle, router_in_thread
+from .server import ServerConfig, ServerHandle, serve_in_thread
+from .store import ContainerStore
+
+#: default shard count for a local cluster
+DEFAULT_SHARDS = 3
+#: default replication factor
+DEFAULT_REPLICATION = 2
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Where one shard lives (id is stable; the port may change)."""
+
+    shard_id: str
+    host: str
+    port: int
+
+
+@dataclass
+class ClusterConfig:
+    """Topology knobs for one :class:`LocalCluster`."""
+
+    shards: int = DEFAULT_SHARDS
+    replication: int = DEFAULT_REPLICATION
+    host: str = "127.0.0.1"
+    router: Optional[RouterConfig] = None
+    server: Optional[ServerConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
+        if not 1 <= self.replication <= self.shards:
+            raise ValueError(
+                f"replication {self.replication} must be in "
+                f"[1, {self.shards}] for a {self.shards}-shard cluster")
+
+    @property
+    def quorum(self) -> int:
+        """Live shards guaranteeing every key keeps >= 1 live replica.
+
+        A key becomes unavailable only when *all* of its ``replication``
+        placement shards are dead, so with ``shards - replication``
+        failures every key still has a replica; one more failure can
+        take a key's last copy.
+        """
+        return self.shards - self.replication + 1
+
+
+class LocalCluster:
+    """N thread-backed shards behind one router, with fault verbs."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        self.shard_ids: List[str] = [
+            f"shard-{index}" for index in range(self.config.shards)]
+        #: per-shard stores: the "disk" that survives kill/restart
+        self.stores: Dict[str, ContainerStore] = {
+            shard_id: ContainerStore() for shard_id in self.shard_ids}
+        self.handles: Dict[str, Optional[ServerHandle]] = {
+            shard_id: None for shard_id in self.shard_ids}
+        self.router: Optional[RouterHandle] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "LocalCluster":
+        addresses: Dict[str, tuple] = {}
+        for shard_id in self.shard_ids:
+            handle = self._start_shard(shard_id)
+            self.handles[shard_id] = handle
+            addresses[shard_id] = handle.address
+        router_config = self.config.router or RouterConfig()
+        router_config.replication = self.config.replication
+        self.router = router_in_thread(addresses, config=router_config)
+        return self
+
+    def _start_shard(self, shard_id: str) -> ServerHandle:
+        server_config = ServerConfig(host=self.config.host, port=0)
+        if self.config.server is not None:
+            template = self.config.server
+            server_config.max_concurrency = template.max_concurrency
+            server_config.max_queue_depth = template.max_queue_depth
+            server_config.request_timeout = template.request_timeout
+            server_config.max_frame = template.max_frame
+            server_config.cache_bytes = template.cache_bytes
+            server_config.drain_timeout = template.drain_timeout
+        return serve_in_thread(store=self.stores[shard_id],
+                               config=server_config)
+
+    def stop(self) -> None:
+        if self.router is not None:
+            self.router.stop()
+            self.router = None
+        for shard_id, handle in self.handles.items():
+            if handle is not None:
+                handle.stop()
+                self.handles[shard_id] = None
+
+    def __enter__(self) -> "LocalCluster":
+        if self.router is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def address(self) -> tuple:
+        """The router's (host, port) — what clients connect to."""
+        if self.router is None:
+            raise RuntimeError("cluster is not started")
+        return self.router.address
+
+    @property
+    def quorum(self) -> int:
+        return self.config.quorum
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for handle in self.handles.values()
+                   if handle is not None and handle.is_alive())
+
+    @property
+    def above_quorum(self) -> bool:
+        return self.live_count >= self.quorum
+
+    def specs(self) -> List[ShardSpec]:
+        out = []
+        for shard_id in self.shard_ids:
+            handle = self.handles[shard_id]
+            port = handle.port if handle is not None else 0
+            out.append(ShardSpec(shard_id=shard_id, host=self.config.host,
+                                 port=port))
+        return out
+
+    def replicas_for(self, container_id: str) -> List[str]:
+        if self.router is None:
+            raise RuntimeError("cluster is not started")
+        return self.router.router.replicas_for(container_id)
+
+    def client(self, retries: int = 4,
+               retry_policy: Optional[RetryPolicy] = None,
+               **kwargs) -> ServeClient:
+        """A retrying client pointed at the router."""
+        host, port = self.address
+        if retry_policy is not None:
+            return ServeClient(host, port, retry_policy=retry_policy,
+                               **kwargs)
+        return ServeClient(host, port, retries=retries, **kwargs)
+
+    # -- fault verbs ---------------------------------------------------------
+
+    def kill_shard(self, shard_id: str) -> None:
+        """SIGKILL semantics: reset connections, no drain, store survives."""
+        with self._lock:
+            handle = self.handles[shard_id]
+            if handle is not None:
+                handle.kill()
+                self.handles[shard_id] = None
+
+    def drain_shard(self, shard_id: str, timeout: float = 10.0) -> bool:
+        """SIGTERM semantics: finish in-flight work, refuse new frames."""
+        with self._lock:
+            handle = self.handles[shard_id]
+            if handle is None:
+                return True
+            drained = handle.drain(timeout)
+            self.handles[shard_id] = None
+            return drained
+
+    def restart_shard(self, shard_id: str) -> ShardSpec:
+        """Bring a dead shard back (same store, new port); router learns."""
+        with self._lock:
+            old = self.handles[shard_id]
+            if old is not None and old.is_alive():
+                raise RuntimeError(f"{shard_id} is still running")
+            handle = self._start_shard(shard_id)
+            self.handles[shard_id] = handle
+            if self.router is not None:
+                self.router.update_address(shard_id, *handle.address)
+            return ShardSpec(shard_id=shard_id, host=self.config.host,
+                             port=handle.port)
+
+
+def start_cluster_in_thread(shards: int = DEFAULT_SHARDS,
+                            replication: int = DEFAULT_REPLICATION,
+                            router: Optional[RouterConfig] = None,
+                            server: Optional[ServerConfig] = None
+                            ) -> LocalCluster:
+    """Start a :class:`LocalCluster` and return it ready for clients."""
+    config = ClusterConfig(shards=shards, replication=replication,
+                           router=router, server=server)
+    return LocalCluster(config).start()
+
+
+__all__ = [
+    "ClusterConfig",
+    "DEFAULT_REPLICATION",
+    "DEFAULT_SHARDS",
+    "LocalCluster",
+    "ShardSpec",
+    "start_cluster_in_thread",
+]

@@ -1,0 +1,199 @@
+"""Shard health tracking: mark-down/mark-up state machine + circuit breaker.
+
+Both classes here are *pure state machines* — no sockets, no tasks, no
+wall clock unless one is injected — so the router drives them from its
+probe loop and per-request outcomes, and tests exercise every transition
+deterministically with a fake clock.
+
+:class:`ShardHealth` is the router's opinion of one shard, fed by
+periodic ``HEALTH`` probes and by request outcomes:
+
+    up ──failure──▶ suspect ──failures ≥ fail_threshold──▶ down
+    ▲                  │ success                              │
+    └──────────────────┘          successes ≥ rise_threshold ─┘
+
+``draining`` is a fourth state entered when the shard *says so* in its
+OK_HEALTH (graceful SIGTERM drain): the shard still answers probes, but
+the router routes new work elsewhere immediately instead of waiting for
+``fail_threshold`` timeouts.
+
+:class:`CircuitBreaker` protects the router from hammering a dead shard:
+
+    closed ──failures ≥ threshold──▶ open ──cooldown──▶ half-open
+    ▲ success                                               │
+    └──────────── success ◀─── one trial request ───────────┤
+                                            failure ──▶ open (re-armed)
+
+The breaker and the health state are deliberately separate: health is
+*observed* liveness (probe answers), the breaker is *inflicted* load
+control (how often we're willing to find out).  A shard can be ``up``
+with an open breaker for a cooldown period after a burst of resets.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+# -- shard health -----------------------------------------------------------
+
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+DRAINING = "draining"
+
+HEALTH_STATES = (UP, SUSPECT, DOWN, DRAINING)
+
+#: consecutive probe/request failures before a shard is marked down
+DEFAULT_FAIL_THRESHOLD = 3
+#: consecutive probe successes before a down shard is marked up again
+DEFAULT_RISE_THRESHOLD = 2
+
+
+class ShardHealth:
+    """The router's liveness opinion of one shard."""
+
+    def __init__(self, shard_id: str,
+                 fail_threshold: int = DEFAULT_FAIL_THRESHOLD,
+                 rise_threshold: int = DEFAULT_RISE_THRESHOLD) -> None:
+        if fail_threshold < 1 or rise_threshold < 1:
+            raise ValueError("health thresholds must be >= 1")
+        self.shard_id = shard_id
+        self.fail_threshold = fail_threshold
+        self.rise_threshold = rise_threshold
+        self.state = UP
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        #: state-change counter, for the shard-state gauge and tests
+        self.transitions = 0
+
+    @property
+    def routable(self) -> bool:
+        """Whether new work should be routed at this shard."""
+        return self.state in (UP, SUSPECT)
+
+    def _transition(self, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.transitions += 1
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state in (DOWN, DRAINING):
+            self.consecutive_successes += 1
+            if self.consecutive_successes >= self.rise_threshold:
+                self.consecutive_successes = 0
+                self._transition(UP)
+        else:
+            self.consecutive_successes = 0
+            self._transition(UP)
+
+    def record_failure(self) -> None:
+        self.consecutive_successes = 0
+        self.consecutive_failures += 1
+        if self.state == DRAINING:
+            # a draining shard that stops answering probes is down
+            if self.consecutive_failures >= self.fail_threshold:
+                self._transition(DOWN)
+            return
+        if self.consecutive_failures >= self.fail_threshold:
+            self._transition(DOWN)
+        elif self.state == UP:
+            # a failure never makes a DOWN shard routable again
+            self._transition(SUSPECT)
+
+    def record_draining(self) -> None:
+        """The shard reported HEALTH_DRAINING about itself."""
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self._transition(DRAINING)
+
+
+# -- circuit breaker --------------------------------------------------------
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+BREAKER_STATES = (CLOSED, OPEN, HALF_OPEN)
+
+#: consecutive failures that trip a closed breaker
+DEFAULT_BREAKER_THRESHOLD = 5
+#: seconds an open breaker refuses requests before probing again
+DEFAULT_BREAKER_COOLDOWN = 1.0
+
+
+class CircuitBreaker:
+    """Per-shard closed → open → half-open breaker with injectable clock."""
+
+    def __init__(self, threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"breaker cooldown must be > 0, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock if clock is not None else time.monotonic
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._opened_at = 0.0
+        #: state-change counter, keyed by the state entered
+        self.transitions = 0
+
+    def _transition(self, state: str) -> None:
+        if state != self.state:
+            self.state = state
+            self.transitions += 1
+
+    def allow(self) -> bool:
+        """Whether a request may be sent to this shard right now.
+
+        In ``open``, returns False until the cooldown elapses, then moves
+        to ``half-open`` and allows exactly one trial; further calls in
+        ``half-open`` are refused until the trial reports its outcome.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.cooldown:
+                self._transition(HALF_OPEN)
+                return True
+            return False
+        # half-open: one trial is already in flight
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            # the trial failed: re-open and re-arm the cooldown
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+            return
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            self._opened_at = self._clock()
+            self._transition(OPEN)
+
+
+__all__ = [
+    "BREAKER_STATES",
+    "CLOSED",
+    "CircuitBreaker",
+    "DEFAULT_BREAKER_COOLDOWN",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "DEFAULT_FAIL_THRESHOLD",
+    "DEFAULT_RISE_THRESHOLD",
+    "DOWN",
+    "DRAINING",
+    "HALF_OPEN",
+    "HEALTH_STATES",
+    "OPEN",
+    "ShardHealth",
+    "SUSPECT",
+    "UP",
+]

@@ -261,4 +261,178 @@ class ServerMetrics:
         return snapshot
 
 
-__all__ = ["RESERVOIR_SIZE", "ServerMetrics", "percentile"]
+#: numeric encoding of shard health states for the state gauge
+#: (gauges carry floats; dashboards map the value back to the name)
+SHARD_STATE_CODES = {"up": 0, "suspect": 1, "draining": 2, "down": 3}
+
+#: numeric encoding of breaker states for the breaker gauge
+BREAKER_STATE_CODES = {"closed": 0, "half-open": 1, "open": 2}
+
+#: router hop histogram buckets: attempts consumed per request
+HOP_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0)
+
+
+class RouterMetrics:
+    """Thread-safe cluster-router counters backed by a metrics registry.
+
+    Families, all prefixed ``cluster_``, mirror :class:`ServerMetrics`'
+    registry pattern; the router's ``STATS`` payload is a view over them
+    just like a shard's.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._requests = self.registry.counter(
+            "cluster_requests_total",
+            "Requests routed through the cluster front-end, by wire type.")
+        self._errors = self.registry.counter(
+            "cluster_errors_total",
+            "ERROR frames the router sent to clients, by error code name.")
+        self._shard_state = self.registry.gauge(
+            "cluster_shard_state",
+            "Health state per shard (0=up 1=suspect 2=draining 3=down).")
+        self._failovers = self.registry.counter(
+            "cluster_failovers_total",
+            "Requests re-routed to another replica after a shard failed.")
+        self._retries = self.registry.counter(
+            "cluster_retries_total",
+            "Backoff-then-retry attempts the router made on behalf of "
+            "clients.")
+        self._breaker_state = self.registry.gauge(
+            "cluster_breaker_state",
+            "Circuit-breaker state per shard (0=closed 1=half-open 2=open).")
+        self._breaker_transitions = self.registry.counter(
+            "cluster_breaker_transitions_total",
+            "Circuit-breaker state entries, by shard and state entered.")
+        self._hops = self.registry.histogram(
+            "cluster_hops",
+            "Shard attempts consumed per routed request.",
+            buckets=HOP_BUCKETS)
+        self._unavailable = self.registry.counter(
+            "cluster_unavailable_total",
+            "Requests answered E_UNAVAILABLE (no live replica remained).")
+        self._probe_failures = self.registry.counter(
+            "cluster_probe_failures_total",
+            "Health probes that failed, by shard.")
+        self._latency_hist = self.registry.histogram(
+            "cluster_request_seconds",
+            "End-to-end routed request latency, by wire type.",
+            buckets=DEFAULT_TIME_BUCKETS)
+        self._latency: Dict[str, Deque[float]] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def record_request(self, type_name: str, seconds: float,
+                       hops: int) -> None:
+        self._requests.inc(type=type_name)
+        self._latency_hist.observe(seconds, type=type_name)
+        self._hops.observe(float(hops))
+        with self._lock:
+            reservoir = self._latency.get(type_name)
+            if reservoir is None:
+                reservoir = deque(maxlen=RESERVOIR_SIZE)
+                self._latency[type_name] = reservoir
+            reservoir.append(seconds)
+
+    def record_error(self, code_name: str) -> None:
+        self._errors.inc(code=code_name)
+
+    def record_shard_state(self, shard_id: str, state: str) -> None:
+        self._shard_state.set(float(SHARD_STATE_CODES.get(state, 3)),
+                              shard=shard_id)
+
+    def record_failover(self, shard_id: str) -> None:
+        self._failovers.inc(shard=shard_id)
+
+    def record_retry(self) -> None:
+        self._retries.inc()
+
+    def record_breaker_state(self, shard_id: str, state: str) -> None:
+        self._breaker_state.set(float(BREAKER_STATE_CODES.get(state, 2)),
+                                shard=shard_id)
+
+    def record_breaker_transition(self, shard_id: str, state: str) -> None:
+        self._breaker_transitions.inc(shard=shard_id, state=state)
+
+    def record_unavailable(self) -> None:
+        self._unavailable.inc()
+
+    def record_probe_failure(self, shard_id: str) -> None:
+        self._probe_failures.inc(shard=shard_id)
+
+    # -- registry-backed views ----------------------------------------------
+
+    @property
+    def requests(self) -> Counter:
+        return Counter({dict(labels).get("type", ""): count
+                        for labels, count in self._requests.collect().items()})
+
+    @property
+    def errors(self) -> Counter:
+        return Counter({dict(labels).get("code", ""): count
+                        for labels, count in self._errors.collect().items()})
+
+    @property
+    def failovers(self) -> int:
+        return int(sum(self._failovers.collect().values()))
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries.value())
+
+    @property
+    def unavailable(self) -> int:
+        return int(self._unavailable.value())
+
+    # -- reading ------------------------------------------------------------
+
+    def expose_text(self) -> str:
+        """Prometheus text exposition of this router's registry."""
+        return self.registry.expose_text()
+
+    def snapshot(self, shard_states: Optional[Dict[str, str]] = None) -> dict:
+        """JSON-safe router stats (the router's STATS payload)."""
+        with self._lock:
+            latency = {}
+            for type_name, reservoir in sorted(self._latency.items()):
+                samples = list(reservoir)
+                latency[type_name] = {
+                    "count": len(samples),
+                    "p50_ms": percentile(samples, 0.50) * 1e3,
+                    "p99_ms": percentile(samples, 0.99) * 1e3,
+                    "max_ms": (max(samples) * 1e3) if samples else 0.0,
+                }
+        requests = self.requests
+        errors = self.errors
+        failovers = {dict(labels).get("shard", ""): int(count)
+                     for labels, count in self._failovers.collect().items()}
+        probe_failures = {
+            dict(labels).get("shard", ""): int(count)
+            for labels, count in self._probe_failures.collect().items()}
+        snapshot = {
+            "requests": dict(sorted(requests.items())),
+            "requests_total": sum(requests.values()),
+            "errors": dict(sorted(errors.items())),
+            "errors_total": sum(errors.values()),
+            "failovers": dict(sorted(failovers.items())),
+            "failovers_total": sum(failovers.values()),
+            "retries": self.retries,
+            "unavailable": self.unavailable,
+            "probe_failures": dict(sorted(probe_failures.items())),
+            "latency": latency,
+        }
+        if shard_states is not None:
+            snapshot["shards"] = dict(sorted(shard_states.items()))
+        return snapshot
+
+
+__all__ = [
+    "BREAKER_STATE_CODES",
+    "HOP_BUCKETS",
+    "RESERVOIR_SIZE",
+    "RouterMetrics",
+    "SHARD_STATE_CODES",
+    "ServerMetrics",
+    "percentile",
+]

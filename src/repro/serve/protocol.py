@@ -52,6 +52,7 @@ GET_FUNCTION = 0x03
 GET_BLOCK = 0x04
 STATS = 0x05
 GET_METRICS = 0x06
+HEALTH = 0x07
 
 OK_PUT = 0x81
 OK_META = 0x82
@@ -59,6 +60,7 @@ OK_FUNCTION = 0x83
 OK_BLOCK = 0x84
 OK_STATS = 0x85
 OK_METRICS = 0x86
+OK_HEALTH = 0x87
 ERROR = 0xFF
 
 TYPE_NAMES = {
@@ -68,17 +70,19 @@ TYPE_NAMES = {
     GET_BLOCK: "GET_BLOCK",
     STATS: "STATS",
     GET_METRICS: "GET_METRICS",
+    HEALTH: "HEALTH",
     OK_PUT: "OK_PUT",
     OK_META: "OK_META",
     OK_FUNCTION: "OK_FUNCTION",
     OK_BLOCK: "OK_BLOCK",
     OK_STATS: "OK_STATS",
     OK_METRICS: "OK_METRICS",
+    OK_HEALTH: "OK_HEALTH",
     ERROR: "ERROR",
 }
 
 REQUEST_TYPES = (PUT_CONTAINER, GET_META, GET_FUNCTION, GET_BLOCK, STATS,
-                 GET_METRICS)
+                 GET_METRICS, HEALTH)
 
 # -- error codes ------------------------------------------------------------
 
@@ -90,6 +94,7 @@ E_TIMEOUT = 5         # the per-request deadline elapsed server-side
 E_BUSY = 6            # backpressure: server refused to queue the request
 E_INTERNAL = 7        # anything else (a server bug; still a clean answer)
 E_VERSION = 8         # protocol version mismatch
+E_UNAVAILABLE = 9     # shard draining / no live replica / below quorum
 
 ERROR_NAMES = {
     E_BAD_REQUEST: "E_BAD_REQUEST",
@@ -100,6 +105,23 @@ ERROR_NAMES = {
     E_BUSY: "E_BUSY",
     E_INTERNAL: "E_INTERNAL",
     E_VERSION: "E_VERSION",
+    E_UNAVAILABLE: "E_UNAVAILABLE",
+}
+
+#: error codes safe to retry for idempotent requests (the answer may
+#: change after backoff: load drains, a deadline stops slipping, a
+#: replica fails over).  Everything else is definitive.
+RETRYABLE_ERROR_CODES = frozenset((E_BUSY, E_TIMEOUT, E_UNAVAILABLE))
+
+# -- health ----------------------------------------------------------------
+
+#: HEALTH states a server reports about itself
+HEALTH_OK = 0
+HEALTH_DRAINING = 1
+
+HEALTH_STATE_NAMES = {
+    HEALTH_OK: "ok",
+    HEALTH_DRAINING: "draining",
 }
 
 
@@ -441,6 +463,53 @@ def parse_ok_metrics(body: bytes) -> bytes:
     return blob
 
 
+@dataclass(frozen=True)
+class HealthStatus:
+    """What OK_HEALTH carries: the server's own view of its liveness.
+
+    ``state`` is :data:`HEALTH_OK` or :data:`HEALTH_DRAINING`;
+    ``inflight`` counts requests/decodes currently being worked;
+    ``containers`` is the number of admitted containers (for a router
+    answering on behalf of a cluster: the number of live shards).
+    """
+
+    state: int
+    inflight: int
+    containers: int
+
+    @property
+    def state_name(self) -> str:
+        return HEALTH_STATE_NAMES.get(self.state, f"state-{self.state}")
+
+    @property
+    def ok(self) -> bool:
+        return self.state == HEALTH_OK
+
+
+def build_health() -> bytes:
+    """HEALTH carries no body."""
+    return b""
+
+
+def build_ok_health(state: int, inflight: int, containers: int) -> bytes:
+    writer = ByteWriter()
+    writer.write_u8(state)
+    writer.write_uvarint(inflight)
+    writer.write_uvarint(containers)
+    return writer.getvalue()
+
+
+def parse_ok_health(body: bytes) -> HealthStatus:
+    reader = ByteReader(body)
+    state = reader.read_u8()
+    inflight = reader.read_uvarint()
+    containers = reader.read_uvarint()
+    _expect_end(reader, "OK_HEALTH")
+    if state not in HEALTH_STATE_NAMES:
+        raise ProtocolError(f"unknown health state {state}")
+    return HealthStatus(state=state, inflight=inflight, containers=containers)
+
+
 def build_error(code: int, message: str) -> bytes:
     writer = ByteWriter()
     writer.write_u8(code)
@@ -478,15 +547,22 @@ __all__ = [
     "E_LIMIT",
     "E_NOT_FOUND",
     "E_TIMEOUT",
+    "E_UNAVAILABLE",
     "E_VERSION",
     "GET_BLOCK",
     "GET_FUNCTION",
     "GET_META",
     "GET_METRICS",
+    "HEALTH",
+    "HEALTH_DRAINING",
+    "HEALTH_OK",
+    "HEALTH_STATE_NAMES",
+    "HealthStatus",
     "MAX_FRAME_BYTES",
     "Message",
     "OK_BLOCK",
     "OK_FUNCTION",
+    "OK_HEALTH",
     "OK_META",
     "OK_METRICS",
     "OK_PUT",
@@ -494,14 +570,17 @@ __all__ = [
     "PROTOCOL_VERSION",
     "PUT_CONTAINER",
     "REQUEST_TYPES",
+    "RETRYABLE_ERROR_CODES",
     "STATS",
     "TYPE_NAMES",
     "build_error",
     "build_get_block",
     "build_get_function",
     "build_get_meta",
+    "build_health",
     "build_ok_block",
     "build_ok_function",
+    "build_ok_health",
     "build_ok_meta",
     "build_ok_metrics",
     "build_ok_put",
@@ -511,6 +590,7 @@ __all__ = [
     "encode_frame",
     "encode_instruction_slice",
     "parse_error",
+    "parse_ok_health",
     "parse_get_block",
     "parse_get_function",
     "parse_get_meta",

@@ -1,0 +1,655 @@
+"""The cluster front-end: consistent-hash routing with replica failover.
+
+A :class:`ClusterRouter` speaks the ordinary ``repro.serve`` wire
+protocol on its client side — a :class:`~repro.serve.client.ServeClient`
+pointed at a router cannot tell it from a single server — and fans the
+work out across N shard servers on its back side:
+
+* **Placement** — container ids map onto shards through a
+  :class:`~repro.serve.ring.HashRing`; every container lives on its
+  first ``replication`` distinct ring successors, so any single shard
+  loss leaves at least one live replica for every key (and R-1 losses
+  still do).
+* **Failover** — a request whose target shard is down, draining, busy,
+  or unreachable moves to the next replica immediately; when a whole
+  round of candidates fails, the router backs off (exponential, full
+  jitter) and tries again, because crash recovery and drain hand-offs
+  resolve in milliseconds.
+* **Health** — a background probe task sends ``HEALTH`` to every shard
+  each ``probe_interval``; answers drive the per-shard
+  :class:`~repro.serve.health.ShardHealth` state machine (a shard that
+  says ``draining`` is routed around *before* it starts refusing work).
+* **Load control** — a per-shard :class:`~repro.serve.health.CircuitBreaker`
+  stops the router hammering a dead address with fresh TCP connects;
+  one half-open trial per cooldown rediscovers recovered shards.
+
+``PUT_CONTAINER`` is replicated to *all* R placement shards (the store
+is content-addressed, so replays are idempotent); one success is enough
+to acknowledge.  Reads try replicas in ring order.  When every replica
+of a key is dead the router answers ``E_UNAVAILABLE`` — a clean, typed
+refusal, never a hang — which is exactly the below-quorum contract the
+chaos harness asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ProtocolError, ReproError
+from ..obs import TRACER
+from . import protocol
+from .health import CircuitBreaker, ShardHealth
+from .metrics import RouterMetrics
+from .ring import DEFAULT_VNODES, HashRing
+from .server import read_frame_async
+from .store import container_id_of
+
+#: how often the router probes every shard with HEALTH (seconds)
+DEFAULT_PROBE_INTERVAL = 0.25
+#: per-probe deadline; a probe slower than this counts as a failure
+DEFAULT_PROBE_TIMEOUT = 1.0
+#: per-attempt deadline for one shard exchange (seconds)
+DEFAULT_ATTEMPT_TIMEOUT = 10.0
+#: full failover rounds before the router gives up with E_UNAVAILABLE
+DEFAULT_ROUTE_ROUNDS = 3
+
+
+@dataclass
+class RouterConfig:
+    """Tunables for one :class:`ClusterRouter`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = ephemeral; read .port after start
+    replication: int = 2
+    vnodes: int = DEFAULT_VNODES
+    probe_interval: float = DEFAULT_PROBE_INTERVAL
+    probe_timeout: float = DEFAULT_PROBE_TIMEOUT
+    attempt_timeout: float = DEFAULT_ATTEMPT_TIMEOUT
+    route_rounds: int = DEFAULT_ROUTE_ROUNDS
+    backoff_base: float = 0.05         # first-round backoff ceiling (seconds)
+    backoff_max: float = 1.0           # backoff ceiling growth limit
+    fail_threshold: int = 3
+    rise_threshold: int = 2
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 1.0
+    max_frame: int = protocol.MAX_FRAME_BYTES
+    seed: Optional[int] = None         # jitter RNG seed (deterministic tests)
+
+
+@dataclass
+class _Shard:
+    """Everything the router tracks about one back-end shard."""
+
+    shard_id: str
+    address: Tuple[str, int]
+    health: ShardHealth
+    breaker: CircuitBreaker
+    pool: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = \
+        field(default_factory=list)
+
+
+class _Unrouteable(Exception):
+    """Internal: this attempt failed in a way that permits failover."""
+
+
+class ClusterRouter:
+    """Asyncio front-end routing wire requests across shard servers."""
+
+    def __init__(self, shards: Dict[str, Tuple[str, int]],
+                 config: Optional[RouterConfig] = None,
+                 metrics: Optional[RouterMetrics] = None) -> None:
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        self.config = config or RouterConfig()
+        if self.config.replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.metrics = metrics or RouterMetrics()
+        self.ring = HashRing(sorted(shards), vnodes=self.config.vnodes)
+        self._shards: Dict[str, _Shard] = {}
+        for shard_id, address in shards.items():
+            shard = _Shard(
+                shard_id=shard_id, address=tuple(address),
+                health=ShardHealth(
+                    shard_id,
+                    fail_threshold=self.config.fail_threshold,
+                    rise_threshold=self.config.rise_threshold),
+                breaker=CircuitBreaker(
+                    threshold=self.config.breaker_threshold,
+                    cooldown=self.config.breaker_cooldown))
+            self._shards[shard_id] = shard
+            self.metrics.record_shard_state(shard_id, shard.health.state)
+            self.metrics.record_breaker_state(shard_id, shard.breaker.state)
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._probe_task: Optional[asyncio.Task] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._active_requests = 0
+        self._rng = random.Random(self.config.seed)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def replication(self) -> int:
+        return min(self.config.replication, len(self._shards))
+
+    @property
+    def quorum(self) -> int:
+        """Live shards needed so every key keeps at least one replica."""
+        return len(self._shards) - self.replication + 1
+
+    @property
+    def live_shards(self) -> List[str]:
+        return [shard_id for shard_id, shard in sorted(self._shards.items())
+                if shard.health.routable]
+
+    def shard_states(self) -> Dict[str, str]:
+        return {shard_id: shard.health.state
+                for shard_id, shard in self._shards.items()}
+
+    def replicas_for(self, container_id: str) -> List[str]:
+        return self.ring.replicas_for(container_id, self.replication)
+
+    def update_address(self, shard_id: str, host: str, port: int) -> None:
+        """Re-point a shard id at a new address (restart after a crash).
+
+        Thread-safe entry point: from outside the router's loop, call via
+        ``loop.call_soon_threadsafe``.  Pooled connections to the old
+        address are discarded.
+        """
+        shard = self._shards[shard_id]
+        shard.address = (host, port)
+        stale, shard.pool = shard.pool, []
+        for _reader, writer in stale:
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> asyncio.AbstractServer:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._probe_task = asyncio.get_running_loop().create_task(
+            self._probe_loop())
+        return self._server
+
+    async def stop(self) -> None:
+        if self._probe_task is not None:
+            self._probe_task.cancel()
+            try:
+                await self._probe_task
+            except asyncio.CancelledError:
+                pass
+            self._probe_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for shard in self._shards.values():
+            pool, shard.pool = shard.pool, []
+            for _reader, writer in pool:
+                writer.close()
+        for writer in list(self._writers):
+            writer.close()
+
+    # -- shard I/O -----------------------------------------------------------
+
+    async def _acquire(self, shard: _Shard
+                       ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        while shard.pool:
+            reader, writer = shard.pool.pop()
+            if not writer.is_closing():
+                return reader, writer
+            writer.close()
+        return await asyncio.wait_for(
+            asyncio.open_connection(*shard.address),
+            timeout=self.config.attempt_timeout)
+
+    async def _shard_exchange(self, shard: _Shard, message: protocol.Message,
+                              timeout: float) -> protocol.Message:
+        """One request/response against one shard on a pooled connection.
+
+        Raises ``OSError``/``ProtocolError``/``TimeoutError`` on transport
+        trouble; the connection is only returned to the pool after a
+        complete, clean exchange (anything else may have desynchronized
+        the frame stream).
+        """
+        reader, writer = await self._acquire(shard)
+        try:
+            writer.write(protocol.encode_frame(message))
+            await writer.drain()
+            response = await asyncio.wait_for(
+                read_frame_async(reader, self.config.max_frame),
+                timeout=timeout)
+        except BaseException:
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            raise
+        if response is None:
+            writer.close()
+            raise ProtocolError(f"shard {shard.shard_id} closed the "
+                                "connection mid-exchange")
+        shard.pool.append((reader, writer))
+        return response
+
+    # -- health probing ------------------------------------------------------
+
+    async def _probe_loop(self) -> None:
+        probe = protocol.Message(type=protocol.HEALTH, request_id=0,
+                                 body=protocol.build_health())
+        while True:
+            await asyncio.gather(*(self._probe_shard(shard, probe)
+                                   for shard in self._shards.values()))
+            await asyncio.sleep(self.config.probe_interval)
+
+    async def _probe_shard(self, shard: _Shard,
+                           probe: protocol.Message) -> None:
+        try:
+            response = await self._shard_exchange(
+                shard, probe, timeout=self.config.probe_timeout)
+        except (OSError, ProtocolError, asyncio.TimeoutError):
+            self.metrics.record_probe_failure(shard.shard_id)
+            self._note_health(shard, ok=False)
+            return
+        if response.type == protocol.OK_HEALTH:
+            try:
+                status = protocol.parse_ok_health(response.body)
+            except ProtocolError:
+                self.metrics.record_probe_failure(shard.shard_id)
+                self._note_health(shard, ok=False)
+                return
+            if status.state == protocol.HEALTH_DRAINING:
+                self._note_draining(shard)
+            else:
+                self._note_health(shard, ok=True)
+        else:
+            # An ERROR answer still proves liveness (e.g. a pre-HEALTH
+            # peer answering E_BAD_REQUEST); a draining shard answers
+            # OK_HEALTH above, so anything framed counts as alive.
+            self._note_health(shard, ok=True)
+
+    def _note_health(self, shard: _Shard, ok: bool) -> None:
+        before = shard.health.state
+        if ok:
+            shard.health.record_success()
+        else:
+            shard.health.record_failure()
+        if shard.health.state != before:
+            self.metrics.record_shard_state(shard.shard_id,
+                                            shard.health.state)
+
+    def _note_draining(self, shard: _Shard) -> None:
+        before = shard.health.state
+        shard.health.record_draining()
+        if shard.health.state != before:
+            self.metrics.record_shard_state(shard.shard_id,
+                                            shard.health.state)
+
+    def _note_breaker(self, shard: _Shard, ok: bool) -> None:
+        before = shard.breaker.state
+        if ok:
+            shard.breaker.record_success()
+        else:
+            shard.breaker.record_failure()
+        if shard.breaker.state != before:
+            self.metrics.record_breaker_state(shard.shard_id,
+                                              shard.breaker.state)
+            self.metrics.record_breaker_transition(shard.shard_id,
+                                                   shard.breaker.state)
+
+    def _breaker_allows(self, shard: _Shard) -> bool:
+        before = shard.breaker.state
+        allowed = shard.breaker.allow()
+        if shard.breaker.state != before:   # open -> half-open
+            self.metrics.record_breaker_state(shard.shard_id,
+                                              shard.breaker.state)
+            self.metrics.record_breaker_transition(shard.shard_id,
+                                                   shard.breaker.state)
+        return allowed
+
+    # -- client connections --------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    message = await read_frame_async(reader,
+                                                     self.config.max_frame)
+                except (ProtocolError, ReproError) as exc:
+                    await self._send_error(writer, 0, protocol.E_BAD_REQUEST,
+                                           str(exc))
+                    return
+                if message is None:
+                    return
+                started = time.perf_counter()
+                self._active_requests += 1
+                try:
+                    with TRACER.span("cluster.route", type=message.type_name,
+                                     request_id=message.request_id) as span:
+                        response, hops = await self._route(message)
+                        span.set_attr("response", response.type_name)
+                        span.set_attr("hops", hops)
+                finally:
+                    self._active_requests -= 1
+                writer.write(protocol.encode_frame(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    return
+                self.metrics.record_request(
+                    message.type_name, time.perf_counter() - started,
+                    hops=hops)
+                if response.type == protocol.ERROR:
+                    code = response.body[0] if response.body else 0
+                    self.metrics.record_error(
+                        protocol.ERROR_NAMES.get(code, f"E_{code}"))
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _send_error(self, writer: asyncio.StreamWriter,
+                          request_id: int, code: int, message: str) -> None:
+        self.metrics.record_error(protocol.ERROR_NAMES.get(code, f"E_{code}"))
+        try:
+            writer.write(protocol.encode_frame(protocol.Message(
+                type=protocol.ERROR, request_id=request_id,
+                body=protocol.build_error(code, message))))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    # -- routing -------------------------------------------------------------
+
+    async def _route(self, message: protocol.Message
+                     ) -> Tuple[protocol.Message, int]:
+        """Answer one client request; returns ``(response, shard_hops)``."""
+        def error(code: int, text: str) -> protocol.Message:
+            return protocol.Message(type=protocol.ERROR,
+                                    request_id=message.request_id,
+                                    body=protocol.build_error(code, text))
+
+        if message.type in (protocol.HEALTH, protocol.STATS,
+                            protocol.GET_METRICS):
+            return await self._answer_locally(message), 0
+        if message.type == protocol.PUT_CONTAINER:
+            return await self._route_put(message)
+        if message.type in (protocol.GET_META, protocol.GET_FUNCTION,
+                            protocol.GET_BLOCK):
+            if len(message.body) < protocol.CONTAINER_ID_BYTES:
+                return error(protocol.E_BAD_REQUEST,
+                             "request body shorter than a container id"), 0
+            container_id = \
+                message.body[:protocol.CONTAINER_ID_BYTES].hex()
+            return await self._route_get(message, container_id)
+        return error(protocol.E_BAD_REQUEST,
+                     f"unknown request type 0x{message.type:02x}"), 0
+
+    async def _answer_locally(self, message: protocol.Message
+                              ) -> protocol.Message:
+        """HEALTH/STATS/GET_METRICS describe the router itself."""
+        if message.type == protocol.HEALTH:
+            body = protocol.build_ok_health(
+                protocol.HEALTH_OK, self._active_requests,
+                len(self.live_shards))
+            return protocol.Message(type=protocol.OK_HEALTH,
+                                    request_id=message.request_id, body=body)
+        if message.type == protocol.STATS:
+            snapshot = self.metrics.snapshot(shard_states=self.shard_states())
+            snapshot["replication"] = self.replication
+            snapshot["quorum"] = self.quorum
+            body = protocol.build_ok_stats(
+                json.dumps(snapshot, sort_keys=True).encode("utf-8"))
+            return protocol.Message(type=protocol.OK_STATS,
+                                    request_id=message.request_id, body=body)
+        body = protocol.build_ok_metrics(
+            self.metrics.expose_text().encode("utf-8"))
+        return protocol.Message(type=protocol.OK_METRICS,
+                                request_id=message.request_id, body=body)
+
+    def _candidates(self, replicas: List[str]) -> List[_Shard]:
+        """Replicas worth attempting right now, in ring order.
+
+        Health filters out shards known dead or draining.  When the
+        filter empties the list entirely, fall back to *all* replicas —
+        stale health must never turn a recoverable request into
+        E_UNAVAILABLE without at least one real attempt.  (The circuit
+        breaker is consulted in :meth:`_attempt`, not here, so its
+        half-open trial slot is only consumed by an attempt that
+        actually happens and reports an outcome.)
+        """
+        shards = [self._shards[shard_id] for shard_id in replicas]
+        routable = [s for s in shards if s.health.routable]
+        return routable or shards
+
+    async def _attempt(self, shard: _Shard,
+                       message: protocol.Message) -> protocol.Message:
+        """One shard attempt; raises :class:`_Unrouteable` for failover."""
+        if not self._breaker_allows(shard):
+            raise _Unrouteable(f"{shard.shard_id}: circuit breaker open")
+        try:
+            response = await self._shard_exchange(
+                shard, message, timeout=self.config.attempt_timeout)
+        except (OSError, ProtocolError, asyncio.TimeoutError) as exc:
+            self._note_health(shard, ok=False)
+            self._note_breaker(shard, ok=False)
+            raise _Unrouteable(f"{shard.shard_id}: {exc}") from exc
+        self._note_breaker(shard, ok=True)
+        if response.type == protocol.ERROR:
+            try:
+                code, text = protocol.parse_error(response.body)
+            except ProtocolError:
+                raise _Unrouteable(
+                    f"{shard.shard_id}: unparseable ERROR frame") from None
+            if code in protocol.RETRYABLE_ERROR_CODES:
+                # The shard is alive but can't serve this now (draining,
+                # saturated, deadline); a replica may.  E_UNAVAILABLE
+                # from a drain also flips health so probes confirm it.
+                if code == protocol.E_UNAVAILABLE:
+                    self._note_draining(shard)
+                raise _Unrouteable(
+                    f"{shard.shard_id}: "
+                    f"{protocol.ERROR_NAMES.get(code, code)}: {text}")
+        return response
+
+    def _backoff(self, round_index: int) -> float:
+        ceiling = min(self.config.backoff_max,
+                      self.config.backoff_base * (2 ** round_index))
+        return self._rng.uniform(0.0, ceiling)
+
+    async def _route_get(self, message: protocol.Message, container_id: str
+                         ) -> Tuple[protocol.Message, int]:
+        replicas = self.replicas_for(container_id)
+        hops = 0
+        last_reason = "no replica attempted"
+        for round_index in range(self.config.route_rounds):
+            if round_index:
+                self.metrics.record_retry()
+                await asyncio.sleep(self._backoff(round_index - 1))
+            for position, shard in enumerate(self._candidates(replicas)):
+                hops += 1
+                try:
+                    response = await self._attempt(shard, message)
+                except _Unrouteable as exc:
+                    last_reason = str(exc)
+                    continue
+                if shard.shard_id != replicas[0]:
+                    # served by a non-primary replica — whether we tried
+                    # the primary and failed, or probes already marked it
+                    # unroutable, this request failed over
+                    self.metrics.record_failover(shard.shard_id)
+                return response, hops
+        self.metrics.record_unavailable()
+        body = protocol.build_error(
+            protocol.E_UNAVAILABLE,
+            f"no live replica for {container_id[:12]}… "
+            f"(replicas {', '.join(replicas)}; last: {last_reason})")
+        return protocol.Message(type=protocol.ERROR,
+                                request_id=message.request_id,
+                                body=body), hops
+
+    async def _route_put(self, message: protocol.Message
+                         ) -> Tuple[protocol.Message, int]:
+        def error(code: int, text: str) -> protocol.Message:
+            return protocol.Message(type=protocol.ERROR,
+                                    request_id=message.request_id,
+                                    body=protocol.build_error(code, text))
+
+        try:
+            data = protocol.parse_put(message.body)
+        except (ProtocolError, ReproError, ValueError) as exc:
+            return error(protocol.E_BAD_REQUEST, str(exc)), 0
+        container_id = container_id_of(data)
+        replicas = self.replicas_for(container_id)
+        hops = 0
+        success: Optional[protocol.Message] = None
+        definitive: Optional[protocol.Message] = None
+        failed: List[str] = []
+        for round_index in range(self.config.route_rounds):
+            if round_index:
+                if not failed:
+                    break
+                self.metrics.record_retry()
+                await asyncio.sleep(self._backoff(round_index - 1))
+            pending = failed if round_index else list(replicas)
+            failed = []
+            for shard_id in pending:
+                shard = self._shards[shard_id]
+                hops += 1
+                try:
+                    response = await self._attempt(shard, message)
+                except _Unrouteable:
+                    if hops > 1:
+                        self.metrics.record_failover(shard_id)
+                    failed.append(shard_id)
+                    continue
+                if response.type == protocol.ERROR:
+                    # definitive (non-retryable) shard verdict, e.g.
+                    # E_CORRUPT from verify-gated admission
+                    definitive = response
+                else:
+                    success = response
+            if definitive is not None or (success is not None and not failed):
+                break
+        if definitive is not None:
+            return definitive, hops
+        if success is not None:
+            # At least one replica admitted the container; stragglers
+            # will be re-replicated by a future PUT replay (puts are
+            # idempotent: the store is content-addressed).
+            return success, hops
+        self.metrics.record_unavailable()
+        return error(protocol.E_UNAVAILABLE,
+                     f"no replica of {container_id[:12]}… accepted the "
+                     f"container (replicas {', '.join(replicas)})"), hops
+
+
+# -- running a router from synchronous code ----------------------------------
+
+class RouterHandle:
+    """A router running on a daemon thread; mirrors ``ServerHandle``."""
+
+    def __init__(self, router: ClusterRouter, loop: asyncio.AbstractEventLoop,
+                 stop_event: asyncio.Event, thread) -> None:
+        self.router = router
+        self._loop = loop
+        self._stop_event = stop_event
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.router.config.host, self.router.port)
+
+    @property
+    def metrics(self) -> RouterMetrics:
+        return self.router.metrics
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def update_address(self, shard_id: str, host: str, port: int) -> None:
+        """Thread-safe re-point of a restarted shard."""
+        self._loop.call_soon_threadsafe(
+            self.router.update_address, shard_id, host, port)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "RouterHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def router_in_thread(shards: Dict[str, Tuple[str, int]],
+                     config: Optional[RouterConfig] = None,
+                     startup_timeout: float = 10.0) -> RouterHandle:
+    """Start a :class:`ClusterRouter` on a background thread."""
+    import threading
+
+    router = ClusterRouter(shards, config=config)
+    ready = threading.Event()
+    startup_error: list = []
+    boxes: dict = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            stop_event = asyncio.Event()
+            try:
+                await router.start()
+            except Exception as exc:  # noqa: BLE001 - reported to caller
+                startup_error.append(exc)
+                ready.set()
+                return
+            boxes["loop"] = asyncio.get_running_loop()
+            boxes["stop"] = stop_event
+            ready.set()
+            try:
+                await stop_event.wait()
+            finally:
+                await router.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, name="ssd-router", daemon=True)
+    thread.start()
+    if not ready.wait(startup_timeout):
+        raise RuntimeError(f"router failed to start within {startup_timeout}s")
+    if startup_error:
+        raise startup_error[0]
+    return RouterHandle(router, boxes["loop"], boxes["stop"], thread)
+
+
+__all__ = [
+    "ClusterRouter",
+    "DEFAULT_ATTEMPT_TIMEOUT",
+    "DEFAULT_PROBE_INTERVAL",
+    "DEFAULT_PROBE_TIMEOUT",
+    "DEFAULT_ROUTE_ROUNDS",
+    "RouterConfig",
+    "RouterHandle",
+    "router_in_thread",
+]

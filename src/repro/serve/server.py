@@ -30,7 +30,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from ..codecs import CodecReader, open_any
 from ..errors import (
@@ -40,6 +40,7 @@ from ..errors import (
     ProtocolError,
     ReproError,
     TruncatedStream,
+    UnavailableError,
 )
 from ..lz.varint import decode_uvarint
 from ..obs import TRACER
@@ -54,6 +55,8 @@ DEFAULT_MAX_CONCURRENCY = 8
 DEFAULT_MAX_QUEUE_DEPTH = 64
 #: default per-request deadline (seconds)
 DEFAULT_REQUEST_TIMEOUT = 30.0
+#: default ceiling on how long a drain waits for in-flight work
+DEFAULT_DRAIN_TIMEOUT = 10.0
 
 
 @dataclass
@@ -67,12 +70,15 @@ class ServerConfig:
     request_timeout: float = DEFAULT_REQUEST_TIMEOUT
     max_frame: int = protocol.MAX_FRAME_BYTES
     cache_bytes: int = DEFAULT_CACHE_BYTES
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT
 
 
 def _error_code_for(exc: ReproError) -> int:
     """Map a taxonomy exception onto a wire error code."""
     if isinstance(exc, AdmissionError):
         return protocol.E_CORRUPT
+    if isinstance(exc, UnavailableError):
+        return protocol.E_UNAVAILABLE
     if isinstance(exc, LimitExceeded):
         return protocol.E_LIMIT
     if isinstance(exc, (ChecksumMismatch, TruncatedStream, CorruptContainer)):
@@ -80,6 +86,41 @@ def _error_code_for(exc: ReproError) -> int:
     if isinstance(exc, ProtocolError):
         return protocol.E_BAD_REQUEST
     return protocol.E_INTERNAL
+
+
+async def read_frame_async(reader: asyncio.StreamReader,
+                           max_frame: int = protocol.MAX_FRAME_BYTES
+                           ) -> Optional[protocol.Message]:
+    """Asyncio twin of :func:`protocol.read_frame`; ``None`` on clean EOF.
+
+    Shared between the shard server and the cluster router (both sit on
+    the receiving end of the same framing).
+    """
+    length_bytes = bytearray()
+    while True:
+        try:
+            chunk = await reader.readexactly(1)
+        except asyncio.IncompleteReadError:
+            if not length_bytes:
+                return None
+            raise ProtocolError("connection closed mid frame-length varint")
+        length_bytes += chunk
+        if not chunk[0] & 0x80:
+            break
+        if len(length_bytes) > 10:
+            raise ProtocolError("frame-length varint too long")
+    length, _ = decode_uvarint(bytes(length_bytes))
+    if length > max_frame:
+        raise ProtocolError(f"frame of {length} bytes exceeds the "
+                            f"{max_frame}-byte limit")
+    try:
+        payload = await reader.readexactly(length)
+        crc = int.from_bytes(await reader.readexactly(4), "little")
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid frame ({len(exc.partial)} of "
+            f"{length} payload bytes)") from exc
+    return protocol.parse_payload(payload, crc)
 
 
 class SSDServer:
@@ -100,6 +141,26 @@ class SSDServer:
         self._inflight: Dict[Tuple, asyncio.Future] = {}
         self._semaphore: Optional[asyncio.Semaphore] = None
         self._waiting = 0
+        #: requests currently inside _dispatch (event-loop-only)
+        self._active_requests = 0
+        #: set once drain() starts; new decode/put work answers
+        #: E_UNAVAILABLE while observability ops keep answering
+        self._draining = False
+        #: open connection writers, for abrupt teardown (kill())
+        self._writers: Set[asyncio.StreamWriter] = set()
+        #: chaos/test hook called thread-side before every decode with
+        #: (container_id, findex); raising or sleeping here models a
+        #: sick shard (see repro.faults.chaos)
+        self.decode_hook: Optional[Callable[[str, int], None]] = None
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight_count(self) -> int:
+        """Requests being dispatched plus shared decode tasks in flight."""
+        return self._active_requests + len(self._inflight)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -122,40 +183,56 @@ class SSDServer:
             await self._server.wait_closed()
             self._server = None
 
+    async def drain(self, timeout: Optional[float] = None) -> bool:
+        """Gracefully wind the server down (the SIGTERM path).
+
+        Stops accepting connections, lets in-flight decodes finish (a
+        coalesced decode completes for every follower still waiting),
+        answers any *new* decode/put frame with ``E_UNAVAILABLE`` so a
+        router re-routes, then closes.  Returns ``True`` when all
+        in-flight work completed inside ``timeout``
+        (``config.drain_timeout`` by default).
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + (timeout if timeout is not None
+                                       else self.config.drain_timeout)
+        while self.inflight_count and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        drained = not self.inflight_count
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+        return drained
+
+    def abort_connections(self) -> None:
+        """Abruptly reset every open connection (models a crash).
+
+        Used by chaos harnesses through :meth:`ServerHandle.kill`: the
+        transports are aborted mid-frame, so clients see a connection
+        reset, not a clean close.
+        """
+        for writer in list(self._writers):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+
     # -- connection handling -------------------------------------------------
 
     async def _read_frame(self, reader: asyncio.StreamReader
                           ) -> Optional[protocol.Message]:
         """Async twin of :func:`protocol.read_frame`; None on clean EOF."""
-        length_bytes = bytearray()
-        while True:
-            try:
-                chunk = await reader.readexactly(1)
-            except asyncio.IncompleteReadError:
-                if not length_bytes:
-                    return None
-                raise ProtocolError("connection closed mid frame-length varint")
-            length_bytes += chunk
-            if not chunk[0] & 0x80:
-                break
-            if len(length_bytes) > 10:
-                raise ProtocolError("frame-length varint too long")
-        length, _ = decode_uvarint(bytes(length_bytes))
-        if length > self.config.max_frame:
-            raise ProtocolError(f"frame of {length} bytes exceeds the "
-                                f"{self.config.max_frame}-byte limit")
-        try:
-            payload = await reader.readexactly(length)
-            crc = int.from_bytes(await reader.readexactly(4), "little")
-        except asyncio.IncompleteReadError as exc:
-            raise ProtocolError(
-                f"connection closed mid frame ({len(exc.partial)} of "
-                f"{length} payload bytes)") from exc
-        return protocol.parse_payload(payload, crc)
+        return await read_frame_async(reader, self.config.max_frame)
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         self.metrics.record_connection(opened=True)
+        self._writers.add(writer)
         try:
             while True:
                 try:
@@ -169,11 +246,15 @@ class SSDServer:
                 if message is None:
                     return
                 started = time.perf_counter()
-                with TRACER.span("serve.request", type=message.type_name,
-                                 request_id=message.request_id) as span:
-                    response = await self._dispatch(message)
-                    span.set_attr("response", response.type_name)
-                    span.set_attr("bytes_in", len(message.body))
+                self._active_requests += 1
+                try:
+                    with TRACER.span("serve.request", type=message.type_name,
+                                     request_id=message.request_id) as span:
+                        response = await self._dispatch(message)
+                        span.set_attr("response", response.type_name)
+                        span.set_attr("bytes_in", len(message.body))
+                finally:
+                    self._active_requests -= 1
                 frame = protocol.encode_frame(response)
                 writer.write(frame)
                 try:
@@ -194,6 +275,7 @@ class SSDServer:
             # quietly so teardown doesn't log spurious task errors.
             pass
         finally:
+            self._writers.discard(writer)
             self.metrics.record_connection(opened=False)
             writer.close()
             try:
@@ -228,10 +310,17 @@ class SSDServer:
             protocol.GET_BLOCK: self._handle_get_block,
             protocol.STATS: self._handle_stats,
             protocol.GET_METRICS: self._handle_get_metrics,
+            protocol.HEALTH: self._handle_health,
         }.get(message.type)
         if handler is None:
             return error(protocol.E_BAD_REQUEST,
                          f"unknown request type 0x{message.type:02x}")
+        if self._draining and message.type not in (
+                protocol.HEALTH, protocol.STATS, protocol.GET_METRICS):
+            # Refuse new decode/put work so a router re-routes; the
+            # observability surface keeps answering during the drain.
+            return error(protocol.E_UNAVAILABLE,
+                         "server is draining; route elsewhere")
         try:
             body_type, body = await asyncio.wait_for(
                 handler(message.body), timeout=self.config.request_timeout)
@@ -322,6 +411,8 @@ class SSDServer:
         every requester has already timed out.
         """
         started = time.perf_counter()
+        if self.decode_hook is not None:
+            self.decode_hook(container_id, findex)
         with TRACER.span("serve.decode", container=container_id,
                          findex=findex):
             reader = self._reader_for(container_id)
@@ -401,6 +492,15 @@ class SSDServer:
         return protocol.OK_METRICS, protocol.build_ok_metrics(
             exposition.encode("utf-8"))
 
+    async def _handle_health(self, body: bytes) -> Tuple[int, bytes]:
+        if body:
+            raise ProtocolError("HEALTH carries no body")
+        state = (protocol.HEALTH_DRAINING if self._draining
+                 else protocol.HEALTH_OK)
+        # Subtract this HEALTH request itself from the in-flight count.
+        return protocol.OK_HEALTH, protocol.build_ok_health(
+            state, max(0, self.inflight_count - 1), len(self.store))
+
 
 class _Busy(Exception):
     """Internal: queue depth exceeded; mapped to E_BUSY."""
@@ -437,6 +537,39 @@ class ServerHandle:
         if self._thread.is_alive():
             self._loop.call_soon_threadsafe(self._stop_event.set)
             self._thread.join(timeout)
+
+    def drain(self, timeout: float = DEFAULT_DRAIN_TIMEOUT) -> bool:
+        """Gracefully drain the server, then stop its thread.
+
+        Returns ``True`` when every in-flight decode completed before
+        the deadline (the SIGTERM contract: finish work, refuse new
+        frames, then leave).
+        """
+        drained = True
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.drain(timeout), self._loop)
+            try:
+                drained = future.result(timeout + 5.0)
+            except (asyncio.CancelledError, TimeoutError):
+                drained = False
+            self.stop()
+        return drained
+
+    def kill(self) -> None:
+        """Abruptly tear the server down (models a shard crash).
+
+        Connections are reset mid-frame and the listener closes without
+        waiting for in-flight decodes; clients observe connection
+        resets, exactly what a SIGKILLed shard produces.
+        """
+        if self._thread.is_alive():
+            def _abort() -> None:
+                self.server.abort_connections()
+                self._stop_event.set()
+
+            self._loop.call_soon_threadsafe(_abort)
+            self._thread.join(5.0)
 
     def __enter__(self) -> "ServerHandle":
         return self
@@ -489,11 +622,13 @@ def serve_in_thread(store: Optional[ContainerStore] = None,
 
 
 __all__ = [
+    "DEFAULT_DRAIN_TIMEOUT",
     "DEFAULT_MAX_CONCURRENCY",
     "DEFAULT_MAX_QUEUE_DEPTH",
     "DEFAULT_REQUEST_TIMEOUT",
     "SSDServer",
     "ServerConfig",
     "ServerHandle",
+    "read_frame_async",
     "serve_in_thread",
 ]

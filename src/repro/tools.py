@@ -468,6 +468,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     server = SSDServer(store=store, config=config)
 
     async def main() -> None:
+        import signal
+
         await server.start()
         if args.port_file:
             _write_port_file(args.port_file, server.port)
@@ -485,13 +487,210 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         if args.metrics_interval is not None:
             asyncio.create_task(report_metrics())
-        await server.serve_forever()
+
+        # SIGTERM drains gracefully: finish in-flight decodes, answer new
+        # frames E_UNAVAILABLE (a router re-routes), then exit.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        async def _drain_and_stop() -> None:
+            print("ssd serve: SIGTERM, draining...", file=sys.stderr,
+                  flush=True)
+            drained = await server.drain()
+            print(f"ssd serve: drained={drained}", file=sys.stderr,
+                  flush=True)
+            stop.set()
+
+        def _on_sigterm() -> None:
+            loop.create_task(_drain_and_stop())
+
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+        except (NotImplementedError, RuntimeError):
+            pass  # platform without loop signal handlers
+        await stop.wait()
+        await server.stop()
 
     try:
         asyncio.run(main())
     except KeyboardInterrupt:
         print("ssd serve: stopped", file=sys.stderr)
     return 0
+
+
+def _spawn_shard(index: int, host: str, work_dir: str,
+                 store_dir: Optional[str], preload: List[str],
+                 startup_timeout: float = 15.0):
+    """Start one shard subprocess; returns ``(process, port)``.
+
+    The shard is an ordinary ``ssd serve --port 0`` whose bound port is
+    read back through ``--port-file`` (atomic write, so a partial file
+    is never observed).
+    """
+    import os
+    import subprocess
+    import time as _time
+
+    port_file = os.path.join(work_dir, f"shard-{index}.port")
+    argv = [sys.executable, "-m", "repro.tools", "serve",
+            "--host", host, "--port", "0", "--port-file", port_file]
+    if store_dir:
+        shard_store = os.path.join(store_dir, f"shard-{index}")
+        os.makedirs(shard_store, exist_ok=True)
+        argv += ["--store-dir", shard_store]
+    for path in preload:
+        argv += ["--preload", path]
+    process = subprocess.Popen(argv)
+    deadline = _time.monotonic() + startup_timeout
+    while _time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise ToolError(f"shard {index} exited with "
+                            f"code {process.returncode} during startup")
+        try:
+            with open(port_file, "r", encoding="utf-8") as handle:
+                return process, int(handle.read().strip())
+        except (FileNotFoundError, ValueError):
+            _time.sleep(0.05)
+    process.terminate()
+    raise ToolError(f"shard {index} did not report a port within "
+                    f"{startup_timeout}s")
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run a sharded cluster: N subprocess shards behind one router."""
+    if args.action == "status":
+        return _cluster_status(args)
+    return _cluster_start(args)
+
+
+def _cluster_start(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+    import signal
+    import tempfile
+
+    from .serve.router import ClusterRouter, RouterConfig
+
+    if args.shards < 1:
+        raise ToolError("--shards must be >= 1")
+    if not 1 <= args.replication <= args.shards:
+        raise ToolError(f"--replication must be in [1, {args.shards}]")
+
+    processes = []
+    with tempfile.TemporaryDirectory(prefix="ssd-cluster-") as work_dir:
+        try:
+            shards = {}
+            shard_pids = {}
+            for index in range(args.shards):
+                process, port = _spawn_shard(
+                    index, args.host, work_dir, args.store_dir,
+                    args.preload or [])
+                processes.append(process)
+                shard_id = f"shard-{index}"
+                shards[shard_id] = (args.host, port)
+                shard_pids[shard_id] = process.pid
+                print(f"ssd cluster: {shard_id} pid={process.pid} "
+                      f"port={port}", file=sys.stderr, flush=True)
+
+            config = RouterConfig(host=args.host, port=args.port,
+                                  replication=args.replication)
+            router = ClusterRouter(shards, config=config)
+
+            async def main() -> None:
+                await router.start()
+                if args.port_file:
+                    _write_port_file(args.port_file, router.port)
+                state = {
+                    "router": {"host": args.host, "port": router.port,
+                               "pid": os.getpid()},
+                    "replication": args.replication,
+                    "quorum": router.quorum,
+                    "shards": [
+                        {"shard_id": shard_id, "host": host, "port": port,
+                         "pid": shard_pids[shard_id]}
+                        for shard_id, (host, port) in sorted(shards.items())
+                    ],
+                }
+                if args.state_file:
+                    with open(args.state_file, "w", encoding="utf-8") as fh:
+                        json.dump(state, fh, indent=2, sort_keys=True)
+                        fh.write("\n")
+                print(f"ssd cluster: router on {args.host}:{router.port} "
+                      f"({args.shards} shards, replication "
+                      f"{args.replication}, quorum {router.quorum})",
+                      file=sys.stderr, flush=True)
+                stop = asyncio.Event()
+                loop = asyncio.get_running_loop()
+                for signum in (signal.SIGTERM, signal.SIGINT):
+                    try:
+                        loop.add_signal_handler(signum, stop.set)
+                    except (NotImplementedError, RuntimeError):
+                        pass
+                await stop.wait()
+                await router.stop()
+
+            try:
+                asyncio.run(main())
+            except KeyboardInterrupt:
+                pass
+            print("ssd cluster: stopped", file=sys.stderr)
+            return 0
+        finally:
+            for process in processes:
+                if process.poll() is None:
+                    process.terminate()
+            for process in processes:
+                try:
+                    process.wait(timeout=10.0)
+                except Exception:  # noqa: BLE001 - last resort
+                    process.kill()
+
+
+def _cluster_status(args: argparse.Namespace) -> int:
+    from .errors import ProtocolError, RemoteError
+    from .serve import ServeClient
+
+    if not args.state_file:
+        raise ToolError("cluster status requires --state-file")
+    try:
+        with open(args.state_file, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+    except FileNotFoundError:
+        raise ToolError(f"no such state file: {args.state_file}") from None
+    except json.JSONDecodeError as exc:
+        raise ToolError(f"bad state file: {exc}") from None
+
+    def probe(host: str, port: int) -> dict:
+        try:
+            with ServeClient(host, port, timeout=args.timeout) as client:
+                status = client.health()
+                return {"reachable": True, "state": status.state_name,
+                        "inflight": status.inflight,
+                        "containers": status.containers}
+        except (OSError, ProtocolError, RemoteError) as exc:
+            return {"reachable": False, "error": str(exc)}
+
+    router = dict(state.get("router", {}))
+    router["health"] = probe(router.get("host", "127.0.0.1"),
+                             int(router.get("port", 0)))
+    shards = []
+    for shard in state.get("shards", []):
+        entry = dict(shard)
+        entry["health"] = probe(shard["host"], int(shard["port"]))
+        shards.append(entry)
+    live = sum(1 for shard in shards if shard["health"]["reachable"])
+    report = {
+        "router": router,
+        "shards": shards,
+        "live_shards": live,
+        "quorum": state.get("quorum"),
+        "above_quorum": (live >= state["quorum"]
+                         if state.get("quorum") is not None else None),
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    healthy = bool(router["health"]["reachable"]) and (
+        report["above_quorum"] is not False)
+    return 0 if healthy else 1
 
 
 def _parse_address(text: str) -> Tuple[str, int]:
@@ -526,7 +725,8 @@ def cmd_client(args: argparse.Namespace) -> int:
 
     host, port = _parse_address(args.server)
     try:
-        client = ServeClient(host, port, timeout=args.timeout)
+        client = ServeClient(host, port, timeout=args.timeout,
+                             retries=args.retries)
     except OSError as exc:
         raise ToolError(f"cannot connect to {args.server}: {exc}") from None
     try:
@@ -704,7 +904,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--read", nargs="*", default=None,
                    help="values consumed by `trap 2`")
     p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry idempotent requests up to N times with "
+                        "exponential backoff (for flaky links or a "
+                        "failing-over cluster); default: no retries")
     p.set_defaults(func=cmd_client)
+
+    p = sub.add_parser("cluster",
+                       help="run or inspect a sharded serve cluster")
+    p.add_argument("action", choices=("start", "status"))
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7879,
+                   help="router TCP port (0 = ephemeral)")
+    p.add_argument("--shards", type=int, default=3,
+                   help="shard subprocesses to spawn")
+    p.add_argument("--replication", type=int, default=2,
+                   help="replicas per container (1..shards)")
+    p.add_argument("--preload", nargs="*", default=None, metavar="FILE",
+                   help=".ssd containers admitted by every shard at startup")
+    p.add_argument("--store-dir", default=None,
+                   help="root directory for per-shard persistent stores")
+    p.add_argument("--port-file", default=None, metavar="PATH",
+                   help="atomically write the router's bound port to PATH")
+    p.add_argument("--state-file", default=None, metavar="PATH",
+                   help="write cluster topology JSON (ports, pids) to PATH; "
+                        "required for `cluster status`")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="status: per-probe deadline in seconds")
+    p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("stats", help="fetch metrics from a running ssd serve")
     p.add_argument("server", help="HOST:PORT of the server")

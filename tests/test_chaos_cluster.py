@@ -1,0 +1,50 @@
+"""Chaos harness tests (repro.faults.chaos): the sweep itself is the
+assertion — above quorum zero client-visible failures, below quorum a
+clean ``E_UNAVAILABLE``, full recovery after restart.
+
+The full-length sweep runs nightly in CI; here a short sweep keeps the
+suite honest without dominating its wall clock.
+"""
+
+import pytest
+
+from repro.faults import CHAOS_KINDS, ChaosEvent, chaos_sweep
+
+
+class TestChaosSweep:
+    def test_short_sweep_is_clean(self):
+        report = chaos_sweep(seed=7, clients=4, duration=1.5,
+                             hang_seconds=0.5)
+        assert report.ok, report.summary()
+        assert report.failures == []
+        assert report.below_quorum_clean
+        assert report.recovered
+        assert report.requests_total > 0
+
+    def test_every_fault_kind_is_scheduled(self):
+        report = chaos_sweep(seed=3, clients=2, duration=1.0,
+                             hang_seconds=0.3)
+        assert report.ok, report.summary()
+        kinds = {event.kind for event in report.events}
+        assert set(CHAOS_KINDS) <= kinds
+
+    def test_schedule_is_seed_deterministic(self):
+        a = chaos_sweep(seed=5, clients=2, duration=1.0, hang_seconds=0.3)
+        b = chaos_sweep(seed=5, clients=2, duration=1.0, hang_seconds=0.3)
+        assert [(e.kind, e.shard_id) for e in a.events
+                if e.kind in CHAOS_KINDS] == \
+            [(e.kind, e.shard_id) for e in b.events
+             if e.kind in CHAOS_KINDS]
+
+    def test_summary_mentions_verdict_and_load(self):
+        report = chaos_sweep(seed=1, clients=2, duration=1.0,
+                             hang_seconds=0.3)
+        summary = report.summary()
+        assert ("PASS" in summary) == report.ok
+        assert str(report.requests_total) in summary
+
+    def test_event_records_are_frozen(self):
+        event = ChaosEvent(at=0.0, kind="kill", shard_id="shard-0",
+                           detail="")
+        with pytest.raises(AttributeError):
+            event.kind = "drain"

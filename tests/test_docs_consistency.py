@@ -196,13 +196,19 @@ class TestObservabilityDoc:
         import repro.lz.arith  # noqa: F401
         import repro.lz.lz77  # noqa: F401
         from repro.obs import REGISTRY
-        from repro.serve.metrics import ServerMetrics
+        from repro.serve.metrics import RouterMetrics, ServerMetrics
 
         families = self._documented_families()
         assert len(families) >= 25, "metric tables went missing"
         serve_registry = ServerMetrics().registry
+        cluster_registry = RouterMetrics().registry
         for name in families:
-            registry = serve_registry if name.startswith("serve_") else REGISTRY
+            if name.startswith("serve_"):
+                registry = serve_registry
+            elif name.startswith("cluster_"):
+                registry = cluster_registry
+            else:
+                registry = REGISTRY
             assert name in registry, f"documented family {name} not registered"
 
     def test_registered_metrics_are_documented(self):
@@ -213,10 +219,12 @@ class TestObservabilityDoc:
         import repro.jit.buffer  # noqa: F401
         import repro.jit.resilience  # noqa: F401
         from repro.obs import REGISTRY
-        from repro.serve.metrics import ServerMetrics
+        from repro.serve.metrics import RouterMetrics, ServerMetrics
 
         documented = set(self._documented_families())
-        live = set(REGISTRY.names()) | set(ServerMetrics().registry.names())
+        live = (set(REGISTRY.names())
+                | set(ServerMetrics().registry.names())
+                | set(RouterMetrics().registry.names()))
         assert live <= documented, sorted(live - documented)
 
     def test_documented_spans_exist_in_source(self):

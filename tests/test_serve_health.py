@@ -1,0 +1,191 @@
+"""Unit tests for the shard-health and circuit-breaker state machines
+(repro.serve.health) — every transition, driven with a fake clock."""
+
+import pytest
+
+from repro.serve.health import (
+    CLOSED,
+    CircuitBreaker,
+    DOWN,
+    DRAINING,
+    HALF_OPEN,
+    OPEN,
+    ShardHealth,
+    SUSPECT,
+    UP,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestShardHealth:
+    def test_starts_up_and_routable(self):
+        health = ShardHealth("s")
+        assert health.state == UP
+        assert health.routable
+
+    def test_single_failure_is_suspect_not_down(self):
+        health = ShardHealth("s", fail_threshold=3)
+        health.record_failure()
+        assert health.state == SUSPECT
+        assert health.routable          # still worth trying
+
+    def test_consecutive_failures_mark_down(self):
+        health = ShardHealth("s", fail_threshold=3)
+        for _ in range(3):
+            health.record_failure()
+        assert health.state == DOWN
+        assert not health.routable
+
+    def test_success_resets_failure_streak(self):
+        health = ShardHealth("s", fail_threshold=3)
+        health.record_failure()
+        health.record_failure()
+        health.record_success()
+        assert health.state == UP
+        health.record_failure()
+        assert health.state == SUSPECT  # streak restarted, not continued
+
+    def test_rise_threshold_guards_mark_up(self):
+        health = ShardHealth("s", fail_threshold=2, rise_threshold=2)
+        health.record_failure()
+        health.record_failure()
+        assert health.state == DOWN
+        health.record_success()
+        assert health.state == DOWN     # one success is not enough
+        health.record_success()
+        assert health.state == UP
+
+    def test_failure_mid_rise_resets_rise_streak(self):
+        health = ShardHealth("s", fail_threshold=2, rise_threshold=2)
+        health.record_failure()
+        health.record_failure()
+        health.record_success()
+        health.record_failure()
+        health.record_success()
+        assert health.state == DOWN     # rise streak restarted
+        health.record_success()
+        assert health.state == UP
+
+    def test_draining_not_routable(self):
+        health = ShardHealth("s")
+        health.record_draining()
+        assert health.state == DRAINING
+        assert not health.routable
+
+    def test_draining_shard_that_stops_answering_goes_down(self):
+        health = ShardHealth("s", fail_threshold=2)
+        health.record_draining()
+        health.record_failure()
+        assert health.state == DRAINING
+        health.record_failure()
+        assert health.state == DOWN
+
+    def test_draining_shard_recovers_via_rise_threshold(self):
+        health = ShardHealth("s", rise_threshold=2)
+        health.record_draining()
+        health.record_success()
+        assert health.state == DRAINING
+        health.record_success()
+        assert health.state == UP
+
+    def test_transitions_counted(self):
+        health = ShardHealth("s", fail_threshold=1)
+        health.record_failure()   # up -> down
+        health.record_success()
+        health.record_success()   # down -> up (default rise=2)
+        assert health.transitions == 2
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            ShardHealth("s", fail_threshold=0)
+        with pytest.raises(ValueError):
+            ShardHealth("s", rise_threshold=0)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker(clock=FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_failures(self):
+        breaker = CircuitBreaker(threshold=3, clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_cooldown_gates_half_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()          # the half-open trial
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_allows_exactly_one_trial(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        assert not breaker.allow()      # trial outcome still pending
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_and_rearms_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()      # cooldown restarted at re-open
+        clock.advance(1.1)
+        assert breaker.allow()
+
+    def test_transitions_counted(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure()        # closed -> open
+        clock.advance(1.1)
+        breaker.allow()                 # open -> half-open
+        breaker.record_success()        # half-open -> closed
+        assert breaker.transitions == 3
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)

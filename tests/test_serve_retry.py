@@ -1,0 +1,278 @@
+"""Client-side resilience tests (repro.serve.client): per-op deadlines,
+retry with exponential backoff + full jitter, reconnect-and-resume.
+
+A scripted TCP server plays exact server behaviours (E_BUSY then OK,
+abrupt close, non-retryable errors) so every retry decision is
+deterministic; the RemoteProgram resume test runs against a real server
+and cuts the connection between function pages.
+"""
+
+import socket
+import threading
+from collections import deque
+
+import pytest
+
+from repro.core import compress
+from repro.errors import ProtocolError, RemoteError, UnavailableError
+from repro.isa import assemble
+from repro.serve import (
+    NO_RETRY,
+    OpDeadlines,
+    RemoteProgram,
+    RetryPolicy,
+    ServeClient,
+    serve_in_thread,
+)
+from repro.serve import protocol
+
+ASM = """
+func main
+    li r2, 4
+    call helper
+    trap 1
+    ret
+end
+func helper
+    add r1, r2, r2
+    ret
+end
+"""
+
+
+class ScriptedServer:
+    """Answers each incoming frame according to a fixed script.
+
+    Script entries:
+      ("error", code)  -> ERROR frame with that code
+      ("ok",)          -> a well-formed OK for STATS/HEALTH requests
+      ("close",)       -> close the connection without answering
+    When the script is exhausted, every request gets ("ok",).
+    """
+
+    def __init__(self, script):
+        self.script = deque(script)
+        self.requests_served = 0
+        self.connections = 0
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _respond(self, message):
+        if message.type == protocol.STATS:
+            return protocol.Message(type=protocol.OK_STATS,
+                                    request_id=message.request_id,
+                                    body=protocol.build_ok_stats(b"{}"))
+        if message.type == protocol.HEALTH:
+            return protocol.Message(
+                type=protocol.OK_HEALTH, request_id=message.request_id,
+                body=protocol.build_ok_health(protocol.HEALTH_OK, 0, 0))
+        return protocol.Message(
+            type=protocol.ERROR, request_id=message.request_id,
+            body=protocol.build_error(protocol.E_BAD_REQUEST,
+                                      "scripted server only speaks "
+                                      "STATS/HEALTH"))
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.connections += 1
+            with conn:
+                stream = conn.makefile("rwb")
+                while not self._stop.is_set():
+                    try:
+                        message = protocol.read_frame(stream)
+                    except (ProtocolError, OSError):
+                        break
+                    if message is None:
+                        break
+                    self.requests_served += 1
+                    step = self.script.popleft() if self.script else ("ok",)
+                    if step[0] == "close":
+                        break
+                    if step[0] == "error":
+                        response = protocol.Message(
+                            type=protocol.ERROR,
+                            request_id=message.request_id,
+                            body=protocol.build_error(step[1], "scripted"))
+                    else:
+                        response = self._respond(message)
+                    try:
+                        stream.write(protocol.encode_frame(response))
+                        stream.flush()
+                    except OSError:
+                        break
+
+    def close(self):
+        self._stop.set()
+        self._listener.close()
+        self._thread.join(2.0)
+
+
+@pytest.fixture()
+def scripted():
+    servers = []
+
+    def factory(script):
+        server = ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.close()
+
+
+def fast_policy(retries=3, seed=7):
+    return RetryPolicy(retries=retries, base_delay=0.001, max_delay=0.01,
+                       seed=seed)
+
+
+class TestRetryPolicy:
+    def test_delay_respects_full_jitter_bounds(self):
+        import random
+        policy = RetryPolicy(retries=5, base_delay=0.1, max_delay=1.0)
+        rng = random.Random(42)
+        for attempt in range(8):
+            ceiling = min(1.0, 0.1 * (2 ** attempt))
+            for _ in range(50):
+                delay = policy.delay(attempt, rng)
+                assert 0.0 <= delay <= ceiling
+
+    def test_seeded_delays_are_deterministic(self):
+        import random
+        policy = RetryPolicy(retries=3, seed=123)
+        a = [policy.delay(i, random.Random(123)) for i in range(4)]
+        b = [policy.delay(i, random.Random(123)) for i in range(4)]
+        assert a == b
+
+    def test_retry_codes_default(self):
+        policy = RetryPolicy()
+        assert policy.should_retry_code(protocol.E_BUSY)
+        assert policy.should_retry_code(protocol.E_TIMEOUT)
+        assert policy.should_retry_code(protocol.E_UNAVAILABLE)
+        assert not policy.should_retry_code(protocol.E_NOT_FOUND)
+        assert not policy.should_retry_code(protocol.E_CORRUPT)
+
+    def test_no_retry_is_zero(self):
+        assert NO_RETRY.retries == 0
+
+
+class TestOpDeadlines:
+    def test_per_op_values_differ(self):
+        deadlines = OpDeadlines()
+        assert deadlines.for_op("put") > deadlines.for_op("meta")
+        assert deadlines.for_op("health") < deadlines.for_op("function")
+
+    def test_uniform_overrides_all_but_health(self):
+        deadlines = OpDeadlines.uniform(60.0)
+        assert deadlines.for_op("put") == 60.0
+        assert deadlines.for_op("function") == 60.0
+        assert deadlines.for_op("health") <= 2.0   # probes stay snappy
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises((KeyError, AttributeError, ValueError)):
+            OpDeadlines().for_op("no-such-op")
+
+
+class TestScriptedRetries:
+    def test_busy_then_ok_is_retried(self, scripted):
+        server = scripted([("error", protocol.E_BUSY), ("ok",)])
+        with ServeClient("127.0.0.1", server.port,
+                         retry_policy=fast_policy()) as client:
+            assert client.stats() == {}
+            assert client.retry_count == 1
+
+    def test_no_retries_surfaces_busy(self, scripted):
+        server = scripted([("error", protocol.E_BUSY)])
+        with ServeClient("127.0.0.1", server.port) as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.stats()
+            assert excinfo.value.code == protocol.E_BUSY
+
+    def test_non_retryable_code_not_retried(self, scripted):
+        server = scripted([("error", protocol.E_NOT_FOUND), ("ok",)])
+        with ServeClient("127.0.0.1", server.port,
+                         retry_policy=fast_policy()) as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.stats()
+            assert excinfo.value.code == protocol.E_NOT_FOUND
+            assert client.retry_count == 0
+
+    def test_connection_drop_reconnects_and_succeeds(self, scripted):
+        server = scripted([("close",), ("ok",)])
+        with ServeClient("127.0.0.1", server.port,
+                         retry_policy=fast_policy()) as client:
+            assert client.stats() == {}
+            assert client.reconnect_count == 1
+            assert server.connections == 2
+
+    def test_exhaustion_raises_unavailable_with_attempts(self, scripted):
+        script = [("error", protocol.E_BUSY)] * 10
+        server = scripted(script)
+        with ServeClient("127.0.0.1", server.port,
+                         retry_policy=fast_policy(retries=2)) as client:
+            with pytest.raises((UnavailableError, RemoteError)) as excinfo:
+                client.stats()
+            if isinstance(excinfo.value, UnavailableError):
+                assert excinfo.value.attempts == 3
+        assert server.requests_served == 3
+
+    def test_unavailable_is_retried(self, scripted):
+        server = scripted([("error", protocol.E_UNAVAILABLE), ("ok",)])
+        with ServeClient("127.0.0.1", server.port,
+                         retry_policy=fast_policy()) as client:
+            assert client.stats() == {}
+            assert client.retry_count == 1
+
+    def test_health_never_retried(self, scripted):
+        server = scripted([("error", protocol.E_BUSY), ("ok",)])
+        with ServeClient("127.0.0.1", server.port,
+                         retry_policy=fast_policy()) as client:
+            with pytest.raises(RemoteError):
+                client.health()
+            assert client.retry_count == 0
+
+    def test_retries_kwarg_builds_policy(self, scripted):
+        server = scripted([("error", protocol.E_BUSY), ("ok",)])
+        with ServeClient("127.0.0.1", server.port, retries=2) as client:
+            assert client.retry_policy.retries == 2
+            assert client.stats() == {}
+
+
+class TestRemoteProgramResume:
+    @pytest.fixture()
+    def handle(self):
+        with serve_in_thread() as handle:
+            yield handle
+
+    def test_resume_after_connection_drop(self, handle):
+        container = compress(assemble(ASM)).data
+        with ServeClient(*handle.address) as client:
+            container_id, _count, _entry = client.put(container)
+            program = RemoteProgram(client, container_id)
+            first = program.functions[0]
+            assert first.name == "main"
+            # the connection dies between function pages
+            client._sock.shutdown(socket.SHUT_RDWR)
+            second = program.functions[1]
+            assert second.name == "helper"
+            assert client.reconnect_count >= 1
+
+    def test_resume_with_retry_policy(self, handle):
+        container = compress(assemble(ASM)).data
+        with ServeClient(*handle.address,
+                         retry_policy=fast_policy()) as client:
+            container_id, _count, _entry = client.put(container)
+            program = RemoteProgram(client, container_id)
+            client._sock.shutdown(socket.SHUT_RDWR)
+            assert program.functions[0].name == "main"
+            assert program.functions[1].name == "helper"
