@@ -12,6 +12,7 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py            # guard
     PYTHONPATH=src python benchmarks/check_regression.py --record   # re-baseline
     PYTHONPATH=src python benchmarks/check_regression.py --serve    # cluster gate
+    PYTHONPATH=src python benchmarks/check_regression.py --delta    # update gate
 
 ``--serve`` gates the cluster failover benchmark instead: it reads the
 latest ``serve_cluster_failover`` entry from ``BENCH_serve.json``
@@ -19,6 +20,13 @@ latest ``serve_cluster_failover`` entry from ``BENCH_serve.json``
 shard cost more than ``--serve-degradation`` of healthy throughput —
 the degraded/healthy ratio is machine-relative, so it gates graceful
 degradation without a wall-clock baseline.
+
+``--delta`` gates the delta-update wire cost: it reads the latest
+``delta_update`` entry from ``BENCH_delta.json`` (written by
+``benchmarks/test_delta_bench.py``) and fails if the median patch was
+more than ``--delta-ratio`` (default 0.30) of a full container
+transfer.  Sizes are machine-independent, so the gate needs no
+recorded baseline.
 
 Run it alongside the tier-1 suite when touching the compress or
 decompress path.
@@ -36,6 +44,7 @@ HERE = Path(__file__).resolve().parent
 BASELINE_PATH = HERE / "BENCH_baseline.json"
 RESULT_PATH = HERE / "BENCH_pipeline.json"
 SERVE_RESULTS_PATH = HERE / "BENCH_serve.json"
+DELTA_RESULTS_PATH = HERE / "BENCH_delta.json"
 
 
 def check_serve_cluster(max_degradation: float) -> int:
@@ -66,6 +75,35 @@ def check_serve_cluster(max_degradation: float) -> int:
           f"(p99 {latest['healthy_p99_ms']}ms), one shard dead "
           f"{degraded:,.0f} req/s (p99 {latest['one_shard_dead_p99_ms']}ms)"
           f" -> {ratio:.2f}x retained, floor {floor:.2f}x -> {verdict}")
+    return 0 if verdict == "pass" else 1
+
+
+def check_delta(max_median_ratio: float) -> int:
+    """Gate the delta-update benchmark's median patch/full ratio.
+
+    Returns 0 when the median update patch across the corpus version
+    pairs stayed at or below ``max_median_ratio`` of a full transfer;
+    1 on a regression or when the benchmark has not been run yet.
+    """
+    if not DELTA_RESULTS_PATH.exists():
+        print(f"{DELTA_RESULTS_PATH.name} missing; "
+              "run benchmarks/test_delta_bench.py first")
+        return 1
+    entries = [entry for entry
+               in json.loads(DELTA_RESULTS_PATH.read_text())
+               if entry.get("benchmark") == "delta_update"]
+    if not entries:
+        print("no delta_update entry recorded; "
+              "run benchmarks/test_delta_bench.py first")
+        return 1
+    latest = entries[-1]
+    median = latest["median_ratio"]
+    verdict = "pass" if median <= max_median_ratio else "regression"
+    worst = max(latest["pairs"], key=lambda pair: pair["ratio"])
+    print(f"delta update: {len(latest['pairs'])} version pairs at scale "
+          f"{latest['scale']}, median patch {median:.1%} of a full "
+          f"transfer (worst {worst['benchmark_name']} {worst['ratio']:.1%}),"
+          f" ceiling {max_median_ratio:.0%} -> {verdict}")
     return 0 if verdict == "pass" else 1
 
 
@@ -111,10 +149,18 @@ def main(argv=None) -> int:
     parser.add_argument("--serve-degradation", type=float, default=0.6,
                         help="allowed fractional req/s loss with one "
                              "shard dead (default 0.6)")
+    parser.add_argument("--delta", action="store_true",
+                        help="gate the delta-update wire-cost benchmark "
+                             "(BENCH_delta.json) instead of the pipeline")
+    parser.add_argument("--delta-ratio", type=float, default=0.30,
+                        help="allowed median patch/full-transfer ratio "
+                             "(default 0.30)")
     args = parser.parse_args(argv)
 
     if args.serve:
         return check_serve_cluster(args.serve_degradation)
+    if args.delta:
+        return check_delta(args.delta_ratio)
 
     baseline = json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
     program = args.program or baseline.get("program", "word97")

@@ -1,0 +1,78 @@
+"""Benchmark: delta-update wire cost across corpus version pairs.
+
+Guards the ``repro.delta`` acceptance target: for a seeded maintenance
+release of every corpus benchmark, the ``base -> target`` patch must be
+a small fraction of the full container a delta-less fleet would pull.
+Every patch is applied and byte-verified before its size counts.  The
+per-pair sizes and the median ratio land in ``BENCH_delta.json``;
+``check_regression.py --delta`` gates the median at 30%.
+"""
+
+import hashlib
+import json
+import statistics
+import time
+from pathlib import Path
+
+from repro.core import compress
+from repro.delta import apply_patch, make_patch
+from repro.workloads import clear_cache
+from repro.workloads.versions import version_pairs
+
+HERE = Path(__file__).resolve().parent
+RESULTS_PATH = HERE / "BENCH_delta.json"
+
+PAIR_SCALE = 0.1
+PAIR_SEED = 0
+
+
+def _record(entry: dict) -> None:
+    existing = (json.loads(RESULTS_PATH.read_text())
+                if RESULTS_PATH.exists() else [])
+    existing.append(entry)
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def test_update_patch_wire_cost(benchmark):
+    """make_patch/apply_patch over every corpus version pair, verified."""
+
+    def measure():
+        pairs = []
+        make_s = 0.0
+        apply_s = 0.0
+        for name, old_program, new_program in version_pairs(
+                scale=PAIR_SCALE, seed=PAIR_SEED):
+            old = compress(old_program).data
+            new = compress(new_program).data
+            started = time.perf_counter()
+            patch = make_patch(old, new)
+            make_s += time.perf_counter() - started
+            started = time.perf_counter()
+            rebuilt = apply_patch(old, patch)
+            apply_s += time.perf_counter() - started
+            assert rebuilt == new
+            assert hashlib.sha256(rebuilt).digest() == \
+                hashlib.sha256(new).digest()
+            pairs.append({"benchmark_name": name,
+                          "full_bytes": len(new),
+                          "patch_bytes": len(patch),
+                          "ratio": round(len(patch) / len(new), 4)})
+        return pairs, make_s, apply_s
+
+    pairs, make_s, apply_s = benchmark.pedantic(measure, rounds=1,
+                                                iterations=1)
+    median_ratio = statistics.median(entry["ratio"] for entry in pairs)
+    _record({
+        "benchmark": "delta_update",
+        "scale": PAIR_SCALE,
+        "seed": PAIR_SEED,
+        "pairs": pairs,
+        "median_ratio": round(median_ratio, 4),
+        "make_s": round(make_s, 3),
+        "apply_s": round(apply_s, 3),
+    })
+    # The acceptance gate proper runs in check_regression.py --delta;
+    # asserting here too keeps a plain `pytest benchmarks/` honest.
+    assert median_ratio <= 0.30, f"median update ratio {median_ratio:.1%}"
+    assert all(entry["patch_bytes"] > 0 for entry in pairs)
+    clear_cache()

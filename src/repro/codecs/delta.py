@@ -1,0 +1,116 @@
+"""The ``ssd-delta`` codec: patch containers behind the codec seam.
+
+A *patch container* is a v3 envelope (wire id 4) whose payload is a
+``repro.delta`` patch.  Two flavors exist on the wire:
+
+* **standalone** patches (base hash = SHA-256 of the empty string) are
+  self-contained — applying them to ``b""`` reproduces a full SSD
+  container, so ``open_any`` can decode them with no outside state.
+  ``DeltaCodec.compress`` emits these, which makes ``ssd-delta`` a
+  drop-in codec everywhere a codec id is accepted;
+* **based** patches name a real base container by hash.  They cannot be
+  opened in isolation — doing so raises a typed
+  :class:`~repro.errors.DeltaError` naming the base, which is the serve
+  stack's cue to fetch the base (or fall back to a full transfer).
+
+Application is verified end to end: the patch header carries the target
+SHA-256 and :func:`repro.delta.apply_patch` refuses to hand back bytes
+that do not match it, so a corrupt patch can never open as a wrong
+program.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.container import DEFAULT_LIMITS, DecodeLimits
+from ..delta.patch import EMPTY_BASE_HASH, apply_patch, make_patch, patch_info
+from ..errors import DeltaError
+from ..isa import Program
+from .base import Codec, CodecReader, CompressedProgram, SimpleCompressed
+
+
+class _DeltaReader:
+    """Reader over the container a patch reconstructs.
+
+    Pure delegation to the inner codec's reader, re-badged so callers
+    see which codec the *bytes* belonged to.  Block-granularity decode
+    is not advertised: the patch payload has no random-access surface of
+    its own (the inner container was materialized to open it anyway).
+    """
+
+    codec_id = "ssd-delta"
+    supports_block_decode = False
+
+    def __init__(self, inner: CodecReader) -> None:
+        self._inner = inner
+
+    @property
+    def container_hash(self) -> Optional[str]:
+        return self._inner.container_hash
+
+    @property
+    def program_name(self) -> str:
+        return self._inner.program_name
+
+    @property
+    def entry(self) -> int:
+        return self._inner.entry
+
+    @property
+    def function_count(self) -> int:
+        return self._inner.function_count
+
+    @property
+    def function_names(self):
+        return self._inner.function_names
+
+    def function(self, findex: int):
+        return self._inner.function(findex)
+
+    def program(self) -> Program:
+        return self._inner.program()
+
+
+class DeltaCodec(Codec):
+    """Patch containers: programs shipped as deltas."""
+
+    codec_id = "ssd-delta"
+    wire_id = 4
+    description = ("SSD containers shipped as verified patches — "
+                   "standalone (self-contained) or against a named base")
+
+    def compress(self, program: Program, base: bytes = b"",
+                 **options: Any) -> CompressedProgram:
+        """Compress ``program`` and express the container as a patch.
+
+        With ``base=b""`` (the default) the patch is standalone and the
+        result opens anywhere.  With ``base`` set to another container's
+        bytes, the patch is based on it — far smaller for a related
+        program, but openable only where the base is held.  Remaining
+        ``options`` pass through to the core SSD compressor.
+        """
+        from ..core.compressor import compress as core_compress
+        from .container import wrap
+        target = core_compress(program, **options).data
+        patch = make_patch(base, target)
+        data = wrap(self.wire_id, patch)
+        return SimpleCompressed(self.codec_id, data, {
+            "patch": len(patch),
+            "envelope": len(data) - len(patch),
+        })
+
+    def open_payload(self, payload: bytes,
+                     limits: DecodeLimits = DEFAULT_LIMITS) -> CodecReader:
+        from .dispatch import open_any
+        info = patch_info(payload)
+        if info.base_hash != EMPTY_BASE_HASH:
+            raise DeltaError(
+                f"patch requires base container {info.base_hex[:12]}…; "
+                "apply it with repro.delta.apply_patch (or fetch the base "
+                "over GET_DELTA) before opening", section="patch")
+        target = apply_patch(b"", payload, limits=limits)
+        return _DeltaReader(open_any(target, limits=limits))
+
+
+__all__ = ["DeltaCodec"]

@@ -39,6 +39,7 @@ _LAZY: Dict[str, str] = {
     "ssd": "repro.codecs.ssd:SsdCodec",
     "brisc": "repro.codecs.brisc:BriscCodec",
     "lz77-raw": "repro.codecs.lz77raw:Lz77RawCodec",
+    "ssd-delta": "repro.codecs.delta:DeltaCodec",
     "auto": "repro.codecs.auto:AutoCodec",
 }
 

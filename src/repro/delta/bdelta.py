@@ -1,0 +1,177 @@
+"""Windowed byte-delta primitives: LZ77 matching against a base buffer.
+
+The patch layer (``repro.delta.patch``) expresses a target container as
+edits against a content-addressed base.  At the byte level that is
+ordinary LZ77 with one twist: the match window is seeded with the *base*
+bytes, so a back-reference can reach across the base/target boundary and
+"copy 4 KiB from the previous version" costs a few bytes.
+
+The token stream is exactly :mod:`repro.lz.lz77`'s (literal runs and
+varint-coded back-references), but distances are unbounded within
+``len(base) + position`` instead of capped at the 64 KiB window — a code
+update legitimately copies from anywhere in the previous version.
+Decoding seeds the output buffer with the base and returns only the
+reconstructed tail, so ``delta_apply(base, delta_compress(base, target))
+== target`` for all byte strings.
+
+Both directions own the same error contract as the plain codec: corrupt
+or truncated delta streams raise :class:`~repro.errors.CorruptContainer`
+/ :class:`~repro.errors.TruncatedStream`, and a lying declared length
+raises :class:`~repro.errors.LimitExceeded` before any allocation.
+"""
+
+from __future__ import annotations
+
+from ..errors import CorruptContainer, LimitExceeded
+from ..lz.lz77 import MAX_OUTPUT_BYTES, _hash4, _MIN_MATCH
+from ..lz.varint import ByteReader, ByteWriter
+
+#: newest candidates consulted per hash bucket (mirrors repro.lz.lz77)
+_MAX_CHAIN = 32
+#: bucket trim threshold, bounding memory on repetitive input
+_CHAIN_CAP = 4 * _MAX_CHAIN
+
+
+def delta_compress(base: bytes, target: bytes) -> bytes:
+    """Encode ``target`` as an LZ77 token stream over ``base + target``.
+
+    With ``base == b""`` this degenerates to self-referential LZ77 of
+    ``target`` (the standalone-patch path).  The stream declares
+    ``len(target)``; base bytes are never re-emitted, only referenced.
+    """
+    data = base + target
+    origin = len(base)
+    n = len(data)
+    writer = ByteWriter()
+    writer.write_uvarint(len(target))
+    table: dict = {}
+    table_get = table.get
+    table_setdefault = table.setdefault
+
+    # Seed the hash table with the base region (sparsely for big bases:
+    # every position up to 64 KiB, then every other byte — match starts
+    # are still dense enough to find long copies, and seeding stays
+    # linear with a small constant).
+    step = 1 if origin <= (1 << 16) else 2
+    pos = 0
+    while pos + _MIN_MATCH <= origin:
+        chain = table_setdefault(_hash4(data, pos), [])
+        chain.append(pos)
+        if len(chain) > _CHAIN_CAP:
+            del chain[:-_MAX_CHAIN]
+        pos += step
+
+    pos = origin
+    literal_start = origin
+
+    def flush_literals(end: int) -> None:
+        if end > literal_start:
+            writer.write_uvarint(0)
+            writer.write_uvarint(end - literal_start)
+            writer.write_bytes(data[literal_start:end])
+
+    while pos + _MIN_MATCH <= n:
+        key = _hash4(data, pos)
+        candidates = table_get(key)
+        best_len = 0
+        best_dist = 0
+        if candidates:
+            limit = n - pos
+            lo = len(candidates) - _MAX_CHAIN
+            if lo < 0:
+                lo = 0
+            for cidx in range(len(candidates) - 1, lo - 1, -1):
+                cand = candidates[cidx]
+                if best_len:
+                    if best_len >= limit:
+                        break
+                    if data[cand + best_len] != data[pos + best_len]:
+                        continue
+                length = 0
+                while (length + 16 <= limit
+                       and data[cand + length:cand + length + 16]
+                       == data[pos + length:pos + length + 16]):
+                    length += 16
+                while (length < limit
+                       and data[cand + length] == data[pos + length]):
+                    length += 1
+                if length > best_len:
+                    best_len = length
+                    best_dist = pos - cand
+        if best_len >= _MIN_MATCH:
+            flush_literals(pos)
+            writer.write_uvarint(best_len - _MIN_MATCH + 1)
+            writer.write_uvarint(best_dist)
+            end = pos + best_len
+            insert_step = 1 if best_len <= 32 else 4
+            while pos < end and pos + _MIN_MATCH <= n:
+                chain = table_setdefault(_hash4(data, pos), [])
+                chain.append(pos)
+                if len(chain) > _CHAIN_CAP:
+                    del chain[:-_MAX_CHAIN]
+                pos += insert_step
+            pos = end
+            literal_start = pos
+        else:
+            chain = table_setdefault(key, [])
+            chain.append(pos)
+            if len(chain) > _CHAIN_CAP:
+                del chain[:-_MAX_CHAIN]
+            pos += 1
+    flush_literals(n)
+    return writer.getvalue()
+
+
+def delta_apply(base: bytes, delta: bytes,
+                max_output: int = MAX_OUTPUT_BYTES) -> bytes:
+    """Inverse of :func:`delta_compress` given the same ``base``.
+
+    The output buffer is seeded with ``base`` so back-references resolve
+    across the boundary; only the reconstructed tail is returned.  Every
+    token is validated against the declared size before materializing,
+    matching :func:`repro.lz.lz77.decompress`'s hostile-input contract.
+    """
+    reader = ByteReader(delta)
+    expected = reader.read_uvarint()
+    if expected > max_output:
+        raise LimitExceeded(
+            f"delta stream declares {expected} output bytes, "
+            f"limit {max_output}", offset=0, section="delta")
+    origin = len(base)
+    out = bytearray(base)
+    total = origin + expected
+    while len(out) < total:
+        token_at = reader.position
+        tag = reader.read_uvarint()
+        if tag == 0:
+            length = reader.read_uvarint()
+            if length > total - len(out):
+                raise CorruptContainer(
+                    f"corrupt delta stream: literal run of {length} overruns "
+                    f"the declared {expected}-byte output",
+                    offset=token_at, section="delta")
+            out += reader.read_bytes(length)
+        else:
+            length = tag + _MIN_MATCH - 1
+            dist = reader.read_uvarint()
+            if length > total - len(out):
+                raise CorruptContainer(
+                    f"corrupt delta stream: copy of {length} overruns the "
+                    f"declared {expected}-byte output",
+                    offset=token_at, section="delta")
+            if dist == 0 or dist > len(out):
+                raise CorruptContainer(
+                    f"corrupt delta stream: distance {dist} at output "
+                    f"size {len(out)}", offset=token_at, section="delta")
+            start = len(out) - dist
+            if dist >= length:
+                out += out[start:start + length]
+            else:
+                chunk = bytes(out[start:])
+                while len(chunk) < length:
+                    chunk += chunk
+                out += chunk[:length]
+    return bytes(out[origin:])
+
+
+__all__ = ["delta_apply", "delta_compress"]

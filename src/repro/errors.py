@@ -133,6 +133,47 @@ class RemoteError(ReproError):
         super().__init__(f"[{self.code_name}] {message}")
 
 
+class DeltaError(CorruptContainer):
+    """A ``repro.delta`` patch is undecodable or unapplicable.
+
+    Covers structural patch damage (bad header, truncated diff, a chain
+    that cycles) and reconstruction failures (the applied result does
+    not hash to the patch's declared target).  A ``CorruptContainer``
+    so fault sweeps classify patch corruption with every other decode
+    fault.
+    """
+
+
+class BaseMismatch(DeltaError):
+    """The base supplied to patch application is not the patch's base.
+
+    ``expected`` and ``got`` are hex SHA-256 digests.  Raised *before*
+    any reconstruction happens, so a wrong base can never produce a
+    wrong container.
+    """
+
+    def __init__(self, message: str, *, expected: str = "",
+                 got: str = "") -> None:
+        self.expected = expected
+        self.got = got
+        super().__init__(message)
+
+
+class NoBaseError(ReproError):
+    """A delta was requested against a base this store does not hold.
+
+    Deliberately *not* a :class:`CorruptContainer` (nothing is corrupt)
+    and not a ``KeyError`` (which the serve dispatch maps to
+    ``E_NOT_FOUND``): on the wire it travels as ``E_NO_BASE``, the
+    negotiation signal telling the client to fall back to a full
+    container transfer.
+    """
+
+    def __init__(self, message: str, *, base_hash: str = "") -> None:
+        self.base_hash = base_hash
+        super().__init__(message)
+
+
 def as_corrupt(exc: BaseException, *, section: Optional[str] = None,
                offset: Optional[int] = None) -> CorruptContainer:
     """Wrap a non-taxonomy exception as :class:`CorruptContainer`.

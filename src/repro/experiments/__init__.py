@@ -7,6 +7,8 @@
 * ``throughput`` — decompression/translation rates (measured + modelled)
 * ``startup`` — application start latency vs disk bandwidth (section 1)
 * ``ablations`` — branch-target mode, base codec, sequence length, policy
+* ``delta`` — update/cold-install wire cost of delta patches vs full
+  transfers (the ``repro.delta`` acceptance exhibit)
 """
 
 from .common import ALL_BENCHMARKS, ExperimentContext

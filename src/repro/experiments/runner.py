@@ -9,6 +9,7 @@ Usage::
     ssd-repro throughput
     ssd-repro ablations
     ssd-repro codecs
+    ssd-repro delta
     ssd-repro all [--scale 0.25] [--out results.txt]
 
 ``--scale 1.0`` reproduces the paper's program sizes (word97 = 1.4M
@@ -25,6 +26,7 @@ from typing import List, Optional
 from . import (
     ablations,
     codecs,
+    delta,
     figure3,
     startup,
     table1,
@@ -44,6 +46,7 @@ EXHIBITS = {
     "startup": lambda ctx, args: startup.run(ctx),
     "ablations": lambda ctx, args: ablations.run(ctx),
     "codecs": lambda ctx, args: codecs.run(ctx),
+    "delta": lambda ctx, args: delta.run(ctx),
 }
 
 

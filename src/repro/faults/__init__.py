@@ -4,7 +4,9 @@ The robustness layer's attack harness.  Three pieces:
 
 * :mod:`repro.faults.injector` — seedable corruption of container bytes
   (bit flips, truncation, varint overflow, blob swaps, length-field
-  lies), structure-aware via the container's section map;
+  lies), structure-aware via the container's section map, plus
+  patch-aware corruptions of ``repro.delta`` artifacts (base-hash
+  lies, diff truncation, patch-chain cycles);
 * :mod:`repro.faults.harness` — sweep driver: generate N corruptions,
   attempt decode, classify every outcome against the ``repro.errors``
   taxonomy (anything else is a finding);
@@ -26,8 +28,14 @@ replayable with ``ssd fuzz --seed``.
 """
 
 from .chaos import CHAOS_KINDS, ChaosEvent, ChaosReport, chaos_sweep
-from .injector import KINDS, ContainerCorruptor, Corruption
-from .harness import CaseOutcome, SweepReport, sweep
+from .injector import (
+    KINDS,
+    PATCH_KINDS,
+    ContainerCorruptor,
+    Corruption,
+    PatchCorruptor,
+)
+from .harness import CaseOutcome, SweepReport, patch_sweep, sweep
 from .runtime import AllocationFaults, crashing_worker, hanging_worker
 from .transport import (
     TRANSPORT_KINDS,
@@ -49,6 +57,8 @@ __all__ = [
     "Corruption",
     "FlakyTransport",
     "KINDS",
+    "PATCH_KINDS",
+    "PatchCorruptor",
     "SweepReport",
     "TRANSPORT_KINDS",
     "TransportCaseOutcome",
@@ -56,6 +66,7 @@ __all__ = [
     "TransportSweepReport",
     "crashing_worker",
     "hanging_worker",
+    "patch_sweep",
     "sweep",
     "transport_sweep",
 ]

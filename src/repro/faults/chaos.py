@@ -13,7 +13,11 @@ the paper-grade contract:
   ``RemoteError``), deterministically, within the retry budget — not a
   hang, not a reset;
 * **recovery** — restarted shards rejoin (same store, new port) and the
-  same requests succeed again.
+  same requests succeed again;
+* **delta updates survive partial bases** — a ``GET_DELTA`` whose base
+  lives on only one of the target's replicas is routed past the
+  ``E_NO_BASE`` answers to the shard that can diff, and an unknown base
+  degrades to a verified full transfer, never a wrong container.
 
 Fault verbs reuse the existing injector vocabulary: shard **kill** is
 the process twin of :func:`repro.faults.runtime.crashing_worker`
@@ -100,12 +104,15 @@ class ChaosReport:
     below_quorum_clean: Optional[bool] = None
     #: the same key succeeded again after replicas were restarted
     recovered: Optional[bool] = None
+    #: delta update succeeded via failover; unknown base fell back clean
+    delta_clean: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
         return (not self.failures
                 and self.below_quorum_clean is not False
-                and self.recovered is not False)
+                and self.recovered is not False
+                and self.delta_clean is not False)
 
     def summary(self) -> str:
         verdict = "PASS" if self.ok else "FAIL"
@@ -120,6 +127,7 @@ class ChaosReport:
             f"  above-quorum failures: {len(self.failures)}",
             f"  below-quorum clean refusal: {self.below_quorum_clean}",
             f"  post-restart recovery: {self.recovered}",
+            f"  delta update via failover: {self.delta_clean}",
         ]
         for failure in self.failures[:5]:
             lines.append(f"    failure: {failure}")
@@ -340,6 +348,35 @@ def chaos_sweep(seed: int = 0, clients: int = 8, duration: float = 3.0,
             report.recovered = False
             report.failures.append(
                 f"recovery probe: {type(exc).__name__}: {exc}")
+
+    # -- phase 4: delta update with a partially-held base --------------------
+    base_local = compress(assemble(_ASM_TEMPLATE.format(value=91))).data
+    target_new = compress(assemble(_ASM_TEMPLATE.format(value=92))).data
+    with cluster.client(retries=6) as seeder:
+        target_id, _count, _entry = seeder.put(target_new)
+    delta_replicas = cluster.replicas_for(target_id)
+    # Seed the base onto exactly one of the target's replicas: every
+    # other replica answers E_NO_BASE and the router must fail over to
+    # the one shard that can synthesize the patch.
+    cluster.stores[delta_replicas[-1]].put(base_local)
+    delta_policy = RetryPolicy(retries=6, base_delay=0.05, max_delay=0.5,
+                               seed=seed)
+    with ServeClient(host, port, retry_policy=delta_policy) as probe:
+        try:
+            rebuilt, used_delta = probe.update_container(base_local, target_id)
+            report.delta_clean = used_delta and rebuilt == target_new
+            note("delta", delta_replicas[-1],
+                 "patch via failover" if used_delta else "unexpected full "
+                 "fallback")
+            # an unknown base must degrade to a verified full transfer
+            rebuilt, used_delta = probe.update_container(b"\x00" * 64,
+                                                         target_id)
+            if used_delta or rebuilt != target_new:
+                report.delta_clean = False
+        except (ReproError, OSError) as exc:
+            report.delta_clean = False
+            report.failures.append(
+                f"delta probe: {type(exc).__name__}: {exc}")
 
     if owns_cluster:
         cluster.stop()

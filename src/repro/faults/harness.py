@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from ..errors import ReproError
-from .injector import KINDS, ContainerCorruptor
+from .injector import KINDS, PATCH_KINDS, ContainerCorruptor, PatchCorruptor
 
 
 @dataclass(frozen=True)
@@ -120,4 +120,55 @@ def sweep(container: bytes,
                 index=corruption.index, kind=corruption.kind,
                 position=corruption.position, detail=corruption.detail,
                 outcome="decoded"))
+    return report
+
+
+def patch_sweep(base: bytes,
+                target: bytes,
+                cases: int = 300,
+                seed: int = 0,
+                kinds: Sequence[str] = PATCH_KINDS) -> SweepReport:
+    """Fault-injection sweep over the delta-update apply path.
+
+    Builds the true ``base -> target`` patch, corrupts it ``cases``
+    times, and applies each corruption to ``base``.  The apply-side
+    contract is stricter than decode's: a corrupted patch must either
+    raise a :class:`repro.errors.ReproError` (the serve client's signal
+    to fall back to a full transfer) or — should corruption cancel out —
+    reconstruct *exactly* the target bytes.  An apply that returns
+    anything else is a silent wrong-container delivery and is recorded
+    as a finding with ``error_type='WrongBytes'``.
+    """
+    from ..delta import apply_patch, make_patch  # late import: avoid cycle
+    patch = make_patch(base, target)
+    corruptor = PatchCorruptor(patch, seed=seed, kinds=kinds)
+    report = SweepReport(seed=seed)
+    for corruption in corruptor.corruptions(cases):
+        try:
+            rebuilt = apply_patch(base, corruption.data)
+        except ReproError as exc:
+            report.cases.append(CaseOutcome(
+                index=corruption.index, kind=corruption.kind,
+                position=corruption.position, detail=corruption.detail,
+                outcome="typed-error", error_type=type(exc).__name__,
+                message=str(exc)))
+        except BaseException as exc:  # noqa: BLE001 - the whole point
+            report.cases.append(CaseOutcome(
+                index=corruption.index, kind=corruption.kind,
+                position=corruption.position, detail=corruption.detail,
+                outcome="unexpected", error_type=type(exc).__name__,
+                message=str(exc)))
+        else:
+            if rebuilt == target:
+                report.cases.append(CaseOutcome(
+                    index=corruption.index, kind=corruption.kind,
+                    position=corruption.position, detail=corruption.detail,
+                    outcome="decoded"))
+            else:
+                report.cases.append(CaseOutcome(
+                    index=corruption.index, kind=corruption.kind,
+                    position=corruption.position, detail=corruption.detail,
+                    outcome="unexpected", error_type="WrongBytes",
+                    message=f"apply returned {len(rebuilt)} bytes that are "
+                            "not the target container"))
     return report

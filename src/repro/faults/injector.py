@@ -42,6 +42,14 @@ KINDS: Tuple[str, ...] = (
     "length_lie",
 )
 
+#: patch-specific corruption kinds (:class:`PatchCorruptor`)
+PATCH_KINDS: Tuple[str, ...] = (
+    "base_hash_lie",
+    "diff_truncate",
+    "chain_cycle",
+    "bitflip",
+)
+
 
 @dataclass(frozen=True)
 class Corruption:
@@ -161,3 +169,86 @@ class ContainerCorruptor:
         return span.length_offset, \
             f"declare {span.name} as {lying} bytes (really {span.length})", \
             corrupted
+
+
+class PatchCorruptor:
+    """Deterministic corruptions of a ``repro.delta`` patch artifact.
+
+    Models the update-path attacks: a header that lies about which base
+    the diff was computed against (``base_hash_lie``), a dictionary diff
+    cut short in flight (``diff_truncate``), and a patch rewritten to
+    name its own base as its target so chained application cycles
+    (``chain_cycle``).  The contract under test is that *none* of these
+    can make :func:`repro.delta.apply_patch` hand back wrong container
+    bytes — applies must fail typed, which the serve client turns into a
+    clean full-transfer fallback.
+
+    Same determinism contract as :class:`ContainerCorruptor`: corruption
+    ``i`` under seed ``s`` is a pure function of ``(patch, s, i)``.
+    """
+
+    #: patch header: u8 version + 32-byte base hash + 32-byte target hash
+    _BASE_HASH = slice(1, 33)
+    _TARGET_HASH = slice(33, 65)
+    _HEADER_LEN = 65
+
+    def __init__(self, patch: bytes, seed: int = 0,
+                 kinds: Sequence[str] = PATCH_KINDS) -> None:
+        if len(patch) < self._HEADER_LEN:
+            raise FaultInjectionError(
+                f"patch of {len(patch)} bytes is shorter than its header")
+        unknown = [kind for kind in kinds if kind not in PATCH_KINDS]
+        if unknown:
+            raise FaultInjectionError(f"unknown corruption kinds: {unknown}")
+        self.data = bytes(patch)
+        self.seed = seed
+        self.kinds = tuple(kinds)
+
+    def corruption(self, index: int) -> Corruption:
+        """The ``index``-th corruption: pure function of (patch, seed, index)."""
+        rng = random.Random(f"patch:{self.seed}:{index}")
+        kind = self.kinds[index % len(self.kinds)]
+        position, detail, corrupted = getattr(self, f"_{kind}")(rng)
+        if corrupted == self.data:
+            kind = "bitflip"
+            position, detail, corrupted = self._bitflip(rng)
+        return Corruption(index=index, kind=kind, position=position,
+                          detail=detail, data=corrupted)
+
+    def corruptions(self, count: int) -> Iterator[Corruption]:
+        for index in range(count):
+            yield self.corruption(index)
+
+    # -- kinds -------------------------------------------------------------
+
+    def _bitflip(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        position = rng.randrange(len(self.data))
+        bit = rng.randrange(8)
+        corrupted = bytearray(self.data)
+        corrupted[position] ^= 1 << bit
+        return position, f"flip bit {bit} at {position}", bytes(corrupted)
+
+    def _base_hash_lie(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        """Rewrite the header's base hash: a diff against the wrong base."""
+        corrupted = bytearray(self.data)
+        corrupted[self._BASE_HASH] = bytes(rng.randrange(256)
+                                           for _ in range(32))
+        return 1, "rewrite base hash to a random digest", bytes(corrupted)
+
+    def _diff_truncate(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        """Cut the diff body short (interrupted transfer past the header)."""
+        if len(self.data) <= self._HEADER_LEN:
+            return self._bitflip(rng)
+        cut = rng.randrange(self._HEADER_LEN, len(self.data))
+        return cut, f"truncate patch to {cut} bytes", self.data[:cut]
+
+    def _chain_cycle(self, rng: random.Random) -> Tuple[int, str, bytes]:
+        """Make the patch claim its own base as its target (a -> a).
+
+        Applied alone it fails the target-hash verification; fed to
+        ``apply_chain`` it is the minimal patch-chain cycle the cycle
+        detector must refuse before applying anything.
+        """
+        corrupted = bytearray(self.data)
+        corrupted[self._TARGET_HASH] = corrupted[self._BASE_HASH]
+        return 33, "set target hash = base hash (self-cycle)", bytes(corrupted)

@@ -38,6 +38,7 @@ the in-flight page is re-requested.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
 import socket
@@ -72,6 +73,8 @@ class OpDeadlines:
     stats: float = 10.0
     metrics: float = 10.0
     health: float = 2.0
+    container: float = 30.0
+    delta: float = 30.0
 
     def for_op(self, op: str) -> float:
         return float(getattr(self, op))
@@ -81,7 +84,8 @@ class OpDeadlines:
         """Every op under one deadline (the legacy ``timeout=`` shape)."""
         return cls(connect=timeout, put=timeout, meta=timeout,
                    function=timeout, block=timeout, stats=timeout,
-                   metrics=timeout, health=min(timeout, 2.0))
+                   metrics=timeout, health=min(timeout, 2.0),
+                   container=timeout, delta=timeout)
 
 
 @dataclass(frozen=True)
@@ -131,6 +135,10 @@ class ContainerMeta:
     function_names: List[str] = field(default_factory=list)
     #: registry id of the codec that decodes this container server-side
     codec_id: str = "ssd"
+    #: the codec's v3-envelope byte (1=ssd, 2=brisc, 3=lz77-raw, 4=ssd-delta)
+    codec_wire_id: int = 1
+    #: container format version of the stored bytes (1, 2, or 3)
+    container_version: int = 2
 
     @property
     def function_count(self) -> int:
@@ -303,11 +311,12 @@ class ServeClient:
         response = self._expect(protocol.GET_META,
                                 protocol.build_get_meta(container_id),
                                 protocol.OK_META, op="meta")
-        name, entry, function_names, codec_id = protocol.parse_ok_meta(
-            response.body)
+        (name, entry, function_names, codec_id, codec_wire_id,
+         container_version) = protocol.parse_ok_meta(response.body)
         return ContainerMeta(container_id=container_id, program_name=name,
                              entry=entry, function_names=function_names,
-                             codec_id=codec_id)
+                             codec_id=codec_id, codec_wire_id=codec_wire_id,
+                             container_version=container_version)
 
     def function(self, container_id: str, findex: int) -> Function:
         """Fetch one fully-decoded function."""
@@ -344,6 +353,78 @@ class ServeClient:
             start += len(insns)
             if start >= total or not insns:
                 return
+
+    def get_container(self, container_id: str) -> bytes:
+        """Fetch a stored container's full bytes (GET_CONTAINER).
+
+        The returned bytes are verified against the content address
+        before being handed back — a server cannot substitute a
+        different container.
+        """
+        response = self._expect(protocol.GET_CONTAINER,
+                                protocol.build_get_container(container_id),
+                                protocol.OK_CONTAINER, op="container")
+        data = protocol.parse_ok_container(response.body)
+        got = hashlib.sha256(data).hexdigest()
+        if got != container_id:
+            raise ProtocolError(
+                f"OK_CONTAINER bytes hash to {got[:12]}…, "
+                f"not the requested {container_id[:12]}…")
+        return data
+
+    def get_delta(self, target_id: str, base_id: str) -> bytes:
+        """Fetch a patch turning ``base_id``'s bytes into ``target_id``'s.
+
+        Raises :class:`~repro.errors.RemoteError` with code ``E_NO_BASE``
+        when the server does not hold the base — callers negotiate down
+        to :meth:`get_container` (which :meth:`update_container` does
+        automatically).
+        """
+        response = self._expect(protocol.GET_DELTA,
+                                protocol.build_get_delta(target_id, base_id),
+                                protocol.OK_DELTA, op="delta")
+        return protocol.parse_ok_delta(response.body)
+
+    def update_container(self, base: bytes, target_id: str,
+                         ) -> Tuple[bytes, bool]:
+        """The code-update path: fetch ``target_id`` as a delta off ``base``.
+
+        Returns ``(container_bytes, delta_used)``.  The patch is applied
+        with full verification (base hash checked before reconstruction,
+        target hash after), and the result is additionally checked
+        against the requested content address — so a corrupt or lying
+        patch can never hand back a wrong container.  Any delta-path
+        failure (server lacks the base, patch corrupt in flight, local
+        base mismatch) falls back to a verified full transfer; only the
+        fetch of the target itself can fail the call.
+        """
+        from ..delta import BYTES_SAVED, FALLBACKS, PATCH_BYTES, apply_patch
+        from ..errors import CorruptContainer
+        base_id = hashlib.sha256(base).hexdigest()
+        if base_id == target_id:
+            return base, True
+        reason: Optional[str] = None
+        try:
+            patch = self.get_delta(target_id, base_id)
+        except RemoteError as exc:
+            if exc.code != protocol.E_NO_BASE:
+                raise
+            reason = "no_base"
+        else:
+            try:
+                target = apply_patch(base, patch)
+                if hashlib.sha256(target).hexdigest() != target_id:
+                    raise CorruptContainer(
+                        "patch reconstructed a container that is not "
+                        f"{target_id[:12]}…")
+            except CorruptContainer:
+                reason = "bad_patch"
+            else:
+                PATCH_BYTES.observe(float(len(patch)))
+                BYTES_SAVED.inc(max(0, len(target) - len(patch)))
+                return target, True
+        FALLBACKS.inc(reason=reason)
+        return self.get_container(target_id), False
 
     def stats(self) -> dict:
         """Fetch the server's metrics snapshot (the STATS request)."""

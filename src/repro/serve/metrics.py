@@ -21,6 +21,12 @@ Registry families, all prefixed ``serve_``:
 * ``serve_coalesced_total``              — requests that joined an
   in-flight decode instead of starting one
 * ``serve_decodes_total``                — decode work actually performed
+* ``serve_delta_patches_total``          — GET_DELTA requests answered
+  with a patch
+* ``serve_delta_bytes_saved_total``      — full-transfer bytes avoided
+  by those patches (full container size minus patch size)
+* ``serve_delta_no_base_total``          — GET_DELTA requests refused
+  E_NO_BASE (the client fell back to a full transfer)
 * ``serve_request_seconds{type=...}``    — request latency histogram
 * ``serve_decode_seconds``               — cache-miss decode latency
   (the ``serve.decode`` span only; cache hits and coalesced joins are
@@ -90,6 +96,15 @@ class ServerMetrics:
             "Requests that joined an in-flight decode.")
         self._decodes = self.registry.counter(
             "serve_decodes_total", "Decode work actually performed.")
+        self._delta_patches = self.registry.counter(
+            "serve_delta_patches_total",
+            "GET_DELTA requests answered with a patch.")
+        self._delta_bytes_saved = self.registry.counter(
+            "serve_delta_bytes_saved_total",
+            "Full-transfer bytes avoided by GET_DELTA patches.")
+        self._delta_no_base = self.registry.counter(
+            "serve_delta_no_base_total",
+            "GET_DELTA requests refused E_NO_BASE (full-transfer fallback).")
         self._latency_hist = self.registry.histogram(
             "serve_request_seconds", "Request latency, by wire type.",
             buckets=DEFAULT_TIME_BUCKETS)
@@ -142,6 +157,13 @@ class ServerMetrics:
     def record_coalesced(self) -> None:
         self._coalesced.inc()
 
+    def record_delta(self, patch_bytes: int, full_bytes: int) -> None:
+        self._delta_patches.inc()
+        self._delta_bytes_saved.inc(max(0, full_bytes - patch_bytes))
+
+    def record_delta_no_base(self) -> None:
+        self._delta_no_base.inc()
+
     def record_decode(self, container_id: str, findex: int,
                       seconds: Optional[float] = None) -> None:
         self._decodes.inc()
@@ -191,6 +213,18 @@ class ServerMetrics:
     @property
     def coalesced(self) -> int:
         return int(self._coalesced.value())
+
+    @property
+    def delta_patches(self) -> int:
+        return int(self._delta_patches.value())
+
+    @property
+    def delta_bytes_saved(self) -> int:
+        return int(self._delta_bytes_saved.value())
+
+    @property
+    def delta_no_base(self) -> int:
+        return int(self._delta_no_base.value())
 
     # -- reading ------------------------------------------------------------
 
@@ -253,6 +287,11 @@ class ServerMetrics:
             "decode_latency": decode_latency,
             "decoded": dict(sorted(decoded.items())),
             "decodes_total": decodes_total,
+            "delta": {
+                "patches": self.delta_patches,
+                "bytes_saved": self.delta_bytes_saved,
+                "no_base": self.delta_no_base,
+            },
         }
         if cache_stats is not None:
             snapshot["cache"] = cache_stats

@@ -35,8 +35,11 @@ from ..lz.varint import ByteReader, ByteWriter, decode_uvarint
 
 #: protocol version this implementation speaks.  Version 2 added the
 #: codec id to OK_META (the server names which registered codec decodes
-#: the container); everything else is unchanged from version 1.
-PROTOCOL_VERSION = 2
+#: the container).  Version 3 adds the code-update surface: whole-
+#: container fetch (GET_CONTAINER), delta fetch (GET_DELTA with the
+#: E_NO_BASE negotiation), and the codec wire id + container version in
+#: OK_META.
+PROTOCOL_VERSION = 3
 
 #: frames larger than this are rejected before allocation (both sides)
 MAX_FRAME_BYTES = 1 << 26
@@ -53,6 +56,8 @@ GET_BLOCK = 0x04
 STATS = 0x05
 GET_METRICS = 0x06
 HEALTH = 0x07
+GET_CONTAINER = 0x08
+GET_DELTA = 0x09
 
 OK_PUT = 0x81
 OK_META = 0x82
@@ -61,6 +66,8 @@ OK_BLOCK = 0x84
 OK_STATS = 0x85
 OK_METRICS = 0x86
 OK_HEALTH = 0x87
+OK_CONTAINER = 0x88
+OK_DELTA = 0x89
 ERROR = 0xFF
 
 TYPE_NAMES = {
@@ -71,6 +78,8 @@ TYPE_NAMES = {
     STATS: "STATS",
     GET_METRICS: "GET_METRICS",
     HEALTH: "HEALTH",
+    GET_CONTAINER: "GET_CONTAINER",
+    GET_DELTA: "GET_DELTA",
     OK_PUT: "OK_PUT",
     OK_META: "OK_META",
     OK_FUNCTION: "OK_FUNCTION",
@@ -78,11 +87,13 @@ TYPE_NAMES = {
     OK_STATS: "OK_STATS",
     OK_METRICS: "OK_METRICS",
     OK_HEALTH: "OK_HEALTH",
+    OK_CONTAINER: "OK_CONTAINER",
+    OK_DELTA: "OK_DELTA",
     ERROR: "ERROR",
 }
 
 REQUEST_TYPES = (PUT_CONTAINER, GET_META, GET_FUNCTION, GET_BLOCK, STATS,
-                 GET_METRICS, HEALTH)
+                 GET_METRICS, HEALTH, GET_CONTAINER, GET_DELTA)
 
 # -- error codes ------------------------------------------------------------
 
@@ -95,6 +106,8 @@ E_BUSY = 6            # backpressure: server refused to queue the request
 E_INTERNAL = 7        # anything else (a server bug; still a clean answer)
 E_VERSION = 8         # protocol version mismatch
 E_UNAVAILABLE = 9     # shard draining / no live replica / below quorum
+E_NO_BASE = 10        # GET_DELTA: the named base is not held here; the
+                      # client should fall back to a full transfer
 
 ERROR_NAMES = {
     E_BAD_REQUEST: "E_BAD_REQUEST",
@@ -106,6 +119,7 @@ ERROR_NAMES = {
     E_INTERNAL: "E_INTERNAL",
     E_VERSION: "E_VERSION",
     E_UNAVAILABLE: "E_UNAVAILABLE",
+    E_NO_BASE: "E_NO_BASE",
 }
 
 #: error codes safe to retry for idempotent requests (the answer may
@@ -305,6 +319,37 @@ def parse_get_block(body: bytes) -> Tuple[str, int, int, int]:
     return container_id, findex, start, count
 
 
+def build_get_container(container_id: str) -> bytes:
+    writer = ByteWriter()
+    write_container_id(writer, container_id)
+    return writer.getvalue()
+
+
+def parse_get_container(body: bytes) -> str:
+    reader = ByteReader(body)
+    container_id = read_container_id(reader)
+    _expect_end(reader, "GET_CONTAINER")
+    return container_id
+
+
+def build_get_delta(target_id: str, base_id: str) -> bytes:
+    """GET_DELTA body: the *target* id first, then the base the client
+    already holds (mirroring "give me X, I have Y")."""
+    writer = ByteWriter()
+    write_container_id(writer, target_id)
+    write_container_id(writer, base_id)
+    return writer.getvalue()
+
+
+def parse_get_delta(body: bytes) -> Tuple[str, str]:
+    """Returns ``(target_id, base_id)``."""
+    reader = ByteReader(body)
+    target_id = read_container_id(reader)
+    base_id = read_container_id(reader)
+    _expect_end(reader, "GET_DELTA")
+    return target_id, base_id
+
+
 # -- response bodies --------------------------------------------------------
 
 def build_ok_put(container_id: str, function_count: int, entry: int) -> bytes:
@@ -326,7 +371,9 @@ def parse_ok_put(body: bytes) -> Tuple[str, int, int]:
 
 def build_ok_meta(program_name: str, entry: int,
                   function_names: List[str],
-                  codec_id: str = "ssd") -> bytes:
+                  codec_id: str = "ssd",
+                  codec_wire_id: int = 1,
+                  container_version: int = 2) -> bytes:
     writer = ByteWriter()
     name = program_name.encode("utf-8")
     writer.write_uvarint(len(name))
@@ -339,10 +386,14 @@ def build_ok_meta(program_name: str, entry: int,
     codec = codec_id.encode("utf-8")
     writer.write_uvarint(len(codec))
     writer.write_bytes(codec)
+    writer.write_u8(codec_wire_id)
+    writer.write_u8(container_version)
     return writer.getvalue()
 
 
-def parse_ok_meta(body: bytes) -> Tuple[str, int, List[str], str]:
+def parse_ok_meta(body: bytes) -> Tuple[str, int, List[str], str, int, int]:
+    """Returns ``(program_name, entry, function_names, codec_id,
+    codec_wire_id, container_version)``."""
     reader = ByteReader(body)
     try:
         program_name = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
@@ -352,6 +403,8 @@ def parse_ok_meta(body: bytes) -> Tuple[str, int, List[str], str]:
         codec_id = reader.read_bytes(reader.read_uvarint()).decode("utf-8")
     except UnicodeDecodeError as exc:
         raise ProtocolError(f"OK_META strings are not UTF-8: {exc}") from exc
+    codec_wire_id = reader.read_u8()
+    container_version = reader.read_u8()
     names = joined.split("\n") if joined else []
     if len(names) != count:
         raise ProtocolError(f"OK_META declares {count} function names, "
@@ -359,7 +412,8 @@ def parse_ok_meta(body: bytes) -> Tuple[str, int, List[str], str]:
     if not codec_id:
         raise ProtocolError("OK_META carries an empty codec id")
     _expect_end(reader, "OK_META")
-    return program_name, entry, names, codec_id
+    return (program_name, entry, names, codec_id, codec_wire_id,
+            container_version)
 
 
 def encode_instruction_slice(insns: List[Instruction], start: int) -> bytes:
@@ -432,6 +486,34 @@ def parse_ok_block(body: bytes) -> Tuple[int, int, int, List[Instruction]]:
     blob = reader.read_bytes(reader.read_uvarint())
     _expect_end(reader, "OK_BLOCK")
     return findex, start, total, decode_instruction_slice(blob, start)
+
+
+def build_ok_container(container: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.write_uvarint(len(container))
+    writer.write_bytes(container)
+    return writer.getvalue()
+
+
+def parse_ok_container(body: bytes) -> bytes:
+    reader = ByteReader(body)
+    data = reader.read_bytes(reader.read_uvarint())
+    _expect_end(reader, "OK_CONTAINER")
+    return data
+
+
+def build_ok_delta(patch: bytes) -> bytes:
+    writer = ByteWriter()
+    writer.write_uvarint(len(patch))
+    writer.write_bytes(patch)
+    return writer.getvalue()
+
+
+def parse_ok_delta(body: bytes) -> bytes:
+    reader = ByteReader(body)
+    patch = reader.read_bytes(reader.read_uvarint())
+    _expect_end(reader, "OK_DELTA")
+    return patch
 
 
 def build_ok_stats(stats_json: bytes) -> bytes:
@@ -546,10 +628,13 @@ __all__ = [
     "E_INTERNAL",
     "E_LIMIT",
     "E_NOT_FOUND",
+    "E_NO_BASE",
     "E_TIMEOUT",
     "E_UNAVAILABLE",
     "E_VERSION",
     "GET_BLOCK",
+    "GET_CONTAINER",
+    "GET_DELTA",
     "GET_FUNCTION",
     "GET_META",
     "GET_METRICS",
@@ -561,6 +646,8 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "Message",
     "OK_BLOCK",
+    "OK_CONTAINER",
+    "OK_DELTA",
     "OK_FUNCTION",
     "OK_HEALTH",
     "OK_META",
@@ -575,10 +662,14 @@ __all__ = [
     "TYPE_NAMES",
     "build_error",
     "build_get_block",
+    "build_get_container",
+    "build_get_delta",
     "build_get_function",
     "build_get_meta",
     "build_health",
     "build_ok_block",
+    "build_ok_container",
+    "build_ok_delta",
     "build_ok_function",
     "build_ok_health",
     "build_ok_meta",
@@ -592,9 +683,13 @@ __all__ = [
     "parse_error",
     "parse_ok_health",
     "parse_get_block",
+    "parse_get_container",
+    "parse_get_delta",
     "parse_get_function",
     "parse_get_meta",
     "parse_ok_block",
+    "parse_ok_container",
+    "parse_ok_delta",
     "parse_ok_function",
     "parse_ok_meta",
     "parse_ok_metrics",

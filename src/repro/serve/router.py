@@ -391,13 +391,19 @@ class ClusterRouter:
         if message.type == protocol.PUT_CONTAINER:
             return await self._route_put(message)
         if message.type in (protocol.GET_META, protocol.GET_FUNCTION,
-                            protocol.GET_BLOCK):
+                            protocol.GET_BLOCK, protocol.GET_CONTAINER):
             if len(message.body) < protocol.CONTAINER_ID_BYTES:
                 return error(protocol.E_BAD_REQUEST,
                              "request body shorter than a container id"), 0
             container_id = \
                 message.body[:protocol.CONTAINER_ID_BYTES].hex()
             return await self._route_get(message, container_id)
+        if message.type == protocol.GET_DELTA:
+            if len(message.body) < 2 * protocol.CONTAINER_ID_BYTES:
+                return error(protocol.E_BAD_REQUEST,
+                             "GET_DELTA body shorter than two container ids"), 0
+            target_id = message.body[:protocol.CONTAINER_ID_BYTES].hex()
+            return await self._route_delta(message, target_id)
         return error(protocol.E_BAD_REQUEST,
                      f"unknown request type 0x{message.type:02x}"), 0
 
@@ -499,6 +505,56 @@ class ClusterRouter:
         body = protocol.build_error(
             protocol.E_UNAVAILABLE,
             f"no live replica for {container_id[:12]}… "
+            f"(replicas {', '.join(replicas)}; last: {last_reason})")
+        return protocol.Message(type=protocol.ERROR,
+                                request_id=message.request_id,
+                                body=body), hops
+
+    async def _route_delta(self, message: protocol.Message, target_id: str
+                           ) -> Tuple[protocol.Message, int]:
+        """Route GET_DELTA across the target's replicas.
+
+        Placement is by *target* id (that is where the patch can be
+        synthesized), but replicas may disagree about holding the
+        *base*: an ``E_NO_BASE`` answer fails over to the next replica,
+        which may hold both containers.  Only when a full round of live
+        replicas answers ``E_NO_BASE`` is it returned to the client —
+        the definitive "fall back to a full transfer" signal.
+        """
+        replicas = self.replicas_for(target_id)
+        hops = 0
+        last_reason = "no replica attempted"
+        for round_index in range(self.config.route_rounds):
+            if round_index:
+                self.metrics.record_retry()
+                await asyncio.sleep(self._backoff(round_index - 1))
+            no_base: Optional[protocol.Message] = None
+            for shard in self._candidates(replicas):
+                hops += 1
+                try:
+                    response = await self._attempt(shard, message)
+                except _Unrouteable as exc:
+                    last_reason = str(exc)
+                    continue
+                if response.type == protocol.ERROR:
+                    try:
+                        code, _text = protocol.parse_error(response.body)
+                    except ProtocolError:
+                        code = 0
+                    if code == protocol.E_NO_BASE:
+                        no_base = response
+                        last_reason = f"{shard.shard_id}: E_NO_BASE"
+                        self.metrics.record_failover(shard.shard_id)
+                        continue
+                if shard.shard_id != replicas[0]:
+                    self.metrics.record_failover(shard.shard_id)
+                return response, hops
+            if no_base is not None:
+                return no_base, hops
+        self.metrics.record_unavailable()
+        body = protocol.build_error(
+            protocol.E_UNAVAILABLE,
+            f"no live replica for {target_id[:12]}… "
             f"(replicas {', '.join(replicas)}; last: {last_reason})")
         return protocol.Message(type=protocol.ERROR,
                                 request_id=message.request_id,

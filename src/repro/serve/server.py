@@ -37,6 +37,7 @@ from ..errors import (
     ChecksumMismatch,
     CorruptContainer,
     LimitExceeded,
+    NoBaseError,
     ProtocolError,
     ReproError,
     TruncatedStream,
@@ -77,6 +78,8 @@ def _error_code_for(exc: ReproError) -> int:
     """Map a taxonomy exception onto a wire error code."""
     if isinstance(exc, AdmissionError):
         return protocol.E_CORRUPT
+    if isinstance(exc, NoBaseError):
+        return protocol.E_NO_BASE
     if isinstance(exc, UnavailableError):
         return protocol.E_UNAVAILABLE
     if isinstance(exc, LimitExceeded):
@@ -311,6 +314,8 @@ class SSDServer:
             protocol.STATS: self._handle_stats,
             protocol.GET_METRICS: self._handle_get_metrics,
             protocol.HEALTH: self._handle_health,
+            protocol.GET_CONTAINER: self._handle_get_container,
+            protocol.GET_DELTA: self._handle_get_delta,
         }.get(message.type)
         if handler is None:
             return error(protocol.E_BAD_REQUEST,
@@ -453,9 +458,32 @@ class SSDServer:
         container_id = protocol.parse_get_meta(body)
         reader = await self._coalesced(self._reader_key(container_id),
                                        self._reader_for, container_id)
+        from ..codecs import get_codec
+        from ..core import container_version
+        data = self.store.get(container_id)
         return protocol.OK_META, protocol.build_ok_meta(
             reader.program_name, reader.entry,
-            list(reader.function_names), reader.codec_id)
+            list(reader.function_names), reader.codec_id,
+            codec_wire_id=get_codec(reader.codec_id).wire_id,
+            container_version=container_version(data))
+
+    async def _handle_get_container(self, body: bytes) -> Tuple[int, bytes]:
+        container_id = protocol.parse_get_container(body)
+        data = self.store.get(container_id)   # KeyError -> E_NOT_FOUND
+        return protocol.OK_CONTAINER, protocol.build_ok_container(data)
+
+    async def _handle_get_delta(self, body: bytes) -> Tuple[int, bytes]:
+        target_id, base_id = protocol.parse_get_delta(body)
+        try:
+            patch = await self._coalesced(
+                ("delta", base_id, target_id),
+                self.store.make_delta, base_id, target_id)
+        except NoBaseError:
+            self.metrics.record_delta_no_base()
+            raise
+        self.metrics.record_delta(len(patch),
+                                  len(self.store.get(target_id)))
+        return protocol.OK_DELTA, protocol.build_ok_delta(patch)
 
     async def _handle_get_function(self, body: bytes) -> Tuple[int, bytes]:
         container_id, findex = protocol.parse_get_function(body)

@@ -19,16 +19,23 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..codecs import CodecReader, codec_of, integrity_report_any, open_any
 from ..core import DEFAULT_LIMITS, DecodeLimits
-from ..errors import CorruptContainer
+from ..errors import CorruptContainer, NoBaseError
 
 
 class AdmissionError(CorruptContainer):
     """Container bytes failed the store's verify gate."""
+
+
+#: computed patches kept per store (patch synthesis walks two containers;
+#: a fleet updating to the same release asks for the same pair over and
+#: over, so a small LRU absorbs the stampede)
+PATCH_CACHE_ENTRIES = 64
 
 
 def container_id_of(data: bytes) -> str:
@@ -47,6 +54,8 @@ class ContainerStore:
         self._containers: Dict[str, bytes] = {}
         #: codec id per admitted container (set at verify time)
         self._codecs: Dict[str, str] = {}
+        #: LRU of synthesized patches, keyed (base_id, target_id)
+        self._patches: "OrderedDict[Tuple[str, str], bytes]" = OrderedDict()
         self.admitted = 0
         self.rejected = 0
         if self.root is not None:
@@ -130,6 +139,37 @@ class ContainerStore:
             except KeyError:
                 raise KeyError(f"unknown container {container_id}") from None
 
+    def make_delta(self, base_id: str, target_id: str) -> bytes:
+        """A verified patch turning ``base_id``'s bytes into ``target_id``'s.
+
+        The negotiation contract of GET_DELTA: an unknown *target* is a
+        :class:`KeyError` (E_NOT_FOUND — the thing asked for does not
+        exist), an unknown *base* is a :class:`~repro.errors.NoBaseError`
+        (E_NO_BASE — the client should fall back to a full transfer).
+        Synthesized patches are memoized in a small LRU.
+        """
+        key = (base_id, target_id)
+        with self._lock:
+            cached = self._patches.get(key)
+            if cached is not None:
+                self._patches.move_to_end(key)
+                return cached
+            target = self._containers.get(target_id)
+            base = self._containers.get(base_id)
+        if target is None:
+            raise KeyError(f"unknown container {target_id}")
+        if base is None:
+            raise NoBaseError(f"base container {base_id} is not held here",
+                              base_hash=base_id)
+        from ..delta import make_patch
+        patch = make_patch(base, target)
+        with self._lock:
+            self._patches[key] = patch
+            self._patches.move_to_end(key)
+            while len(self._patches) > PATCH_CACHE_ENTRIES:
+                self._patches.popitem(last=False)
+        return patch
+
     def __contains__(self, container_id: str) -> bool:
         with self._lock:
             return container_id in self._containers
@@ -157,4 +197,5 @@ class ContainerStore:
             }
 
 
-__all__ = ["AdmissionError", "ContainerStore", "container_id_of"]
+__all__ = ["AdmissionError", "ContainerStore", "PATCH_CACHE_ENTRIES",
+           "container_id_of"]

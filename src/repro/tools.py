@@ -12,6 +12,9 @@ A downstream user's interface to the library without writing Python::
     ssd verify    program.ssd [--json]           # integrity report (CRCs)
     ssd verify    program.ssd program.asm        # full source comparison
     ssd fuzz      program.ssd --cases 500        # fault-injection sweep
+    ssd delta make  old.ssd new.ssd -o p.ssdp    # version diff as a patch
+    ssd delta apply old.ssd p.ssdp -o new.ssd    # verified reconstruction
+    ssd delta push  HOST:PORT old.ssd new.ssd    # upload + measure wire cost
     ssd serve     --port 7777 --preload a.ssd    # async code server
     ssd client    HOST:PORT run a.ssd            # execute via the server
     ssd client    HOST:PORT stats                # server metrics snapshot
@@ -152,6 +155,7 @@ def _inspect_json(data: bytes, reader, function: Optional[int]) -> dict:
     payload = {
         "program": sections.program_name,
         "codec": reader.codec_id,
+        "codec_wire_id": get_codec(reader.codec_id).wire_id,
         "container_bytes": len(data),
         "format_version": container_version(data),
         "container_id": reader.container_hash,
@@ -189,6 +193,7 @@ def _inspect_generic_json(data: bytes, reader, function: Optional[int]) -> dict:
     payload = {
         "program": reader.program_name,
         "codec": reader.codec_id,
+        "codec_wire_id": get_codec(reader.codec_id).wire_id,
         "container_bytes": len(data),
         "format_version": container_version(data),
         "container_id": reader.container_hash,
@@ -777,6 +782,79 @@ def cmd_client(args: argparse.Namespace) -> int:
         client.close()
 
 
+def _read_binary(path: str) -> bytes:
+    try:
+        with open(path, "rb") as handle:
+            return handle.read()
+    except FileNotFoundError:
+        raise ToolError(f"no such file: {path}") from None
+
+
+def cmd_delta(args: argparse.Namespace) -> int:
+    """Version-to-version container patches (the code-update path)."""
+    import hashlib
+
+    from .delta import apply_patch, make_patch, patch_info
+    from .errors import CorruptContainer
+
+    if args.action == "make":
+        base = _read_binary(args.base)
+        target = _read_binary(args.target)
+        patch = make_patch(base, target)
+        with open(args.output, "wb") as handle:
+            handle.write(patch)
+        info = patch_info(patch)
+        print(f"{args.output}: {len(patch)} B patch, full transfer "
+              f"{len(target)} B ({len(patch) / len(target):.1%} on the wire)")
+        print(f"  base:   {info.base_hex}", file=sys.stderr)
+        print(f"  target: {info.target_hex}", file=sys.stderr)
+        return 0
+
+    if args.action == "apply":
+        base = _read_binary(args.base)
+        patch = _read_binary(args.patch)
+        try:
+            target = apply_patch(base, patch)
+        except CorruptContainer as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        with open(args.output, "wb") as handle:
+            handle.write(target)
+        print(f"{args.output}: {len(target)} B, content id "
+              f"{hashlib.sha256(target).hexdigest()}")
+        return 0
+
+    # push: upload both versions, then fetch the new one as a delta and
+    # report bytes-on-wire against the full transfer it replaces.
+    from .errors import RemoteError
+    from .serve import ServeClient
+
+    host, port = _parse_address(args.server)
+    base = _read_binary(args.base)
+    target = _read_binary(args.target)
+    try:
+        client = ServeClient(host, port, timeout=args.timeout,
+                             retries=args.retries)
+    except OSError as exc:
+        raise ToolError(f"cannot connect to {args.server}: {exc}") from None
+    try:
+        base_id, _, _ = client.put(base)
+        target_id, _, _ = client.put(target)
+        patch = client.get_delta(target_id, base_id)
+        rebuilt = apply_patch(base, patch)
+        verified = hashlib.sha256(rebuilt).hexdigest() == target_id
+        print(target_id)
+        print(f"delta: {len(patch)} B on the wire vs {len(target)} B full "
+              f"({len(patch) / len(target):.1%}); reconstruction "
+              f"{'verified' if verified else 'MISMATCH'}", file=sys.stderr)
+        return 0 if verified else 1
+    except (RemoteError, CorruptContainer) as exc:
+        print(f"server error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Fetch a server's metrics: Prometheus text, or the JSON snapshot."""
     from .serve import ServeClient
@@ -932,6 +1010,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=5.0,
                    help="status: per-probe deadline in seconds")
     p.set_defaults(func=cmd_cluster)
+
+    p = sub.add_parser("delta",
+                       help="make/apply/push version-to-version patches")
+    delta_sub = p.add_subparsers(dest="action", required=True)
+
+    d = delta_sub.add_parser("make", help="diff two containers into a patch")
+    d.add_argument("base", help="old .ssd container")
+    d.add_argument("target", help="new .ssd container")
+    d.add_argument("-o", "--output", required=True, help="patch file (.ssdp)")
+    d.set_defaults(func=cmd_delta)
+
+    d = delta_sub.add_parser("apply",
+                             help="apply a patch to its base container, "
+                                  "verified by content hash")
+    d.add_argument("base", help="the patch's declared base .ssd container")
+    d.add_argument("patch", help="patch file from `ssd delta make`")
+    d.add_argument("-o", "--output", required=True)
+    d.set_defaults(func=cmd_delta)
+
+    d = delta_sub.add_parser("push",
+                             help="upload both versions, then fetch the new "
+                                  "one as a delta and report bytes on the "
+                                  "wire vs a full transfer")
+    d.add_argument("server", help="HOST:PORT of ssd serve or cluster router")
+    d.add_argument("base", help="old .ssd container file")
+    d.add_argument("target", help="new .ssd container file")
+    d.add_argument("--timeout", type=float, default=30.0)
+    d.add_argument("--retries", type=int, default=0,
+                   help="retry idempotent requests up to N times")
+    d.set_defaults(func=cmd_delta)
 
     p = sub.add_parser("stats", help="fetch metrics from a running ssd serve")
     p.add_argument("server", help="HOST:PORT of the server")

@@ -1,0 +1,109 @@
+"""Synthetic code updates: version chains over the benchmark corpus.
+
+The delta subsystem (``repro.delta``) is about shipping ``v_N+1`` to a
+fleet holding ``v_N``, so its evaluation needs *version pairs* — the
+same program before and after a realistic maintenance edit.  The real
+benchmarks are one-shot binaries; this module evolves them the way a
+point release evolves a program:
+
+* a small fraction of functions get body edits (immediate and register
+  tweaks — constants retuned, allocation shifted);
+* a function or two is retired (body truncated to a bare ``ret``,
+  keeping every call index valid);
+* a function or two is added (cloned under a fresh name and appended,
+  which cannot invalidate existing call targets).
+
+Edits are seeded and validated, so a version chain is deterministic,
+every member passes :func:`repro.isa.validate.validate_program`, and
+function *names* persist across versions — which is exactly what
+``repro.delta.patch`` keys its per-function item-stream deltas on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Tuple
+
+from ..isa import Instruction, Op, Program
+from ..isa.opcodes import NUM_REGISTERS
+from ..isa.program import Function
+from ..isa.validate import validate_program
+from .corpus import benchmark_program
+from .profiles import PROFILES
+
+
+def evolve_program(program: Program, seed: int = 0, *,
+                   touch_fraction: float = 0.08,
+                   imm_jitter: int = 16,
+                   add_functions: int = 1,
+                   retire_functions: int = 1) -> Program:
+    """One maintenance release: a seeded, validated edit of ``program``.
+
+    The result keeps the program's name and almost all of its function
+    names, so compressing both versions yields containers that diff
+    small against each other.
+    """
+    rng = random.Random(f"versions:{program.name}:{seed}")
+    functions = [Function(fn.name, list(fn.insns)) for fn in program.functions]
+    count = len(functions)
+
+    touched = rng.sample(range(count),
+                         min(count, max(1, round(count * touch_fraction))))
+    for findex in touched:
+        fn = functions[findex]
+        for _ in range(max(1, len(fn.insns) // 16)):
+            iindex = rng.randrange(len(fn.insns))
+            insn = fn.insns[iindex]
+            meta = insn.meta
+            if meta.uses_imm and not meta.uses_target:
+                fn.insns[iindex] = dataclasses.replace(
+                    insn, imm=(insn.imm or 0)
+                    + rng.randint(-imm_jitter, imm_jitter))
+            elif meta.uses_rs2 and not meta.uses_target:
+                fn.insns[iindex] = dataclasses.replace(
+                    insn, rs2=rng.randrange(NUM_REGISTERS))
+
+    for _ in range(retire_functions):
+        if count <= 1:
+            break
+        findex = rng.randrange(count)
+        if findex == program.entry or len(functions[findex].insns) <= 1:
+            continue
+        functions[findex] = Function(functions[findex].name,
+                                     [Instruction(op=Op.RET)])
+
+    for extra in range(add_functions):
+        source = functions[rng.randrange(count)]
+        functions.append(Function(f"{source.name}__r{seed}_{extra}",
+                                  list(source.insns)))
+
+    evolved = Program(name=program.name, functions=functions,
+                      entry=program.entry)
+    validate_program(evolved)
+    return evolved
+
+
+def version_chain(program: Program, releases: int = 3,
+                  seed: int = 0, **knobs: float) -> List[Program]:
+    """``releases + 1`` successive versions, starting with ``program``."""
+    chain = [program]
+    for release in range(releases):
+        chain.append(evolve_program(chain[-1], seed=seed + release,
+                                    **knobs))  # type: ignore[arg-type]
+    return chain
+
+
+def version_pairs(scale: float = 0.1, seed: int = 0,
+                  names: Optional[List[str]] = None,
+                  ) -> List[Tuple[str, Program, Program]]:
+    """(name, v_N, v_N+1) pairs across the benchmark corpus."""
+    selected = names if names is not None else [p.name for p in PROFILES]
+    pairs = []
+    for name in selected:
+        base = benchmark_program(name, scale)
+        pairs.append((name, base, evolve_program(base, seed=seed)))
+    return pairs
+
+
+__all__ = ["evolve_program", "version_chain", "version_pairs"]

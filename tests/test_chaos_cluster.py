@@ -21,6 +21,17 @@ class TestChaosSweep:
         assert report.recovered
         assert report.requests_total > 0
 
+    def test_delta_phase_survives_partial_bases(self):
+        # GET_DELTA through the router with the base held by exactly one
+        # of the target's replicas: the E_NO_BASE answers must be
+        # treated as failover, the patch applied and verified, and an
+        # unknown base must degrade to a verified full transfer.
+        report = chaos_sweep(seed=11, clients=2, duration=1.0,
+                             hang_seconds=0.3)
+        assert report.ok, report.summary()
+        assert report.delta_clean is True
+        assert any(event.kind == "delta" for event in report.events)
+
     def test_every_fault_kind_is_scheduled(self):
         report = chaos_sweep(seed=3, clients=2, duration=1.0,
                              hang_seconds=0.3)

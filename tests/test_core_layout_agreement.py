@@ -7,9 +7,10 @@ and compare them, entry by entry, against the compressor's layouts — for
 random programs and for both partitioned and unpartitioned dictionaries.
 """
 
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 
 from repro.core import build_dictionary, plan_partition
+from repro.core.partition import PartitionError
 from repro.core.layout import build_layouts, layouts_from_sections
 from repro.isa import assemble
 
@@ -99,5 +100,12 @@ def test_property_layout_agreement_forced_partition(program):
     # Force tiny segments so the partitioned paths get property coverage.
     dictionary = build_dictionary(program)
     needed = len(dictionary.base_entries)
-    _agree(program, common_budget=max(8, needed // 4),
-           monkey_capacity=max(needed // 2 + 8, 48))
+    try:
+        _agree(program, common_budget=max(8, needed // 4),
+               monkey_capacity=max(needed // 2 + 8, 48))
+    except PartitionError:
+        # The forced capacity can be infeasible for a single function
+        # (its private dictionary alone overflows a segment); that is
+        # the partitioner's documented answer, not a layout bug, and
+        # agreement is vacuous for such examples.
+        assume(False)

@@ -23,7 +23,8 @@ class TestDeliverableDocs:
     def test_readme_covers_all_packages(self):
         readme = _read("README.md")
         for package in ("repro.core", "repro.isa", "repro.vm", "repro.brisc",
-                        "repro.jit", "repro.workloads", "repro.lz"):
+                        "repro.jit", "repro.workloads", "repro.lz",
+                        "repro.delta"):
             assert package in readme
 
     def test_design_has_experiment_index(self):
@@ -168,6 +169,48 @@ class TestProtocolDoc:
         doc = _read("docs/PROTOCOL.md")
         assert f"version {protocol.PROTOCOL_VERSION}" in doc
         assert "SHA-256" in doc
+
+
+class TestDeltaDoc:
+    """docs/DELTA.md stays in lock-step with the repro.delta subsystem."""
+
+    def test_delta_doc_exists_and_is_linked(self):
+        doc = _read("docs/DELTA.md")
+        assert "repro.delta" in doc
+        assert "docs/DELTA.md" in _read("README.md")
+        assert "docs/DELTA.md" in _read("DESIGN.md")
+
+    def test_delta_doc_matches_code_constants(self):
+        from repro.codecs import get_codec
+        from repro.experiments.delta import MAX_MEDIAN_UPDATE_RATIO
+
+        doc = _read("docs/DELTA.md")
+        assert f"wire id {get_codec('ssd-delta').wire_id}" in doc
+        assert f"{MAX_MEDIAN_UPDATE_RATIO:.0%}" in doc
+
+    def test_delta_doc_references_real_api(self):
+        import repro.delta as delta_module
+
+        doc = _read("docs/DELTA.md")
+        for name in ("make_patch", "apply_patch", "apply_chain",
+                     "patch_info", "train_shared_base", "EMPTY_BASE_HASH"):
+            assert hasattr(delta_module, name), name
+            assert name in doc, name
+        from repro.serve import ServeClient
+
+        assert hasattr(ServeClient, "update_container")
+        assert "update_container" in doc
+
+    def test_format_doc_covers_patch_layout(self):
+        doc = _read("docs/FORMAT.md")
+        assert "ssd-delta" in doc
+        assert "base SHA-256" in doc and "target SHA-256" in doc
+
+    def test_protocol_doc_covers_delta_negotiation(self):
+        doc = _read("docs/PROTOCOL.md")
+        assert "`GET_DELTA`" in doc and "`GET_CONTAINER`" in doc
+        assert "`E_NO_BASE`" in doc
+        assert "DELTA.md" in doc
 
 
 class TestObservabilityDoc:

@@ -6,6 +6,7 @@ from repro.experiments import ExperimentContext
 from repro.experiments import (
     ablations,
     codecs,
+    delta,
     figure3,
     table1,
     table5,
@@ -127,6 +128,18 @@ class TestCodecsExhibit:
 
     def test_parser_accepts_codecs_exhibit(self):
         assert build_parser().parse_args(["codecs"]).exhibit == "codecs"
+
+
+class TestDeltaExhibit:
+    def test_reports_update_and_cold_install_columns(self, context):
+        out = delta.run(context, names=["xlisp", "go"])
+        for column in ("update B", "update %", "cold B", "cold %", "median"):
+            assert column in out, column
+        assert "xlisp" in out and "go" in out
+        assert "shared base" in out
+
+    def test_parser_accepts_delta_exhibit(self):
+        assert build_parser().parse_args(["delta"]).exhibit == "delta"
 
 
 class TestRunnerCLI:

@@ -1,0 +1,93 @@
+"""Property and fault tests for repro.lz.delta (the escape-coded
+delta codec of section 2.2.1).
+
+The round-trip property covers the encoder's whole input space; the
+fault tests pin the escape boundary at ±127 and assert the decoder's
+hostile-input contract — truncated or mangled streams raise the
+``repro.errors`` taxonomy, never a bare ``IndexError``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError, TruncatedStream
+from repro.lz.delta import _BIAS, _ESCAPE, decode_deltas, encode_deltas
+from repro.lz.varint import encode_svarint, encode_uvarint
+
+
+class TestRoundTrip:
+    @given(st.lists(st.integers(min_value=-2**40, max_value=2**40)))
+    @settings(max_examples=200, deadline=None)
+    def test_any_sequence_roundtrips(self, values):
+        assert decode_deltas(encode_deltas(values)) == values
+
+    @given(st.lists(st.integers(min_value=-2**40, max_value=2**40),
+                    min_size=2))
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_is_deterministic(self, values):
+        assert encode_deltas(values) == encode_deltas(values)
+
+    def test_empty_sequence(self):
+        encoded = encode_deltas([])
+        assert encoded == b"\x00"
+        assert decode_deltas(encoded) == []
+
+    def test_single_value_has_no_delta_bytes(self):
+        assert decode_deltas(encode_deltas([-2**40])) == [-2**40]
+
+    def test_iterable_input_accepted(self):
+        assert decode_deltas(encode_deltas(range(5))) == [0, 1, 2, 3, 4]
+
+
+class TestEscapeBoundary:
+    @pytest.mark.parametrize("delta", [-127, -1, 0, 1, 127])
+    def test_small_deltas_are_one_byte(self, delta):
+        # count varint + first-value varint + exactly one delta byte
+        encoded = encode_deltas([0, delta])
+        assert len(encoded) == 3
+        assert encoded[-1] == delta + _BIAS
+        assert _ESCAPE not in encoded[2:]
+
+    @pytest.mark.parametrize("delta", [-128, 128, 10**9, -(10**9)])
+    def test_large_deltas_take_the_escape_path(self, delta):
+        encoded = encode_deltas([0, delta])
+        assert encoded[2] == _ESCAPE
+        assert encoded[3:] == encode_svarint(delta)
+        assert decode_deltas(encoded) == [0, delta]
+
+    def test_boundary_values_roundtrip_exactly(self):
+        values = [0, 127, 0, -127, 1, 128, 0, -128, 0]
+        assert decode_deltas(encode_deltas(values)) == values
+
+
+class TestHostileInput:
+    def test_every_truncation_raises_taxonomy_error(self):
+        # A stream with both small and escaped deltas: every strict
+        # prefix must fail typed, at any cut point.
+        encoded = encode_deltas([0, 5, 10**9, -7, -(10**9)])
+        for cut in range(len(encoded)):
+            with pytest.raises(ReproError):
+                decode_deltas(encoded[:cut])
+
+    def test_truncated_escape_varint_is_typed_not_indexerror(self):
+        encoded = encode_deltas([0, 10**9])
+        assert encoded[2] == _ESCAPE
+        with pytest.raises(TruncatedStream):
+            decode_deltas(encoded[:3])          # escape byte, no varint
+        with pytest.raises(TruncatedStream):
+            decode_deltas(encoded[:-1])         # varint cut mid-byte
+
+    def test_count_lie_raises_truncated(self):
+        body = encode_deltas([1, 2, 3])[1:]
+        with pytest.raises(TruncatedStream):
+            decode_deltas(encode_uvarint(100) + body)
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_bytes_decode_or_raise_typed(self, blob):
+        try:
+            values = decode_deltas(blob)
+        except ReproError:
+            return
+        assert isinstance(values, list)

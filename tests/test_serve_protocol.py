@@ -112,17 +112,22 @@ class TestBodies:
         assert protocol.parse_ok_put(body) == (CID, 9, 2)
 
     def test_ok_meta_roundtrip(self):
-        body = protocol.build_ok_meta("prog", 1, ["main", "helper"], "brisc")
+        body = protocol.build_ok_meta("prog", 1, ["main", "helper"], "brisc",
+                                      codec_wire_id=2, container_version=3)
         assert protocol.parse_ok_meta(body) == \
-            ("prog", 1, ["main", "helper"], "brisc")
+            ("prog", 1, ["main", "helper"], "brisc", 2, 3)
 
     def test_ok_meta_default_codec_is_ssd(self):
         body = protocol.build_ok_meta("prog", 1, ["main"])
         assert protocol.parse_ok_meta(body)[3] == "ssd"
 
+    def test_ok_meta_carries_wire_id_and_version(self):
+        parsed = protocol.parse_ok_meta(protocol.build_ok_meta("p", 0, []))
+        assert parsed[4] == 1 and parsed[5] == 2
+
     def test_ok_meta_no_functions(self):
         assert protocol.parse_ok_meta(protocol.build_ok_meta("p", 0, [])) == \
-            ("p", 0, [], "ssd")
+            ("p", 0, [], "ssd", 1, 2)
 
     def test_error_roundtrip(self):
         body = protocol.build_error(protocol.E_NOT_FOUND, "no such container")

@@ -441,3 +441,85 @@ class TestServePortFile:
         finally:
             proc.terminate()
             proc.wait(timeout=10)
+
+
+class TestDeltaCommand:
+    @pytest.fixture()
+    def version_files(self, tmp_path):
+        old_asm = tmp_path / "old.asm"
+        old_asm.write_text(ASM)
+        new_asm = tmp_path / "new.asm"
+        new_asm.write_text(ASM.replace("li r2, 6", "li r2, 9"))
+        old = tmp_path / "old.ssd"
+        new = tmp_path / "new.ssd"
+        assert main(["compress", str(old_asm), "-o", str(old)]) == 0
+        assert main(["compress", str(new_asm), "-o", str(new)]) == 0
+        return old, new
+
+    def test_make_then_apply_is_byte_identical(self, version_files, tmp_path,
+                                               capsys):
+        old, new = version_files
+        patch = tmp_path / "update.ssdp"
+        out = tmp_path / "rebuilt.ssd"
+        assert main(["delta", "make", str(old), str(new),
+                     "-o", str(patch)]) == 0
+        assert "patch" in capsys.readouterr().out
+        assert main(["delta", "apply", str(old), str(patch),
+                     "-o", str(out)]) == 0
+        assert out.read_bytes() == new.read_bytes()
+
+    def test_apply_with_wrong_base_fails_cleanly(self, version_files,
+                                                 tmp_path, capsys):
+        old, new = version_files
+        patch = tmp_path / "update.ssdp"
+        assert main(["delta", "make", str(old), str(new),
+                     "-o", str(patch)]) == 0
+        out = tmp_path / "rebuilt.ssd"
+        assert main(["delta", "apply", str(new), str(patch),
+                     "-o", str(out)]) == 1
+        assert "expects base" in capsys.readouterr().err
+        assert not out.exists()
+
+    def test_make_missing_file_is_a_tool_error(self, version_files, tmp_path):
+        old, _new = version_files
+        assert main(["delta", "make", str(old), str(tmp_path / "nope.ssd"),
+                     "-o", str(tmp_path / "p.ssdp")]) == 2
+
+    def test_push_measures_wire_cost(self, version_files, capsys):
+        from repro.serve import serve_in_thread
+
+        old, new = version_files
+        with serve_in_thread() as handle:
+            assert main(["delta", "push",
+                         f"127.0.0.1:{handle.port}",
+                         str(old), str(new)]) == 0
+        captured = capsys.readouterr()
+        assert "verified" in captured.err
+        assert len(captured.out.strip()) == 64
+
+
+class TestInspectWireId:
+    def test_inspect_json_surfaces_codec_wire_id(self, ssd_file, capsys):
+        import json
+
+        from repro.codecs import get_codec
+
+        assert main(["inspect", str(ssd_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["codec"] == "ssd"
+        assert payload["codec_wire_id"] == get_codec("ssd").wire_id
+
+    def test_inspect_json_wire_id_for_other_codecs(self, asm_file, tmp_path,
+                                                   capsys):
+        import json
+
+        from repro.codecs import get_codec
+
+        path = tmp_path / "program.lz"
+        assert main(["compress", str(asm_file), "-o", str(path),
+                     "--codec", "lz77-raw"]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["codec"] == "lz77-raw"
+        assert payload["codec_wire_id"] == get_codec("lz77-raw").wire_id
