@@ -12,6 +12,7 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py            # guard
     PYTHONPATH=src python benchmarks/check_regression.py --record   # re-baseline
     PYTHONPATH=src python benchmarks/check_regression.py --serve    # cluster gate
+    PYTHONPATH=src python benchmarks/check_regression.py --skew     # skew gate
     PYTHONPATH=src python benchmarks/check_regression.py --delta    # update gate
 
 ``--serve`` gates the cluster failover benchmark instead: it reads the
@@ -20,6 +21,14 @@ latest ``serve_cluster_failover`` entry from ``BENCH_serve.json``
 shard cost more than ``--serve-degradation`` of healthy throughput —
 the degraded/healthy ratio is machine-relative, so it gates graceful
 degradation without a wall-clock baseline.
+
+``--skew`` gates the traffic-skew benchmark: it reads the latest
+``serve_skew`` entry from ``BENCH_serve.json`` (written by
+``benchmarks/test_skew_bench.py``) and fails if Zipf-1.1 p99 latency
+exceeded ``--skew-p99-ratio`` (default 2.0) times the uniform-traffic
+p99, or if the hottest shard served more than ``--skew-load-ratio``
+(default 1.5) times the mean per-shard load.  Both ratios are
+machine-relative, so the gate needs no recorded baseline.
 
 ``--delta`` gates the delta-update wire cost: it reads the latest
 ``delta_update`` entry from ``BENCH_delta.json`` (written by
@@ -75,6 +84,44 @@ def check_serve_cluster(max_degradation: float) -> int:
           f"(p99 {latest['healthy_p99_ms']}ms), one shard dead "
           f"{degraded:,.0f} req/s (p99 {latest['one_shard_dead_p99_ms']}ms)"
           f" -> {ratio:.2f}x retained, floor {floor:.2f}x -> {verdict}")
+    return 0 if verdict == "pass" else 1
+
+
+def check_skew(max_p99_ratio: float, max_load_ratio: float) -> int:
+    """Gate the skew benchmark's Zipf/uniform p99 and shard-load split.
+
+    Returns 0 when Zipf-1.1 tail latency stayed within
+    ``max_p99_ratio`` of the uniform-traffic tail AND the hottest
+    shard's served-request count stayed within ``max_load_ratio`` of
+    the per-shard mean; 1 on a regression or when the benchmark has
+    not been run yet.
+    """
+    if not SERVE_RESULTS_PATH.exists():
+        print(f"{SERVE_RESULTS_PATH.name} missing; "
+              "run benchmarks/test_skew_bench.py first")
+        return 1
+    entries = [entry for entry
+               in json.loads(SERVE_RESULTS_PATH.read_text())
+               if entry.get("benchmark") == "serve_skew"]
+    if not entries:
+        print("no serve_skew entry recorded; "
+              "run benchmarks/test_skew_bench.py first")
+        return 1
+    latest = entries[-1]
+    uniform_p99 = latest["uniform_p99_ms"]
+    zipf_p99 = latest["zipf_p99_ms"]
+    p99_ratio = zipf_p99 / uniform_p99 if uniform_p99 else float("inf")
+    load_ratio = latest["max_over_mean_shard_load"]
+    p99_ok = p99_ratio <= max_p99_ratio
+    load_ok = load_ratio <= max_load_ratio
+    verdict = "pass" if p99_ok and load_ok else "regression"
+    print(f"traffic skew: uniform p99 {uniform_p99}ms, zipf p99 "
+          f"{zipf_p99}ms -> {p99_ratio:.2f}x (ceiling {max_p99_ratio:.1f}x,"
+          f" {'pass' if p99_ok else 'regression'}); hottest shard "
+          f"{load_ratio:.2f}x mean load (ceiling {max_load_ratio:.1f}x, "
+          f"{'pass' if load_ok else 'regression'}); cache "
+          f"{latest['cache_hits']} hits / {latest['cache_misses']} misses"
+          f" -> {verdict}")
     return 0 if verdict == "pass" else 1
 
 
@@ -149,6 +196,15 @@ def main(argv=None) -> int:
     parser.add_argument("--serve-degradation", type=float, default=0.6,
                         help="allowed fractional req/s loss with one "
                              "shard dead (default 0.6)")
+    parser.add_argument("--skew", action="store_true",
+                        help="gate the traffic-skew benchmark "
+                             "(BENCH_serve.json) instead of the pipeline")
+    parser.add_argument("--skew-p99-ratio", type=float, default=2.0,
+                        help="allowed zipf/uniform p99 latency ratio "
+                             "(default 2.0)")
+    parser.add_argument("--skew-load-ratio", type=float, default=1.5,
+                        help="allowed max/mean per-shard load ratio "
+                             "(default 1.5)")
     parser.add_argument("--delta", action="store_true",
                         help="gate the delta-update wire-cost benchmark "
                              "(BENCH_delta.json) instead of the pipeline")
@@ -159,6 +215,8 @@ def main(argv=None) -> int:
 
     if args.serve:
         return check_serve_cluster(args.serve_degradation)
+    if args.skew:
+        return check_skew(args.skew_p99_ratio, args.skew_load_ratio)
     if args.delta:
         return check_delta(args.delta_ratio)
 

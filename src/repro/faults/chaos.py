@@ -106,13 +106,16 @@ class ChaosReport:
     recovered: Optional[bool] = None
     #: delta update succeeded via failover; unknown base fell back clean
     delta_clean: Optional[bool] = None
+    #: a router died mid-load and clients failed over with zero failures
+    router_failover_clean: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
         return (not self.failures
                 and self.below_quorum_clean is not False
                 and self.recovered is not False
-                and self.delta_clean is not False)
+                and self.delta_clean is not False
+                and self.router_failover_clean is not False)
 
     def summary(self) -> str:
         verdict = "PASS" if self.ok else "FAIL"
@@ -128,6 +131,7 @@ class ChaosReport:
             f"  below-quorum clean refusal: {self.below_quorum_clean}",
             f"  post-restart recovery: {self.recovered}",
             f"  delta update via failover: {self.delta_clean}",
+            f"  router death absorbed: {self.router_failover_clean}",
         ]
         for failure in self.failures[:5]:
             lines.append(f"    failure: {failure}")
@@ -143,9 +147,11 @@ class _ClientLoad:
     """N threads of mixed idempotent traffic against the router."""
 
     def __init__(self, host: str, port: int, container_ids: List[str],
-                 clients: int, seed: int) -> None:
+                 clients: int, seed: int,
+                 fallback: Optional[List[tuple]] = None) -> None:
         self.host = host
         self.port = port
+        self.fallback = list(fallback or [])
         self.container_ids = container_ids
         self.clients = clients
         self.seed = seed
@@ -160,7 +166,8 @@ class _ClientLoad:
         rng = random.Random(f"{self.seed}:client:{index}")
         policy = RetryPolicy(retries=8, base_delay=0.05, max_delay=0.5,
                              seed=self.seed * 1000 + index)
-        client = ServeClient(self.host, self.port, retry_policy=policy)
+        client = ServeClient(self.host, self.port, retry_policy=policy,
+                             fallback=self.fallback)
         try:
             while not self.stop.is_set():
                 cid = rng.choice(self.container_ids)
@@ -227,13 +234,17 @@ def _flake_router(host: str, port: int, seed: int, cases: int = 6) -> str:
 def chaos_sweep(seed: int = 0, clients: int = 8, duration: float = 3.0,
                 shards: int = 3, replication: int = 2,
                 hang_seconds: float = 1.5,
+                routers: int = 2,
                 cluster: Optional[LocalCluster] = None) -> ChaosReport:
     """Run the seeded chaos plan; see the module docstring for the contract.
 
     ``clients`` must be >= 8 to satisfy the acceptance load.  With the
     default 3-shard/R=2 topology the quorum is 2 live shards: the main
     phase keeps at least 2 alive at every instant, the below-quorum
-    phase kills exactly the 2 replicas of one key.
+    phase kills exactly the 2 replicas of one key.  With ``routers >= 2``
+    (the default for an owned cluster) a router-death phase runs too:
+    one front-end dies under fresh load and the surviving router must
+    absorb every client via address fallback.
     """
     hang_seconds = min(hang_seconds, MAX_HANG_SECONDS)
     report = ChaosReport(seed=seed, clients=clients, duration=duration)
@@ -242,10 +253,13 @@ def chaos_sweep(seed: int = 0, clients: int = 8, duration: float = 3.0,
     owns_cluster = cluster is None
     if owns_cluster:
         cluster = LocalCluster(ClusterConfig(
-            shards=shards, replication=replication,
+            shards=shards, replication=replication, routers=routers,
+            # The router response cache stays OFF here: the below-quorum
+            # phase must see a live refusal from the ring, not a cached
+            # answer that hides every replica being dead.
             router=RouterConfig(probe_interval=0.1, probe_timeout=0.5,
                                 attempt_timeout=1.0, breaker_cooldown=0.25,
-                                seed=seed),
+                                sync_interval=0.1, seed=seed),
             # a small cache keeps decode work (and the hang hook) hot
             server=ServerConfig(cache_bytes=1 << 15,
                                 request_timeout=5.0))).start()
@@ -314,6 +328,27 @@ def chaos_sweep(seed: int = 0, clients: int = 8, duration: float = 3.0,
     report.requests_total = load.requests
     report.retries_total = load.retries
     report.failures = load.failures
+
+    # -- phase 1b: a router dies mid-load; the other absorbs everyone -------
+    if len(cluster.routers) >= 2 and cluster.routers[1].is_alive():
+        addresses = cluster.addresses
+        router_load = _ClientLoad(host, port, ids, clients=clients,
+                                  seed=seed + 1, fallback=addresses[1:])
+        router_load.start()
+        try:
+            time.sleep(0.4)     # clients mid-flight on the doomed router
+            dead = cluster.kill_router(0)
+            note("kill", "router-0", f"front-end at {dead[0]}:{dead[1]} down")
+            time.sleep(0.6)     # survivors must carry the rest of the load
+        finally:
+            router_load.finish()
+        report.requests_total += router_load.requests
+        report.retries_total += router_load.retries
+        report.router_failover_clean = not router_load.failures
+        report.failures.extend(
+            f"router-failover {failure}" for failure in router_load.failures)
+        # later phases talk to the surviving router
+        host, port = cluster.address
 
     # -- phase 2: below quorum for one key, deterministically ---------------
     target = ids[0]

@@ -153,7 +153,8 @@ class ServeClient:
                  max_frame: int = protocol.MAX_FRAME_BYTES,
                  deadlines: Optional[OpDeadlines] = None,
                  retries: Optional[int] = None,
-                 retry_policy: Optional[RetryPolicy] = None) -> None:
+                 retry_policy: Optional[RetryPolicy] = None,
+                 fallback: Optional[List[Tuple[str, int]]] = None) -> None:
         if deadlines is None:
             deadlines = (OpDeadlines.uniform(timeout) if timeout is not None
                          else OpDeadlines())
@@ -164,6 +165,14 @@ class ServeClient:
             retry_policy = replace(retry_policy, retries=retries)
         self.host = host
         self.port = port
+        # Every address the service answers on (multi-router clusters);
+        # connects rotate through them, so one dead front-end costs a
+        # reconnect, not the client.
+        self._addresses: List[Tuple[str, int]] = [(host, port)]
+        for address in fallback or []:
+            if tuple(address) not in self._addresses:
+                self._addresses.append(tuple(address))
+        self._address_index = 0
         self.max_frame = max_frame
         self.deadlines = deadlines
         self.retry_policy = retry_policy
@@ -185,9 +194,23 @@ class ServeClient:
     # -- connection management ----------------------------------------------
 
     def _connect(self) -> None:
-        self._sock = socket.create_connection(
-            (self.host, self.port), timeout=self.deadlines.connect)
-        self._stream = self._sock.makefile("rwb")
+        last_exc: Optional[OSError] = None
+        for offset in range(len(self._addresses)):
+            index = (self._address_index + offset) % len(self._addresses)
+            host, port = self._addresses[index]
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=self.deadlines.connect)
+            except OSError as exc:
+                last_exc = exc
+                continue
+            self._sock = sock
+            self._stream = sock.makefile("rwb")
+            self._address_index = index
+            self.host, self.port = host, port
+            return
+        assert last_exc is not None
+        raise last_exc
 
     def _close_socket(self) -> None:
         if self._stream is not None:

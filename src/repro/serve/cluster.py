@@ -24,7 +24,7 @@ router around real subprocess shards; see ``repro.tools``.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional
 
 from .client import RetryPolicy, ServeClient
@@ -56,10 +56,15 @@ class ClusterConfig:
     host: str = "127.0.0.1"
     router: Optional[RouterConfig] = None
     server: Optional[ServerConfig] = None
+    #: front-end routers; > 1 removes the router as a single point of
+    #: failure (they gossip health + weights and any one serves alone)
+    routers: int = 1
 
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"need at least one shard, got {self.shards}")
+        if self.routers < 1:
+            raise ValueError(f"need at least one router, got {self.routers}")
         if not 1 <= self.replication <= self.shards:
             raise ValueError(
                 f"replication {self.replication} must be in "
@@ -89,7 +94,7 @@ class LocalCluster:
             shard_id: ContainerStore() for shard_id in self.shard_ids}
         self.handles: Dict[str, Optional[ServerHandle]] = {
             shard_id: None for shard_id in self.shard_ids}
-        self.router: Optional[RouterHandle] = None
+        self.routers: List[RouterHandle] = []
         self._lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------------
@@ -102,7 +107,13 @@ class LocalCluster:
             addresses[shard_id] = handle.address
         router_config = self.config.router or RouterConfig()
         router_config.replication = self.config.replication
-        self.router = router_in_thread(addresses, config=router_config)
+        self.routers = [router_in_thread(addresses, config=router_config)]
+        for _ in range(1, self.config.routers):
+            self.routers.append(router_in_thread(
+                addresses, config=replace(router_config, port=0)))
+        peer_addresses = [handle.address for handle in self.routers]
+        for handle in self.routers:
+            handle.set_peers(peer_addresses)
         return self
 
     def _start_shard(self, shard_id: str) -> ServerHandle:
@@ -119,9 +130,9 @@ class LocalCluster:
                                config=server_config)
 
     def stop(self) -> None:
-        if self.router is not None:
-            self.router.stop()
-            self.router = None
+        for handle in self.routers:
+            handle.stop()
+        self.routers = []
         for shard_id, handle in self.handles.items():
             if handle is not None:
                 handle.stop()
@@ -138,11 +149,26 @@ class LocalCluster:
     # -- introspection -------------------------------------------------------
 
     @property
+    def router(self) -> Optional[RouterHandle]:
+        """The first *live* router handle (back-compat single-router view)."""
+        for handle in self.routers:
+            if handle.is_alive():
+                return handle
+        return None
+
+    @property
     def address(self) -> tuple:
-        """The router's (host, port) — what clients connect to."""
-        if self.router is None:
-            raise RuntimeError("cluster is not started")
-        return self.router.address
+        """A live router's (host, port) — what clients connect to."""
+        router = self.router
+        if router is None:
+            raise RuntimeError("cluster is not started (or every router died)")
+        return router.address
+
+    @property
+    def addresses(self) -> List[tuple]:
+        """Every live router's (host, port), first-preferred order."""
+        return [handle.address for handle in self.routers
+                if handle.is_alive()]
 
     @property
     def quorum(self) -> int:
@@ -167,15 +193,24 @@ class LocalCluster:
         return out
 
     def replicas_for(self, container_id: str) -> List[str]:
-        if self.router is None:
+        router = self.router
+        if router is None:
             raise RuntimeError("cluster is not started")
-        return self.router.router.replicas_for(container_id)
+        return router.router.replicas_for(container_id)
 
     def client(self, retries: int = 4,
                retry_policy: Optional[RetryPolicy] = None,
                **kwargs) -> ServeClient:
-        """A retrying client pointed at the router."""
-        host, port = self.address
+        """A retrying client pointed at the routers.
+
+        Every live router is handed over as a fallback address, so a
+        router death mid-load costs the client one reconnect.
+        """
+        addresses = self.addresses
+        if not addresses:
+            raise RuntimeError("cluster is not started (or every router died)")
+        host, port = addresses[0]
+        kwargs.setdefault("fallback", addresses[1:])
         if retry_policy is not None:
             return ServeClient(host, port, retry_policy=retry_policy,
                                **kwargs)
@@ -209,20 +244,34 @@ class LocalCluster:
                 raise RuntimeError(f"{shard_id} is still running")
             handle = self._start_shard(shard_id)
             self.handles[shard_id] = handle
-            if self.router is not None:
-                self.router.update_address(shard_id, *handle.address)
+            for router in self.routers:
+                if router.is_alive():
+                    router.update_address(shard_id, *handle.address)
             return ShardSpec(shard_id=shard_id, host=self.config.host,
                              port=handle.port)
+
+    def kill_router(self, index: int = 0) -> tuple:
+        """Take one front-end router down; returns its old address.
+
+        Surviving routers keep serving (clients fall back via their
+        address list) — the scenario the chaos harness proves causes
+        zero client-visible failures.
+        """
+        with self._lock:
+            handle = self.routers[index]
+            address = handle.address
+            handle.stop()
+            return address
 
 
 def start_cluster_in_thread(shards: int = DEFAULT_SHARDS,
                             replication: int = DEFAULT_REPLICATION,
                             router: Optional[RouterConfig] = None,
-                            server: Optional[ServerConfig] = None
-                            ) -> LocalCluster:
+                            server: Optional[ServerConfig] = None,
+                            routers: int = 1) -> LocalCluster:
     """Start a :class:`LocalCluster` and return it ready for clients."""
     config = ClusterConfig(shards=shards, replication=replication,
-                           router=router, server=server)
+                           router=router, server=server, routers=routers)
     return LocalCluster(config).start()
 
 

@@ -573,6 +573,7 @@ def _cluster_start(args: argparse.Namespace) -> int:
     import os
     import signal
     import tempfile
+    from dataclasses import replace
 
     from .serve.router import ClusterRouter, RouterConfig
 
@@ -580,6 +581,10 @@ def _cluster_start(args: argparse.Namespace) -> int:
         raise ToolError("--shards must be >= 1")
     if not 1 <= args.replication <= args.shards:
         raise ToolError(f"--replication must be in [1, {args.shards}]")
+    if args.routers < 1:
+        raise ToolError("--routers must be >= 1")
+    if args.router_cache_bytes < 0:
+        raise ToolError("--router-cache-bytes must be >= 0")
 
     processes = []
     with tempfile.TemporaryDirectory(prefix="ssd-cluster-") as work_dir:
@@ -598,18 +603,36 @@ def _cluster_start(args: argparse.Namespace) -> int:
                       f"port={port}", file=sys.stderr, flush=True)
 
             config = RouterConfig(host=args.host, port=args.port,
-                                  replication=args.replication)
-            router = ClusterRouter(shards, config=config)
+                                  replication=args.replication,
+                                  cache_bytes=args.router_cache_bytes)
+            # The first router listens on --port; extra routers take
+            # ephemeral ports (recorded in the state file) and gossip
+            # health + vnode weights with the first over SYNC_STATE.
+            routers = [ClusterRouter(shards, config=config)]
+            for _ in range(1, args.routers):
+                routers.append(ClusterRouter(
+                    shards, config=replace(config, port=0)))
 
             async def main() -> None:
-                await router.start()
+                for router in routers:
+                    await router.start()
+                peer_addresses = [(args.host, router.port)
+                                  for router in routers]
+                for router in routers:
+                    router.set_peers(peer_addresses)
+                first = routers[0]
                 if args.port_file:
-                    _write_port_file(args.port_file, router.port)
+                    _write_port_file(args.port_file, first.port)
                 state = {
-                    "router": {"host": args.host, "port": router.port,
+                    "router": {"host": args.host, "port": first.port,
                                "pid": os.getpid()},
+                    "routers": [
+                        {"host": args.host, "port": router.port,
+                         "pid": os.getpid()}
+                        for router in routers
+                    ],
                     "replication": args.replication,
-                    "quorum": router.quorum,
+                    "quorum": first.quorum,
                     "shards": [
                         {"shard_id": shard_id, "host": host, "port": port,
                          "pid": shard_pids[shard_id]}
@@ -620,9 +643,11 @@ def _cluster_start(args: argparse.Namespace) -> int:
                     with open(args.state_file, "w", encoding="utf-8") as fh:
                         json.dump(state, fh, indent=2, sort_keys=True)
                         fh.write("\n")
-                print(f"ssd cluster: router on {args.host}:{router.port} "
-                      f"({args.shards} shards, replication "
-                      f"{args.replication}, quorum {router.quorum})",
+                ports = ", ".join(str(router.port) for router in routers)
+                print(f"ssd cluster: {len(routers)} router(s) on "
+                      f"{args.host}:[{ports}] ({args.shards} shards, "
+                      f"replication {args.replication}, quorum "
+                      f"{first.quorum})",
                       file=sys.stderr, flush=True)
                 stop = asyncio.Event()
                 loop = asyncio.get_running_loop()
@@ -632,7 +657,8 @@ def _cluster_start(args: argparse.Namespace) -> int:
                     except (NotImplementedError, RuntimeError):
                         pass
                 await stop.wait()
-                await router.stop()
+                for router in routers:
+                    await router.stop()
 
             try:
                 asyncio.run(main())
@@ -675,17 +701,23 @@ def _cluster_status(args: argparse.Namespace) -> int:
         except (OSError, ProtocolError, RemoteError) as exc:
             return {"reachable": False, "error": str(exc)}
 
-    router = dict(state.get("router", {}))
-    router["health"] = probe(router.get("host", "127.0.0.1"),
-                             int(router.get("port", 0)))
+    routers = [dict(entry) for entry in
+               state.get("routers") or [state.get("router", {})]]
+    for router in routers:
+        router["health"] = probe(router.get("host", "127.0.0.1"),
+                                 int(router.get("port", 0)))
     shards = []
     for shard in state.get("shards", []):
         entry = dict(shard)
         entry["health"] = probe(shard["host"], int(shard["port"]))
         shards.append(entry)
     live = sum(1 for shard in shards if shard["health"]["reachable"])
+    live_routers = sum(1 for router in routers
+                       if router["health"]["reachable"])
     report = {
-        "router": router,
+        "router": routers[0],
+        "routers": routers,
+        "live_routers": live_routers,
         "shards": shards,
         "live_shards": live,
         "quorum": state.get("quorum"),
@@ -693,8 +725,7 @@ def _cluster_status(args: argparse.Namespace) -> int:
                          if state.get("quorum") is not None else None),
     }
     print(json.dumps(report, indent=2, sort_keys=True))
-    healthy = bool(router["health"]["reachable"]) and (
-        report["above_quorum"] is not False)
+    healthy = live_routers > 0 and report["above_quorum"] is not False
     return 0 if healthy else 1
 
 
@@ -998,6 +1029,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard subprocesses to spawn")
     p.add_argument("--replication", type=int, default=2,
                    help="replicas per container (1..shards)")
+    p.add_argument("--routers", type=int, default=1,
+                   help="front-end routers; the first binds --port, the "
+                        "rest take ephemeral ports and gossip state "
+                        "(see the state file for their addresses)")
+    p.add_argument("--router-cache-bytes", type=int, default=0,
+                   help="byte budget for the router response cache over "
+                        "hot content-addressed GETs (0 = disabled)")
     p.add_argument("--preload", nargs="*", default=None, metavar="FILE",
                    help=".ssd containers admitted by every shard at startup")
     p.add_argument("--store-dir", default=None,

@@ -248,7 +248,7 @@ class TestObservabilityDoc:
         for name in families:
             if name.startswith("serve_"):
                 registry = serve_registry
-            elif name.startswith("cluster_"):
+            elif name.startswith(("cluster_", "router_")):
                 registry = cluster_registry
             else:
                 registry = REGISTRY

@@ -1,0 +1,249 @@
+"""Integration tests for hot-shard rebalance, the router response
+cache, and multi-router gossip (repro.serve.{router,cluster}).
+"""
+
+import time
+
+import pytest
+
+from repro.core import compress
+from repro.isa import assemble
+from repro.serve import ClusterConfig, LocalCluster, RouterConfig, ServeClient
+
+ASM_TEMPLATE = """
+func main
+    li r2, {value}
+    call helper
+    trap 1
+    ret
+end
+func helper
+    add r1, r2, r2
+    ret
+end
+"""
+
+
+def build_container(value=5):
+    return compress(assemble(ASM_TEMPLATE.format(value=value))).data
+
+
+def fast_config(**overrides):
+    defaults = dict(probe_interval=0.05, probe_timeout=0.5,
+                    attempt_timeout=2.0, breaker_cooldown=0.2,
+                    fail_threshold=2, rise_threshold=2,
+                    rebalance_interval=0.0, sync_interval=0.0, seed=11)
+    defaults.update(overrides)
+    return RouterConfig(**defaults)
+
+
+def start_cluster(routers=1, **router_overrides):
+    return LocalCluster(ClusterConfig(
+        shards=3, replication=2, routers=routers,
+        router=fast_config(**router_overrides))).start()
+
+
+def wait_for(predicate, timeout=5.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestResponseCache:
+    def test_repeat_gets_hit_the_cache(self):
+        with start_cluster(cache_bytes=1 << 20) as cluster:
+            with cluster.client() as client:
+                cid, _count, _entry = client.put(build_container())
+                first = client.meta(cid)
+                second = client.meta(cid)
+                assert first == second
+                stats = client.stats()
+        assert stats["cache"]["hits"] >= 1
+        assert stats["cache"]["misses"] >= 1
+        assert stats["cache"]["current_bytes"] > 0
+
+    def test_cache_serves_when_every_replica_is_dead(self):
+        """Content-addressed responses are immutable, so a warmed cache
+        keeps answering even with zero live shards behind the router."""
+        with start_cluster(cache_bytes=1 << 20) as cluster:
+            with cluster.client() as client:
+                cid, _count, _entry = client.put(build_container())
+                warmed = client.function(cid, 0)
+                for shard_id in list(cluster.shard_ids):
+                    cluster.kill_shard(shard_id)
+                again = client.function(cid, 0)
+                assert [str(i) for i in again] == [str(i) for i in warmed]
+
+    def test_cache_disabled_by_default(self):
+        with start_cluster() as cluster:
+            with cluster.client() as client:
+                cid, _count, _entry = client.put(build_container())
+                client.meta(cid)
+                client.meta(cid)
+                stats = client.stats()
+        assert stats["cache"] == {"hits": 0, "misses": 0, "evictions": 0,
+                                  "current_bytes": 0}
+
+    def test_tiny_budget_evicts(self):
+        with start_cluster(cache_bytes=600) as cluster:
+            with cluster.client() as client:
+                ids = []
+                for value in range(6):
+                    cid, _count, _entry = client.put(build_container(value + 1))
+                    ids.append(cid)
+                for cid in ids:
+                    client.meta(cid)
+                stats = client.stats()
+        cache = stats["cache"]
+        assert cache["evictions"] >= 1
+        assert cache["current_bytes"] <= 600
+
+
+class TestRebalance:
+    def test_sustained_skew_triggers_rebalance(self):
+        with start_cluster() as cluster:
+            router = cluster.routers[0].router
+            hot = max(router._served,
+                      key=lambda sid: router.ring.load_split(512)[sid])
+            for _tick in range(4):
+                for shard_id in router._served:
+                    router._served[shard_id] += 400 if shard_id == hot else 10
+                cluster.routers[0]._loop.call_soon_threadsafe(
+                    router._rebalance_tick)
+                assert wait_for(
+                    lambda: router._last_served[hot] == router._served[hot])
+            assert wait_for(lambda: router.weights_epoch >= 1)
+            assert router.ring.weights[hot] < 1.0
+            stats = router.metrics.snapshot()
+            assert stats["rebalances"] >= 1
+            assert stats["vnode_weights"][hot] == \
+                pytest.approx(router.ring.weights[hot])
+
+    def test_single_spike_does_not_rebalance(self):
+        """One imbalanced tick is a spike, not sustained skew."""
+        with start_cluster() as cluster:
+            router = cluster.routers[0].router
+            router._served["shard-0"] += 1000
+            cluster.routers[0]._loop.call_soon_threadsafe(
+                router._rebalance_tick)
+            assert wait_for(lambda: router._last_served["shard-0"] >= 1000)
+            assert router.weights_epoch == 0
+            assert router.ring.weights == {s: 1.0 for s in cluster.shard_ids}
+
+    def test_idle_ticks_never_rebalance(self):
+        with start_cluster() as cluster:
+            router = cluster.routers[0].router
+            for _ in range(5):
+                router._rebalance_tick()
+            assert router.weights_epoch == 0
+
+    def test_noise_floor_ignores_trickle_traffic(self):
+        """A lone put lands on exactly R shards — 100% 'skew' on a
+        handful of requests must never move vnode weights."""
+        with start_cluster() as cluster:
+            router = cluster.routers[0].router
+            for _tick in range(6):
+                router._served["shard-0"] += 2
+                cluster.routers[0]._loop.call_soon_threadsafe(
+                    router._rebalance_tick)
+            assert wait_for(lambda: router._last_served["shard-0"] >= 12)
+            assert router.weights_epoch == 0
+
+    def test_reads_chase_keys_moved_by_rebalance(self):
+        """A container stored under the old ring stays readable after a
+        weight shift moves its replica set: the router chases live
+        E_NOT_FOUND answers across the remaining shards."""
+        with start_cluster() as cluster:
+            router = cluster.routers[0].router
+            with cluster.client() as client:
+                cid, _count, _entry = client.put(build_container())
+                # an extreme weight swing reshuffles most placements
+                cluster.routers[0]._loop.call_soon_threadsafe(
+                    router.apply_weights,
+                    {"shard-0": 4.0, "shard-1": 0.125, "shard-2": 0.125},
+                    router.weights_epoch + 1)
+                assert wait_for(lambda: router.weights_epoch >= 1)
+                assert client.meta(cid).container_id == cid
+                function = client.function(cid, 0)
+                assert function.insns
+
+    def test_unknown_container_still_not_found(self):
+        from repro.errors import RemoteError
+        with start_cluster() as cluster:
+            with cluster.client() as client:
+                with pytest.raises(RemoteError, match="E_NOT_FOUND"):
+                    client.meta("00" * 32)
+
+
+class TestMultiRouterGossip:
+    def test_weights_converge_across_routers(self):
+        with start_cluster(routers=2, sync_interval=0.05) as cluster:
+            first = cluster.routers[0].router
+            second = cluster.routers[1].router
+            cluster.routers[0]._loop.call_soon_threadsafe(
+                first.apply_weights, {"shard-1": 2.0},
+                first.weights_epoch + 1)
+            assert wait_for(
+                lambda: second.ring.weights["shard-1"] == pytest.approx(2.0))
+            assert second.weights_epoch == first.weights_epoch
+            assert second.metrics.snapshot()["vnode_weights"]["shard-1"] == \
+                pytest.approx(2.0)
+
+    def test_older_epoch_is_not_adopted(self):
+        with start_cluster(routers=2, sync_interval=0.05) as cluster:
+            first = cluster.routers[0].router
+            cluster.routers[0]._loop.call_soon_threadsafe(
+                first.apply_weights, {"shard-0": 3.0},
+                first.weights_epoch + 7)
+            assert wait_for(lambda: first.weights_epoch >= 7)
+            # a stale epoch must be a no-op even with different weights
+            first.apply_weights({"shard-0": 0.5}, 3)
+            assert first.ring.weights["shard-0"] == pytest.approx(3.0)
+
+    def test_both_routers_answer_clients(self):
+        with start_cluster(routers=2) as cluster:
+            container = build_container()
+            with cluster.client() as client:
+                cid, _count, _entry = client.put(container)
+            for host, port in cluster.addresses:
+                with ServeClient(host, port, retries=4) as direct:
+                    assert direct.meta(cid).container_id == cid
+
+    def test_router_death_is_absorbed_by_fallback(self):
+        with start_cluster(routers=2) as cluster:
+            with cluster.client() as client:
+                cid, _count, _entry = client.put(build_container())
+                assert client.meta(cid).container_id == cid
+                cluster.kill_router(0)
+                assert wait_for(lambda: len(cluster.addresses) == 1)
+                meta = client.meta(cid)   # retries reconnect via fallback
+                assert meta.container_id == cid
+                assert client.reconnect_count >= 1
+
+    def test_single_router_cluster_keeps_old_shape(self):
+        with start_cluster(routers=1) as cluster:
+            assert cluster.router is cluster.routers[0]
+            assert cluster.addresses == [cluster.address]
+
+
+class TestClientFallback:
+    def test_connects_via_fallback_when_primary_is_down(self):
+        with start_cluster(routers=2) as cluster:
+            live = cluster.addresses
+            with cluster.client() as seeder:
+                cid, _count, _entry = seeder.put(build_container())
+            # point the client's primary address at a dead port
+            client = ServeClient("127.0.0.1", 1, retries=4,
+                                 fallback=live)
+            try:
+                assert client.meta(cid).container_id == cid
+                assert (client.host, client.port) in [tuple(a) for a in live]
+            finally:
+                client.close()
+
+    def test_all_addresses_down_raises(self):
+        with pytest.raises(OSError):
+            ServeClient("127.0.0.1", 1, fallback=[("127.0.0.1", 2)])

@@ -1,0 +1,182 @@
+"""Property tests for the weighted consistent-hash ring
+(repro.serve.ring): weight-proportional splits, minimal movement under
+rebalance, and replica sets that never collapse below R distinct shards.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.ring import (
+    DEFAULT_REBALANCE_STEP,
+    HashRing,
+    MAX_WEIGHT,
+    MIN_WEIGHT,
+)
+
+SHARDS_5 = [f"shard-{index}" for index in range(5)]
+
+weights_strategy = st.lists(
+    st.floats(min_value=MIN_WEIGHT, max_value=MAX_WEIGHT,
+              allow_nan=False, allow_infinity=False),
+    min_size=5, max_size=5)
+
+load_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=5, max_size=5)
+
+
+def keys(count=512):
+    return [f"key:{index}" for index in range(count)]
+
+
+class TestWeightedConstruction:
+    def test_default_weights_are_uniform(self):
+        ring = HashRing(SHARDS_5)
+        assert ring.weights == {shard: 1.0 for shard in SHARDS_5}
+        assert all(ring.vnode_count(s) == ring.vnodes for s in SHARDS_5)
+
+    def test_uniform_weights_match_unweighted_ring(self):
+        plain = HashRing(SHARDS_5)
+        weighted = HashRing(SHARDS_5, weights={s: 1.0 for s in SHARDS_5})
+        for key in keys(128):
+            assert plain.primary_for(key) == weighted.primary_for(key)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            HashRing(SHARDS_5, weights={"shard-0": 0.0})
+        with pytest.raises(ValueError):
+            HashRing(SHARDS_5, weights={"shard-0": -1.0})
+        with pytest.raises(ValueError):
+            HashRing(SHARDS_5, weights={"nope": 1.0})
+
+    def test_weight_floor_keeps_shard_on_ring(self):
+        ring = HashRing(SHARDS_5, vnodes=4,
+                        weights={"shard-0": MIN_WEIGHT / 100})
+        assert ring.vnode_count("shard-0") >= 1
+        assert "shard-0" in ring.replicas_for("anything", 5)
+
+    @given(weights=weights_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_load_split_reflects_weights(self, weights):
+        """A shard's keyspace share tracks weight/total, within vnode
+        noise.  This is the property the rebalancer relies on: raising
+        a weight visibly grows that shard's share."""
+        mapping = dict(zip(SHARDS_5, weights))
+        ring = HashRing(SHARDS_5, weights=mapping)
+        split = ring.load_split(samples=4096)
+        total = sum(ring.vnode_count(s) for s in SHARDS_5)
+        for shard in SHARDS_5:
+            expected = ring.vnode_count(shard) / total
+            assert split[shard] == pytest.approx(expected, abs=0.09)
+
+    @given(weights=weights_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_replicas_never_collapse_below_r(self, weights):
+        """R-way replication survives any weight assignment: replica
+        sets are R *distinct* shards even when one shard owns most of
+        the ring and another sits at the weight floor."""
+        mapping = dict(zip(SHARDS_5, weights))
+        ring = HashRing(SHARDS_5, weights=mapping)
+        for replication in (2, 3, 5):
+            for key in keys(64):
+                replicas = ring.replicas_for(key, replication)
+                assert len(replicas) == replication
+                assert len(set(replicas)) == replication
+
+
+class TestMinimalMovement:
+    @given(weights=weights_strategy, load=load_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_key_moves_only_when_its_owner_changed_weight(self, weights,
+                                                         load):
+        """The minimal-movement contract: a key's primary changes only
+        if its old or new primary's vnode count changed.  Keys whose
+        owners were untouched by the rebalance stay put — by
+        construction, since an unchanged shard contributes the exact
+        same ring points."""
+        before = HashRing(SHARDS_5, weights=dict(zip(SHARDS_5, weights)))
+        after = before.rebalance(dict(zip(SHARDS_5, load)))
+        changed = {shard for shard in SHARDS_5
+                   if before.vnode_count(shard) != after.vnode_count(shard)}
+        for key in keys(256):
+            old = before.primary_for(key)
+            new = after.primary_for(key)
+            if old != new:
+                assert old in changed or new in changed
+
+    @given(load=load_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_rebalance_movement_is_bounded(self, load):
+        """One bounded-step round moves a bounded slice of the keyspace:
+        at most the fraction of ring points that were added or removed
+        (plus sampling slack), never a full reshuffle."""
+        before = HashRing(SHARDS_5)
+        after = before.rebalance(dict(zip(SHARDS_5, load)),
+                                 max_step=DEFAULT_REBALANCE_STEP)
+        total = sum(before.vnode_count(s) for s in SHARDS_5)
+        churn = sum(abs(after.vnode_count(s) - before.vnode_count(s))
+                    for s in SHARDS_5)
+        moved = after.movement_from(before, samples=2048)
+        assert moved <= churn / total + 0.05
+
+    def test_rebalance_shifts_weight_off_the_hot_shard(self):
+        ring = HashRing(SHARDS_5)
+        hot = {shard: 10.0 for shard in SHARDS_5}
+        hot["shard-2"] = 500.0
+        rebalanced = ring.rebalance(hot)
+        assert rebalanced.weights["shard-2"] < 1.0
+        assert all(rebalanced.weights[s] >= 1.0
+                   for s in SHARDS_5 if s != "shard-2")
+        # repeated rounds keep shrinking the hot shard, down to the floor
+        for _ in range(32):
+            rebalanced = rebalanced.rebalance(hot)
+        assert rebalanced.weights["shard-2"] == pytest.approx(MIN_WEIGHT)
+
+    def test_rebalance_step_is_bounded_per_round(self):
+        ring = HashRing(SHARDS_5)
+        extreme = {shard: 1.0 for shard in SHARDS_5}
+        extreme["shard-0"] = 1e9
+        rebalanced = ring.rebalance(extreme, max_step=0.25)
+        for shard in SHARDS_5:
+            ratio = rebalanced.weights[shard] / ring.weights[shard]
+            assert 0.75 - 1e-9 <= ratio <= 1.25 + 1e-9
+
+    def test_rebalance_without_load_is_identity(self):
+        ring = HashRing(SHARDS_5, weights={"shard-1": 2.0})
+        assert ring.rebalance({}) is ring
+        assert ring.rebalance({s: 0.0 for s in SHARDS_5}) is ring
+
+    def test_rebalance_on_balanced_load_changes_nothing(self):
+        ring = HashRing(SHARDS_5)
+        rebalanced = ring.rebalance({shard: 7.0 for shard in SHARDS_5})
+        assert rebalanced.weights == ring.weights
+
+    def test_rebalance_rejects_bad_step(self):
+        ring = HashRing(SHARDS_5)
+        with pytest.raises(ValueError):
+            ring.rebalance({"shard-0": 1.0}, max_step=0.0)
+        with pytest.raises(ValueError):
+            ring.rebalance({"shard-0": 1.0}, max_step=1.0)
+
+
+class TestWeightPlumbing:
+    def test_with_weights_merges_over_current(self):
+        ring = HashRing(SHARDS_5, weights={"shard-0": 2.0})
+        bumped = ring.with_weights({"shard-1": 3.0})
+        assert bumped.weights["shard-0"] == 2.0
+        assert bumped.weights["shard-1"] == 3.0
+        assert ring.weights["shard-1"] == 1.0   # original untouched
+
+    def test_without_preserves_surviving_weights(self):
+        ring = HashRing(SHARDS_5,
+                        weights={"shard-0": 2.0, "shard-3": 0.5})
+        survivor = ring.without("shard-0")
+        assert "shard-0" not in survivor.weights
+        assert survivor.weights["shard-3"] == 0.5
+
+    def test_movement_from_is_zero_for_identical_rings(self):
+        ring = HashRing(SHARDS_5, weights={"shard-2": 1.5})
+        clone = HashRing(SHARDS_5, weights={"shard-2": 1.5})
+        assert ring.movement_from(clone, samples=512) == 0.0
