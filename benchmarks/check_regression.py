@@ -14,6 +14,7 @@ Usage::
     PYTHONPATH=src python benchmarks/check_regression.py --serve    # cluster gate
     PYTHONPATH=src python benchmarks/check_regression.py --skew     # skew gate
     PYTHONPATH=src python benchmarks/check_regression.py --delta    # update gate
+    PYTHONPATH=src python benchmarks/check_regression.py --prefetch # layout gate
 
 ``--serve`` gates the cluster failover benchmark instead: it reads the
 latest ``serve_cluster_failover`` entry from ``BENCH_serve.json``
@@ -36,6 +37,16 @@ machine-relative, so the gate needs no recorded baseline.
 more than ``--delta-ratio`` (default 0.30) of a full container
 transfer.  Sizes are machine-independent, so the gate needs no
 recorded baseline.
+
+``--prefetch`` gates the profile-guided layout benchmark: it reads the
+latest ``serve_prefetch`` entry from ``BENCH_serve.json`` (written by
+``benchmarks/test_prefetch_bench.py``) and fails unless the profiled
+configuration (plan-ordered container + markov prefetch + ghost-list
+admission) beat the plain-LRU/source-order baseline on the phase-shift
+scenario: server-side GET_FUNCTION p99 within ``--prefetch-p99-ratio``
+(default 1.0 — profiled must not be slower) and cache hit rate at least
+``--prefetch-hit-gain`` higher (default 0.0).  Both comparisons happen
+within one run, so the gate needs no recorded baseline.
 
 Run it alongside the tier-1 suite when touching the compress or
 decompress path.
@@ -154,6 +165,50 @@ def check_delta(max_median_ratio: float) -> int:
     return 0 if verdict == "pass" else 1
 
 
+def check_prefetch(max_p99_ratio: float, min_hit_gain: float) -> int:
+    """Gate the prefetch benchmark's phase-shift scenario.
+
+    Returns 0 when the profiled configuration (plan-ordered container +
+    markov prefetch + ghost-list admission) beat the plain-LRU baseline
+    across the phase shift: server-side GET_FUNCTION p99 at or below
+    ``max_p99_ratio`` times baseline's, AND cache hit rate at least
+    ``min_hit_gain`` above baseline's.  Both comparisons are within one
+    run on one machine, so the gate needs no recorded baseline.
+    Returns 1 on a regression or when the benchmark has not been run.
+    """
+    if not SERVE_RESULTS_PATH.exists():
+        print(f"{SERVE_RESULTS_PATH.name} missing; "
+              "run benchmarks/test_prefetch_bench.py first")
+        return 1
+    entries = [entry for entry
+               in json.loads(SERVE_RESULTS_PATH.read_text())
+               if entry.get("benchmark") == "serve_prefetch"]
+    if not entries:
+        print("no serve_prefetch entry recorded; "
+              "run benchmarks/test_prefetch_bench.py first")
+        return 1
+    latest = entries[-1]
+    shift = latest["scenarios"]["phase_shift"]
+    base_p99 = shift["baseline"]["server_p99_ms"]
+    prof_p99 = shift["profiled"]["server_p99_ms"]
+    base_hit = shift["baseline"]["cache_hit_rate"]
+    prof_hit = shift["profiled"]["cache_hit_rate"]
+    p99_ratio = prof_p99 / base_p99 if base_p99 else float("inf")
+    hit_gain = prof_hit - base_hit
+    p99_ok = p99_ratio <= max_p99_ratio
+    hit_ok = hit_gain >= min_hit_gain
+    verdict = "pass" if p99_ok and hit_ok else "regression"
+    print(f"prefetch phase-shift: server p99 baseline {base_p99}ms, "
+          f"profiled {prof_p99}ms -> {p99_ratio:.2f}x (ceiling "
+          f"{max_p99_ratio:.2f}x, {'pass' if p99_ok else 'regression'}); "
+          f"hit rate {base_hit:.3f} -> {prof_hit:.3f} "
+          f"({hit_gain:+.3f}, floor {min_hit_gain:+.3f}, "
+          f"{'pass' if hit_ok else 'regression'}); prefetch "
+          f"{shift['profiled']['prefetch_hits']} hits / "
+          f"{shift['profiled']['prefetch_issued']} issued -> {verdict}")
+    return 0 if verdict == "pass" else 1
+
+
 def measure(program_name: str, scale: float, rounds: int) -> dict:
     from repro.core import compress, decompress
     from repro.workloads import benchmark_program
@@ -211,6 +266,17 @@ def main(argv=None) -> int:
     parser.add_argument("--delta-ratio", type=float, default=0.30,
                         help="allowed median patch/full-transfer ratio "
                              "(default 0.30)")
+    parser.add_argument("--prefetch", action="store_true",
+                        help="gate the layout/prefetch benchmark "
+                             "(BENCH_serve.json) instead of the pipeline")
+    parser.add_argument("--prefetch-p99-ratio", type=float, default=1.0,
+                        help="allowed profiled/baseline server p99 ratio "
+                             "on the phase-shift scenario (default 1.0: "
+                             "profiled must not be slower)")
+    parser.add_argument("--prefetch-hit-gain", type=float, default=0.0,
+                        help="required profiled-minus-baseline cache "
+                             "hit-rate gain on the phase-shift scenario "
+                             "(default 0.0: profiled must not be lower)")
     args = parser.parse_args(argv)
 
     if args.serve:
@@ -219,6 +285,9 @@ def main(argv=None) -> int:
         return check_skew(args.skew_p99_ratio, args.skew_load_ratio)
     if args.delta:
         return check_delta(args.delta_ratio)
+    if args.prefetch:
+        return check_prefetch(args.prefetch_p99_ratio,
+                              args.prefetch_hit_gain)
 
     baseline = json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
     program = args.program or baseline.get("program", "word97")

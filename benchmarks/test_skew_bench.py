@@ -24,6 +24,7 @@ from repro.core import compress
 from repro.isa import assemble
 from repro.serve import ClusterConfig, LocalCluster, RouterConfig
 from repro.serve.metrics import percentile
+from repro.workloads import zipf_weights
 
 HERE = Path(__file__).resolve().parent
 RESULTS_PATH = HERE / "BENCH_serve.json"
@@ -52,10 +53,6 @@ def _record(entry: dict) -> None:
                 if RESULTS_PATH.exists() else [])
     existing.append(entry)
     RESULTS_PATH.write_text(json.dumps(existing, indent=2) + "\n")
-
-
-def _zipf_weights(count: int, exponent: float):
-    return [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
 
 
 def _drive(cluster, container_ids, function_count, pick_container):
@@ -103,7 +100,7 @@ def test_uniform_vs_zipf_skew(benchmark):
     containers = [compress(assemble(ASM_TEMPLATE.format(value=v + 1))).data
                   for v in range(CONTAINERS)]
     function_count = 2
-    zipf = _zipf_weights(CONTAINERS, ZIPF_EXPONENT)
+    zipf = zipf_weights(CONTAINERS, ZIPF_EXPONENT)
 
     def measure():
         config = ClusterConfig(

@@ -31,6 +31,7 @@ from .copy_phase import (
     read_patched_displacement,
 )
 from .decompressor import DecompressionError, SSDReader, decompress, open_container
+from .hints import ProfileHints, decode_hints, encode_hints
 from .dictionary import (
     MAX_SEQUENCE_LENGTH,
     BaseEntry,
@@ -77,6 +78,7 @@ __all__ = [
     "DecodeLimits",
     "DecodedItem",
     "DecompressionError",
+    "ProfileHints",
     "EntryInfo",
     "IntegrityReport",
     "SectionSpan",
@@ -112,6 +114,8 @@ __all__ = [
     "lazy_program",
     "open_container",
     "order_base_entries",
+    "decode_hints",
+    "encode_hints",
     "parse",
     "partition_statistics",
     "plan_partition",

@@ -23,7 +23,7 @@ from ..isa import Program
 from ..obs import REGISTRY, TRACER
 from ..perf.parallel import fanout, get_shared, resolve_jobs
 from ..perf.profile import PhaseProfile, ensure
-from . import container
+from . import container, hints
 from .dictionary import (
     MAX_SEQUENCE_LENGTH,
     EntryRef,
@@ -109,7 +109,8 @@ def compress(program: Program,
              branch_targets: str = "relative",
              match_mode: str = "greedy",
              jobs: int = 1,
-             profile: Optional[PhaseProfile] = None) -> CompressedProgram:
+             profile: Optional[PhaseProfile] = None,
+             layout_plan: Optional[hints.LayoutPlanLike] = None) -> CompressedProgram:
     """Compress ``program`` into an SSD container.
 
     Parameters
@@ -139,6 +140,12 @@ def compress(program: Program,
         Optional :class:`repro.perf.PhaseProfile`; receives wall-clock
         timings for every pipeline phase (``dictionary.*``, ``partition``,
         ``layout``, ``items``, ``serialize``).
+    layout_plan:
+        Optional :class:`repro.profile.LayoutPlan` (anything with
+        ``order`` and ``hints()``).  Item streams are *placed* in plan
+        order and the container carries the plan's profile-hint section;
+        decode output is byte-identical to the unplanned container
+        (``parse`` restores logical order — see docs/LAYOUT.md).
     """
     if branch_targets not in ("relative", "absolute"):
         raise ValueError(f"branch_targets must be relative/absolute, got {branch_targets!r}")
@@ -167,6 +174,10 @@ def compress(program: Program,
                 segments=segment_sections,
                 item_streams=item_streams,
             )
+            if layout_plan is not None:
+                sections.function_order = list(layout_plan.order)
+                sections.profile_hints_blob = hints.encode_hints(
+                    layout_plan.hints())
             data = container.serialize(sections)
     _COMPRESS_RUNS.inc()
     _COMPRESS_OUTPUT.inc(len(data))

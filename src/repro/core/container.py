@@ -15,16 +15,33 @@ Version 2 (current, magic ``SSD2``) byte layout (varints unless stated)::
         first function index, function count
         base blob       (uvarint length + bytes + u32 CRC32)
         tree blob       (uvarint length + bytes + u32 CRC32)
-    per function (program order):
+    per function (placement order):
         item stream     (uvarint length + bytes + u32 CRC32)
+    [function order]    (uvarint length + permutation + u32 CRC32;
+                        only in profile-guided containers)
     container CRC       u32 CRC32 over everything after the version byte
                         and before this field
+    [profile hints]     (uvarint length + hints + u32 CRC32;
+                        only in profile-guided containers)
 
 Every *blob* carries its own CRC32 so corruption is attributed to a
 section with a byte offset; the trailing container CRC covers the varint
 metadata between blobs (counts, indices, lengths).  Version 1 (magic
 ``SSD1``) is the same layout minus the version byte and every CRC; it is
 still read for compatibility with old archives.
+
+A **profile-guided** container (built from a ``repro.profile``
+:class:`~repro.profile.LayoutPlan`, see docs/LAYOUT.md) stores item
+streams in plan placement order and appends two optional sections.  The
+*function order* permutation (``order[slot] = logical function index``)
+sits inside the CRC-covered body: corrupting it is fatal, because a bad
+permutation would attach wrong bytes to a function.  The *profile
+hints* blob (hot-set ranks + successor edges, ``repro.core.hints``)
+trails the container CRC with only its own CRC32: hints are advisory,
+so a corrupt hint section degrades to no-hint behaviour instead of
+failing the container.  :func:`parse` restores item streams to logical
+(program) order, so every consumer above this layer — readers, the JIT,
+the serve stack — sees identical bytes whatever the placement.
 
 Function names ride along (LZ-compressed) so decompression reproduces the
 program exactly; they are charged to the compressed size, just as symbol
@@ -48,6 +65,7 @@ from ..errors import ChecksumMismatch, CorruptContainer, LimitExceeded
 from ..lz import lz77
 from ..lz.varint import ByteReader, ByteWriter
 from ..obs import REGISTRY
+from .hints import decode_order, encode_order
 
 #: legacy (version 1) magic — still readable, no longer written by default
 MAGIC = b"SSD1"
@@ -115,6 +133,13 @@ class ContainerSections:
     common_tree_blob: bytes
     segments: List[SegmentSections]
     item_streams: List[bytes]
+    #: physical placement permutation (``order[slot] = logical findex``);
+    #: ``None`` for plain source-order containers.  ``item_streams`` is
+    #: ALWAYS logical (program) order — the permutation only records how
+    #: the bytes are (or will be) placed on disk.
+    function_order: Optional[List[int]] = None
+    #: encoded profile-hint payload (``repro.core.hints``); empty when absent
+    profile_hints_blob: bytes = b""
 
     def section_sizes(self) -> dict:
         """Per-section byte accounting for reports."""
@@ -125,6 +150,7 @@ class ContainerSections:
             "segment_bases": sum(len(s.base_blob) for s in self.segments),
             "segment_trees": sum(len(s.tree_blob) for s in self.segments),
             "items": sum(len(stream) for stream in self.item_streams),
+            "profile_hints": len(self.profile_hints_blob),
         }
 
 
@@ -149,6 +175,19 @@ def serialize(sections: ContainerSections, version: int = FORMAT_VERSION) -> byt
         raise ValueError(f"unsupported container version {version}")
     if len(sections.item_streams) != len(sections.function_names):
         raise ContainerError("one item stream per function required")
+    order = sections.function_order
+    if order is not None:
+        if version != 2:
+            raise ValueError(
+                "profile-guided layout requires container version 2")
+        if sorted(order) != list(range(len(sections.item_streams))):
+            raise ContainerError(
+                "function_order is not a permutation of the functions",
+                section="function_order")
+    elif sections.profile_hints_blob:
+        raise ContainerError(
+            "profile hints require a function_order (identity is fine)",
+            section="profile_hints")
     with_crc = version == 2
     writer = ByteWriter()
     writer.write_bytes(MAGIC_V2 if with_crc else MAGIC)
@@ -176,10 +215,17 @@ def serialize(sections: ContainerSections, version: int = FORMAT_VERSION) -> byt
         writer.write_uvarint(segment.function_count)
         write_blob(segment.base_blob)
         write_blob(segment.tree_blob)
-    for stream in sections.item_streams:
-        write_blob(stream)
+    if order is None:
+        for stream in sections.item_streams:
+            write_blob(stream)
+    else:
+        for findex in order:  # placement order: slot -> logical stream
+            write_blob(sections.item_streams[findex])
+        write_blob(encode_order(order))
     if with_crc:
         writer.write_u32(_crc(writer.getvalue()[body_start:]))
+    if order is not None:
+        write_blob(sections.profile_hints_blob)
     _SERIALIZE_BYTES.inc(len(writer.getvalue()))
     return writer.getvalue()
 
@@ -207,6 +253,32 @@ def _read_blob(reader: ByteReader, section: str, with_crc: bool,
             f"computed {_crc(payload):#010x}",
             section=section, offset=data_offset)
     return payload, crc_ok
+
+
+def _probe_profiled(data: bytes, pos: int, function_count: int) -> bool:
+    """Does the tail at ``pos`` parse as the profile-layout extension?
+
+    Requires a CRC-valid function-order blob holding a real permutation,
+    the 4-byte container CRC, and a structurally complete hint blob with
+    nothing after it.  The hint blob's CRC is deliberately *not* checked
+    here — a corrupt hint section still counts as the extension (and
+    degrades to no hints); a corrupt order blob does not, so the plain
+    path rejects the container via its CRC/trailing checks.
+    """
+    probe = ByteReader(data, pos)
+    try:
+        length = probe.read_uvarint()
+        payload = probe.read_bytes(length)
+        if _crc(payload) != probe.read_u32():
+            return False
+        decode_order(payload, function_count)
+        probe.read_u32()  # container CRC; verified by the main path
+        hint_length = probe.read_uvarint()
+        probe.read_bytes(hint_length)
+        probe.read_u32()  # hint CRC; mismatch degrades, not rejects
+        return probe.at_end()
+    except CorruptContainer:
+        return False
 
 
 def parse(data: bytes,
@@ -303,6 +375,23 @@ def parse(data: bytes,
     item_streams = [_read_blob(reader, f"items[{findex}]",
                                with_crc, trace, strict)[0]
                     for findex in range(function_count)]
+    # A profile-guided container still has the function-order blob before
+    # the 4-byte container CRC (and the hint blob after it); a plain one
+    # has exactly the CRC left.  The tail only counts as the extension if
+    # it fully parses as one — anything else falls through to the plain
+    # path, where the CRC check / trailing-bytes check rejects it.
+    profiled = (with_crc and reader.remaining > 4
+                and _probe_profiled(data, reader.position, function_count))
+    function_order: Optional[List[int]] = None
+    if profiled:
+        order_payload, order_crc_ok = _read_blob(
+            reader, "function_order", with_crc, trace, strict)
+        if order_crc_ok is not False:
+            function_order = decode_order(order_payload, function_count)
+            logical = list(item_streams)
+            for slot, findex in enumerate(function_order):
+                logical[findex] = item_streams[slot]
+            item_streams = logical
     if with_crc:
         crc_offset = reader.position
         body = data[body_start:crc_offset]
@@ -317,6 +406,14 @@ def parse(data: bytes,
                 f"container CRC32 mismatch: stored {stored:#010x}, "
                 f"computed {_crc(body):#010x}",
                 section="container", offset=crc_offset)
+    profile_hints_blob = b""
+    if profiled:
+        # Advisory section: never strict — a corrupt hint blob degrades
+        # to no hints, it must not fail an otherwise-good container.
+        hint_payload, hint_crc_ok = _read_blob(
+            reader, "profile_hints", with_crc, trace, strict=False)
+        if hint_crc_ok is not False:
+            profile_hints_blob = hint_payload
     if not reader.at_end():
         raise ContainerError(f"{reader.remaining} trailing bytes in container",
                              offset=reader.position)
@@ -324,7 +421,9 @@ def parse(data: bytes,
                              function_names=function_names,
                              common_base_blob=common_base_blob,
                              common_tree_blob=common_tree_blob,
-                             segments=segments, item_streams=item_streams)
+                             segments=segments, item_streams=item_streams,
+                             function_order=function_order,
+                             profile_hints_blob=profile_hints_blob)
 
 
 def container_version(data: bytes) -> int:

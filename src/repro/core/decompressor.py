@@ -25,6 +25,7 @@ from ..isa import Function, Instruction, Program
 from ..obs import REGISTRY, TRACER
 from ..perf.profile import PhaseProfile, ensure
 from . import container
+from . import hints as hints_codec
 from .container import DEFAULT_LIMITS, DecodeLimits
 from ..kernels import KIND_CALL, ItemPlanes
 from .items import (
@@ -88,6 +89,20 @@ class SSDReader:
     @property
     def function_names(self) -> List[str]:
         return self.sections.function_names
+
+    @property
+    def profile_hints(self) -> Optional["hints_codec.ProfileHints"]:
+        """Decoded profile hints, or ``None`` when the container carries
+        none (or carries an undecodable blob — hints are advisory, so a
+        bad one degrades rather than failing the reader)."""
+        blob = self.sections.profile_hints_blob
+        if not blob:
+            return None
+        try:
+            decoded = hints_codec.decode_hints(blob)
+        except CorruptContainer:
+            return None
+        return decoded if decoded else None
 
     def layout_for_function(self, findex: int) -> SegmentLayout:
         return self.layouts[self.segment_of_function[findex]]

@@ -1,0 +1,142 @@
+"""Profile-hint wire codec: the container's view of an access profile.
+
+A profile-guided container (see docs/LAYOUT.md) carries two extra
+sections past the per-function item streams:
+
+* a **function-order blob** — the physical placement permutation
+  (``order[slot] = logical function index``).  It lives *inside* the
+  CRC-covered body: if the permutation is corrupt the container is
+  unreadable and must fail loudly, never remap bodies silently.
+* a **profile-hint blob** — hot-set ranks plus weighted successor
+  edges.  It trails the container CRC and carries only its own CRC32:
+  hints are advisory, so corruption degrades to no-hint behaviour.
+
+This module is pure serialization — :class:`ProfileHints` plus the
+varint encode/decode pairs for both blobs — so ``repro.core.container``
+can import it without dragging in the planner (``repro.profile``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Protocol, Sequence, Tuple
+
+from ..errors import CorruptContainer
+from ..lz.varint import ByteReader, ByteWriter
+
+HINTS_VERSION = 1
+
+# Caps on the advisory payload: hints bigger than this are nonsense (or
+# an attack) — reject during decode so a lying length can't balloon.
+MAX_HINT_HOT = 1 << 20
+MAX_HINT_EDGES = 1 << 20
+
+
+class LayoutPlanLike(Protocol):
+    """What the compressor needs from a plan (structural, so
+    ``repro.core`` never has to import the planner package)."""
+
+    @property
+    def order(self) -> Sequence[int]: ...
+
+    def hints(self) -> "ProfileHints": ...
+
+
+@dataclass(frozen=True)
+class ProfileHints:
+    """Decoded contents of a container's profile-hint section.
+
+    ``hot`` ranks logical function indices hottest-first; ``edges`` are
+    ``(src, dst, weight)`` successor transitions observed in the
+    profiling trace, heaviest-first.  Both are advisory: a reader that
+    ignores them decodes identical bytes.
+    """
+
+    hot: Tuple[int, ...] = ()
+    edges: Tuple[Tuple[int, int, int], ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return bool(self.hot or self.edges)
+
+
+def encode_order(order: Sequence[int]) -> bytes:
+    """Serialize the physical->logical placement permutation."""
+    writer = ByteWriter()
+    writer.write_uvarint(len(order))
+    for findex in order:
+        writer.write_uvarint(findex)
+    return writer.getvalue()
+
+
+def decode_order(payload: bytes, function_count: int) -> List[int]:
+    """Parse and validate a placement permutation.
+
+    Raises :class:`CorruptContainer` unless the payload is exactly a
+    permutation of ``range(function_count)`` — a corrupt order would
+    silently attach the wrong body to a function name, which is the one
+    failure mode the format must never allow.
+    """
+    reader = ByteReader(payload)
+    count = reader.read_uvarint()
+    if count != function_count:
+        raise CorruptContainer(
+            f"function order lists {count} slots for "
+            f"{function_count} functions", section="function_order")
+    order = [reader.read_uvarint() for _ in range(count)]
+    if not reader.at_end():
+        raise CorruptContainer(
+            f"{reader.remaining} trailing bytes after function order",
+            section="function_order")
+    if sorted(order) != list(range(function_count)):
+        raise CorruptContainer(
+            "function order is not a permutation", section="function_order")
+    return order
+
+
+def encode_hints(hints: ProfileHints) -> bytes:
+    """Serialize hot-set ranks and successor edges."""
+    writer = ByteWriter()
+    writer.write_uvarint(HINTS_VERSION)
+    writer.write_uvarint(len(hints.hot))
+    for findex in hints.hot:
+        writer.write_uvarint(findex)
+    writer.write_uvarint(len(hints.edges))
+    for src, dst, weight in hints.edges:
+        writer.write_uvarint(src)
+        writer.write_uvarint(dst)
+        writer.write_uvarint(weight)
+    return writer.getvalue()
+
+
+def decode_hints(payload: bytes) -> ProfileHints:
+    """Parse a profile-hint payload.
+
+    Raises :class:`CorruptContainer` on any structural problem; callers
+    on the serve/read path catch that and degrade to no hints.
+    """
+    if not payload:
+        return ProfileHints()
+    reader = ByteReader(payload)
+    version = reader.read_uvarint()
+    if version != HINTS_VERSION:
+        raise CorruptContainer(
+            f"unknown profile-hint version {version}", section="profile_hints")
+    hot_count = reader.read_uvarint()
+    if hot_count > MAX_HINT_HOT:
+        raise CorruptContainer(
+            f"hint hot set of {hot_count} exceeds cap {MAX_HINT_HOT}",
+            section="profile_hints")
+    hot = tuple(reader.read_uvarint() for _ in range(hot_count))
+    edge_count = reader.read_uvarint()
+    if edge_count > MAX_HINT_EDGES:
+        raise CorruptContainer(
+            f"{edge_count} hint edges exceed cap {MAX_HINT_EDGES}",
+            section="profile_hints")
+    edges = tuple(
+        (reader.read_uvarint(), reader.read_uvarint(), reader.read_uvarint())
+        for _ in range(edge_count))
+    if not reader.at_end():
+        raise CorruptContainer(
+            f"{reader.remaining} trailing bytes after profile hints",
+            section="profile_hints")
+    return ProfileHints(hot=hot, edges=edges)

@@ -20,12 +20,13 @@ application-startup story).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterator, Set
+from typing import TYPE_CHECKING, Iterator, Optional, Set
 
 from ..isa import Function
 
 if TYPE_CHECKING:  # circular at runtime: repro.codecs builds on repro.core
     from ..codecs.base import CodecReader
+    from ..profile.markov import MarkovPredictor
 
 
 class _LazyFunctionList:
@@ -38,9 +39,10 @@ class _LazyFunctionList:
     tracks which indices *it* has touched.
     """
 
-    def __init__(self, reader: "CodecReader") -> None:
+    def __init__(self, reader: "CodecReader", on_access=None) -> None:
         self._reader = reader
         self._touched: Set[int] = set()
+        self._on_access = on_access
 
     def __len__(self) -> int:
         return self._reader.function_count
@@ -54,6 +56,8 @@ class _LazyFunctionList:
             raise IndexError(f"function index {findex} out of range")
         function = self._reader.function(findex)
         self._touched.add(findex)
+        if self._on_access is not None:
+            self._on_access(findex)
         return function
 
     def __iter__(self) -> Iterator[Function]:
@@ -75,11 +79,24 @@ class LazyProgram:
     ``entry``, ``function_count``, ``function(findex)``).
     """
 
-    def __init__(self, reader: "CodecReader") -> None:
+    def __init__(self, reader: "CodecReader",
+                 predictor: Optional["MarkovPredictor"] = None) -> None:
         self._reader = reader
         self.name = reader.program_name
         self.entry = reader.entry
-        self.functions = _LazyFunctionList(reader)
+        self.functions = _LazyFunctionList(
+            reader,
+            on_access=self._note_access if predictor is not None else None)
+        #: optional next-function predictor; when present it is seeded
+        #: from the container's profile hints and learns every
+        #: first-touch transition, so ``prefetch_predicted`` can warm
+        #: the next functions ahead of control flow
+        self.predictor = predictor
+        self._last_access: Optional[int] = None
+        if predictor is not None:
+            hints = getattr(reader, "profile_hints", None)
+            if hints is not None:
+                predictor.seed(hints.edges)
 
     @property
     def reader(self) -> "CodecReader":
@@ -103,6 +120,46 @@ class LazyProgram:
         """Eagerly materialize selected functions (startup sets, tests)."""
         for findex in indices:
             self.functions[findex]  # noqa: B018 - materializing side effect
+
+    def _note_access(self, findex: int) -> None:
+        if self.predictor is not None and self._last_access is not None:
+            self.predictor.observe(self._last_access, findex)
+        self._last_access = findex
+
+    def prefetch_hot(self, limit: Optional[int] = None) -> int:
+        """Materialize the container's hinted hot set (hottest first);
+        returns how many functions were fetched.  A container without
+        profile hints is a no-op."""
+        from ..profile.markov import record_client_fetches  # late: no cycle
+
+        hints = getattr(self._reader, "profile_hints", None)
+        if hints is None:
+            return 0
+        hot = [f for f in hints.hot if 0 <= f < len(self.functions)]
+        if limit is not None:
+            hot = hot[:limit]
+        fresh = [f for f in hot if f not in self.functions.materialized]
+        self.prefetch(fresh)
+        record_client_fetches(len(fresh))
+        return len(fresh)
+
+    def prefetch_predicted(self, findex: Optional[int] = None,
+                           depth: int = 2) -> int:
+        """Materialize the predicted successors of ``findex`` (default:
+        the most recent access); returns how many were fetched."""
+        from ..profile.markov import record_client_fetches  # late: no cycle
+
+        if self.predictor is None:
+            return 0
+        src = self._last_access if findex is None else findex
+        if src is None:
+            return 0
+        fresh = [f for f in self.predictor.predict(src, depth)
+                 if isinstance(f, int) and 0 <= f < len(self.functions)
+                 and f not in self.functions.materialized]
+        self.prefetch(fresh)
+        record_client_fetches(len(fresh))
+        return len(fresh)
 
 
 def lazy_program(container_bytes: bytes) -> LazyProgram:

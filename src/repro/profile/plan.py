@@ -1,0 +1,171 @@
+"""Access profiles and layout planning.
+
+:class:`AccessProfile` condenses an observed workload — a call trace
+from ``repro.workloads.traces``, JIT runtime counters, or a serve-side
+request log — into per-function heat and successor-edge weights.
+:func:`build_plan` turns that into a :class:`LayoutPlan`: a placement
+permutation that front-packs hot functions and co-locates co-called
+ones (greedy affinity clustering over the edge graph), plus the
+hot-set ranks and top edges that ship in the container's profile-hint
+section (``repro.core.hints``).
+
+Planning is purely advisory: the container parser restores logical
+order, so a plan can never change decoded bytes — only where they sit
+and what the serve stack prefetches.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from ..core.hints import ProfileHints
+
+#: default size of the hot set recorded in hints, as a fraction of the
+#: profiled functions (clamped to at least 1)
+DEFAULT_HOT_FRACTION = 0.2
+#: default cap on successor edges recorded in hints
+DEFAULT_MAX_EDGES = 512
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Function heat + successor transitions distilled from a workload."""
+
+    counts: Mapping[int, int]
+    edges: Mapping[Tuple[int, int], int] = field(default_factory=dict)
+
+    @classmethod
+    def from_trace(cls, trace: Sequence[int],
+                   phase_boundaries: Sequence[int] = ()) -> "AccessProfile":
+        """Profile a call trace (function index per call).
+
+        ``phase_boundaries`` (call offsets where a new phase starts, as
+        returned by :func:`repro.workloads.traces.generate_trace`) break
+        successor edges across phase shifts — the last call of one phase
+        does not predict the first call of the next.
+        """
+        counts: Counter = Counter(trace)
+        edges: Counter = Counter()
+        breaks = set(phase_boundaries)
+        for pos in range(1, len(trace)):
+            if pos in breaks:
+                continue
+            src, dst = trace[pos - 1], trace[pos]
+            if src != dst:
+                edges[(src, dst)] += 1
+        return cls(counts=dict(counts), edges=dict(edges))
+
+    @classmethod
+    def from_counters(cls, counts: Mapping[int, int]) -> "AccessProfile":
+        """Profile from per-function counters (e.g. JIT decode counts);
+        no ordering information, so no successor edges."""
+        return cls(counts={f: c for f, c in counts.items() if c > 0})
+
+    def hot_ranked(self) -> Tuple[int, ...]:
+        """Function indices by descending heat (index breaks ties)."""
+        return tuple(sorted(self.counts,
+                            key=lambda f: (-self.counts[f], f)))
+
+
+@dataclass(frozen=True)
+class LayoutPlan:
+    """A placement decision plus the hints that ship with it.
+
+    ``order[slot]`` is the logical function index placed at physical
+    slot ``slot``; ``hot`` ranks the hot set hottest-first; ``edges``
+    are ``(src, dst, weight)`` successor transitions, heaviest-first.
+    """
+
+    order: Tuple[int, ...]
+    hot: Tuple[int, ...] = ()
+    edges: Tuple[Tuple[int, int, int], ...] = ()
+
+    @property
+    def function_count(self) -> int:
+        return len(self.order)
+
+    @property
+    def is_identity(self) -> bool:
+        return all(slot == findex for slot, findex in enumerate(self.order))
+
+    def hints(self) -> ProfileHints:
+        """The advisory payload serialized into the container."""
+        return ProfileHints(hot=self.hot, edges=self.edges)
+
+    def validate(self, function_count: int) -> None:
+        if sorted(self.order) != list(range(function_count)):
+            raise ValueError(
+                f"plan orders {len(self.order)} slots; not a permutation "
+                f"of {function_count} functions")
+        for findex in self.hot:
+            if not 0 <= findex < function_count:
+                raise ValueError(f"hot-set index {findex} out of range")
+        for src, dst, _ in self.edges:
+            if not (0 <= src < function_count and 0 <= dst < function_count):
+                raise ValueError(f"edge ({src}, {dst}) out of range")
+
+    @classmethod
+    def identity(cls, function_count: int) -> "LayoutPlan":
+        return cls(order=tuple(range(function_count)))
+
+
+def _cluster_by_affinity(order_seed: Sequence[int],
+                         edges: Mapping[Tuple[int, int], int],
+                         heat: Mapping[int, int]) -> Tuple[int, ...]:
+    """Greedy affinity clustering: merge the chains joined by the
+    heaviest edges, then emit clusters hottest-first.
+
+    Classic pairwise cluster agglomeration (Pettis–Hansen style): each
+    function starts alone; edges are taken heaviest-first and merge the
+    two clusters containing their endpoints by concatenation, so
+    co-called functions end up adjacent in the final order.
+    """
+    cluster_of: Dict[int, int] = {f: i for i, f in enumerate(order_seed)}
+    clusters: Dict[int, list] = {i: [f] for i, f in enumerate(order_seed)}
+    ranked_edges = sorted(edges.items(),
+                          key=lambda kv: (-kv[1], kv[0]))
+    for (src, dst), _weight in ranked_edges:
+        a, b = cluster_of.get(src), cluster_of.get(dst)
+        if a is None or b is None or a == b:
+            continue
+        merged = clusters[a] + clusters[b]
+        clusters[a] = merged
+        for f in clusters.pop(b):
+            cluster_of[f] = a
+    def cluster_heat(members: Iterable[int]) -> int:
+        return max(heat.get(f, 0) for f in members)
+    ordered = sorted(clusters.values(),
+                     key=lambda ms: (-cluster_heat(ms), ms[0]))
+    return tuple(f for members in ordered for f in members)
+
+
+def build_plan(profile: AccessProfile, function_count: int,
+               hot_set_size: Optional[int] = None,
+               max_edges: int = DEFAULT_MAX_EDGES) -> LayoutPlan:
+    """Turn a profile into a deterministic :class:`LayoutPlan`.
+
+    Profiled functions are affinity-clustered and front-packed by heat;
+    functions the profile never saw keep their relative source order at
+    the back.  Trace indices outside ``range(function_count)`` are
+    ignored, so a trace recorded against a larger build still plans a
+    smaller one.
+    """
+    heat = {f: c for f, c in profile.counts.items()
+            if 0 <= f < function_count}
+    ranked = tuple(sorted(heat, key=lambda f: (-heat[f], f)))
+    edges = {(s, d): w for (s, d), w in profile.edges.items()
+             if s in heat and d in heat}
+    packed = _cluster_by_affinity(ranked, edges, heat)
+    cold = tuple(f for f in range(function_count) if f not in heat)
+    order = packed + cold
+    if hot_set_size is None:
+        hot_set_size = max(1, int(len(ranked) * DEFAULT_HOT_FRACTION))
+    top_edges = tuple(
+        (s, d, w) for (s, d), w in
+        sorted(edges.items(), key=lambda kv: (-kv[1], kv[0]))[:max_edges])
+    plan = LayoutPlan(order=order, hot=ranked[:hot_set_size],
+                      edges=top_edges)
+    plan.validate(function_count)
+    return plan

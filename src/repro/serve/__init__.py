@@ -42,7 +42,13 @@ CLI: ``ssd serve`` / ``ssd client`` / ``ssd cluster``.  Wire format:
 docs/PROTOCOL.md; topology and failover: docs/CLUSTER.md.
 """
 
-from .cache import CacheStats, DEFAULT_CACHE_BYTES, SharedLRUCache
+from .cache import (
+    AdmissionPolicy,
+    CacheStats,
+    DEFAULT_CACHE_BYTES,
+    GhostListAdmission,
+    SharedLRUCache,
+)
 from .client import (
     DEFAULT_TIMEOUT,
     NO_RETRY,
@@ -86,6 +92,7 @@ from .store import AdmissionError, ContainerStore, container_id_of
 
 __all__ = [
     "AdmissionError",
+    "AdmissionPolicy",
     "CacheStats",
     "CircuitBreaker",
     "ClusterConfig",
@@ -95,6 +102,7 @@ __all__ = [
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_DRAIN_TIMEOUT",
     "DEFAULT_TIMEOUT",
+    "GhostListAdmission",
     "HashRing",
     "HealthStatus",
     "LocalCluster",

@@ -9,8 +9,17 @@ few hot functions, or the reverse — rebalances the budget automatically,
 the same size-aware eviction pressure `repro.jit.buffer` applies to the
 translation buffer.
 
+The cache is **policy-pluggable**: an optional :class:`AdmissionPolicy`
+decides whether an insert that would force evictions is worth it.
+:class:`GhostListAdmission` is the built-in working-set-aware policy —
+a TinyLFU-style frequency filter backed by a ghost list of recently
+evicted keys, so a scan of one-hit wonders can no longer flush the
+resident hot set (see docs/LAYOUT.md §cache policies).  With no policy
+(the default) behaviour is exactly the plain LRU it always was.
+
 Thread-safe: the server decodes on worker threads while the event loop
-reads counters, so every operation takes the cache lock.
+reads counters, so every operation takes the cache lock (the policy is
+only ever called under it).
 """
 
 from __future__ import annotations
@@ -18,10 +27,20 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional, Protocol, Tuple
+
+from ..obs import REGISTRY
 
 #: default byte budget for a server cache (64 MiB)
 DEFAULT_CACHE_BYTES = 64 << 20
+
+_ADMISSION_REJECTS = REGISTRY.counter(
+    "cache_admission_rejects_total",
+    "Cache inserts refused by the admission policy.")
+_GHOST_READMITS = REGISTRY.counter(
+    "cache_admission_ghost_readmits_total",
+    "Cache admissions granted because the key was recently evicted "
+    "(ghost-list hit).")
 
 
 @dataclass
@@ -56,6 +75,100 @@ class CacheStats:
         }
 
 
+class AdmissionPolicy(Protocol):
+    """Decides whether a cache insert under eviction pressure is worth it.
+
+    All callbacks run under the cache lock — implementations must not
+    call back into the cache and should stay O(1).
+    """
+
+    def record_access(self, key: Hashable) -> None:
+        """Every ``get`` (hit or miss) announces the key."""
+
+    def admit(self, key: Hashable, size: int) -> bool:
+        """Would inserting ``key`` (which must evict residents) pay off?"""
+
+    def record_eviction(self, key: Hashable) -> None:
+        """``key`` was just evicted."""
+
+    def stats(self) -> Dict[str, int]:
+        """Policy counters for STATS/debugging."""
+
+
+class GhostListAdmission:
+    """Working-set-aware admission: ghost list + frequency filter.
+
+    Inserts that fit without evicting are always admitted.  An insert
+    that would evict residents is admitted only if the key has earned
+    it: it was seen at least ``min_frequency`` times recently, or it is
+    on the *ghost list* — keys evicted not long ago, whose return means
+    the working set is larger than the cache and the key is genuinely
+    re-referenced (not a one-hit wonder from a cold sweep).
+
+    Frequencies live in a bounded counter table that halves everything
+    once the total exceeds ``sample_size`` — the classic TinyLFU aging
+    scheme, so a burst from last minute cannot outvote current traffic.
+    """
+
+    def __init__(self, ghost_entries: int = 4096,
+                 min_frequency: int = 2,
+                 sample_size: int = 65536) -> None:
+        if ghost_entries <= 0:
+            raise ValueError(
+                f"ghost_entries must be positive, got {ghost_entries}")
+        if min_frequency < 1:
+            raise ValueError(
+                f"min_frequency must be >= 1, got {min_frequency}")
+        self._ghost_entries = ghost_entries
+        self._min_frequency = min_frequency
+        self._sample_size = sample_size
+        self._freq: Dict[Hashable, int] = {}
+        self._freq_total = 0
+        self._ghost: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._rejects = 0
+        self._ghost_readmits = 0
+
+    def record_access(self, key: Hashable) -> None:
+        self._freq[key] = self._freq.get(key, 0) + 1
+        self._freq_total += 1
+        if self._freq_total > self._sample_size:
+            aged: Dict[Hashable, int] = {}
+            total = 0
+            for k, count in self._freq.items():
+                count //= 2
+                if count:
+                    aged[k] = count
+                    total += count
+            self._freq = aged
+            self._freq_total = total
+
+    def admit(self, key: Hashable, size: int) -> bool:
+        if key in self._ghost:
+            del self._ghost[key]
+            self._ghost_readmits += 1
+            _GHOST_READMITS.inc()
+            return True
+        if self._freq.get(key, 0) >= self._min_frequency:
+            return True
+        self._rejects += 1
+        _ADMISSION_REJECTS.inc()
+        return False
+
+    def record_eviction(self, key: Hashable) -> None:
+        self._ghost.pop(key, None)
+        self._ghost[key] = None
+        while len(self._ghost) > self._ghost_entries:
+            self._ghost.popitem(last=False)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "rejects": self._rejects,
+            "ghost_readmits": self._ghost_readmits,
+            "ghost_entries": len(self._ghost),
+            "tracked_keys": len(self._freq),
+        }
+
+
 class SharedLRUCache:
     """LRU over ``(key -> value)`` entries with explicit byte sizes.
 
@@ -64,13 +177,18 @@ class SharedLRUCache:
     decoded dictionaries) and evicts least-recently-used entries until
     the total fits the budget.  An entry larger than the whole budget is
     rejected rather than cycling the entire cache.
+
+    ``policy`` (optional) screens inserts that would force evictions;
+    ``None`` keeps the historical always-admit LRU behaviour.
     """
 
-    def __init__(self, budget_bytes: int = DEFAULT_CACHE_BYTES) -> None:
+    def __init__(self, budget_bytes: int = DEFAULT_CACHE_BYTES,
+                 policy: Optional[AdmissionPolicy] = None) -> None:
         if budget_bytes <= 0:
             raise ValueError(
                 f"cache budget must be positive, got {budget_bytes}")
         self.budget_bytes = budget_bytes
+        self.policy = policy
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
         self._bytes = 0
@@ -83,6 +201,8 @@ class SharedLRUCache:
     def get(self, key: Hashable) -> Optional[Any]:
         """Return the cached value (refreshing recency) or ``None``."""
         with self._lock:
+            if self.policy is not None:
+                self.policy.record_access(key)
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
@@ -103,13 +223,19 @@ class SharedLRUCache:
             old = self._entries.pop(key, None)
             if old is not None:
                 self._bytes -= old[1]
+            if (self.policy is not None and old is None
+                    and self._bytes + size > self.budget_bytes
+                    and not self.policy.admit(key, size)):
+                return False
             self._entries[key] = (value, size)
             self._bytes += size
             self._inserts += 1
             while self._bytes > self.budget_bytes:
-                _, (_, evicted_size) = self._entries.popitem(last=False)
+                evicted_key, (_, evicted_size) = self._entries.popitem(last=False)
                 self._bytes -= evicted_size
                 self._evictions += 1
+                if self.policy is not None:
+                    self.policy.record_eviction(evicted_key)
             return True
 
     def invalidate(self, key: Hashable) -> bool:
@@ -139,6 +265,18 @@ class SharedLRUCache:
         with self._lock:
             return self._bytes
 
+    @property
+    def near_capacity(self) -> bool:
+        """True once the cache is within ~6 % of its byte budget.
+
+        The prefetcher uses this as a cheap pressure signal: with an
+        admission policy guarding a full cache, speculative inserts of
+        never-seen keys would be refused, so issuing the decode at all
+        is wasted work.
+        """
+        with self._lock:
+            return self._bytes >= self.budget_bytes - (self.budget_bytes >> 4)
+
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(
@@ -149,5 +287,16 @@ class SharedLRUCache:
                 entry_count=len(self._entries),
                 budget_bytes=self.budget_bytes)
 
+    def policy_stats(self) -> Optional[Dict[str, int]]:
+        """The admission policy's counters, or ``None`` without one."""
+        with self._lock:
+            return self.policy.stats() if self.policy is not None else None
 
-__all__ = ["CacheStats", "DEFAULT_CACHE_BYTES", "SharedLRUCache"]
+
+__all__ = [
+    "AdmissionPolicy",
+    "CacheStats",
+    "DEFAULT_CACHE_BYTES",
+    "GhostListAdmission",
+    "SharedLRUCache",
+]

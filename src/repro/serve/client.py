@@ -45,11 +45,16 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Iterator, List, Optional, Set, Tuple, Union
+from typing import (TYPE_CHECKING, Callable, Iterator, List, Optional, Set,
+                    Tuple, Union)
 
 from ..errors import ProtocolError, RemoteError, UnavailableError
 from ..isa import Function, Instruction
 from . import protocol
+
+if TYPE_CHECKING:  # late imports at runtime: serve must not drag in core
+    from ..core.hints import ProfileHints
+    from ..profile.markov import MarkovPredictor
 
 #: legacy single client-side socket timeout (seconds); still accepted as
 #: ``ServeClient(..., timeout=...)`` and applied uniformly to every op
@@ -488,11 +493,13 @@ class ServeClient:
 class _RemoteFunctionList:
     """Sequence facade paging functions over the wire on first access."""
 
-    def __init__(self, client: ServeClient, meta: ContainerMeta) -> None:
+    def __init__(self, client: ServeClient, meta: ContainerMeta,
+                 on_access: Optional[Callable[[int], None]] = None) -> None:
         self._client = client
         self._meta = meta
         self._cache: dict = {}
         self._lock = threading.Lock()
+        self._on_access = on_access
 
     def __len__(self) -> int:
         return self._meta.function_count
@@ -523,6 +530,8 @@ class _RemoteFunctionList:
             fetched = self._fetch(findex)
             with self._lock:
                 function = self._cache.setdefault(findex, fetched)
+        if self._on_access is not None:
+            self._on_access(findex)
         return function
 
     def __iter__(self) -> Iterator[Function]:
@@ -547,9 +556,16 @@ class RemoteProgram:
     """
 
     def __init__(self, client: ServeClient,
-                 container: Union[str, bytes]) -> None:
+                 container: Union[str, bytes],
+                 predictor: Optional["MarkovPredictor"] = None) -> None:
+        #: profile hints recovered from the container bytes (only
+        #: available when the caller uploads bytes — for an id-only
+        #: program the hints live server-side, where the server's own
+        #: prefetcher consumes them)
+        self.hints: Optional["ProfileHints"] = None
         if isinstance(container, bytes):
             container_id, _, _ = client.put(container)
+            self.hints = _hints_from_container(container)
         else:
             container_id = container
         self._client = client
@@ -557,7 +573,16 @@ class RemoteProgram:
         self._meta = client.meta(container_id)
         self.name = self._meta.program_name
         self.entry = self._meta.entry
-        self.functions = _RemoteFunctionList(client, self._meta)
+        #: optional next-function predictor, same surface as
+        #: :class:`~repro.core.lazy.LazyProgram`: seeded from the
+        #: container's profile hints, fed every first-touch transition
+        self.predictor = predictor
+        self._last_access: Optional[int] = None
+        self.functions = _RemoteFunctionList(
+            client, self._meta,
+            on_access=self._note_access if predictor is not None else None)
+        if predictor is not None and self.hints is not None:
+            predictor.seed(self.hints.edges)
 
     @property
     def meta(self) -> ContainerMeta:
@@ -581,6 +606,66 @@ class RemoteProgram:
         """Eagerly fetch selected functions (startup sets)."""
         for findex in indices:
             self.functions[findex]  # noqa: B018 - fetching side effect
+
+    def _note_access(self, findex: int) -> None:
+        if self.predictor is not None and self._last_access is not None:
+            self.predictor.observe(self._last_access, findex)
+        self._last_access = findex
+
+    def prefetch_hot(self, limit: Optional[int] = None) -> int:
+        """Fetch the container's hinted hot set (hottest first); returns
+        how many functions travelled.  No hints — no-op."""
+        from ..profile.markov import record_client_fetches  # late: no cycle
+
+        if self.hints is None:
+            return 0
+        hot = [f for f in self.hints.hot if 0 <= f < len(self.functions)]
+        if limit is not None:
+            hot = hot[:limit]
+        fresh = [f for f in hot if f not in self.functions.materialized]
+        self.prefetch(fresh)
+        record_client_fetches(len(fresh))
+        return len(fresh)
+
+    def prefetch_predicted(self, findex: Optional[int] = None,
+                           depth: int = 2) -> int:
+        """Fetch the predicted successors of ``findex`` (default: the
+        most recent access); returns how many travelled."""
+        from ..profile.markov import record_client_fetches  # late: no cycle
+
+        if self.predictor is None:
+            return 0
+        src = self._last_access if findex is None else findex
+        if src is None:
+            return 0
+        fresh = [f for f in self.predictor.predict(src, depth)
+                 if isinstance(f, int) and 0 <= f < len(self.functions)
+                 and f not in self.functions.materialized]
+        self.prefetch(fresh)
+        record_client_fetches(len(fresh))
+        return len(fresh)
+
+
+def _hints_from_container(data: bytes) -> Optional["ProfileHints"]:
+    """Best-effort profile-hint extraction from container bytes.
+
+    Hints are advisory, so *any* failure — foreign codec, corrupt blob,
+    plain container — degrades to ``None`` rather than failing the
+    program construction.
+    """
+    from ..core import container as core_container  # late: no cycle
+    from ..core.hints import decode_hints
+    from ..errors import ReproError
+
+    try:
+        sections = core_container.parse(data)
+        blob = sections.profile_hints_blob
+        if not blob:
+            return None
+        decoded = decode_hints(blob)
+    except (ReproError, ValueError, EOFError):
+        return None
+    return decoded if decoded else None
 
 
 def remote_program(host: str, port: int,

@@ -25,6 +25,10 @@ Registry families, all prefixed ``serve_``:
   with a patch
 * ``serve_delta_bytes_saved_total``      — full-transfer bytes avoided
   by those patches (full container size minus patch size)
+* ``serve_prefetch_issued_total``        — background decodes issued by
+  the markov prefetcher
+* ``serve_prefetch_hits_total``          — GET_FUNCTION requests served
+  from a prefetched cache entry
 * ``serve_delta_no_base_total``          — GET_DELTA requests refused
   E_NO_BASE (the client fell back to a full transfer)
 * ``serve_request_seconds{type=...}``    — request latency histogram
@@ -105,6 +109,12 @@ class ServerMetrics:
         self._delta_no_base = self.registry.counter(
             "serve_delta_no_base_total",
             "GET_DELTA requests refused E_NO_BASE (full-transfer fallback).")
+        self._prefetch_issued = self.registry.counter(
+            "serve_prefetch_issued_total",
+            "Background decodes issued by the markov prefetcher.")
+        self._prefetch_hits = self.registry.counter(
+            "serve_prefetch_hits_total",
+            "GET_FUNCTION requests answered from a prefetched cache entry.")
         self._latency_hist = self.registry.histogram(
             "serve_request_seconds", "Request latency, by wire type.",
             buckets=DEFAULT_TIME_BUCKETS)
@@ -160,6 +170,12 @@ class ServerMetrics:
     def record_delta(self, patch_bytes: int, full_bytes: int) -> None:
         self._delta_patches.inc()
         self._delta_bytes_saved.inc(max(0, full_bytes - patch_bytes))
+
+    def record_prefetch_issued(self) -> None:
+        self._prefetch_issued.inc()
+
+    def record_prefetch_hit(self) -> None:
+        self._prefetch_hits.inc()
 
     def record_delta_no_base(self) -> None:
         self._delta_no_base.inc()
@@ -226,6 +242,14 @@ class ServerMetrics:
     def delta_no_base(self) -> int:
         return int(self._delta_no_base.value())
 
+    @property
+    def prefetch_issued(self) -> int:
+        return int(self._prefetch_issued.value())
+
+    @property
+    def prefetch_hits(self) -> int:
+        return int(self._prefetch_hits.value())
+
     # -- reading ------------------------------------------------------------
 
     def decodes_for(self, container_id: str) -> Dict[int, int]:
@@ -240,7 +264,8 @@ class ServerMetrics:
         return self.registry.expose_text()
 
     def snapshot(self, cache_stats: Optional[dict] = None,
-                 store_stats: Optional[dict] = None) -> dict:
+                 store_stats: Optional[dict] = None,
+                 admission_stats: Optional[dict] = None) -> dict:
         """JSON-safe, stable-keyed metrics snapshot (the STATS payload)."""
         with self._lock:
             latency = {}
@@ -292,11 +317,17 @@ class ServerMetrics:
                 "bytes_saved": self.delta_bytes_saved,
                 "no_base": self.delta_no_base,
             },
+            "prefetch": {
+                "issued": self.prefetch_issued,
+                "hits": self.prefetch_hits,
+            },
         }
         if cache_stats is not None:
             snapshot["cache"] = cache_stats
         if store_stats is not None:
             snapshot["store"] = store_stats
+        if admission_stats is not None:
+            snapshot["cache_admission"] = admission_stats
         return snapshot
 
 

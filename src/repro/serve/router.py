@@ -52,7 +52,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..errors import ProtocolError, ReproError
 from ..obs import TRACER
 from . import protocol
-from .cache import SharedLRUCache
+from .cache import GhostListAdmission, SharedLRUCache
 from .health import CircuitBreaker, ShardHealth
 from .metrics import RouterMetrics
 from .ring import DEFAULT_REBALANCE_STEP, DEFAULT_VNODES, HashRing
@@ -111,6 +111,9 @@ class RouterConfig:
     max_frame: int = protocol.MAX_FRAME_BYTES
     seed: Optional[int] = None         # jitter RNG seed (deterministic tests)
     cache_bytes: int = 0               # response-cache budget; 0 disables
+    #: screen eviction-forcing response-cache inserts through a
+    #: ghost-list frequency filter instead of always admitting
+    cache_admission: bool = False
     rebalance_interval: float = DEFAULT_REBALANCE_INTERVAL  # 0 disables
     rebalance_threshold: float = DEFAULT_REBALANCE_THRESHOLD
     rebalance_step: float = DEFAULT_REBALANCE_STEP
@@ -171,8 +174,12 @@ class ClusterRouter:
         self._writers: Set[asyncio.StreamWriter] = set()
         self._active_requests = 0
         self._rng = random.Random(self.config.seed)
-        self._response_cache = (SharedLRUCache(self.config.cache_bytes)
-                                if self.config.cache_bytes > 0 else None)
+        self._response_cache = (
+            SharedLRUCache(
+                self.config.cache_bytes,
+                policy=GhostListAdmission() if self.config.cache_admission
+                else None)
+            if self.config.cache_bytes > 0 else None)
         self._cache_evictions_seen = 0
         # per-shard cumulative served requests (cache hits excluded —
         # they cost the shards nothing), feeding the EWMA load tracker

@@ -45,8 +45,9 @@ from ..errors import (
 )
 from ..lz.varint import decode_uvarint
 from ..obs import TRACER
+from ..profile.markov import MarkovPredictor
 from . import protocol
-from .cache import DEFAULT_CACHE_BYTES, SharedLRUCache
+from .cache import DEFAULT_CACHE_BYTES, GhostListAdmission, SharedLRUCache
 from .metrics import ServerMetrics
 from .store import AdmissionError, ContainerStore, container_id_of
 
@@ -58,6 +59,11 @@ DEFAULT_MAX_QUEUE_DEPTH = 64
 DEFAULT_REQUEST_TIMEOUT = 30.0
 #: default ceiling on how long a drain waits for in-flight work
 DEFAULT_DRAIN_TIMEOUT = 10.0
+#: bound on the server prefetcher's markov state table — states are
+#: ``(container_id, findex)`` pairs, so this must comfortably exceed the
+#: function count of the largest expected container (word97 @ 1.0 is
+#: ~5k functions); ~200 bytes/state puts the worst case near 13 MB
+PREFETCHER_MAX_STATES = 65_536
 
 
 @dataclass
@@ -72,6 +78,12 @@ class ServerConfig:
     max_frame: int = protocol.MAX_FRAME_BYTES
     cache_bytes: int = DEFAULT_CACHE_BYTES
     drain_timeout: float = DEFAULT_DRAIN_TIMEOUT
+    #: predicted successors to background-decode after each GET_FUNCTION
+    #: (0 disables the markov prefetcher)
+    prefetch_depth: int = 0
+    #: screen eviction-forcing cache inserts through a ghost-list
+    #: frequency filter (GhostListAdmission) instead of always admitting
+    cache_admission: bool = False
 
 
 def _error_code_for(exc: ReproError) -> int:
@@ -135,8 +147,28 @@ class SSDServer:
                  metrics: Optional[ServerMetrics] = None) -> None:
         self.config = config or ServerConfig()
         self.store = store if store is not None else ContainerStore()
-        self.cache = cache or SharedLRUCache(self.config.cache_bytes)
+        self.cache = cache or SharedLRUCache(
+            self.config.cache_bytes,
+            policy=GhostListAdmission() if self.config.cache_admission
+            else None)
         self.metrics = metrics or ServerMetrics()
+        #: markov next-function predictor, learning from the request
+        #: stream and seeded from container profile hints; None when
+        #: prefetch is disabled
+        # Sized well past the per-client default: server states are
+        # (container_id, findex) pairs across every admitted container,
+        # and a single word97-scale container already has ~5k functions
+        # — the default 4096-state table would evict hint-seeded states
+        # before the first replay reaches them.
+        self.prefetcher: Optional[MarkovPredictor] = (
+            MarkovPredictor(max_states=PREFETCHER_MAX_STATES)
+            if self.config.prefetch_depth > 0 else None)
+        #: container ids whose profile hints already seeded the predictor
+        self._seeded: Set[str] = set()
+        self._seeded_lock = threading.Lock()
+        #: cache keys inserted by prefetch and not yet hit (loop-only)
+        self._prefetched: Set[Tuple] = set()
+        self._prefetch_tasks: Set[asyncio.Task] = set()
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
         # In-flight decode futures, keyed by cache key.  Only ever touched
@@ -236,6 +268,8 @@ class SSDServer:
                                  writer: asyncio.StreamWriter) -> None:
         self.metrics.record_connection(opened=True)
         self._writers.add(writer)
+        #: this connection's previous GET_FUNCTION, for transition learning
+        prev_access: Optional[Tuple[str, int]] = None
         try:
             while True:
                 try:
@@ -258,6 +292,18 @@ class SSDServer:
                         span.set_attr("bytes_in", len(message.body))
                 finally:
                     self._active_requests -= 1
+                if (self.prefetcher is not None
+                        and message.type == protocol.GET_FUNCTION
+                        and response.type == protocol.OK_FUNCTION):
+                    try:
+                        cid, findex = protocol.parse_get_function(message.body)
+                    except ReproError:
+                        pass
+                    else:
+                        # Kick prefetch before writing the response, so
+                        # predicted decodes overlap the network transit.
+                        prev_access = self._note_function_access(
+                            prev_access, cid, findex)
                 frame = protocol.encode_frame(response)
                 writer.write(frame)
                 try:
@@ -407,7 +453,33 @@ class SSDServer:
             # Charge the container's size as the proxy for its decoded
             # dictionary state (layouts scale with the dictionary blobs).
             self.cache.put(key, reader, size=len(data))
+        self._seed_hints(container_id, reader)
         return reader
+
+    def _seed_hints(self, container_id: str, reader: CodecReader) -> None:
+        """Seed the prefetcher from the container's profile hints (once).
+
+        Hints carry in-container successor edges; mapping them onto
+        ``(container_id, findex)`` states means the very first replay of
+        a profiled workload already predicts, before the request stream
+        has taught the markov table anything.
+        """
+        if self.prefetcher is None:
+            return
+        with self._seeded_lock:
+            if container_id in self._seeded:
+                return
+            self._seeded.add(container_id)
+        hints = getattr(reader, "profile_hints", None)
+        if hints is None:
+            return
+        self.prefetcher.seed(
+            ((container_id, src), (container_id, dst), weight)
+            for src, dst, weight in hints.edges)
+        hot = list(hints.hot)
+        self.prefetcher.seed(
+            ((container_id, hot[i]), (container_id, hot[i + 1]), 1)
+            for i in range(len(hot) - 1))
 
     def _decode_function(self, container_id: str, findex: int) -> bytes:
         """Thread-side: decode one function to its OK_FUNCTION body.
@@ -439,9 +511,104 @@ class SSDServer:
                findex)
         cached = self.cache.get(key)
         if cached is not None:
+            if key in self._prefetched:
+                self._prefetched.discard(key)
+                self.metrics.record_prefetch_hit()
+                # A prefetch hit means the client is walking a predicted
+                # run — keep the frontier ahead of it.
+                self._kick_prefetch((container_id, findex))
             return cached
-        return await self._coalesced(key, self._decode_function,
+        body = await self._coalesced(key, self._decode_function,
                                      container_id, findex)
+        # A demand miss is where prediction pays; plain warm hits skip
+        # the predictor entirely so the steady state stays zero-overhead.
+        self._kick_prefetch((container_id, findex))
+        return body
+
+    # -- predictive prefetch -------------------------------------------------
+
+    def _note_function_access(self, prev: Optional[Tuple[str, int]],
+                              container_id: str, findex: int
+                              ) -> Tuple[str, int]:
+        """Learn one request-stream transition.
+
+        Called from the connection loop after a successful GET_FUNCTION,
+        with that connection's previous access — transitions are learned
+        per connection, so interleaved clients don't teach the predictor
+        noise.  Prefetch itself is kicked from ``_function_body``, and
+        only on demand misses and prefetch hits: a warm LRU hit predicts
+        nothing and costs nothing.
+        """
+        current = (container_id, findex)
+        if self.prefetcher is not None and prev is not None:
+            self.prefetcher.observe(prev, current)
+        return current
+
+    def _kick_prefetch(self, state: Tuple[str, int]) -> None:
+        """Schedule a background prefetch of ``state``'s successors."""
+        if self.prefetcher is None or self._draining:
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._prefetch_successors(state))
+        self._prefetch_tasks.add(task)
+        task.add_done_callback(self._prefetch_tasks.discard)
+
+    async def _prefetch_successors(self, state: Tuple[str, int]) -> None:
+        """Background-decode the predicted next functions.
+
+        Polite by construction: skips anything cached or in flight,
+        stays away when the decode queue is half full, and stops during
+        a drain.  Failures (unknown container, bad index, saturation)
+        are swallowed — prefetch must never surface an error a client
+        didn't ask for.
+        """
+        assert self.prefetcher is not None
+        if self.cache.policy is not None and self.cache.near_capacity:
+            # A guarded cache under eviction pressure would refuse the
+            # speculative inserts anyway — don't decode bodies just to
+            # be turned away at the door.  Admission alone carries the
+            # thrash case; prefetch re-engages when pressure lifts.
+            return
+        # Breadth first for accuracy (the likely immediate successors),
+        # then the transitive chain for lead time — by the time the
+        # client walks one prediction deep, the chain is already warm.
+        predicted = self.prefetcher.predict(state, self.config.prefetch_depth)
+        for nxt in self.prefetcher.predict_chain(state,
+                                                 self.config.prefetch_depth):
+            if nxt not in predicted:
+                predicted.append(nxt)
+        for nxt in predicted:
+            if self._draining:
+                return
+            if self._waiting >= max(1, self.config.max_queue_depth // 2):
+                return
+            next_cid, next_findex = nxt
+            try:
+                codec = self.store.codec_of(next_cid)
+            except KeyError:
+                continue
+            key = ("func", codec, next_cid, next_findex)
+            if key in self.cache or key in self._inflight:
+                continue
+            if key in self._prefetched:
+                # Already speculatively decoded and still unconsumed
+                # (or refused by admission moments ago) — don't decode
+                # the same body again.
+                continue
+            self.metrics.record_prefetch_issued()
+            # Mark before decoding: the decode thread inserts into the
+            # cache, and the foreground request may hit that entry
+            # before this task resumes.
+            self._prefetched.add(key)
+            try:
+                await self._coalesced(key, self._decode_function,
+                                      next_cid, next_findex)
+            except (_Busy, ReproError, KeyError, IndexError):
+                self._prefetched.discard(key)
+                continue
+            if len(self._prefetched) > 1024:
+                self._prefetched = {k for k in self._prefetched
+                                    if k in self.cache}
 
     # -- request handlers ----------------------------------------------------
 
@@ -451,6 +618,7 @@ class SSDServer:
             ("put", container_id_of(data)), self.store.put, data)
         self.cache.put(("reader", reader.codec_id, container_id), reader,
                        size=len(data))
+        self._seed_hints(container_id, reader)
         return protocol.OK_PUT, protocol.build_ok_put(
             container_id, reader.function_count, reader.entry)
 
@@ -509,7 +677,8 @@ class SSDServer:
             raise ProtocolError("STATS carries no body")
         snapshot = self.metrics.snapshot(
             cache_stats=self.cache.stats().as_dict(),
-            store_stats=self.store.stats())
+            store_stats=self.store.stats(),
+            admission_stats=self.cache.policy_stats())
         return protocol.OK_STATS, protocol.build_ok_stats(
             json.dumps(snapshot, sort_keys=True).encode("utf-8"))
 

@@ -175,6 +175,19 @@ def _inspect_json(data: bytes, reader, function: Optional[int]) -> dict:
         ],
         "sections": dict(sorted(sections.section_sizes().items())),
     }
+    hints = reader.profile_hints
+    if sections.function_order is not None or hints is not None:
+        hot = list(hints.hot) if hints is not None else []
+        payload["profile"] = {
+            "reordered": sections.function_order is not None,
+            "hot_set_size": len(hot),
+            "hot_functions": [
+                sections.function_names[findex]
+                for findex in hot[:10]
+                if 0 <= findex < len(sections.function_names)
+            ],
+            "successor_edges": len(hints.edges) if hints is not None else 0,
+        }
     if function is not None:
         if not 0 <= function < reader.function_count:
             raise ToolError(f"function index {function} out of range")
@@ -252,6 +265,14 @@ def cmd_inspect(args: argparse.Namespace) -> int:
           f"(entry: {sections.function_names[sections.entry]})")
     print(f"segments:  {len(sections.segments)}")
     print(f"container: {len(data)} bytes")
+    hints = reader.profile_hints
+    if sections.function_order is not None or hints is not None:
+        hot = len(hints.hot) if hints is not None else 0
+        edges = len(hints.edges) if hints is not None else 0
+        order = ("profile order" if sections.function_order is not None
+                 else "source order")
+        print(f"layout:    {order}, {hot} hot functions hinted, "
+              f"{edges} successor edges")
     sizes = sections.section_sizes()
     for section, size in sorted(sizes.items(), key=lambda kv: -kv[1]):
         print(f"  {section:>14}: {size:>8} B")
@@ -466,10 +487,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise ToolError(f"{path} rejected: {exc}") from None
         print(f"preloaded {path} as {container_id}", file=sys.stderr)
+    if args.prefetch_depth < 0:
+        raise ToolError("--prefetch-depth must be non-negative")
     config = ServerConfig(host=args.host, port=args.port,
                           max_concurrency=args.max_concurrency,
                           request_timeout=args.timeout,
-                          cache_bytes=args.cache_bytes)
+                          cache_bytes=args.cache_bytes,
+                          prefetch_depth=args.prefetch_depth,
+                          cache_admission=args.cache_admission)
     server = SSDServer(store=store, config=config)
 
     async def main() -> None:
@@ -993,6 +1018,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline in seconds")
     p.add_argument("--max-concurrency", type=int, default=8,
                    help="simultaneous decode threads")
+    p.add_argument("--prefetch-depth", type=int, default=0,
+                   help="markov prefetch: decode up to N predicted "
+                        "successors after each GET_FUNCTION (0 = off)")
+    p.add_argument("--cache-admission", action="store_true",
+                   help="screen cache inserts under eviction pressure "
+                        "with the ghost-list admission policy")
     p.add_argument("--metrics-interval", type=float, default=None,
                    metavar="SECONDS",
                    help="print a JSON metrics snapshot to stderr "

@@ -29,7 +29,8 @@ from .profiles import (
     PaperTable5Row,
     profile,
 )
-from .traces import TraceSpec, generate_trace, trace_statistics
+from .traces import (Trace, TraceSpec, generate_trace, trace_statistics,
+                     zipf_weights)
 
 __all__ = [
     "BenchmarkProfile",
@@ -50,6 +51,7 @@ __all__ = [
     "PaperTable1Row",
     "PaperTable5Row",
     "ProgramGenerator",
+    "Trace",
     "TraceSpec",
     "ast",
     "benchmark_program",
@@ -62,4 +64,5 @@ __all__ = [
     "profile",
     "trace_statistics",
     "training_corpus",
+    "zipf_weights",
 ]

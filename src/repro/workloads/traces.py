@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -50,22 +50,56 @@ class TraceSpec:
             raise ValueError("core_fraction must be in [0, 1]")
 
 
-def _zipf_weights(count: int, skew: float) -> List[float]:
+def zipf_weights(count: int, skew: float) -> List[float]:
+    """Zipf popularity curve: weight of rank *r* is ``1 / r**skew``.
+
+    The one sampler shared by every skew-driven workload in the repo
+    (trace synthesis here, the cluster skew and prefetch benchmarks) so
+    "Zipf-1.1 traffic" means the same curve everywhere.
+    """
     return [1.0 / (rank ** skew) for rank in range(1, count + 1)]
 
 
-def generate_trace(spec: TraceSpec) -> List[int]:
-    """Generate the full call trace (a list of function indices)."""
+#: historical private name; prefer :func:`zipf_weights`
+_zipf_weights = zipf_weights
+
+
+class Trace(List[int]):
+    """A call trace that remembers where its phases begin.
+
+    Behaves exactly like the plain ``List[int]`` it used to be
+    (equality, slicing, ``len``), plus ``phase_boundaries``: the call
+    offsets where each phase after the first starts — the breaks
+    :meth:`repro.profile.AccessProfile.from_trace` uses to avoid
+    learning a successor edge across a working-set shift.
+    """
+
+    def __init__(self, calls: Sequence[int] = (),
+                 phase_boundaries: Sequence[int] = ()) -> None:
+        super().__init__(calls)
+        self.phase_boundaries: Tuple[int, ...] = tuple(phase_boundaries)
+
+
+def generate_trace(spec: TraceSpec) -> Trace:
+    """Generate the full call trace.
+
+    Returns a :class:`Trace` — list-compatible with the historical
+    ``List[int]`` return, with phase start offsets attached as
+    ``.phase_boundaries``.
+    """
     rng = random.Random(spec.seed)
     all_functions = list(range(spec.function_count))
     core_size = max(1, int(spec.function_count * spec.core_size_fraction))
     core = rng.sample(all_functions, core_size)
-    core_weights = _zipf_weights(core_size, spec.skew)
+    core_weights = zipf_weights(core_size, spec.skew)
 
     trace: List[int] = []
+    boundaries: List[int] = []
     remaining = [f for f in all_functions if f not in set(core)]
     rng.shuffle(remaining)
     for phase in range(spec.phases):
+        if phase:
+            boundaries.append(len(trace))
         # Each phase works over its own slice of the non-core functions.
         lo = (phase * len(remaining)) // spec.phases
         hi = ((phase + 1) * len(remaining)) // spec.phases
@@ -73,7 +107,7 @@ def generate_trace(spec: TraceSpec) -> List[int]:
         # Zipf order is re-drawn per phase: a different hot set each time.
         ranked = list(phase_functions)
         rng.shuffle(ranked)
-        weights = _zipf_weights(len(ranked), spec.skew)
+        weights = zipf_weights(len(ranked), spec.skew)
         core_calls = int(spec.calls_per_phase * spec.core_fraction)
         phase_calls = spec.calls_per_phase - core_calls
         calls = rng.choices(ranked, weights=weights, k=phase_calls)
@@ -84,7 +118,7 @@ def generate_trace(spec: TraceSpec) -> List[int]:
             rng.shuffle(sweep)
             trace.extend(sweep)
         trace.extend(calls)
-    return trace
+    return Trace(trace, phase_boundaries=boundaries)
 
 
 def trace_statistics(trace: Sequence[int]) -> dict:

@@ -1,0 +1,235 @@
+"""Units for the profile layer: AccessProfile, build_plan, the markov
+predictor, and the ghost-list cache admission policy."""
+
+import pytest
+
+from repro.profile import (
+    AccessProfile,
+    LayoutPlan,
+    MarkovPredictor,
+    build_plan,
+    predictor_from_hints,
+)
+from repro.serve.cache import GhostListAdmission, SharedLRUCache
+from repro.workloads import TraceSpec, generate_trace
+
+
+class TestAccessProfile:
+    def test_from_trace_counts_and_edges(self):
+        profile = AccessProfile.from_trace([0, 1, 0, 1, 2])
+        assert profile.counts == {0: 2, 1: 2, 2: 1}
+        assert profile.edges == {(0, 1): 2, (1, 0): 1, (1, 2): 1}
+
+    def test_self_edges_dropped(self):
+        profile = AccessProfile.from_trace([3, 3, 3, 4])
+        assert profile.edges == {(3, 4): 1}
+
+    def test_phase_boundaries_break_edges(self):
+        # Without the boundary, 1 -> 5 would be learned.
+        profile = AccessProfile.from_trace([0, 1, 5, 6],
+                                           phase_boundaries=[2])
+        assert (1, 5) not in profile.edges
+        assert profile.edges == {(0, 1): 1, (5, 6): 1}
+
+    def test_generated_trace_boundaries_line_up(self):
+        spec = TraceSpec(function_count=40, calls_per_phase=500, phases=3)
+        trace = generate_trace(spec)
+        assert len(trace.phase_boundaries) == spec.phases - 1
+        assert all(0 < b < len(trace) for b in trace.phase_boundaries)
+        # Boundary-aware profiling learns strictly fewer edges.
+        with_breaks = AccessProfile.from_trace(
+            trace, phase_boundaries=trace.phase_boundaries)
+        without = AccessProfile.from_trace(trace)
+        assert sum(with_breaks.edges.values()) <= sum(without.edges.values())
+
+    def test_from_counters_has_no_edges(self):
+        profile = AccessProfile.from_counters({0: 5, 1: 0, 2: 3})
+        assert profile.counts == {0: 5, 2: 3}
+        assert profile.edges == {}
+
+    def test_hot_ranked_orders_by_heat_then_index(self):
+        profile = AccessProfile.from_counters({2: 3, 0: 3, 1: 9})
+        assert profile.hot_ranked() == (1, 0, 2)
+
+
+class TestBuildPlan:
+    def test_plan_is_a_permutation(self):
+        profile = AccessProfile.from_trace([5, 2, 5, 2, 9])
+        plan = build_plan(profile, 12)
+        assert sorted(plan.order) == list(range(12))
+
+    def test_hot_functions_front_packed(self):
+        trace = [7] * 50 + [3] * 20 + [1]
+        plan = build_plan(AccessProfile.from_trace(trace), 10)
+        assert plan.order[0] == 7
+        assert plan.order.index(3) < plan.order.index(1)
+
+    def test_co_called_functions_adjacent(self):
+        # 4 and 8 alternate constantly; the affinity clusterer must
+        # place them next to each other.
+        trace = [4, 8] * 40 + [2, 6]
+        plan = build_plan(AccessProfile.from_trace(trace), 10)
+        pos4, pos8 = plan.order.index(4), plan.order.index(8)
+        assert abs(pos4 - pos8) == 1
+
+    def test_cold_tail_keeps_source_order(self):
+        plan = build_plan(AccessProfile.from_trace([3]), 6)
+        assert plan.order[0] == 3
+        assert plan.order[1:] == (0, 1, 2, 4, 5)
+
+    def test_out_of_range_trace_indices_ignored(self):
+        plan = build_plan(AccessProfile.from_trace([1, 99, 1, -5]), 4)
+        assert sorted(plan.order) == [0, 1, 2, 3]
+        assert 99 not in plan.hot
+
+    def test_hints_payload(self):
+        trace = [0, 1] * 30 + [2]
+        plan = build_plan(AccessProfile.from_trace(trace), 5, hot_set_size=2)
+        hints = plan.hints()
+        assert hints.hot == (0, 1)
+        assert any(edge[:2] == (0, 1) for edge in hints.edges)
+
+    def test_max_edges_cap(self):
+        trace = list(range(50)) * 3
+        plan = build_plan(AccessProfile.from_trace(trace), 50, max_edges=4)
+        assert len(plan.edges) == 4
+
+    def test_identity_plan(self):
+        plan = LayoutPlan.identity(4)
+        assert plan.is_identity
+        assert not plan.hints()
+
+    def test_validate_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            LayoutPlan(order=(0, 0, 1)).validate(3)
+
+    def test_deterministic(self):
+        trace = generate_trace(TraceSpec(function_count=30,
+                                         calls_per_phase=400, phases=2))
+        profile = AccessProfile.from_trace(
+            trace, phase_boundaries=trace.phase_boundaries)
+        assert build_plan(profile, 30) == build_plan(profile, 30)
+
+
+class TestMarkovPredictor:
+    def test_predicts_heaviest_successors_first(self):
+        predictor = MarkovPredictor()
+        for _ in range(3):
+            predictor.observe(1, 2)
+        predictor.observe(1, 3)
+        assert predictor.predict(1, count=2) == [2, 3]
+
+    def test_unknown_state_predicts_nothing(self):
+        assert MarkovPredictor().predict(7) == []
+
+    def test_self_transitions_ignored(self):
+        predictor = MarkovPredictor()
+        predictor.observe(5, 5)
+        assert predictor.predict(5) == []
+
+    def test_successor_cap_drops_lightest(self):
+        predictor = MarkovPredictor(max_successors=2)
+        predictor.observe(0, 1, weight=5)
+        predictor.observe(0, 2, weight=4)
+        predictor.observe(0, 3, weight=1)
+        assert set(predictor.predict(0, count=3)) == {1, 2}
+
+    def test_state_cap_evicts_oldest(self):
+        predictor = MarkovPredictor(max_states=2)
+        predictor.observe(0, 1)
+        predictor.observe(1, 2)
+        predictor.observe(2, 3)
+        assert predictor.predict(0) == []
+        assert predictor.predict(2) == [3]
+
+    def test_seed_matches_observed_weights(self):
+        predictor = MarkovPredictor()
+        assert predictor.seed([(0, 1, 3), (0, 2, 1)]) == 2
+        assert predictor.transitions(0) == {1: 3, 2: 1}
+
+    def test_predictor_from_hints_chains_hot_ranks(self):
+        predictor = predictor_from_hints(hot=(4, 7, 9), edges=())
+        assert predictor.predict(4) == [7]
+        assert predictor.predict(7) == [9]
+
+    def test_predict_chain_walks_transitively(self):
+        predictor = MarkovPredictor()
+        predictor.observe(1, 2)
+        predictor.observe(2, 3)
+        predictor.observe(3, 4)
+        assert predictor.predict_chain(1, count=3) == [2, 3, 4]
+
+    def test_predict_chain_stops_at_dead_end(self):
+        predictor = MarkovPredictor()
+        predictor.observe(1, 2)
+        assert predictor.predict_chain(1, count=5) == [2]
+
+    def test_predict_chain_skips_loops_via_siblings(self):
+        predictor = MarkovPredictor()
+        predictor.observe(1, 2, weight=5)
+        predictor.observe(2, 1, weight=5)  # top successor loops back
+        predictor.observe(2, 3, weight=1)  # sibling breaks the loop
+        assert predictor.predict_chain(1, count=3) == [2, 3]
+
+    def test_predict_chain_unknown_state_empty(self):
+        assert MarkovPredictor().predict_chain(9) == []
+        predictor = MarkovPredictor()
+        predictor.observe(1, 2)
+        assert predictor.predict_chain(1, count=0) == []
+
+
+class TestGhostListAdmission:
+    def test_always_admits_when_cache_has_room(self):
+        cache = SharedLRUCache(budget_bytes=100, policy=GhostListAdmission())
+        assert cache.put("a", b"x", 10)
+
+    def test_one_hit_wonder_rejected_under_pressure(self):
+        cache = SharedLRUCache(budget_bytes=100, policy=GhostListAdmission())
+        assert cache.put("resident", b"x", 90)
+        # Never-seen key that would evict the resident: rejected.
+        assert not cache.put("scan", b"y", 50)
+        assert cache.get("resident") is not None
+
+    def test_frequent_key_admitted_under_pressure(self):
+        policy = GhostListAdmission(min_frequency=2)
+        cache = SharedLRUCache(budget_bytes=100, policy=policy)
+        cache.put("resident", b"x", 90)
+        cache.get("hot")  # miss, but counts an access
+        cache.get("hot")
+        assert cache.put("hot", b"y", 50)
+
+    def test_ghost_readmit(self):
+        policy = GhostListAdmission(min_frequency=2)
+        cache = SharedLRUCache(budget_bytes=100, policy=policy)
+        cache.put("a", b"x", 60)
+        cache.get("b")  # earn b's admission
+        cache.get("b")
+        cache.put("b", b"y", 60)  # admitted; evicts a -> a goes ghost
+        assert "a" not in cache
+        # a returns: ghost hit admits it despite the frequency bar.
+        assert cache.put("a", b"x", 60)
+        assert policy.stats()["ghost_readmits"] == 1
+
+    def test_no_policy_keeps_plain_lru(self):
+        cache = SharedLRUCache(budget_bytes=100)
+        cache.put("resident", b"x", 90)
+        assert cache.put("scan", b"y", 50)  # always admitted
+        assert cache.policy_stats() is None
+
+    def test_policy_stats_keys(self):
+        policy = GhostListAdmission()
+        assert set(policy.stats()) == {"rejects", "ghost_readmits",
+                                       "ghost_entries", "tracked_keys"}
+
+    def test_frequency_table_ages(self):
+        policy = GhostListAdmission(sample_size=4)
+        for _ in range(5):
+            policy.record_access("k")
+        # Halving kicked in: the count is bounded, not 5.
+        assert policy._freq["k"] < 5
+
+    def test_ctor_validation(self):
+        with pytest.raises(ValueError):
+            GhostListAdmission(ghost_entries=0)
+        with pytest.raises(ValueError):
+            GhostListAdmission(min_frequency=0)
